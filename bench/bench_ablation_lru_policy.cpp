@@ -1,0 +1,54 @@
+// Ablation A2: the kernel's two-list LRU vs a single LRU list.
+//
+// The two-list strategy protects re-accessed (active) data from eviction.
+// This bench runs Exp-1-style pipelines under memory pressure with both
+// policies and reports phase times and final cache contents; the paper's
+// design choice (two lists, Section III.A.1) should land closer to the
+// reference.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcs;
+  using namespace pcs::exp;
+
+  bench::print_header("Ablation: two-list LRU vs single-list LRU", "Section III.A.1 design");
+
+  for (double size : {20.0 * util::GB, 100.0 * util::GB}) {
+    RunConfig config;
+    config.input_size = size;
+
+    config.kind = SimulatorKind::Reference;
+    RunResult ref = run_experiment(config);
+    config.kind = SimulatorKind::WrenchCache;
+    RunResult two_list = run_experiment(config);
+    config.cache_params.lru_policy = cache::LruPolicy::SingleList;
+    RunResult single = run_experiment(config);
+
+    print_banner(std::cout, fmt(size / util::GB, 0) + " GB input files");
+    TablePrinter table({"Phase", "Real (s)", "two-list err%", "single-list err%"});
+    std::vector<double> errs_two;
+    std::vector<double> errs_single;
+    auto names = bench::synthetic_phase_names();
+    for (int phase = 0; phase < 6; ++phase) {
+      double e2 = bench::phase_error(two_list, ref, phase);
+      double e1 = bench::phase_error(single, ref, phase);
+      errs_two.push_back(e2);
+      errs_single.push_back(e1);
+      table.add_row({names[static_cast<std::size_t>(phase)],
+                     fmt(bench::synthetic_phase_time(ref, phase), 1), fmt(e2, 1), fmt(e1, 1)});
+    }
+    table.add_row({"MEAN", "-", fmt(util::summarize(errs_two).mean, 1),
+                   fmt(util::summarize(errs_single).mean, 1)});
+    table.print(std::cout);
+
+    TablePrinter state({"Final cache state", "two-list", "single-list"});
+    state.add_row({"cached (GB)", fmt(two_list.final_state.cached / util::GB, 1),
+                   fmt(single.final_state.cached / util::GB, 1)});
+    state.add_row({"active list (GB)", fmt(two_list.final_state.active / util::GB, 1),
+                   fmt(single.final_state.active / util::GB, 1)});
+    state.add_row({"inactive list (GB)", fmt(two_list.final_state.inactive / util::GB, 1),
+                   fmt(single.final_state.inactive / util::GB, 1)});
+    state.print(std::cout);
+  }
+  return 0;
+}

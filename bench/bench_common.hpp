@@ -1,0 +1,42 @@
+// Shared helpers for the benchmark binaries that regenerate the paper's
+// tables and figures.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/apps.hpp"
+#include "exp/presets.hpp"
+#include "exp/report.hpp"
+#include "exp/runners.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace pcs::bench {
+
+/// The six synthetic phases of Fig 4a, in paper order.
+inline std::vector<std::string> synthetic_phase_names() {
+  return {"Read 1", "Write 1", "Read 2", "Write 2", "Read 3", "Write 3"};
+}
+
+/// Phase duration by index (0-based, alternating read/write), instance 0.
+inline double synthetic_phase_time(const exp::RunResult& r, int phase) {
+  int step = phase / 2 + 1;
+  return phase % 2 == 0 ? r.read_time(0, step) : r.write_time(0, step);
+}
+
+/// Absolute relative error (%) of a phase against the reference run.
+inline double phase_error(const exp::RunResult& sim, const exp::RunResult& ref, int phase) {
+  return util::absolute_relative_error_pct(synthetic_phase_time(sim, phase),
+                                           synthetic_phase_time(ref, phase));
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "############################################################\n"
+            << "# " << title << "\n"
+            << "# Reproduces: " << paper_ref << "\n"
+            << "############################################################\n";
+}
+
+}  // namespace pcs::bench

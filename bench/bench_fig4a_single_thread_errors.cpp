@@ -1,0 +1,65 @@
+// Fig 4a: absolute relative simulation errors of the single-threaded
+// synthetic application (Exp 1), per phase (Read/Write 1-3), for the Python
+// prototype, cacheless WRENCH and WRENCH-cache, against the reference
+// execution.  The paper reports mean errors of 345% (WRENCH), 46%
+// (prototype) and 39% (WRENCH-cache) and shows 20 GB / 100 GB panels
+// (50/75 GB "showed similar behaviors and are not reported for brevity" —
+// we print them too).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcs;
+  using namespace pcs::exp;
+
+  bench::print_header("Single-threaded synthetic application simulation errors (Exp 1)",
+                      "Figure 4a");
+
+  const double sizes[] = {20.0 * util::GB, 50.0 * util::GB, 75.0 * util::GB, 100.0 * util::GB};
+  std::vector<double> errs_proto;
+  std::vector<double> errs_wrench;
+  std::vector<double> errs_cache;
+
+  for (double size : sizes) {
+    RunConfig config;
+    config.input_size = size;
+
+    config.kind = SimulatorKind::Reference;
+    RunResult ref = run_experiment(config);
+    config.kind = SimulatorKind::Prototype;
+    RunResult proto = run_experiment(config);
+    config.kind = SimulatorKind::Wrench;
+    RunResult wrench = run_experiment(config);
+    config.kind = SimulatorKind::WrenchCache;
+    RunResult cache = run_experiment(config);
+
+    print_banner(std::cout, fmt(size / util::GB, 0) + " GB input files");
+    TablePrinter table({"Phase", "Real (s)", "Prototype err%", "WRENCH err%",
+                        "WRENCH-cache err%"});
+    auto names = bench::synthetic_phase_names();
+    for (int phase = 0; phase < 6; ++phase) {
+      double e_proto = bench::phase_error(proto, ref, phase);
+      double e_wrench = bench::phase_error(wrench, ref, phase);
+      double e_cache = bench::phase_error(cache, ref, phase);
+      errs_proto.push_back(e_proto);
+      errs_wrench.push_back(e_wrench);
+      errs_cache.push_back(e_cache);
+      table.add_row({names[static_cast<std::size_t>(phase)],
+                     fmt(bench::synthetic_phase_time(ref, phase), 1), fmt(e_proto, 1),
+                     fmt(e_wrench, 1), fmt(e_cache, 1)});
+    }
+    table.print(std::cout);
+  }
+
+  print_banner(std::cout, "Mean absolute relative error across all phases and sizes");
+  TablePrinter summary({"Simulator", "Mean error %", "Paper reports"});
+  summary.add_row({"WRENCH (cacheless)", fmt(util::summarize(errs_wrench).mean, 0), "345%"});
+  summary.add_row({"Python prototype", fmt(util::summarize(errs_proto).mean, 0), "46%"});
+  summary.add_row({"WRENCH-cache", fmt(util::summarize(errs_cache).mean, 0), "39%"});
+  summary.print(std::cout);
+  print_note(std::cout,
+             "expected shape: first read near-exact for everyone; the cacheless baseline off by "
+             "hundreds of percent on warm phases; page-cache models an order of magnitude "
+             "closer; cache-model errors grow from 20 GB to 100 GB while baseline errors "
+             "shrink (Section IV.A).");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig 4b: memory profiles (used memory, page cache, dirty data) over time
+// for the reference execution, the Python prototype and WRENCH-cache, with
+// 20 GB and 100 GB files (Exp 1).
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace pcs;
+using namespace pcs::exp;
+
+void print_profile(const std::string& title, const RunResult& result, int rows) {
+  print_banner(std::cout, title);
+  if (result.profile.empty()) {
+    print_note(std::cout, "no profile recorded");
+    return;
+  }
+  TablePrinter table({"time (s)", "used (GB)", "cache (GB)", "dirty (GB)", "anon (GB)"});
+  const double t_end = result.profile.back().time;
+  double step = std::max(1.0, t_end / rows);
+  double next = 0.0;
+  for (const cache::CacheSnapshot& s : result.profile) {
+    if (s.time + 1e-9 < next) continue;
+    next = s.time + step;
+    table.add_row({fmt(s.time, 0), fmt(s.used() / util::GB, 1), fmt(s.cached / util::GB, 1),
+                   fmt(s.dirty / util::GB, 1), fmt(s.anonymous / util::GB, 1)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Memory profiles of the synthetic application (Exp 1)", "Figure 4b");
+  std::cout << "Total memory " << fmt(kNodeMemory / util::GB, 0)
+            << " GB, dirty_ratio threshold " << fmt(0.2 * kNodeMemory / util::GB, 0) << " GB\n";
+
+  for (double size : {20.0 * util::GB, 100.0 * util::GB}) {
+    RunConfig config;
+    config.input_size = size;
+    config.probe_period = 2.0;
+    const std::string suffix = " — " + fmt(size / util::GB, 0) + " GB files";
+
+    config.kind = SimulatorKind::Reference;
+    print_profile("Real execution (reference model)" + suffix, run_experiment(config), 16);
+    config.kind = SimulatorKind::Prototype;
+    print_profile("Python prototype" + suffix, run_experiment(config), 16);
+    config.kind = SimulatorKind::WrenchCache;
+    print_profile("WRENCH-cache" + suffix, run_experiment(config), 16);
+  }
+  print_note(std::cout,
+             "expected shape (paper Fig 4b): with 100 GB files, used memory reaches total "
+             "during Write 1 and drops back to the cached level when tasks release anonymous "
+             "memory; dirty data always stays below the dirty_ratio line; the prototype and "
+             "WRENCH-cache profiles are nearly identical; the reference drains dirty data "
+             "faster (dirty_background_ratio writeback).");
+  return 0;
+}

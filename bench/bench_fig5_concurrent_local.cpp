@@ -1,0 +1,49 @@
+// Fig 5: concurrent application instances with 3 GB files on one local
+// disk (Exp 2).  Mean per-instance cumulative read and write times vs the
+// number of concurrent instances (1..32), for the reference execution,
+// cacheless WRENCH and WRENCH-cache.
+//
+// Expected shape (Section IV.B): WRENCH read/write times grow steeply and
+// linearly (every byte at shared disk bandwidth); reference and
+// WRENCH-cache reads stay low (cache hits); their writes show a plateau
+// until the page cache saturates with dirty data and flushing kicks in.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcs;
+  using namespace pcs::exp;
+
+  bench::print_header("Concurrent applications, local disk, 3 GB files (Exp 2)", "Figure 5");
+
+  const int counts[] = {1, 2, 4, 8, 12, 16, 20, 24, 28, 32};
+
+  TablePrinter reads({"Instances", "Real read (s)", "WRENCH read (s)", "WRENCH-cache read (s)"});
+  TablePrinter writes(
+      {"Instances", "Real write (s)", "WRENCH write (s)", "WRENCH-cache write (s)"});
+
+  for (int n : counts) {
+    RunConfig config;
+    config.input_size = 3.0 * util::GB;
+    config.instances = n;
+
+    config.kind = SimulatorKind::Reference;
+    RunResult ref = run_experiment(config);
+    config.kind = SimulatorKind::Wrench;
+    RunResult wrench = run_experiment(config);
+    config.kind = SimulatorKind::WrenchCache;
+    RunResult cache = run_experiment(config);
+
+    reads.add_row({std::to_string(n), fmt(ref.mean_instance_read_time(), 1),
+                   fmt(wrench.mean_instance_read_time(), 1),
+                   fmt(cache.mean_instance_read_time(), 1)});
+    writes.add_row({std::to_string(n), fmt(ref.mean_instance_write_time(), 1),
+                    fmt(wrench.mean_instance_write_time(), 1),
+                    fmt(cache.mean_instance_write_time(), 1)});
+  }
+
+  print_banner(std::cout, "Read time");
+  reads.print(std::cout);
+  print_banner(std::cout, "Write time");
+  writes.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig 8: wall-clock time of the *simulator itself* vs the number of
+// concurrent application instances, for WRENCH and WRENCH-cache on local
+// and NFS storage, with least-squares slopes.
+//
+// Expected shape (Section IV.E): all configurations scale linearly
+// (p << 0.05); WRENCH-cache has a larger slope than cacheless WRENCH; the
+// NFS WRENCH-cache runs are faster than local ones because the
+// writethrough server cache skips all flushing machinery.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcs;
+  using namespace pcs::exp;
+
+  bench::print_header("Simulation wall-clock time vs concurrent applications", "Figure 8");
+
+  struct Config {
+    const char* name;
+    SimulatorKind kind;
+    bool nfs;
+  };
+  const Config configs[] = {
+      {"WRENCH (local)", SimulatorKind::Wrench, false},
+      {"WRENCH (NFS)", SimulatorKind::Wrench, true},
+      {"WRENCH-cache (local)", SimulatorKind::WrenchCache, false},
+      {"WRENCH-cache (NFS)", SimulatorKind::WrenchCache, true},
+  };
+  const int counts[] = {1, 4, 8, 12, 16, 20, 24, 28, 32};
+
+  TablePrinter table({"Instances", "WRENCH local (s)", "WRENCH NFS (s)",
+                      "WRENCH-cache local (s)", "WRENCH-cache NFS (s)"});
+  std::vector<std::vector<double>> wall(4);
+  std::vector<double> xs;
+
+  for (int n : counts) {
+    xs.push_back(n);
+    std::vector<std::string> row{std::to_string(n)};
+    for (std::size_t c = 0; c < 4; ++c) {
+      RunConfig config;
+      config.kind = configs[c].kind;
+      config.nfs = configs[c].nfs;
+      config.input_size = 3.0 * util::GB;
+      config.instances = n;
+      RunResult result = run_experiment(config);
+      wall[c].push_back(result.wall_seconds);
+      row.push_back(fmt(result.wall_seconds, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  print_banner(std::cout, "Simulation time (seconds of host wall clock)");
+  table.print(std::cout);
+
+  print_banner(std::cout, "Linear regression (paper: all linear, p < 1e-24)");
+  TablePrinter fits({"Configuration", "slope (s/app)", "intercept (s)", "r^2", "p-value"});
+  for (std::size_t c = 0; c < 4; ++c) {
+    util::LinearFit fit = util::linear_fit(xs, wall[c]);
+    char p[32];
+    std::snprintf(p, sizeof(p), "%.1e", fit.p_value);
+    fits.add_row({configs[c].name, fmt(fit.slope, 4), fmt(fit.intercept, 4), fmt(fit.r2, 3), p});
+  }
+  fits.print(std::cout);
+  return 0;
+}

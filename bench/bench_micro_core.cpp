@@ -1,0 +1,139 @@
+// Microbenchmarks (google-benchmark) of the library's hot paths: LRU list
+// operations, the max-min fair-share solver under varying contention, the
+// engine's event loop, and JSON parsing.  These back the Fig 8 scalability
+// discussion: the page-cache model's extra cost per application is LRU and
+// solver work.
+#include <benchmark/benchmark.h>
+
+#include "pagecache/lru_list.hpp"
+#include "simcore/engine.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pcs;
+
+void BM_LruInsert(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    cache::LruList list;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      cache::DataBlock b;
+      b.id = i;
+      b.file = "f";
+      b.size = 100.0;
+      b.last_access = static_cast<double>(i);
+      list.insert(std::move(b));
+    }
+    benchmark::DoNotOptimize(list.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LruInsert)->Arg(64)->Arg(512);
+
+void BM_LruTouchLru(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  cache::LruList list;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    cache::DataBlock b;
+    b.id = i;
+    b.file = "f" + std::to_string(i % 7);
+    b.size = 100.0;
+    b.last_access = static_cast<double>(i);
+    list.insert(std::move(b));
+  }
+  double now = static_cast<double>(n);
+  for (auto _ : state) {
+    list.touch(list.begin(), now);
+    now += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LruTouchLru)->Arg(64)->Arg(512);
+
+void BM_LruSplitMerge(benchmark::State& state) {
+  for (auto _ : state) {
+    cache::LruList list;
+    cache::DataBlock b;
+    b.id = 1;
+    b.file = "f";
+    b.size = 1 << 20;
+    list.insert(std::move(b));
+    std::uint64_t next = 2;
+    // Split repeatedly, then erase halves.
+    for (int i = 0; i < 16; ++i) {
+      auto it = list.begin();
+      auto [head, tail] = list.split(it, it->size / 2, next++);
+      (void)head;
+      (void)tail;
+    }
+    benchmark::DoNotOptimize(list.block_count());
+  }
+}
+BENCHMARK(BM_LruSplitMerge);
+
+void BM_FairShareSolver(benchmark::State& state) {
+  const auto n_activities = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    sim::Resource* disk = engine.new_resource("disk", 1e9);
+    sim::Resource* mem = engine.new_resource("mem", 1e10);
+    util::Rng rng(7);
+    for (std::size_t i = 0; i < n_activities; ++i) {
+      std::vector<sim::Claim> claims = rng.bernoulli(0.5)
+                                           ? std::vector<sim::Claim>{{disk, 1.0}}
+                                           : std::vector<sim::Claim>{{disk, 1.0}, {mem, 1.0}};
+      engine.submit_detached("a", claims, 1e6 * rng.uniform(0.5, 2.0));
+    }
+    state.ResumeTiming();
+    engine.run_until(100.0);  // drives completions: one solve per event
+    benchmark::DoNotOptimize(engine.scheduling_points());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n_activities));
+}
+BENCHMARK(BM_FairShareSolver)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_EngineSleepLoop(benchmark::State& state) {
+  const int n_actors = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    auto actor = [](sim::Engine& e, int beats) -> sim::Task<> {
+      for (int i = 0; i < beats; ++i) co_await e.sleep(1.0);
+    };
+    for (int i = 0; i < n_actors; ++i) {
+      engine.spawn("a" + std::to_string(i), actor(engine, 100));
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n_actors * 100);
+}
+BENCHMARK(BM_EngineSleepLoop)->Arg(4)->Arg(32);
+
+void BM_JsonParsePlatform(benchmark::State& state) {
+  const std::string doc = R"({
+    "hosts": [
+      {"name": "compute0", "speed_gflops": 1, "cores": 32, "ram": "250 GB",
+       "memory": {"read_bw_MBps": 6860, "write_bw_MBps": 2764},
+       "disks": [{"name": "ssd0", "read_bw_MBps": 510, "write_bw_MBps": 420,
+                  "capacity": "450 GiB"}]}
+    ],
+    "links": [{"name": "lan", "bw_MBps": 3000}],
+    "routes": [{"src": "compute0", "dst": "compute0", "links": ["lan"]}]
+  })";
+  for (auto _ : state) {
+    util::Json parsed = util::Json::parse(doc);
+    benchmark::DoNotOptimize(parsed.at("hosts").size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(doc.size()));
+}
+BENCHMARK(BM_JsonParsePlatform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Tables I and II: application parameters injected into every simulator.
+// These are the measured constants the paper reports; printing them from
+// the experiment presets guarantees the benches and the tables agree.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcs;
+  using namespace pcs::exp;
+
+  bench::print_header("Synthetic and Nighres application parameters",
+                      "Table I and Table II");
+
+  print_banner(std::cout, "Table I: synthetic application parameters");
+  {
+    TablePrinter table({"Input size (GB)", "CPU time (s)"});
+    for (const SyntheticParams& row : synthetic_table()) {
+      table.add_row({fmt(row.input_size / util::GB, 0), fmt(row.cpu_seconds, 1)});
+    }
+    table.print(std::cout);
+    print_note(std::cout,
+               "CPU seconds are injected as flops on the 1 Gflops experiment host, as in the "
+               "paper (Section III.D).");
+  }
+
+  print_banner(std::cout, "Table II: Nighres application parameters");
+  {
+    TablePrinter table({"Workflow step", "Input size (MB)", "Output size (MB)", "CPU time (s)"});
+    for (const NighresStep& row : nighres_table()) {
+      table.add_row({row.name, fmt(row.input_bytes / util::MB, 0),
+                     fmt(row.output_bytes / util::MB, 0), fmt(row.cpu_seconds, 0)});
+    }
+    table.print(std::cout);
+  }
+
+  // Consistency check: the workflow builder must move exactly these bytes.
+  wf::Workflow wf;
+  build_nighres(wf);
+  double in_bytes = 0.0;
+  double out_bytes = 0.0;
+  for (const std::string& name : wf.task_order()) {
+    in_bytes += wf.task(name).input_bytes();
+    out_bytes += wf.task(name).output_bytes();
+  }
+  double expect_in = 0.0;
+  double expect_out = 0.0;
+  for (const NighresStep& row : nighres_table()) {
+    expect_in += row.input_bytes;
+    expect_out += row.output_bytes;
+  }
+  print_note(std::cout, "workflow builder I/O totals: read " + fmt(in_bytes / util::MB, 0) +
+                            " MB (expected " + fmt(expect_in / util::MB, 0) + "), written " +
+                            fmt(out_bytes / util::MB, 0) + " MB (expected " +
+                            fmt(expect_out / util::MB, 0) + ")");
+  return 0;
+}

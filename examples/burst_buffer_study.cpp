@@ -1,0 +1,115 @@
+// Another study from the paper's conclusion: "Our simulator could also be
+// leveraged to evaluate solutions that reduce the impact of network file
+// transfers on distributed applications, such as burst buffers".
+//
+// Scenario: a compute node runs write-heavy pipelines whose outputs must
+// end up on an NFS server.  We compare three designs:
+//   1. sync NFS      — writes go through the wire at remote-disk bandwidth;
+//   2. async client  — an NFS client write cache absorbs bursts and drains
+//                      them in the background (writeback mount);
+//   3. burst buffer  — tasks write to the node-local SSD, and a drainer
+//                      actor stages finished files to the server while the
+//                      pipeline keeps computing.
+#include <iostream>
+
+#include "exp/apps.hpp"
+#include "exp/runners.hpp"
+#include "exp/presets.hpp"
+#include "exp/report.hpp"
+#include "storage/local_storage.hpp"
+#include "storage/nfs.hpp"
+#include "workflow/simulation.hpp"
+
+namespace {
+
+using namespace pcs;
+using namespace pcs::exp;
+using util::GB;
+using util::MB;
+
+constexpr int kInstances = 8;
+constexpr double kFileSize = 3.0 * GB;
+constexpr double kChunk = 100.0 * MB;
+
+double run_nfs(cache::CacheMode client_mode) {
+  wf::Simulation sim;
+  ClusterPlatform cluster = make_cluster(sim.platform(), BandwidthMode::SimulatorSymmetric);
+  storage::NfsServer* server = sim.create_nfs_server(*cluster.storage, *cluster.remote_disk,
+                                                     cache::CacheMode::Writethrough);
+  storage::NfsMount* mount = sim.create_nfs_mount(*cluster.compute, *server, client_mode);
+  wf::ComputeService* cs = sim.create_compute_service(*cluster.compute, *mount, kChunk);
+  for (int i = 0; i < kInstances; ++i) {
+    wf::Workflow& workflow = sim.create_workflow();
+    build_synthetic(workflow, instance_prefix(i), kFileSize, synthetic_cpu_seconds(kFileSize));
+    cs->submit(workflow);
+  }
+  sim.run();
+  return sim.now();
+}
+
+double run_burst_buffer() {
+  wf::Simulation sim;
+  ClusterPlatform cluster = make_cluster(sim.platform(), BandwidthMode::SimulatorSymmetric);
+  storage::NfsServer* server = sim.create_nfs_server(*cluster.storage, *cluster.remote_disk,
+                                                     cache::CacheMode::Writethrough);
+  storage::NfsMount* mount =
+      sim.create_nfs_mount(*cluster.compute, *server, cache::CacheMode::ReadCache);
+  // The burst buffer: the node-local SSD with its own page cache.
+  storage::LocalStorage* buffer = sim.create_local_storage(
+      *cluster.compute, *cluster.local_disk, cache::CacheMode::Writeback);
+  wf::ComputeService* cs = sim.create_compute_service(*cluster.compute, *buffer, kChunk);
+  for (int i = 0; i < kInstances; ++i) {
+    wf::Workflow& workflow = sim.create_workflow();
+    build_synthetic(workflow, instance_prefix(i), kFileSize, synthetic_cpu_seconds(kFileSize));
+    cs->submit(workflow);
+  }
+  // Drainer: stage each pipeline's final output (file4) from the buffer to
+  // the NFS server as soon as it exists.
+  auto drainer = [&](sim::Engine& e) -> sim::Task<> {
+    std::vector<std::string> pending;
+    pending.reserve(kInstances);
+    for (int i = 0; i < kInstances; ++i) pending.push_back(instance_prefix(i) + "file4");
+    while (!pending.empty()) {
+      for (std::size_t i = 0; i < pending.size();) {
+        if (buffer->fs().exists(pending[i]) &&
+            buffer->fs().size_of(pending[i]) >= kFileSize) {
+          // Read from the buffer (usually its page cache) and push to NFS.
+          co_await buffer->read_file(pending[i], kChunk);
+          buffer->release_anonymous(kFileSize);
+          co_await mount->write_file(pending[i], kFileSize, kChunk);
+          pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+      co_await e.sleep(1.0);
+    }
+  };
+  sim.engine().spawn("drainer", drainer(sim.engine()));
+  sim.run();
+  return sim.now();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Burst-buffer study: " << kInstances
+            << " write-heavy pipelines whose outputs must reach the NFS server.\n\n";
+
+  double sync_nfs = run_nfs(cache::CacheMode::ReadCache);
+  double async_nfs = run_nfs(cache::CacheMode::Writeback);
+  double burst = run_burst_buffer();
+
+  print_banner(std::cout, "Time until all results are on the server");
+  TablePrinter table({"Design", "makespan (s)"});
+  table.add_row({"sync NFS writes (paper's Exp 3 setup)", fmt(sync_nfs, 1)});
+  table.add_row({"async NFS client (write cache)", fmt(async_nfs, 1)});
+  table.add_row({"node-local burst buffer + drainer", fmt(burst, 1)});
+  table.print(std::cout);
+
+  std::cout << "\nThe burst buffer decouples the pipelines from the remote disk: tasks write\n"
+               "at local (page-cached) speed and the drainer overlaps staging with the\n"
+               "remaining computation — the trade-off burst-buffer papers quantify on real\n"
+               "machines, reproduced here in milliseconds of simulation.\n";
+  return 0;
+}

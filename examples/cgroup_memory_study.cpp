@@ -1,0 +1,66 @@
+// A study the paper's conclusion proposes as future use of the simulator:
+// "it is now common for HPC clusters to run applications in Linux control
+// groups (cgroups), where resource consumption is limited, including memory
+// and therefore page cache usage.  Using our simulator, it would be
+// possible to study the interaction between memory allocation and I/O
+// performance ... or avoid page cache starvation."
+//
+// We sweep the memory limit available to one synthetic pipeline (files of
+// 20 GB) and report how its I/O times degrade as the page cache is starved.
+#include <iostream>
+
+#include "exp/apps.hpp"
+#include "exp/presets.hpp"
+#include "exp/report.hpp"
+#include "pagecache/kernel_params.hpp"
+#include "storage/local_storage.hpp"
+#include "workflow/simulation.hpp"
+
+int main() {
+  using namespace pcs;
+  using namespace pcs::exp;
+  using util::GB;
+  using util::MB;
+
+  const double file_size = 20.0 * GB;
+  std::cout << "Sweeping the cgroup memory limit of a 3-task pipeline over 20 GB files.\n"
+               "The working set is one file of anonymous memory (20 GB) plus whatever page\n"
+               "cache fits; below ~2x the file size the cache starves and reads fall back\n"
+               "to disk.\n";
+
+  print_banner(std::cout, "I/O time vs memory limit");
+  TablePrinter table({"Memory limit (GB)", "total read (s)", "total write (s)",
+                      "makespan (s)", "cache at end (GB)"});
+
+  for (double limit_gb : {250.0, 120.0, 80.0, 60.0, 45.0, 30.0, 25.0}) {
+    wf::Simulation sim;
+    ClusterPlatform cluster = make_cluster(sim.platform(), BandwidthMode::SimulatorSymmetric);
+    // The cgroup limit caps page cache + application memory together.
+    storage::LocalStorage* st =
+        sim.create_local_storage(*cluster.compute, *cluster.local_disk,
+                                 cache::CacheMode::Writeback, cache::CacheParams{},
+                                 limit_gb * GB);
+    wf::ComputeService* cs = sim.create_compute_service(*cluster.compute, *st, 100.0 * MB);
+    wf::Workflow& workflow = sim.create_workflow();
+    build_synthetic(workflow, "", file_size, synthetic_cpu_seconds(file_size));
+    cs->submit(workflow);
+    sim.run();
+
+    double reads = 0.0;
+    double writes = 0.0;
+    for (const wf::TaskResult& r : cs->results()) {
+      reads += r.read_time();
+      writes += r.write_time();
+    }
+    table.add_row({fmt(limit_gb, 0), fmt(reads, 1), fmt(writes, 1), fmt(sim.now(), 1),
+                   fmt(st->snapshot().cached / GB, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the table bottom-up: with ample memory all re-reads are cache hits\n"
+               "and writes stay under the dirty ratio; as the limit tightens, first the\n"
+               "dirty budget shrinks (writes start flushing synchronously), then the cache\n"
+               "cannot hold a whole file and re-reads degrade to disk bandwidth — page\n"
+               "cache starvation, quantified before buying the hardware.\n";
+  return 0;
+}

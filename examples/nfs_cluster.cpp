@@ -1,0 +1,51 @@
+// Concurrent applications doing their I/O over NFS (the paper's Exp 3
+// configuration): a storage node exports a disk with a writethrough server
+// cache; the compute node mounts it with a read cache and no write cache.
+//
+// Usage: nfs_cluster [instances]   (default 8)
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/presets.hpp"
+#include "exp/report.hpp"
+#include "exp/runners.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcs;
+  using namespace pcs::exp;
+
+  int instances = 8;
+  if (argc > 1) instances = std::atoi(argv[1]);
+  if (instances < 1 || instances > 64) {
+    std::cerr << "instances must be in [1, 64]\n";
+    return 1;
+  }
+
+  std::cout << "Running " << instances
+            << " concurrent 3-GB synthetic pipelines over NFS\n"
+               "(writethrough server cache, client read cache, no client write cache)...\n";
+
+  RunConfig config;
+  config.input_size = 3.0 * util::GB;
+  config.instances = instances;
+  config.nfs = true;
+
+  config.kind = SimulatorKind::WrenchCache;
+  RunResult cache = run_experiment(config);
+  config.kind = SimulatorKind::Wrench;
+  RunResult baseline = run_experiment(config);
+
+  print_banner(std::cout, "Mean per-instance cumulative I/O time");
+  TablePrinter table({"Model", "read (s)", "write (s)", "makespan (s)"});
+  table.add_row({"WRENCH-cache", fmt(cache.mean_instance_read_time(), 1),
+                 fmt(cache.mean_instance_write_time(), 1), fmt(cache.makespan, 1)});
+  table.add_row({"cacheless baseline", fmt(baseline.mean_instance_read_time(), 1),
+                 fmt(baseline.mean_instance_write_time(), 1), fmt(baseline.makespan, 1)});
+  table.print(std::cout);
+
+  std::cout << "\nWrites cost the same in both models (the writethrough server pushes every\n"
+               "byte to its disk), but reads differ: with caches, the inputs each task\n"
+               "re-reads are served from the server's page cache through the network, or\n"
+               "from the client's own page cache, instead of the remote disk.\n";
+  return 0;
+}

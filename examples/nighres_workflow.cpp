@@ -1,0 +1,46 @@
+// The paper's real application (Exp 4): the Nighres cortical-reconstruction
+// workflow — skull stripping, tissue classification, region extraction,
+// cortical reconstruction — with the measured I/O sizes and CPU times of
+// Table II, executed against both the cacheless baseline and the
+// page-cache model.
+#include <iostream>
+
+#include "exp/apps.hpp"
+#include "exp/report.hpp"
+#include "exp/runners.hpp"
+
+int main() {
+  using namespace pcs;
+  using namespace pcs::exp;
+
+  std::cout << "Nighres cortical-reconstruction workflow (participant 0027430 parameters)\n";
+
+  RunConfig config;
+  config.app = AppKind::Nighres;
+  config.chunk_size = 50.0 * util::MB;
+
+  config.kind = SimulatorKind::WrenchCache;
+  RunResult cache = run_experiment(config);
+  config.kind = SimulatorKind::Wrench;
+  RunResult baseline = run_experiment(config);
+
+  print_banner(std::cout, "Per-step phases (WRENCH-cache vs cacheless)");
+  TablePrinter table({"Step", "read (s)", "write (s)", "cacheless read (s)",
+                      "cacheless write (s)"});
+  for (const NighresStep& step : nighres_table()) {
+    const wf::TaskResult& rc = cache.task(instance_prefix(0) + step.name);
+    const wf::TaskResult& rb = baseline.task(instance_prefix(0) + step.name);
+    table.add_row({step.name, fmt(rc.read_time(), 2), fmt(rc.write_time(), 2),
+                   fmt(rb.read_time(), 2), fmt(rb.write_time(), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEvery step after the first reads data produced moments earlier; with the\n"
+               "page cache model those reads are memory hits, and all writes fit in the\n"
+               "dirty budget (the files are hundreds of MB on a 250 GB node), so I/O nearly\n"
+               "vanishes — which is exactly why the cacheless baseline overestimates this\n"
+               "workflow's I/O by hundreds of percent (paper Fig 6).\n"
+            << "\nMakespans: " << fmt(cache.makespan, 1) << " s (cache) vs "
+            << fmt(baseline.makespan, 1) << " s (cacheless)\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "exp/apps.hpp"
+
+#include <stdexcept>
+
+namespace pcs::exp {
+
+using util::GB;
+using util::MB;
+
+const std::vector<SyntheticParams>& synthetic_table() {
+  static const std::vector<SyntheticParams> table = {
+      {3.0 * GB, 4.4}, {20.0 * GB, 28.0}, {50.0 * GB, 75.0}, {75.0 * GB, 110.0},
+      {100.0 * GB, 155.0},
+  };
+  return table;
+}
+
+double synthetic_cpu_seconds(double input_size) {
+  const auto& table = synthetic_table();
+  if (input_size <= table.front().input_size) {
+    // Scale proportionally below the smallest measured point.
+    return table.front().cpu_seconds * input_size / table.front().input_size;
+  }
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    if (input_size <= table[i].input_size) {
+      const auto& lo = table[i - 1];
+      const auto& hi = table[i];
+      double f = (input_size - lo.input_size) / (hi.input_size - lo.input_size);
+      return lo.cpu_seconds + f * (hi.cpu_seconds - lo.cpu_seconds);
+    }
+  }
+  // Extrapolate linearly past 100 GB using the last segment's slope.
+  const auto& lo = table[table.size() - 2];
+  const auto& hi = table.back();
+  double slope = (hi.cpu_seconds - lo.cpu_seconds) / (hi.input_size - lo.input_size);
+  return hi.cpu_seconds + slope * (input_size - hi.input_size);
+}
+
+void build_synthetic(wf::Workflow& workflow, const std::string& prefix, double input_size,
+                     double cpu_seconds) {
+  if (input_size <= 0.0) throw std::invalid_argument("build_synthetic: bad input size");
+  // CPU seconds -> flops on the 1 Gflops experiment host.
+  const double flops = cpu_seconds * 1e9;
+  for (int i = 1; i <= kSyntheticTasks; ++i) {
+    const std::string task = prefix + "task" + std::to_string(i);
+    workflow.add_task(task, flops);
+    workflow.add_input(task, prefix + "file" + std::to_string(i), input_size);
+    workflow.add_output(task, prefix + "file" + std::to_string(i + 1), input_size);
+  }
+}
+
+const std::vector<NighresStep>& nighres_table() {
+  static const std::vector<NighresStep> table = {
+      {"skull_stripping", 295.0 * MB, 393.0 * MB, 137.0},
+      {"tissue_classification", 197.0 * MB, 1376.0 * MB, 614.0},
+      {"region_extraction", 1376.0 * MB, 885.0 * MB, 76.0},
+      {"cortical_reconstruction", 393.0 * MB, 786.0 * MB, 272.0},
+  };
+  return table;
+}
+
+void build_nighres(wf::Workflow& workflow, const std::string& prefix) {
+  const auto& steps = nighres_table();
+  auto flops = [](double cpu_s) { return cpu_s * 1e9; };
+
+  // Skull stripping reads the subject image and produces 393 MB, of which
+  // 197 MB (the stripped volume) feeds tissue classification and the whole
+  // 393 MB is re-read by cortical reconstruction.
+  const std::string s1 = prefix + steps[0].name;
+  workflow.add_task(s1, flops(steps[0].cpu_seconds));
+  workflow.add_input(s1, prefix + "t1w", steps[0].input_bytes);
+  workflow.add_output(s1, prefix + "stripped", 197.0 * MB);
+  workflow.add_output(s1, prefix + "strip_mask", steps[0].output_bytes - 197.0 * MB);
+
+  const std::string s2 = prefix + steps[1].name;
+  workflow.add_task(s2, flops(steps[1].cpu_seconds));
+  workflow.add_input(s2, prefix + "stripped", 197.0 * MB);
+  workflow.add_output(s2, prefix + "tissue", steps[1].output_bytes);
+
+  const std::string s3 = prefix + steps[2].name;
+  workflow.add_task(s3, flops(steps[2].cpu_seconds));
+  workflow.add_input(s3, prefix + "tissue", steps[2].input_bytes);
+  workflow.add_output(s3, prefix + "regions", steps[2].output_bytes);
+
+  const std::string s4 = prefix + steps[3].name;
+  workflow.add_task(s4, flops(steps[3].cpu_seconds));
+  workflow.add_input(s4, prefix + "stripped", 197.0 * MB);
+  workflow.add_input(s4, prefix + "strip_mask", steps[3].input_bytes - 197.0 * MB);
+  workflow.add_output(s4, prefix + "cortex", steps[3].output_bytes);
+
+  // The real application is a sequential Python script: enforce the order.
+  workflow.add_dependency(s1, s2);
+  workflow.add_dependency(s2, s3);
+  workflow.add_dependency(s3, s4);
+}
+
+}  // namespace pcs::exp

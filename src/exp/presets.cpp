@@ -1,0 +1,82 @@
+#include "exp/presets.hpp"
+
+namespace pcs::exp {
+
+using util::MB;
+
+ClusterBandwidths real_cluster_bandwidths() {
+  return {6860.0, 2764.0, 510.0, 420.0, 515.0, 375.0, 3000.0};
+}
+
+ClusterBandwidths simulator_bandwidths() {
+  ClusterBandwidths real = real_cluster_bandwidths();
+  auto mean = [](double a, double b) { return (a + b) / 2.0; };
+  ClusterBandwidths sym;
+  sym.mem_read = mean(real.mem_read, real.mem_write);        // 4812
+  sym.mem_write = sym.mem_read;
+  sym.disk_read = mean(real.disk_read, real.disk_write);     // 465
+  sym.disk_write = sym.disk_read;
+  sym.remote_read = mean(real.remote_read, real.remote_write);  // 445
+  sym.remote_write = sym.remote_read;
+  sym.network = real.network;
+  return sym;
+}
+
+ClusterBandwidths bandwidths_for(BandwidthMode mode) {
+  return mode == BandwidthMode::RealAsymmetric ? real_cluster_bandwidths()
+                                               : simulator_bandwidths();
+}
+
+ClusterPlatform make_cluster(plat::Platform& platform, BandwidthMode mode) {
+  const ClusterBandwidths bw = bandwidths_for(mode);
+  ClusterPlatform cluster;
+
+  plat::HostSpec compute;
+  compute.name = "compute0";
+  compute.speed = kHostSpeed;
+  compute.cores = kNodeCores;
+  compute.ram = kNodeMemory;
+  compute.mem_read_bw = bw.mem_read * MB;
+  compute.mem_write_bw = bw.mem_write * MB;
+  cluster.compute = platform.add_host(compute);
+
+  plat::DiskSpec local;
+  local.name = "ssd0";
+  local.read_bw = bw.disk_read * MB;
+  local.write_bw = bw.disk_write * MB;
+  local.capacity = kDiskCapacity;
+  cluster.local_disk = cluster.compute->add_disk(platform.engine(), local);
+
+  plat::HostSpec storage = compute;
+  storage.name = "storage0";
+  cluster.storage = platform.add_host(storage);
+
+  plat::DiskSpec remote;
+  remote.name = "nfs-ssd";
+  remote.read_bw = bw.remote_read * MB;
+  remote.write_bw = bw.remote_write * MB;
+  remote.capacity = kDiskCapacity;
+  cluster.remote_disk = cluster.storage->add_disk(platform.engine(), remote);
+
+  platform.add_link({"lan", bw.network * MB, 0.0});
+  platform.add_route("compute0", "storage0", {"lan"});
+  return cluster;
+}
+
+proto::ProtoConfig prototype_config(const cache::CacheParams& params) {
+  const ClusterBandwidths bw = simulator_bandwidths();
+  proto::ProtoConfig config;
+  config.total_mem = kNodeMemory;
+  config.mem_read_bw = bw.mem_read * MB;
+  config.mem_write_bw = bw.mem_write * MB;
+  config.disk_read_bw = bw.disk_read * MB;
+  config.disk_write_bw = bw.disk_write * MB;
+  config.cache = params;
+  return config;
+}
+
+ref::RefParams reference_params() {
+  return ref::RefParams{};  // kernel defaults; see page_model.hpp
+}
+
+}  // namespace pcs::exp

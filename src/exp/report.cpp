@@ -1,0 +1,71 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace pcs::exp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TablePrinter: need at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += "  " + std::string(widths[c], '-');
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::to_csv() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) line += ',';
+      line += cells[i];
+    }
+    return line;
+  };
+  std::string csv = join(headers_) + '\n';
+  for (const auto& row : rows_) csv += join(row) + '\n';
+  return csv;
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_bytes(double bytes) { return util::format_bytes(bytes); }
+
+void print_banner(std::ostream& out, const std::string& title) {
+  out << '\n' << "== " << title << " ==\n\n";
+}
+
+void print_note(std::ostream& out, const std::string& text) { out << "  note: " << text << "\n"; }
+
+}  // namespace pcs::exp

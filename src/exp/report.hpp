@@ -1,0 +1,36 @@
+// Plain-text reporting helpers for the benchmark binaries: aligned tables,
+// section banners and number formatting, plus optional CSV emission so the
+// series behind each figure can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pcs::exp {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+  /// Comma-separated (header + rows), for machine consumption.
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "%.*f"-formatted number.
+[[nodiscard]] std::string fmt(double value, int precision = 1);
+/// Bytes as "20 GB"-style strings.
+[[nodiscard]] std::string fmt_bytes(double bytes);
+
+void print_banner(std::ostream& out, const std::string& title);
+void print_note(std::ostream& out, const std::string& text);
+
+}  // namespace pcs::exp

@@ -1,0 +1,73 @@
+// Experiment runners: execute one of the paper's four "simulators" on one
+// of its workloads and return per-task timings plus memory/cache profiles.
+//
+//   Reference   — the ground-truth substitute (pcs::ref kernel model with
+//                 Table III's measured asymmetric bandwidths);
+//   Wrench      — the cacheless original-WRENCH baseline;
+//   WrenchCache — the paper's contribution (pcs::cache block model);
+//   Prototype   — the analytic pysim port (pcs::proto).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/apps.hpp"
+#include "exp/presets.hpp"
+#include "pagecache/kernel_params.hpp"
+#include "pagecache/memory_manager.hpp"
+#include "workflow/compute_service.hpp"
+
+namespace pcs::exp {
+
+enum class SimulatorKind { Reference, Wrench, WrenchCache, Prototype };
+[[nodiscard]] std::string to_string(SimulatorKind kind);
+
+enum class AppKind { Synthetic, Nighres };
+
+struct RunConfig {
+  SimulatorKind kind = SimulatorKind::WrenchCache;
+  AppKind app = AppKind::Synthetic;
+  bool nfs = false;                     ///< Exp 3: I/O over the NFS mount
+  double input_size = 20.0 * util::GB;  ///< synthetic app file size
+  int instances = 1;                    ///< concurrent application instances
+  double chunk_size = 100.0 * util::MB;
+  double probe_period = 0.0;  ///< memory-profile sampling period; 0 = off
+  cache::CacheParams cache_params{};
+  /// Exp 3 fidelity: input files were staged through NFS before the runs,
+  /// so they start out resident in the *server* cache (the client caches
+  /// are cleared, as in the paper).  Ignored for local runs.
+  bool nfs_warm_inputs = true;
+  /// Ablation A1: force a bandwidth mode (default: Reference gets the real
+  /// asymmetric bandwidths, simulators get the symmetric means).
+  std::optional<BandwidthMode> bandwidth_override;
+};
+
+struct RunResult {
+  std::vector<wf::TaskResult> tasks;
+  std::vector<cache::CacheSnapshot> profile;
+  double makespan = 0.0;
+  double wall_seconds = 0.0;  ///< host wall-clock spent simulating (Fig 8)
+  cache::CacheSnapshot final_state;  ///< cache state at the makespan (cached modes)
+  std::size_t final_inactive_blocks = 0;  ///< block counts (A3 ablation)
+  std::size_t final_active_blocks = 0;
+
+  [[nodiscard]] const wf::TaskResult& task(const std::string& name) const;
+  /// Phase time of instance `i` (prefix "a<i>:"), synthetic task index
+  /// 1-based.
+  [[nodiscard]] double read_time(int instance, int step) const;
+  [[nodiscard]] double write_time(int instance, int step) const;
+  /// Mean over instances of the per-instance summed read (write) phase
+  /// durations — the y axes of Fig 5 / Fig 7.
+  [[nodiscard]] double mean_instance_read_time() const;
+  [[nodiscard]] double mean_instance_write_time() const;
+  /// Cache snapshot closest to time `t` (requires probe_period > 0).
+  [[nodiscard]] const cache::CacheSnapshot& snapshot_at(double t) const;
+};
+
+/// Instance/file naming shared by runners and benches.
+[[nodiscard]] std::string instance_prefix(int instance);
+
+RunResult run_experiment(const RunConfig& config);
+
+}  // namespace pcs::exp

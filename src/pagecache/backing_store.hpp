@@ -1,0 +1,28 @@
+// Abstraction of the device behind a page cache.
+//
+// The Memory Manager flushes dirty blocks through this interface and the
+// I/O Controller reads uncached data through it.  Local storage services
+// implement it with their disk's channels; the NFS client implements it
+// with a composite network-link + server-disk flow.  Keeping it abstract
+// also lets tests inject instrumented or failing stores.
+#pragma once
+
+#include <string>
+
+#include "simcore/task.hpp"
+
+namespace pcs::cache {
+
+class BackingStore {
+ public:
+  virtual ~BackingStore() = default;
+
+  /// Read `bytes` of `file` from the device; completes in simulated time
+  /// under fair sharing of the claimed resources.
+  [[nodiscard]] virtual sim::Task<> read(const std::string& file, double bytes) = 0;
+
+  /// Write `bytes` of `file` to the device.
+  [[nodiscard]] virtual sim::Task<> write(const std::string& file, double bytes) = 0;
+};
+
+}  // namespace pcs::cache

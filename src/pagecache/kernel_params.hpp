@@ -1,0 +1,60 @@
+// Tunables of the simulated kernel page cache, mirroring the Linux knobs
+// that matter to the paper's model plus the model's own design switches
+// (exercised by the ablation benches).
+#pragma once
+
+namespace pcs::cache {
+
+/// How a filesystem uses the page cache (Section II.A / III.B).
+enum class CacheMode {
+  None,          ///< Cacheless: every byte moves at raw device bandwidth
+                 ///< (the original-WRENCH baseline of the paper).
+  Writeback,     ///< Writes land in memory first, flushed asynchronously.
+  Writethrough,  ///< Writes go synchronously to disk, then populate cache.
+  ReadCache,     ///< Reads are cached; writes go straight to the device and
+                 ///< are NOT cached (the paper's Exp 3 NFS client: "no
+                 ///< client write cache", read cache enabled).
+};
+
+/// LRU organization; the paper (and the kernel) use the two-list strategy.
+/// SingleList exists for the A2 ablation bench.
+enum class LruPolicy {
+  TwoList,
+  SingleList,
+};
+
+struct CacheParams {
+  /// vm.dirty_ratio: dirty data may occupy at most this fraction of
+  /// available memory before writers must flush synchronously (Linux
+  /// default 20%).
+  double dirty_ratio = 0.20;
+
+  /// vm.dirty_expire_centisecs: a dirty block older than this is flushed by
+  /// the background thread (Linux default 30 s).
+  double dirty_expire = 30.0;
+
+  /// vm.dirty_background_ratio: when > 0, the background thread also starts
+  /// writeback as soon as dirty data exceeds this fraction of memory, not
+  /// only at expiry.  The paper's model omits this (it observes "dirty data
+  /// seemed to be flushing faster in real life than in simulation");
+  /// enabling it is the B1 extension bench.  0 disables (paper behaviour).
+  double dirty_background_ratio = 0.0;
+
+  /// vm.dirty_writeback_centisecs: period of the background flush loop
+  /// (Linux default 5 s).
+  double flush_period = 5.0;
+
+  /// The kernel keeps the active list at most this multiple of the inactive
+  /// list ("limits the size of the active list to twice the size of the
+  /// inactive list", Section III.A.1).
+  double max_active_ratio = 2.0;
+
+  LruPolicy lru_policy = LruPolicy::TwoList;
+
+  /// Merge clean blocks touched by one cached read into a single block
+  /// (paper behaviour).  Disabling keeps blocks separate (A3 ablation:
+  /// more list entries, same byte accounting).
+  bool merge_on_access = true;
+};
+
+}  // namespace pcs::cache

@@ -1,0 +1,174 @@
+#include "pagecache/lru_list.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcs::cache {
+
+namespace {
+// Byte accounting tolerance: amounts are doubles and accumulate rounding
+// noise over many split/merge cycles; anything under a milli-byte is zero.
+constexpr double kEps = 1e-3;
+}  // namespace
+
+void LruList::account_add(const DataBlock& b) {
+  total_ += b.size;
+  if (b.dirty) dirty_ += b.size;
+  file_bytes_[b.file] += b.size;
+}
+
+void LruList::account_remove(const DataBlock& b) {
+  total_ -= b.size;
+  if (b.dirty) dirty_ -= b.size;
+  auto it = file_bytes_.find(b.file);
+  if (it != file_bytes_.end()) {
+    it->second -= b.size;
+    if (it->second <= kEps) file_bytes_.erase(it);
+  }
+  if (total_ < kEps) total_ = 0.0;
+  if (dirty_ < kEps) dirty_ = 0.0;
+}
+
+LruList::iterator LruList::insert(DataBlock block) {
+  account_add(block);
+  // Find the first element strictly newer than the block; insert before it.
+  // Scanning from the back is O(1) for the dominant append-at-tail case.
+  auto pos = blocks_.end();
+  while (pos != blocks_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->last_access <= block.last_access) break;
+    pos = prev;
+  }
+  return blocks_.insert(pos, std::move(block));
+}
+
+DataBlock LruList::extract(iterator it) {
+  account_remove(*it);
+  DataBlock block = std::move(*it);
+  blocks_.erase(it);
+  return block;
+}
+
+void LruList::erase(iterator it) {
+  account_remove(*it);
+  blocks_.erase(it);
+}
+
+void LruList::touch(iterator it, double now) {
+  DataBlock block = extract(it);
+  block.last_access = now;
+  insert(std::move(block));
+}
+
+std::pair<LruList::iterator, LruList::iterator> LruList::split(iterator it, double first_size,
+                                                               std::uint64_t second_id) {
+  if (!(first_size > 0.0) || !(first_size < it->size)) {
+    throw std::invalid_argument("LruList::split: first_size out of (0, size)");
+  }
+  DataBlock second = *it;
+  second.id = second_id;
+  second.size = it->size - first_size;
+  // In-place shrink of the first part keeps accounting exact.
+  resize(it, first_size);
+  account_add(second);
+  auto second_it = blocks_.insert(std::next(it), std::move(second));
+  return {it, second_it};
+}
+
+void LruList::set_dirty(iterator it, bool dirty) {
+  if (it->dirty == dirty) return;
+  if (it->dirty) {
+    dirty_ -= it->size;
+    if (dirty_ < kEps) dirty_ = 0.0;
+  } else {
+    dirty_ += it->size;
+  }
+  it->dirty = dirty;
+}
+
+void LruList::resize(iterator it, double new_size) {
+  double delta = new_size - it->size;
+  total_ += delta;
+  if (it->dirty) dirty_ += delta;
+  file_bytes_[it->file] += delta;
+  it->size = new_size;
+  if (total_ < kEps) total_ = 0.0;
+  if (dirty_ < kEps) dirty_ = 0.0;
+}
+
+double LruList::file_bytes(const std::string& file) const {
+  auto it = file_bytes_.find(file);
+  return it == file_bytes_.end() ? 0.0 : it->second;
+}
+
+double LruList::clean_excluding(const std::string& exclude_file) const {
+  double clean = clean_total();
+  if (exclude_file.empty()) return clean;
+  // Subtract the excluded file's clean bytes.
+  double excluded_clean = 0.0;
+  for (const DataBlock& b : blocks_) {
+    if (!b.dirty && b.file == exclude_file) excluded_clean += b.size;
+  }
+  return clean - excluded_clean;
+}
+
+LruList::iterator LruList::lru_dirty(const std::string& exclude_file) {
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->dirty && (exclude_file.empty() || it->file != exclude_file)) return it;
+  }
+  return blocks_.end();
+}
+
+LruList::iterator LruList::lru_clean(const std::string& exclude_file) {
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (!it->dirty && (exclude_file.empty() || it->file != exclude_file)) return it;
+  }
+  return blocks_.end();
+}
+
+LruList::iterator LruList::lru_dirty_of(const std::string& file) {
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->dirty && it->file == file) return it;
+  }
+  return blocks_.end();
+}
+
+LruList::iterator LruList::find(std::uint64_t id) {
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->id == id) return it;
+  }
+  return blocks_.end();
+}
+
+void LruList::check_invariants() const {
+  double total = 0.0;
+  double dirty = 0.0;
+  std::map<std::string, double> per_file;
+  double prev_access = -std::numeric_limits<double>::infinity();
+  for (const DataBlock& b : blocks_) {
+    if (b.size <= 0.0) throw std::logic_error("LruList: non-positive block size");
+    if (b.last_access < prev_access - 1e-12) {
+      throw std::logic_error("LruList: blocks not ordered by last access");
+    }
+    prev_access = b.last_access;
+    total += b.size;
+    if (b.dirty) dirty += b.size;
+    per_file[b.file] += b.size;
+  }
+  auto close = [](double a, double b) { return std::fabs(a - b) <= 1e-3 + 1e-9 * std::fabs(a); };
+  if (!close(total, total_)) {
+    std::ostringstream oss;
+    oss << "LruList: total account drift (" << total_ << " vs " << total << ")";
+    throw std::logic_error(oss.str());
+  }
+  if (!close(dirty, dirty_)) throw std::logic_error("LruList: dirty account drift");
+  for (const auto& [file, bytes] : per_file) {
+    if (!close(bytes, file_bytes(file))) {
+      throw std::logic_error("LruList: per-file account drift for " + file);
+    }
+  }
+}
+
+}  // namespace pcs::cache

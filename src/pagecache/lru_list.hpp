@@ -1,0 +1,92 @@
+// A page-cache LRU list of data blocks, ordered by last access time
+// (earliest — least recently used — first), with O(1) byte accounting.
+//
+// Two instances (inactive + active) form the kernel's two-list strategy in
+// the MemoryManager.  The list maintains per-file byte totals so the
+// round-robin read model (Figure 3 of the paper) can cheaply answer "how
+// much of file f is cached here?".
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+#include "pagecache/block.hpp"
+
+namespace pcs::cache {
+
+class LruList {
+ public:
+  using BlockList = std::list<DataBlock>;
+  using iterator = BlockList::iterator;
+  using const_iterator = BlockList::const_iterator;
+
+  /// Insert keeping last-access order; among equal access times the new
+  /// block goes last (FIFO), so same-instant insertions stay stable.
+  iterator insert(DataBlock block);
+
+  /// Remove and return a block.
+  DataBlock extract(iterator it);
+
+  /// Remove a block, dropping its bytes from the accounting.
+  void erase(iterator it);
+
+  /// Update a block's last access time and restore ordering.
+  void touch(iterator it, double now);
+
+  /// Split the block at `it` into a leading part of `first_size` bytes and
+  /// the remainder; both inherit all other attributes and keep the original
+  /// position (adjacent).  Returns {first, second}.  first_size must be in
+  /// (0, size).  The first part keeps the original id; the second gets
+  /// `second_id`.
+  std::pair<iterator, iterator> split(iterator it, double first_size, std::uint64_t second_id);
+
+  /// Flip the dirty flag, maintaining the dirty-byte account.
+  void set_dirty(iterator it, bool dirty);
+
+  /// Grow/shrink a block in place (used when merging reads).
+  void resize(iterator it, double new_size);
+
+  [[nodiscard]] iterator begin() { return blocks_.begin(); }
+  [[nodiscard]] iterator end() { return blocks_.end(); }
+  [[nodiscard]] const_iterator begin() const { return blocks_.begin(); }
+  [[nodiscard]] const_iterator end() const { return blocks_.end(); }
+
+  [[nodiscard]] bool empty() const { return blocks_.empty(); }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] double total() const { return total_; }
+  [[nodiscard]] double dirty_total() const { return dirty_; }
+  [[nodiscard]] double clean_total() const { return total_ - dirty_; }
+  [[nodiscard]] double file_bytes(const std::string& file) const;
+  /// Per-file byte totals (for cache-content probes, Fig 4c).
+  [[nodiscard]] const std::map<std::string, double>& per_file() const { return file_bytes_; }
+  /// Clean bytes excluding one file (eviction candidates wrt. an exclusion).
+  [[nodiscard]] double clean_excluding(const std::string& exclude_file) const;
+
+  /// Least recently used dirty block, or end().
+  [[nodiscard]] iterator lru_dirty(const std::string& exclude_file = "");
+  /// Least recently used clean block, or end().
+  [[nodiscard]] iterator lru_clean(const std::string& exclude_file = "");
+  /// Least recently used dirty block belonging to `file`, or end() (fsync).
+  [[nodiscard]] iterator lru_dirty_of(const std::string& file);
+
+  /// Find by block id (used by the periodic flusher to revalidate
+  /// candidates across simulated awaits); end() if gone.
+  [[nodiscard]] iterator find(std::uint64_t id);
+
+  /// Verify ordering and accounting; throws std::logic_error on violation.
+  /// Used by tests and debug assertions.
+  void check_invariants() const;
+
+ private:
+  BlockList blocks_;
+  double total_ = 0.0;
+  double dirty_ = 0.0;
+  std::map<std::string, double> file_bytes_;
+
+  void account_add(const DataBlock& b);
+  void account_remove(const DataBlock& b);
+};
+
+}  // namespace pcs::cache

@@ -1,0 +1,175 @@
+// Simulated platform description: hosts (CPU, RAM, memory bus), disks and
+// network links, plus host-to-host routes.  This plays the role of
+// SimGrid's platform XML; platforms are built programmatically through the
+// fluent API or loaded from a JSON file (see docs/platform.schema notes in
+// README).
+//
+// Bandwidth model: every device exposes separate read and write channels,
+// each a fair-shared sim::Resource.  The paper notes that SimGrid 3.25 only
+// supported symmetric bandwidths, forcing the authors to configure the mean
+// of measured read/write values; both modes are supported here so the
+// ablation bench can quantify what the (then-forthcoming) asymmetric model
+// buys (paper, Conclusion).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simcore/engine.hpp"
+#include "util/json.hpp"
+
+namespace pcs::plat {
+
+class PlatformError : public std::runtime_error {
+ public:
+  explicit PlatformError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct DiskSpec {
+  std::string name;
+  double read_bw = 0.0;   // bytes/s
+  double write_bw = 0.0;  // bytes/s
+  double capacity = 0.0;  // bytes
+  double latency = 0.0;   // seconds per operation
+
+  /// Replace both bandwidths by their mean (the paper's Table III
+  /// "simulator" configuration under symmetric-only SimGrid).
+  [[nodiscard]] DiskSpec symmetrized() const {
+    DiskSpec s = *this;
+    double mean = (read_bw + write_bw) / 2.0;
+    s.read_bw = mean;
+    s.write_bw = mean;
+    return s;
+  }
+};
+
+class Host;
+
+class Disk {
+ public:
+  Disk(sim::Engine& engine, Host& host, const DiskSpec& spec);
+
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] const DiskSpec& spec() const { return spec_; }
+  [[nodiscard]] Host& host() const { return host_; }
+  [[nodiscard]] double capacity() const { return spec_.capacity; }
+  [[nodiscard]] double latency() const { return spec_.latency; }
+
+  [[nodiscard]] sim::Resource* read_channel() const { return read_channel_; }
+  [[nodiscard]] sim::Resource* write_channel() const { return write_channel_; }
+
+ private:
+  DiskSpec spec_;
+  Host& host_;
+  sim::Resource* read_channel_;
+  sim::Resource* write_channel_;
+};
+
+struct HostSpec {
+  std::string name;
+  double speed = 1e9;          // flops/s per core
+  int cores = 1;
+  double ram = 0.0;            // bytes
+  double mem_read_bw = 0.0;    // bytes/s
+  double mem_write_bw = 0.0;   // bytes/s
+
+  [[nodiscard]] HostSpec memory_symmetrized() const {
+    HostSpec s = *this;
+    double mean = (mem_read_bw + mem_write_bw) / 2.0;
+    s.mem_read_bw = mean;
+    s.mem_write_bw = mean;
+    return s;
+  }
+};
+
+class Host {
+ public:
+  Host(sim::Engine& engine, const HostSpec& spec);
+
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] const HostSpec& spec() const { return spec_; }
+  [[nodiscard]] double speed() const { return spec_.speed; }
+  [[nodiscard]] int cores() const { return spec_.cores; }
+  [[nodiscard]] double ram() const { return spec_.ram; }
+
+  /// Aggregate CPU resource (speed*cores); a single task is additionally
+  /// bounded to one core's speed by the compute helpers.
+  [[nodiscard]] sim::Resource* cpu() const { return cpu_; }
+  [[nodiscard]] sim::Resource* mem_read_channel() const { return mem_read_; }
+  [[nodiscard]] sim::Resource* mem_write_channel() const { return mem_write_; }
+
+  Disk* add_disk(sim::Engine& engine, const DiskSpec& spec);
+  [[nodiscard]] Disk* disk(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Disk>>& disks() const { return disks_; }
+
+ private:
+  HostSpec spec_;
+  sim::Resource* cpu_;
+  sim::Resource* mem_read_;
+  sim::Resource* mem_write_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+};
+
+struct LinkSpec {
+  std::string name;
+  double bandwidth = 0.0;  // bytes/s, shared by both directions
+  double latency = 0.0;    // seconds
+};
+
+class Link {
+ public:
+  Link(sim::Engine& engine, const LinkSpec& spec);
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] double latency() const { return spec_.latency; }
+  [[nodiscard]] sim::Resource* channel() const { return channel_; }
+
+ private:
+  LinkSpec spec_;
+  sim::Resource* channel_;
+};
+
+struct Route {
+  std::vector<Link*> links;
+  [[nodiscard]] double latency() const {
+    double total = 0.0;
+    for (const Link* link : links) total += link->latency();
+    return total;
+  }
+};
+
+class Platform {
+ public:
+  explicit Platform(sim::Engine& engine) : engine_(engine) {}
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  Host* add_host(const HostSpec& spec);
+  Link* add_link(const LinkSpec& spec);
+  /// Bidirectional route between two hosts over an ordered list of links.
+  void add_route(const std::string& src, const std::string& dst,
+                 const std::vector<std::string>& link_names);
+
+  [[nodiscard]] Host* host(const std::string& name) const;
+  [[nodiscard]] Link* link(const std::string& name) const;
+  /// Throws PlatformError when no route was declared.
+  [[nodiscard]] const Route& route_between(const std::string& src, const std::string& dst) const;
+  [[nodiscard]] bool has_route(const std::string& src, const std::string& dst) const;
+
+  [[nodiscard]] sim::Engine& engine() const { return engine_; }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  /// Build a platform from a JSON document (see README for the schema).
+  static std::unique_ptr<Platform> from_json(sim::Engine& engine, const util::Json& doc);
+  static std::unique_ptr<Platform> from_json_file(sim::Engine& engine, const std::string& path);
+
+ private:
+  sim::Engine& engine_;
+  std::map<std::string, std::unique_ptr<Host>> hosts_;
+  std::map<std::string, std::unique_ptr<Link>> links_;
+  std::map<std::pair<std::string, std::string>, Route> routes_;
+};
+
+}  // namespace pcs::plat

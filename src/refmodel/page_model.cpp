@@ -1,0 +1,361 @@
+#include "refmodel/page_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pcs::ref {
+
+namespace {
+constexpr double kEps = 1e-3;
+}
+
+// --- PageCacheKernel ---------------------------------------------------------
+
+PageCacheKernel::PageCacheKernel(const RefParams& params, double total_mem)
+    : params_(params), total_mem_(total_mem) {
+  if (total_mem <= 0.0) throw std::invalid_argument("PageCacheKernel: total_mem must be positive");
+  if (params.page_size <= 0.0) throw std::invalid_argument("PageCacheKernel: bad page size");
+}
+
+double PageCacheKernel::quantize(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  return std::ceil(bytes / params_.page_size - 1e-12) * params_.page_size;
+}
+
+double PageCacheKernel::list_total(const ExtentList& list) const {
+  double total = 0.0;
+  for (const Extent& e : list) total += e.size;
+  return total;
+}
+
+double PageCacheKernel::cached() const { return list_total(inactive_) + list_total(active_); }
+
+double PageCacheKernel::cached(const std::string& file) const {
+  double total = 0.0;
+  for (const Extent& e : inactive_) {
+    if (e.file == file) total += e.size;
+  }
+  for (const Extent& e : active_) {
+    if (e.file == file) total += e.size;
+  }
+  return total;
+}
+
+double PageCacheKernel::dirty() const {
+  double total = 0.0;
+  for (const Extent& e : inactive_) {
+    if (e.dirty) total += e.size;
+  }
+  for (const Extent& e : active_) {
+    if (e.dirty) total += e.size;
+  }
+  return total;
+}
+
+double PageCacheKernel::reclaim(double amount) {
+  if (amount <= kEps) return 0.0;
+  double reclaimed = 0.0;
+  bool demoted = true;
+  while (reclaimed < amount - kEps && demoted) {
+    // Scan the inactive list LRU-first for clean, unprotected extents.
+    for (auto it = inactive_.begin(); it != inactive_.end() && reclaimed < amount - kEps;) {
+      if (it->dirty || write_protected(it->file)) {
+        ++it;
+        continue;
+      }
+      double need = amount - reclaimed;
+      if (it->size > need + kEps) {
+        double evicted = quantize(need);
+        evicted = std::min(evicted, it->size);
+        it->size -= evicted;
+        reclaimed += evicted;
+        if (it->size <= kEps) it = inactive_.erase(it);
+        break;
+      }
+      reclaimed += it->size;
+      it = inactive_.erase(it);
+    }
+    if (reclaimed >= amount - kEps) break;
+    // Under continued pressure the kernel deactivates pages from the tail
+    // of the active list into the inactive list and retries.
+    demoted = false;
+    if (!active_.empty()) {
+      Extent e = active_.front();
+      active_.pop_front();
+      // Deactivated pages keep their access history; sorted-insert by
+      // last_access keeps the inactive list LRU-ordered.
+      auto pos = inactive_.begin();
+      while (pos != inactive_.end() && pos->last_access <= e.last_access) ++pos;
+      inactive_.insert(pos, std::move(e));
+      demoted = true;
+    }
+  }
+  return reclaimed;
+}
+
+std::vector<std::pair<std::string, double>> PageCacheKernel::take_writeback_batch(
+    double max_bytes, double now, bool only_expired) {
+  std::vector<std::pair<std::string, double>> batch;
+  if (max_bytes <= kEps) return batch;
+  double taken = 0.0;
+  for (ExtentList* list : {&inactive_, &active_}) {
+    for (std::size_t i = 0; i < list->size() && taken < max_bytes - kEps; ++i) {
+      Extent& e = (*list)[i];
+      if (!e.dirty) continue;
+      if (only_expired && (now - e.entry_time) <= params_.dirty_expire) continue;
+      double take = std::min(e.size, max_bytes - taken);
+      take = std::min(e.size, quantize(take));
+      if (take <= kEps) continue;
+      if (take < e.size - kEps) {
+        // Partial writeback: split off a clean extent adjacent to the
+        // still-dirty remainder (index-based insert; deque iterators and
+        // references are invalidated by insertion).
+        Extent clean = e;
+        clean.size = take;
+        clean.dirty = false;
+        (*list)[i].size -= take;
+        batch.emplace_back(clean.file, take);
+        taken += take;
+        list->insert(list->begin() + static_cast<std::ptrdiff_t>(i), std::move(clean));
+        break;  // a partial take only happens when max_bytes is reached
+      }
+      e.dirty = false;
+      batch.emplace_back(e.file, e.size);
+      taken += e.size;
+    }
+    if (taken >= max_bytes - kEps) break;
+  }
+  return batch;
+}
+
+void PageCacheKernel::insert_clean(const std::string& file, double bytes, double now) {
+  if (bytes <= kEps) return;
+  inactive_.push_back(Extent{file, bytes, now, now, false});
+  balance(now);
+}
+
+void PageCacheKernel::insert_dirty(const std::string& file, double bytes, double now) {
+  if (bytes <= kEps) return;
+  inactive_.push_back(Extent{file, bytes, now, now, true});
+  balance(now);
+}
+
+double PageCacheKernel::touch(const std::string& file, double bytes, double now) {
+  if (bytes <= kEps) return 0.0;
+  double touched = 0.0;
+  // Promote from the inactive list first (second access), then refresh
+  // recency of active extents.
+  for (auto it = inactive_.begin(); it != inactive_.end() && touched < bytes - kEps;) {
+    if (it->file != file) {
+      ++it;
+      continue;
+    }
+    double need = bytes - touched;
+    if (it->size > need + kEps) {
+      Extent promoted = *it;
+      promoted.size = need;
+      promoted.last_access = now;
+      it->size -= need;
+      touched += need;
+      active_.push_back(std::move(promoted));
+      break;
+    }
+    Extent promoted = *it;
+    promoted.last_access = now;
+    touched += promoted.size;
+    active_.push_back(std::move(promoted));
+    it = inactive_.erase(it);
+  }
+  for (std::size_t i = 0; i < active_.size() && touched < bytes - kEps; ++i) {
+    Extent& e = active_[i];
+    if (e.file != file) continue;
+    if (e.last_access >= now) continue;  // freshly promoted above
+    touched += e.size;
+    Extent moved = e;
+    moved.last_access = now;
+    // Move to the MRU end (index loop: deque erase invalidates iterators).
+    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    active_.push_back(std::move(moved));
+    --i;
+  }
+  balance(now);
+  return std::min(bytes, touched);
+}
+
+void PageCacheKernel::alloc_anon(double bytes) {
+  if (bytes <= 0.0) return;
+  if (free_mem() < bytes - kEps) reclaim(bytes - free_mem());
+  if (free_mem() < bytes - kEps) {
+    throw std::runtime_error("PageCacheKernel: anonymous memory overcommit");
+  }
+  anon_ += bytes;
+}
+
+void PageCacheKernel::release_anon(double bytes) { anon_ = std::max(0.0, anon_ - bytes); }
+
+void PageCacheKernel::drop_file(const std::string& file) {
+  auto drop = [&](ExtentList& list) {
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const Extent& e) { return e.file == file; }),
+               list.end());
+  };
+  drop(inactive_);
+  drop(active_);
+}
+
+void PageCacheKernel::balance(double now) {
+  (void)now;
+  const double ratio = params_.max_active_ratio;
+  const double cached_total = list_total(active_) + list_total(inactive_);
+  // Deactivate exactly the excess (splitting the LRU extent if needed), as
+  // the kernel moves individual pages rather than whole extents.
+  double excess = list_total(active_) - cached_total * ratio / (1.0 + ratio);
+  while (excess > kEps && !active_.empty()) {
+    Extent e = active_.front();
+    active_.pop_front();
+    if (e.size > excess + kEps) {
+      Extent keep = e;
+      keep.size = e.size - excess;
+      e.size = excess;
+      active_.push_front(std::move(keep));
+    }
+    excess -= e.size;
+    auto pos = inactive_.begin();
+    while (pos != inactive_.end() && pos->last_access <= e.last_access) ++pos;
+    inactive_.insert(pos, std::move(e));
+  }
+}
+
+cache::CacheSnapshot PageCacheKernel::snapshot(double now) const {
+  cache::CacheSnapshot s;
+  s.time = now;
+  s.total = total_mem_;
+  s.cached = cached();
+  s.dirty = dirty();
+  s.anonymous = anon_;
+  s.free = free_mem();
+  s.inactive = list_total(inactive_);
+  s.active = list_total(active_);
+  for (const Extent& e : inactive_) s.per_file[e.file] += e.size;
+  for (const Extent& e : active_) s.per_file[e.file] += e.size;
+  return s;
+}
+
+void PageCacheKernel::check_invariants() const {
+  if (free_mem() < -kEps) throw std::logic_error("PageCacheKernel: negative free memory");
+  for (const ExtentList* list : {&inactive_, &active_}) {
+    for (const Extent& e : *list) {
+      if (e.size <= 0.0) throw std::logic_error("PageCacheKernel: non-positive extent");
+    }
+  }
+}
+
+// --- RefStorage ---------------------------------------------------------------
+
+RefStorage::RefStorage(sim::Engine& engine, plat::Host& host, plat::Disk& disk,
+                       const RefParams& params, double mem_for_cache)
+    : engine_(engine),
+      host_(host),
+      disk_(disk),
+      params_(params),
+      fs_(),
+      kernel_(params, mem_for_cache > 0.0 ? mem_for_cache : host.ram()) {}
+
+void RefStorage::start_flusher() {
+  engine_.spawn("ref-flusher:" + disk_.name(), flusher_loop(), /*daemon=*/true);
+}
+
+sim::Task<> RefStorage::write_batch(std::vector<std::pair<std::string, double>> batch) {
+  for (const auto& [file, bytes] : batch) {
+    co_await engine_.submit("ref-writeback:" + file, sim::one(disk_.write_channel()), bytes);
+  }
+}
+
+sim::Task<> RefStorage::flusher_loop() {
+  // The kernel flusher: wakes every writeback_period, writes out expired
+  // dirty pages, and — unlike the paper's model — also starts writeback as
+  // soon as dirty data exceeds dirty_background_ratio.
+  while (true) {
+    double now = engine_.now();
+    auto expired = kernel_.take_writeback_batch(kernel_.dirty(), now, /*only_expired=*/true);
+    co_await write_batch(std::move(expired));
+    double over_bg = kernel_.dirty() - kernel_.dirty_bg_limit();
+    if (over_bg > 0.0) {
+      auto batch = kernel_.take_writeback_batch(over_bg, engine_.now(), /*only_expired=*/false);
+      co_await write_batch(std::move(batch));
+    }
+    co_await engine_.sleep(params_.writeback_period);
+  }
+}
+
+sim::Task<> RefStorage::make_room(double amount) {
+  // Direct reclaim: evict clean pages; when that is not enough the task
+  // itself writes dirty pages back (synchronous writeback) and retries.
+  while (kernel_.free_mem() < amount - 1.0) {
+    double short_by = amount - kernel_.free_mem();
+    kernel_.reclaim(short_by);
+    if (kernel_.free_mem() >= amount - 1.0) break;
+    auto batch =
+        kernel_.take_writeback_batch(amount - kernel_.free_mem(), engine_.now(), false);
+    if (batch.empty()) {
+      throw std::runtime_error("RefStorage: memory exhausted (working set too large)");
+    }
+    co_await write_batch(std::move(batch));
+  }
+}
+
+sim::Task<> RefStorage::read_file(const std::string& name, double chunk_size) {
+  const double size = fs_.size_of(name);
+  if (chunk_size <= 0.0) chunk_size = size;
+  double remaining = size;
+  while (remaining > 1.0) {
+    const double cs = std::min(chunk_size, remaining);
+    const double uncached = std::min(cs, std::max(0.0, size - kernel_.cached(name)));
+    const double hit = cs - uncached;
+    co_await make_room(cs + uncached);
+    if (uncached > 1.0) {
+      co_await engine_.submit("ref-read:" + name, sim::one(disk_.read_channel()), uncached);
+      kernel_.insert_clean(name, kernel_.quantize(uncached), engine_.now());
+    }
+    if (hit > 1.0) {
+      double served = kernel_.touch(name, hit, engine_.now());
+      if (served > 1.0) {
+        co_await engine_.submit("ref-cache-read:" + name, sim::one(host_.mem_read_channel()),
+                                served);
+      }
+      double shortfall = hit - served;
+      if (shortfall > 1.0) {
+        co_await engine_.submit("ref-read:" + name, sim::one(disk_.read_channel()), shortfall);
+        kernel_.insert_clean(name, kernel_.quantize(shortfall), engine_.now());
+      }
+    }
+    kernel_.alloc_anon(cs);
+    remaining -= cs;
+  }
+}
+
+sim::Task<> RefStorage::write_file(const std::string& name, double size, double chunk_size) {
+  fs_.ensure_size(name, size);
+  if (chunk_size <= 0.0) chunk_size = size;
+  kernel_.open_write(name);
+  double remaining = size;
+  while (remaining > 1.0) {
+    const double cs = std::min(chunk_size, remaining);
+    // balance_dirty_pages: above the dirty threshold the writer itself
+    // writes back until below.
+    while (kernel_.dirty() + cs > kernel_.dirty_limit()) {
+      auto batch = kernel_.take_writeback_batch(kernel_.dirty() + cs - kernel_.dirty_limit(),
+                                                engine_.now(), false);
+      if (batch.empty()) break;
+      co_await write_batch(std::move(batch));
+    }
+    co_await make_room(cs);
+    kernel_.insert_dirty(name, kernel_.quantize(cs), engine_.now());
+    co_await engine_.submit("ref-cache-write:" + name, sim::one(host_.mem_write_channel()), cs);
+    remaining -= cs;
+  }
+  kernel_.close_write(name);
+}
+
+}  // namespace pcs::ref

@@ -1,0 +1,81 @@
+// Activities: units of simulated work progressing on shared resources.
+//
+// An activity has a total amount of work (bytes, flops) and a set of
+// resource claims.  Its instantaneous rate is the max-min fair share,
+// bounded by the minimum share across all claimed resources (bottleneck
+// model: an NFS read claims the network link *and* the server disk) and by
+// an optional per-activity rate bound (e.g. one core's speed).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/resource.hpp"
+
+namespace pcs::sim {
+
+class Engine;
+
+class Activity {
+ public:
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] double total() const { return total_; }
+  [[nodiscard]] double remaining() const { return remaining_; }
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] double start_time() const { return start_time_; }
+  [[nodiscard]] double end_time() const { return end_time_; }
+
+ private:
+  friend class Engine;
+  friend class ActivityAwaiter;
+  Activity(std::uint64_t id, std::string label, std::vector<Claim> claims, double amount,
+           double bound, double start_time)
+      : id_(id),
+        label_(std::move(label)),
+        claims_(std::move(claims)),
+        total_(amount),
+        remaining_(amount),
+        bound_(bound),
+        start_time_(start_time) {}
+
+  std::uint64_t id_;
+  std::string label_;
+  std::vector<Claim> claims_;
+  double total_;
+  double remaining_;
+  double bound_ = std::numeric_limits<double>::infinity();
+  double rate_ = 0.0;
+  double start_time_ = 0.0;
+  double end_time_ = -1.0;
+  bool done_ = false;
+  std::coroutine_handle<> waiter_{};
+
+  // Scratch for the fair-share solver and the completion scan.
+  bool scratch_assigned_ = false;
+  double scratch_completion_ = 0.0;
+};
+
+using ActivityPtr = std::shared_ptr<Activity>;
+
+/// Awaitable returned by Engine::submit — suspends the current actor until
+/// the activity completes.
+class ActivityAwaiter {
+ public:
+  explicit ActivityAwaiter(ActivityPtr activity) : activity_(std::move(activity)) {}
+
+  [[nodiscard]] bool await_ready() const noexcept { return !activity_ || activity_->done(); }
+  void await_suspend(std::coroutine_handle<> h) noexcept { activity_->waiter_ = h; }
+  void await_resume() const noexcept {}
+
+  [[nodiscard]] const ActivityPtr& activity() const { return activity_; }
+
+ private:
+  ActivityPtr activity_;
+};
+
+}  // namespace pcs::sim

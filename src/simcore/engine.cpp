@@ -1,0 +1,281 @@
+#include "simcore/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "simcore/trace.hpp"
+#include "util/log.hpp"
+
+namespace pcs::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Rate assigned to activities not constrained by any resource or bound;
+// large enough that any realistic work amount finishes "instantly" yet
+// finite so that time arithmetic stays well-defined.
+constexpr double kUnconstrainedRate = 1e30;
+}  // namespace
+
+bool SleepAwaiter::await_ready() const noexcept { return wake_time_ <= engine_.now(); }
+
+void SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
+  engine_.schedule_at(wake_time_, h);
+}
+
+Engine::Engine() {
+  util::Logger::instance().set_clock([this] { return now_; });
+}
+
+Engine::~Engine() { util::Logger::instance().clear_clock(); }
+
+Resource* Engine::new_resource(std::string name, double capacity) {
+  resources_.push_back(std::make_unique<Resource>(std::move(name), capacity));
+  return resources_.back().get();
+}
+
+ActivityAwaiter Engine::submit(std::string label, std::vector<Claim> claims, double amount,
+                               double bound) {
+  return ActivityAwaiter{submit_detached(std::move(label), std::move(claims), amount, bound)};
+}
+
+ActivityPtr Engine::submit_detached(std::string label, std::vector<Claim> claims, double amount,
+                                    double bound) {
+  // The paper's flush/evict "when called with negative arguments, simply
+  // return and do not do anything"; zero-work activities likewise complete
+  // immediately without a scheduling point.
+  auto activity = ActivityPtr(
+      new Activity(next_id_++, std::move(label), std::move(claims), amount, bound, now_));
+  if (amount <= 0.0) {
+    activity->remaining_ = 0.0;
+    activity->done_ = true;
+    activity->end_time_ = now_;
+    return activity;
+  }
+  running_.push_back(activity);
+  rates_dirty_ = true;
+  util::log_trace("engine", "start activity '", activity->label_, "' amount=", amount);
+  return activity;
+}
+
+void Engine::spawn(std::string name, Task<> task, bool daemon) {
+  std::coroutine_handle<> h = task.raw_handle();
+  if (!h) throw SimulationError("spawn: empty task for actor '" + name + "'");
+  roots_.push_back(RootActor{std::move(name), std::move(task), daemon});
+  schedule(h);
+}
+
+void Engine::schedule(std::coroutine_handle<> h) { ready_.push_back(h); }
+
+void Engine::schedule_at(double t, std::coroutine_handle<> h) {
+  if (t < now_) t = now_;
+  timers_.push(Timer{t, next_id_++, h});
+}
+
+bool Engine::all_actors_done() const {
+  return std::all_of(roots_.begin(), roots_.end(),
+                     [](const RootActor& r) { return r.daemon || r.task.done(); });
+}
+
+std::size_t Engine::drain_ready() {
+  std::size_t resumed = 0;
+  while (!ready_.empty()) {
+    std::coroutine_handle<> h = ready_.front();
+    ready_.pop_front();
+    ++resumed;
+    if (!h.done()) h.resume();
+  }
+  return resumed;
+}
+
+void Engine::recompute_rates() {
+  rates_dirty_ = false;
+  std::vector<Resource*> used;
+  for (const ActivityPtr& act : running_) {
+    act->scratch_assigned_ = false;
+    for (const Claim& claim : act->claims_) {
+      Resource* r = claim.resource;
+      assert(r != nullptr && "activity claim without a resource");
+      if (!r->scratch_active_) {
+        r->scratch_active_ = true;
+        r->scratch_capacity_ = r->capacity_;
+        r->scratch_weight_ = 0.0;
+        used.push_back(r);
+      }
+      r->scratch_weight_ += claim.weight;
+    }
+  }
+
+  // Progressive filling: repeatedly find the binding constraint (the
+  // resource with the smallest fair share, or an activity whose own bound
+  // is smaller), fix the rate of the activities it pins, subtract their
+  // consumption everywhere, repeat.
+  std::size_t unassigned = running_.size();
+  while (unassigned > 0) {
+    double best = kInf;
+    Resource* best_resource = nullptr;
+    Activity* best_bounded = nullptr;
+    for (Resource* r : used) {
+      if (r->scratch_weight_ <= 0.0) continue;
+      double fair = r->scratch_capacity_ / r->scratch_weight_;
+      if (fair < best) {
+        best = fair;
+        best_resource = r;
+        best_bounded = nullptr;
+      }
+    }
+    for (const ActivityPtr& act : running_) {
+      if (act->scratch_assigned_) continue;
+      if (act->bound_ < best) {
+        best = act->bound_;
+        best_bounded = act.get();
+        best_resource = nullptr;
+      }
+    }
+
+    if (best_resource == nullptr && best_bounded == nullptr) {
+      // Remaining activities have no claims and no finite bound.
+      for (const ActivityPtr& act : running_) {
+        if (!act->scratch_assigned_) {
+          act->rate_ = kUnconstrainedRate;
+          act->scratch_assigned_ = true;
+          --unassigned;
+        }
+      }
+      break;
+    }
+
+    auto consume = [](Activity& act, double rate) {
+      for (const Claim& claim : act.claims_) {
+        Resource* r = claim.resource;
+        r->scratch_capacity_ = std::max(0.0, r->scratch_capacity_ - rate * claim.weight);
+        r->scratch_weight_ -= claim.weight;
+      }
+    };
+
+    if (best_bounded != nullptr) {
+      best_bounded->rate_ = best_bounded->bound_;
+      best_bounded->scratch_assigned_ = true;
+      consume(*best_bounded, best_bounded->rate_);
+      --unassigned;
+    } else {
+      for (const ActivityPtr& act : running_) {
+        if (act->scratch_assigned_) continue;
+        bool uses = std::any_of(act->claims_.begin(), act->claims_.end(),
+                                [&](const Claim& c) { return c.resource == best_resource; });
+        if (!uses) continue;
+        act->rate_ = best;
+        act->scratch_assigned_ = true;
+        consume(*act, best);
+        --unassigned;
+      }
+      best_resource->scratch_weight_ = 0.0;  // numerically retire this resource
+    }
+  }
+
+  for (Resource* r : used) r->scratch_active_ = false;
+}
+
+double Engine::next_completion_time() const {
+  double best = kInf;
+  for (const ActivityPtr& act : running_) {
+    double ct = act->rate_ > 0.0 ? now_ + act->remaining_ / act->rate_ : kInf;
+    act->scratch_completion_ = ct;
+    best = std::min(best, ct);
+  }
+  return best;
+}
+
+void Engine::advance_activities(double dt) {
+  if (dt <= 0.0) return;
+  for (const ActivityPtr& act : running_) {
+    act->remaining_ = std::max(0.0, act->remaining_ - act->rate_ * dt);
+  }
+}
+
+void Engine::complete_activity(Activity& activity) {
+  activity.remaining_ = 0.0;
+  activity.done_ = true;
+  activity.end_time_ = now_;
+  activity.rate_ = 0.0;
+  if (tracer_ != nullptr) tracer_->record(activity.label_, activity.start_time_, now_);
+  util::log_trace("engine", "complete activity '", activity.label_, "'");
+  if (activity.waiter_) {
+    schedule(activity.waiter_);
+    activity.waiter_ = nullptr;
+  }
+}
+
+void Engine::step(double time_limit) {
+  while (true) {
+    drain_ready();
+    if (all_actors_done()) return;
+    if (rates_dirty_) recompute_rates();
+
+    double t_act = next_completion_time();
+    double t_timer = timers_.empty() ? kInf : timers_.top().time;
+    double t_next = std::min(t_act, t_timer);
+    if (t_next == kInf) return;  // no event source left; caller decides if deadlock
+    if (t_next > time_limit) {
+      advance_activities(time_limit - now_);
+      now_ = time_limit;
+      return;
+    }
+
+    advance_activities(t_next - now_);
+    now_ = t_next;
+    ++scheduling_points_;
+
+    // Activities whose completion lands at this scheduling point (within
+    // relative tolerance, so simultaneous finishes stay simultaneous).
+    const double tol = 1e-9 * (1.0 + std::fabs(t_next));
+    bool any_completed = false;
+    for (const ActivityPtr& act : running_) {
+      if (act->scratch_completion_ <= t_next + tol) {
+        complete_activity(*act);
+        any_completed = true;
+      }
+    }
+    if (any_completed) {
+      running_.erase(std::remove_if(running_.begin(), running_.end(),
+                                    [](const ActivityPtr& a) { return a->done_; }),
+                     running_.end());
+      rates_dirty_ = true;
+    }
+
+    while (!timers_.empty() && timers_.top().time <= now_ + tol) {
+      schedule(timers_.top().handle);
+      timers_.pop();
+    }
+  }
+}
+
+void Engine::run() {
+  if (running_loop_) throw SimulationError("Engine::run is not reentrant");
+  running_loop_ = true;
+  step(kInf);
+  running_loop_ = false;
+
+  for (const RootActor& root : roots_) root.task.rethrow_if_failed();
+  if (!all_actors_done()) {
+    std::string stuck;
+    for (const RootActor& root : roots_) {
+      if (!root.daemon && !root.task.done()) {
+        if (!stuck.empty()) stuck += ", ";
+        stuck += root.name;
+      }
+    }
+    throw SimulationError("deadlock: no pending event but actors are blocked: " + stuck);
+  }
+}
+
+void Engine::run_until(double t) {
+  if (running_loop_) throw SimulationError("Engine::run_until is not reentrant");
+  running_loop_ = true;
+  step(t);
+  if (now_ < t && ready_.empty() && timers_.empty() && running_.empty()) now_ = t;
+  running_loop_ = false;
+  for (const RootActor& root : roots_) root.task.rethrow_if_failed();
+}
+
+}  // namespace pcs::sim

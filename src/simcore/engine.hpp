@@ -1,0 +1,159 @@
+// The discrete-event simulation engine.
+//
+// Single-threaded, deterministic.  Simulated "processes" are C++20
+// coroutines (sim::Task) spawned as root actors; they suspend on awaitables
+// (sleep, activities, mutexes, mailboxes) and the engine resumes them as
+// virtual time advances.  Between scheduling points the engine solves a
+// max-min fair allocation of resource capacities to running activities,
+// exactly the flow-level approach of SimGrid on which WRENCH (and therefore
+// the paper's results) is built.
+//
+// Termination: the run loop ends when every non-daemon root actor has
+// finished.  Daemon actors (the Memory Manager's periodic-flush thread,
+// Algorithm 1 of the paper, is an infinite loop) are simply abandoned at
+// that point, mirroring SimGrid's daemonized actors.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simcore/activity.hpp"
+#include "simcore/resource.hpp"
+#include "simcore/task.hpp"
+
+namespace pcs::sim {
+
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Awaitable for Engine::sleep.
+class SleepAwaiter {
+ public:
+  SleepAwaiter(Engine& engine, double wake_time) : engine_(engine), wake_time_(wake_time) {}
+  [[nodiscard]] bool await_ready() const noexcept;
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+
+ private:
+  Engine& engine_;
+  double wake_time_;
+};
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time in seconds.
+  [[nodiscard]] double now() const { return now_; }
+
+  // --- resources ---------------------------------------------------------
+
+  /// Create a resource owned by the engine.  Capacity in work-units/second.
+  Resource* new_resource(std::string name, double capacity);
+
+  // --- activities --------------------------------------------------------
+
+  /// Start `amount` units of work over the claimed resources; the returned
+  /// awaitable suspends the calling actor until completion.  `bound` caps
+  /// the activity's own rate (e.g. a single core's speed).  Zero or
+  /// negative amounts complete immediately (the paper's flush/evict
+  /// functions "simply return" on negative arguments).
+  ActivityAwaiter submit(std::string label, std::vector<Claim> claims, double amount,
+                         double bound = std::numeric_limits<double>::infinity());
+
+  /// Fire-and-forget variant: the activity progresses without a waiter.
+  ActivityPtr submit_detached(std::string label, std::vector<Claim> claims, double amount,
+                              double bound = std::numeric_limits<double>::infinity());
+
+  // --- actors ------------------------------------------------------------
+
+  /// Register a root actor; it starts when run() reaches the current time.
+  /// Daemon actors do not keep the simulation alive.
+  void spawn(std::string name, Task<> task, bool daemon = false);
+
+  /// Resume `h` at the current time, after already-queued resumptions.
+  /// Used by synchronization primitives; not part of the typical user API.
+  void schedule(std::coroutine_handle<> h);
+  /// Resume `h` at absolute virtual time `t` (>= now).
+  void schedule_at(double t, std::coroutine_handle<> h);
+
+  /// Sleep for `dt` seconds of virtual time (dt <= 0 resumes immediately,
+  /// still yielding to other ready actors).
+  [[nodiscard]] SleepAwaiter sleep(double dt) { return {*this, now_ + (dt > 0 ? dt : 0)}; }
+  [[nodiscard]] SleepAwaiter sleep_until(double t) { return {*this, t}; }
+
+  // --- execution ---------------------------------------------------------
+
+  /// Run until all non-daemon actors finish.  Throws SimulationError on
+  /// deadlock (event sources exhausted with unfinished non-daemon actors)
+  /// and rethrows the first uncaught actor exception.
+  void run();
+
+  /// Run at most until virtual time `t` (useful for incremental probing).
+  void run_until(double t);
+
+  /// True once every non-daemon root actor has completed.
+  [[nodiscard]] bool all_actors_done() const;
+
+  // --- introspection -----------------------------------------------------
+
+  [[nodiscard]] std::size_t running_activity_count() const { return running_.size(); }
+  [[nodiscard]] std::uint64_t scheduling_points() const { return scheduling_points_; }
+
+  /// Attach a Tracer; every completed activity is recorded as a span.
+  /// Pass nullptr to detach.  The tracer must outlive the engine's use.
+  void set_tracer(class Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  struct Timer {
+    double time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Timer& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct RootActor {
+    std::string name;
+    Task<> task;
+    bool daemon;
+  };
+
+  void recompute_rates();
+  void advance_activities(double dt);
+  /// Runs every ready coroutine; returns number resumed.
+  std::size_t drain_ready();
+  double next_completion_time() const;
+  void complete_activity(Activity& activity);
+  void step(double time_limit);
+
+  double now_ = 0.0;
+  bool rates_dirty_ = false;
+  bool running_loop_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t scheduling_points_ = 0;
+
+  Tracer* tracer_ = nullptr;
+  std::vector<std::unique_ptr<Resource>> resources_;
+  std::vector<ActivityPtr> running_;
+  std::deque<std::coroutine_handle<>> ready_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::vector<RootActor> roots_;
+};
+
+}  // namespace pcs::sim

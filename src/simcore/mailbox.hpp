@@ -1,0 +1,64 @@
+// Typed actor-to-actor message queues, analogous to SimGrid mailboxes.
+//
+// `put` never blocks (unbounded queue, zero-copy in virtual time; transfer
+// latency belongs to the network model, not the mailbox).  `get` suspends
+// the receiver until a message is available.  Used by service actors (the
+// NFS server loop) to accept requests from clients.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <utility>
+
+#include "simcore/engine.hpp"
+
+namespace pcs::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& engine) : engine_(engine) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void put(T message) {
+    queue_.push_back(std::move(message));
+    if (!receivers_.empty()) {
+      engine_.schedule(receivers_.front());
+      receivers_.pop_front();
+    }
+  }
+
+  class GetAwaiter {
+   public:
+    explicit GetAwaiter(Mailbox& box) : box_(box) {}
+    [[nodiscard]] bool await_ready() const noexcept { return !box_.queue_.empty(); }
+    void await_suspend(std::coroutine_handle<> h) { box_.receivers_.push_back(h); }
+    T await_resume() {
+      // A competing receiver resumed earlier at the same timestamp may have
+      // consumed the message; in that case we would need to re-wait, which
+      // a plain awaiter cannot do.  Mailboxes in this library are
+      // single-consumer (one service loop per mailbox), so the queue is
+      // guaranteed non-empty here.
+      T message = std::move(box_.queue_.front());
+      box_.queue_.pop_front();
+      return message;
+    }
+
+   private:
+    Mailbox& box_;
+  };
+
+  /// co_await get(); single-consumer.
+  [[nodiscard]] GetAwaiter get() { return GetAwaiter{*this}; }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+
+ private:
+  Engine& engine_;
+  std::deque<T> queue_;
+  std::deque<std::coroutine_handle<>> receivers_;
+};
+
+}  // namespace pcs::sim

@@ -1,0 +1,50 @@
+#include "simcore/sync.hpp"
+
+namespace pcs::sim {
+
+void Mutex::unlock() {
+  locked_ = false;
+  if (!waiters_.empty()) {
+    std::coroutine_handle<> next = waiters_.front();
+    waiters_.pop_front();
+    // The woken actor re-marks the mutex as locked in await_resume; until it
+    // actually runs, try_lock from other actors could steal it — schedule
+    // preserves FIFO fairness at the same timestamp, and within one
+    // timestamp actors run to their next suspension atomically, so the
+    // hand-off is race-free in virtual time.  To rule out barging entirely
+    // we re-mark the mutex held on behalf of the woken waiter.
+    locked_ = true;
+    engine_.schedule(next);
+  }
+}
+
+Task<> ConditionVariable::wait(Mutex& mutex) {
+  mutex.unlock();
+  co_await WaitAwaiter{*this};
+  co_await mutex.lock();
+}
+
+void ConditionVariable::notify_one() {
+  if (waiters_.empty()) return;
+  engine_.schedule(waiters_.front());
+  waiters_.pop_front();
+}
+
+void ConditionVariable::notify_all() {
+  while (!waiters_.empty()) {
+    engine_.schedule(waiters_.front());
+    waiters_.pop_front();
+  }
+}
+
+void Semaphore::release() {
+  if (!waiters_.empty()) {
+    // Hand the permit directly to the first waiter.
+    engine_.schedule(waiters_.front());
+    waiters_.pop_front();
+  } else {
+    ++count_;
+  }
+}
+
+}  // namespace pcs::sim

@@ -1,0 +1,141 @@
+// Simulated synchronization primitives.
+//
+// The paper uses "SimGrid's locking mechanism to handle concurrent accesses
+// to page cache LRU lists by the two Memory Manager threads".  These are
+// coroutine-aware analogues: acquiring a contended Mutex suspends the
+// calling actor until the holder releases it; ConditionVariable::wait
+// atomically releases the mutex and re-acquires it on wake-up.
+//
+// Everything here runs in virtual time on one OS thread, so these are
+// scheduling constructs, not memory-safety constructs.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "simcore/engine.hpp"
+#include "simcore/task.hpp"
+
+namespace pcs::sim {
+
+class Mutex {
+ public:
+  explicit Mutex(Engine& engine) : engine_(engine) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  class LockAwaiter {
+   public:
+    explicit LockAwaiter(Mutex& mutex) : mutex_(mutex) {}
+    [[nodiscard]] bool await_ready() const noexcept { return !mutex_.locked_; }
+    void await_suspend(std::coroutine_handle<> h) { mutex_.waiters_.push_back(h); }
+    void await_resume() const noexcept { mutex_.locked_ = true; }
+
+   private:
+    Mutex& mutex_;
+  };
+
+  /// co_await lock(); suspends while another actor holds the mutex.
+  [[nodiscard]] LockAwaiter lock() { return LockAwaiter{*this}; }
+
+  /// Non-blocking attempt.
+  bool try_lock() {
+    if (locked_) return false;
+    locked_ = true;
+    return true;
+  }
+
+  /// Wakes the next waiter (FIFO), which re-marks the mutex locked when it
+  /// actually resumes.
+  void unlock();
+
+  [[nodiscard]] bool locked() const { return locked_; }
+
+ private:
+  friend class ConditionVariable;
+  Engine& engine_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// RAII guard for coroutine scope; acquire with `co_await Mutex::lock()`
+/// first, then construct the guard with `adopt`.
+class LockGuard {
+ public:
+  struct adopt_t {};
+  static constexpr adopt_t adopt{};
+  LockGuard(Mutex& mutex, adopt_t) : mutex_(&mutex) {}
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+  LockGuard(LockGuard&& other) noexcept : mutex_(other.mutex_) { other.mutex_ = nullptr; }
+  ~LockGuard() {
+    if (mutex_ != nullptr) mutex_->unlock();
+  }
+
+ private:
+  Mutex* mutex_;
+};
+
+class ConditionVariable {
+ public:
+  explicit ConditionVariable(Engine& engine) : engine_(engine) {}
+  ConditionVariable(const ConditionVariable&) = delete;
+  ConditionVariable& operator=(const ConditionVariable&) = delete;
+
+  /// Awaitable: releases `mutex`, suspends until notified, re-acquires.
+  /// Usage:  co_await cv.wait(mutex);
+  [[nodiscard]] Task<> wait(Mutex& mutex);
+
+  void notify_one();
+  void notify_all();
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  struct WaitAwaiter {
+    ConditionVariable& cv;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { cv.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Engine& engine_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore; used e.g. to model a bounded number of NFS server
+/// worker slots.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::size_t initial) : engine_(engine), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  class AcquireAwaiter {
+   public:
+    explicit AcquireAwaiter(Semaphore& sem) : sem_(sem) {}
+    [[nodiscard]] bool await_ready() const noexcept {
+      if (sem_.count_ > 0) {
+        --sem_.count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { sem_.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+
+   private:
+    Semaphore& sem_;
+  };
+
+  [[nodiscard]] AcquireAwaiter acquire() { return AcquireAwaiter{*this}; }
+  void release();
+  [[nodiscard]] std::size_t available() const { return count_; }
+
+ private:
+  Engine& engine_;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace pcs::sim

@@ -1,0 +1,161 @@
+// Coroutine task type for simulated actors.
+//
+// `sim::Task<T>` is a lazily-started coroutine.  Awaiting a Task starts it
+// and transfers control (symmetric transfer); when the child finishes, the
+// parent resumes with the child's value or exception.  A Task can also be
+// handed to `Engine::spawn`, which resumes it from the event loop and keeps
+// it alive until the simulation ends — that is how top-level simulated
+// "processes" (the paper's application tasks, the Memory Manager's
+// background flush thread, NFS daemons...) are expressed.
+//
+// Tasks are single-owner and single-awaiter: exactly one coroutine may
+// co_await a given Task, which matches structured actor code and keeps the
+// implementation free of reference counting.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace pcs::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto& promise = h.promise();
+      return promise.continuation ? promise.continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const { return handle_ == nullptr || handle_.done(); }
+
+  // Awaiter interface (parent co_awaits this task).
+  [[nodiscard]] bool await_ready() const noexcept { return handle_ == nullptr || handle_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  T await_resume() {
+    auto& promise = handle_.promise();
+    if (promise.exception) std::rethrow_exception(promise.exception);
+    assert(promise.value.has_value() && "task finished without a value");
+    return std::move(*promise.value);
+  }
+
+  /// Used by Engine::spawn to drive the root coroutine.
+  [[nodiscard]] std::coroutine_handle<> raw_handle() const { return handle_; }
+  /// Rethrows a stored exception after completion (Engine does this for roots).
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const { return handle_ == nullptr || handle_.done(); }
+
+  [[nodiscard]] bool await_ready() const noexcept { return handle_ == nullptr || handle_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() {
+    auto& promise = handle_.promise();
+    if (promise.exception) std::rethrow_exception(promise.exception);
+  }
+
+  [[nodiscard]] std::coroutine_handle<> raw_handle() const { return handle_; }
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+}  // namespace pcs::sim

@@ -1,0 +1,43 @@
+#include "simcore/trace.hpp"
+
+#include <fstream>
+
+namespace pcs::sim {
+
+double Tracer::total_time(const std::string& prefix) const {
+  double total = 0.0;
+  for (const TraceSpan& span : spans_) {
+    if (span.name.rfind(prefix, 0) == 0) total += span.end - span.start;
+  }
+  return total;
+}
+
+util::Json Tracer::to_chrome_trace() const {
+  util::JsonArray events;
+  events.reserve(spans_.size());
+  for (const TraceSpan& span : spans_) {
+    util::JsonObject event;
+    event["name"] = span.name;
+    auto colon = span.name.find(':');
+    event["cat"] = colon == std::string::npos ? std::string("activity")
+                                              : span.name.substr(0, colon);
+    event["ph"] = "X";
+    event["ts"] = span.start * 1e6;  // Chrome wants microseconds
+    event["dur"] = (span.end - span.start) * 1e6;
+    event["pid"] = 1;
+    event["tid"] = 1;
+    events.push_back(util::Json(std::move(event)));
+  }
+  util::JsonObject doc;
+  doc["traceEvents"] = util::Json(std::move(events));
+  doc["displayTimeUnit"] = "ms";
+  return util::Json(std::move(doc));
+}
+
+void Tracer::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw util::JsonError("Tracer: cannot open '" + path + "' for writing");
+  out << to_chrome_trace().dump(2) << '\n';
+}
+
+}  // namespace pcs::sim

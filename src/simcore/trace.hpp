@@ -1,0 +1,48 @@
+// Activity tracing: records every completed activity as a span and exports
+// Chrome trace-event JSON (load it in chrome://tracing or Perfetto to see
+// what the simulated platform was doing when).
+//
+// Attach with Engine::set_tracer; tracing is off by default and costs
+// nothing when disabled.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace pcs::sim {
+
+struct TraceSpan {
+  std::string name;
+  double start = 0.0;  // virtual seconds
+  double end = 0.0;
+};
+
+class Tracer {
+ public:
+  void record(std::string name, double start, double end) {
+    spans_.push_back({std::move(name), start, end});
+  }
+
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
+  void clear() { spans_.clear(); }
+
+  /// Total simulated seconds spent in spans whose name starts with
+  /// `prefix` (e.g. "disk-read:" to sum a disk's read occupancy).
+  [[nodiscard]] double total_time(const std::string& prefix) const;
+
+  /// Chrome trace-event format: an array of complete ("X") events with
+  /// microsecond timestamps.  The category is the span name up to the
+  /// first ':' (our labels follow the "kind:object" convention).
+  [[nodiscard]] util::Json to_chrome_trace() const;
+
+  /// Write the trace to a file (throws util::JsonError on I/O failure).
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace pcs::sim

@@ -1,0 +1,33 @@
+// Interface unifying the application-facing storage services (local disk
+// with page cache, NFS mount) so workflow tasks are storage-agnostic.
+#pragma once
+
+#include <string>
+
+#include "simcore/task.hpp"
+
+namespace pcs::storage {
+
+class FileService {
+ public:
+  virtual ~FileService() = default;
+
+  /// Read the whole file named `name` chunk-by-chunk.
+  [[nodiscard]] virtual sim::Task<> read_file(const std::string& name, double chunk_size) = 0;
+
+  /// Create/grow `name` to `size` bytes and write it chunk-by-chunk.
+  [[nodiscard]] virtual sim::Task<> write_file(const std::string& name, double size,
+                                               double chunk_size) = 0;
+
+  /// Registered size of `name` (throws when absent).
+  [[nodiscard]] virtual double file_size(const std::string& name) const = 0;
+
+  /// Register a pre-existing (uncached) file, e.g. a workflow input staged
+  /// before the simulation starts.
+  virtual void stage_file(const std::string& name, double size) = 0;
+
+  /// Application released memory it had read data into.
+  virtual void release_anonymous(double bytes) = 0;
+};
+
+}  // namespace pcs::storage

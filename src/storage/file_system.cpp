@@ -1,0 +1,53 @@
+#include "storage/file_system.hpp"
+
+#include <limits>
+
+namespace pcs::storage {
+
+void FileSystem::check_capacity(double extra) const {
+  if (capacity_ > 0.0 && used_ + extra > capacity_) {
+    throw StorageError("filesystem full: need " + std::to_string(extra) + " bytes, " +
+                       std::to_string(capacity_ - used_) + " free");
+  }
+}
+
+void FileSystem::create(const std::string& name, double size) {
+  if (size < 0.0) throw StorageError("create '" + name + "': negative size");
+  if (exists(name)) throw StorageError("create '" + name + "': file exists");
+  check_capacity(size);
+  files_[name] = size;
+  used_ += size;
+}
+
+void FileSystem::ensure_size(const std::string& name, double size) {
+  if (size < 0.0) throw StorageError("ensure_size '" + name + "': negative size");
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    create(name, size);
+    return;
+  }
+  if (size <= it->second) return;
+  check_capacity(size - it->second);
+  used_ += size - it->second;
+  it->second = size;
+}
+
+void FileSystem::remove(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) throw StorageError("remove '" + name + "': no such file");
+  used_ -= it->second;
+  files_.erase(it);
+}
+
+double FileSystem::size_of(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) throw StorageError("size_of '" + name + "': no such file");
+  return it->second;
+}
+
+double FileSystem::free_space() const {
+  if (capacity_ <= 0.0) return std::numeric_limits<double>::infinity();
+  return capacity_ - used_;
+}
+
+}  // namespace pcs::storage

@@ -1,0 +1,55 @@
+// A named-file registry over one disk partition with capacity accounting.
+//
+// The simulator does not store file contents (only transfer times matter);
+// a "file" is a name plus a size.  Capacity 0 disables the check (the
+// paper's experiments never fill their partitions; see EXPERIMENTS.md notes
+// on Exp 3's partition size).
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace pcs::storage {
+
+class StorageError : public std::runtime_error {
+ public:
+  explicit StorageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class FileSystem {
+ public:
+  /// `capacity` in bytes; 0 means unlimited.
+  explicit FileSystem(double capacity = 0.0) : capacity_(capacity) {}
+
+  /// Create an empty or pre-sized file; throws if it already exists or the
+  /// partition would overflow.
+  void create(const std::string& name, double size = 0.0);
+
+  /// Grow `name` so its size is at least `size` (no-op if already larger);
+  /// creates the file when absent.  This is what chunked writers call as
+  /// data lands.
+  void ensure_size(const std::string& name, double size);
+
+  /// Remove a file, reclaiming its space.  Throws when absent.
+  void remove(const std::string& name);
+
+  [[nodiscard]] bool exists(const std::string& name) const { return files_.count(name) != 0; }
+  /// Throws when absent.
+  [[nodiscard]] double size_of(const std::string& name) const;
+
+  [[nodiscard]] double used() const { return used_; }
+  [[nodiscard]] double capacity() const { return capacity_; }
+  [[nodiscard]] double free_space() const;
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  [[nodiscard]] const std::map<std::string, double>& files() const { return files_; }
+
+ private:
+  void check_capacity(double extra) const;
+
+  double capacity_;
+  double used_ = 0.0;
+  std::map<std::string, double> files_;
+};
+
+}  // namespace pcs::storage

@@ -1,0 +1,89 @@
+// Local storage service: files on one host disk accessed through a page
+// cache (writeback/writethrough) or directly (the cacheless baseline).
+//
+// This is the WRENCH "simple storage service" analogue, extended with the
+// paper's page cache.  One service owns one FileSystem, one optional
+// MemoryManager (sharing the host's memory with every other consumer that
+// uses the same manager) and one IOController.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "pagecache/backing_store.hpp"
+#include "pagecache/io_controller.hpp"
+#include "pagecache/kernel_params.hpp"
+#include "pagecache/memory_manager.hpp"
+#include "platform/platform.hpp"
+#include "storage/file_service.hpp"
+#include "storage/file_system.hpp"
+
+namespace pcs::storage {
+
+class LocalStorage : public cache::BackingStore, public FileService {
+ public:
+  /// `mem_for_cache` is the memory visible to the page cache + applications
+  /// on this host; defaults to the host's RAM.  Ignored for CacheMode::None.
+  LocalStorage(sim::Engine& engine, plat::Host& host, plat::Disk& disk, cache::CacheMode mode,
+               const cache::CacheParams& params = {}, double mem_for_cache = -1.0,
+               double fs_capacity = 0.0);
+
+  // --- BackingStore: raw device transfers (used by the cache machinery) ---
+  [[nodiscard]] sim::Task<> read(const std::string& file, double bytes) override;
+  [[nodiscard]] sim::Task<> write(const std::string& file, double bytes) override;
+
+  // --- application-facing API --------------------------------------------
+
+  /// Read the whole registered file chunk-by-chunk through the cache.
+  [[nodiscard]] sim::Task<> read_file(const std::string& name, double chunk_size) override;
+
+  /// Create/grow `name` to `size` and write it chunk-by-chunk.
+  [[nodiscard]] sim::Task<> write_file(const std::string& name, double size,
+                                       double chunk_size) override;
+
+  [[nodiscard]] double file_size(const std::string& name) const override {
+    return fs_.size_of(name);
+  }
+  void stage_file(const std::string& name, double size) override { fs_.create(name, size); }
+
+  /// The application finished with data it had read into memory; release
+  /// the anonymous memory charged by the read path (the paper's synthetic
+  /// app releases its memory after each task).
+  void release_anonymous(double bytes) override;
+
+  /// fsync(2): returns once every dirty block of `name` reached the disk.
+  /// No-op in cacheless mode.
+  [[nodiscard]] sim::Task<> sync_file(const std::string& name);
+
+  /// posix_fadvise(DONTNEED): drop every cached block of `name`; dirty data
+  /// is written back first (the kernel never discards unsynced data on
+  /// advice).
+  [[nodiscard]] sim::Task<> invalidate_file(const std::string& name);
+
+  /// unlink(2): remove the file, discarding cached blocks — including dirty
+  /// ones, which a removed file's data never reaches the disk.
+  void remove_file(const std::string& name);
+
+  /// Start the background periodical-flush actor (Algorithm 1); call once
+  /// after construction for writeback caches.
+  void start_periodic_flush();
+
+  [[nodiscard]] FileSystem& fs() { return fs_; }
+  [[nodiscard]] const FileSystem& fs() const { return fs_; }
+  [[nodiscard]] cache::CacheMode mode() const { return io_->mode(); }
+  [[nodiscard]] cache::MemoryManager* memory_manager() { return mm_ ? mm_.get() : nullptr; }
+  [[nodiscard]] plat::Disk& disk() const { return disk_; }
+
+  /// Probe for Fig 4b/4c; valid only in cached modes.
+  [[nodiscard]] cache::CacheSnapshot snapshot() const;
+
+ private:
+  sim::Engine& engine_;
+  plat::Disk& disk_;
+  FileSystem fs_;
+  std::unique_ptr<cache::MemoryManager> mm_;
+  std::unique_ptr<cache::IOController> io_;
+};
+
+}  // namespace pcs::storage

@@ -1,0 +1,131 @@
+// NFS simulation: a server exporting one disk, and per-client mounts.
+//
+// Matches the paper's Exp 3 setup: the server cache is writethrough (no
+// dirty data server-side, "as is commonly configured in HPC environments to
+// avoid data loss"), the client has a read cache but no write cache
+// (CacheMode::ReadCache), and every remote transfer is a composite flow
+// claiming the network route *and* the server device, so a remote read
+// progresses at the bottleneck of link and disk shares (SimGrid-style flow
+// model) rather than paying both sequentially.
+//
+// Other client modes are supported as extensions: CacheMode::None
+// reproduces the cacheless WRENCH baseline over NFS, and
+// CacheMode::Writeback gives an async-NFS client whose dirty data is
+// flushed over the network by the periodic flusher (the abstract's
+// "writeback and writethrough caches for local or network-based
+// filesystems").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pagecache/backing_store.hpp"
+#include "pagecache/io_controller.hpp"
+#include "pagecache/kernel_params.hpp"
+#include "pagecache/memory_manager.hpp"
+#include "platform/platform.hpp"
+#include "storage/file_service.hpp"
+#include "storage/file_system.hpp"
+
+namespace pcs::storage {
+
+class NfsServer {
+ public:
+  /// `mode` must be None or Writethrough: a writeback server cache would
+  /// acknowledge writes that are not persistent, which NFS semantics (and
+  /// the paper's cluster configuration) exclude.
+  NfsServer(sim::Engine& engine, plat::Host& host, plat::Disk& disk, cache::CacheMode mode,
+            const cache::CacheParams& params = {}, double mem_for_cache = -1.0,
+            double fs_capacity = 0.0);
+
+  [[nodiscard]] FileSystem& fs() { return fs_; }
+  [[nodiscard]] const FileSystem& fs() const { return fs_; }
+  [[nodiscard]] cache::MemoryManager* memory_manager() { return mm_ ? mm_.get() : nullptr; }
+  [[nodiscard]] plat::Host& host() const { return host_; }
+  [[nodiscard]] plat::Disk& disk() const { return disk_; }
+  [[nodiscard]] cache::CacheMode mode() const { return mode_; }
+
+  [[nodiscard]] cache::CacheSnapshot snapshot() const;
+
+  /// Mark an existing file as resident in the server page cache (clean),
+  /// best-effort.  Models files that were staged through NFS shortly
+  /// before the simulated run: the paper's Exp 3 clears the *client*
+  /// caches, but the server cache keeps recently written data, which is
+  /// why "most reads resulted in cache hits" at low concurrency.
+  void warm_file(const std::string& name);
+
+ private:
+  friend class NfsMount;
+
+  /// Raw server-disk store backing the server's MemoryManager.
+  class RawStore : public cache::BackingStore {
+   public:
+    explicit RawStore(NfsServer& server) : server_(server) {}
+    [[nodiscard]] sim::Task<> read(const std::string& file, double bytes) override;
+    [[nodiscard]] sim::Task<> write(const std::string& file, double bytes) override;
+
+   private:
+    NfsServer& server_;
+  };
+
+  sim::Engine& engine_;
+  plat::Host& host_;
+  plat::Disk& disk_;
+  cache::CacheMode mode_;
+  FileSystem fs_;
+  RawStore raw_store_;
+  std::unique_ptr<cache::MemoryManager> mm_;
+};
+
+/// One client host's view of an NFS export.  Implements BackingStore so the
+/// client-side page cache treats the remote server as its backing device.
+class NfsMount : public cache::BackingStore, public FileService {
+ public:
+  /// `client_mode`: ReadCache (the paper's Exp 3), None (cacheless
+  /// baseline), Writeback or Writethrough (extensions).
+  NfsMount(sim::Engine& engine, plat::Host& client, NfsServer& server, const plat::Route& route,
+           cache::CacheMode client_mode, const cache::CacheParams& params = {},
+           double mem_for_cache = -1.0);
+
+  // --- application-facing API --------------------------------------------
+  [[nodiscard]] sim::Task<> read_file(const std::string& name, double chunk_size) override;
+  [[nodiscard]] sim::Task<> write_file(const std::string& name, double size,
+                                       double chunk_size) override;
+  [[nodiscard]] double file_size(const std::string& name) const override {
+    return server_.fs().size_of(name);
+  }
+  void stage_file(const std::string& name, double size) override {
+    server_.fs().create(name, size);
+  }
+  void release_anonymous(double bytes) override;
+  void start_periodic_flush();
+
+  /// fsync(2) on the mount: pushes the client's dirty blocks of `name` to
+  /// the server (meaningful for Writeback client mode; no-op otherwise).
+  [[nodiscard]] sim::Task<> sync_file(const std::string& name);
+
+  /// unlink(2): removes the file on the server and invalidates both the
+  /// client and server caches.
+  void remove_file(const std::string& name);
+
+  [[nodiscard]] cache::MemoryManager* memory_manager() { return mm_ ? mm_.get() : nullptr; }
+  [[nodiscard]] NfsServer& server() const { return server_; }
+
+  // --- BackingStore: "the remote device", used by the client cache -------
+  [[nodiscard]] sim::Task<> read(const std::string& file, double bytes) override;
+  [[nodiscard]] sim::Task<> write(const std::string& file, double bytes) override;
+
+ private:
+  [[nodiscard]] std::vector<sim::Claim> route_claims() const;
+  [[nodiscard]] std::vector<sim::Claim> with_route(sim::Resource* device) const;
+
+  sim::Engine& engine_;
+  plat::Host& client_;
+  NfsServer& server_;
+  plat::Route route_;
+  std::unique_ptr<cache::MemoryManager> mm_;
+  std::unique_ptr<cache::IOController> io_;
+};
+
+}  // namespace pcs::storage

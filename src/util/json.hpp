@@ -1,0 +1,128 @@
+// Minimal self-contained JSON value type, recursive-descent parser and
+// writer.  Used for platform description files, experiment configurations
+// and machine-readable benchmark output.
+//
+// Supported grammar is standard JSON (RFC 8259) with two deliberate
+// conveniences for hand-written config files:
+//   * `//` line comments are skipped,
+//   * trailing commas in arrays/objects are tolerated.
+// Numbers are stored as double (sufficient: the simulator is double-based).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pcs::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps object keys ordered, which makes serialized output
+// deterministic — important for golden-file tests.
+using JsonObject = std::map<std::string, Json>;
+
+/// Error thrown on malformed documents or wrong-type access.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double n) : type_(Type::Number), num_(n) {}
+  Json(int n) : type_(Type::Number), num_(n) {}
+  Json(long n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Json(unsigned long n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::Array), arr_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+
+  [[nodiscard]] bool as_bool() const {
+    require(Type::Bool, "bool");
+    return bool_;
+  }
+  [[nodiscard]] double as_number() const {
+    require(Type::Number, "number");
+    return num_;
+  }
+  [[nodiscard]] long as_int() const { return static_cast<long>(as_number()); }
+  [[nodiscard]] const std::string& as_string() const {
+    require(Type::String, "string");
+    return str_;
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    require(Type::Array, "array");
+    return arr_;
+  }
+  [[nodiscard]] JsonArray& as_array() {
+    require(Type::Array, "array");
+    return arr_;
+  }
+  [[nodiscard]] const JsonObject& as_object() const {
+    require(Type::Object, "object");
+    return obj_;
+  }
+  [[nodiscard]] JsonObject& as_object() {
+    require(Type::Object, "object");
+    return obj_;
+  }
+
+  /// Object member access; throws JsonError when absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Object member test.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Object member access with a default for optional config keys.
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+
+  /// Array element access with bounds check.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Mutating helpers for building documents.
+  Json& set(const std::string& key, Json value);
+  Json& push_back(Json value);
+
+  bool operator==(const Json& other) const;
+
+  /// Serialize; indent > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a complete document; trailing non-whitespace is an error.
+  static Json parse(const std::string& text);
+  /// Parse the contents of a file (throws JsonError on I/O failure).
+  static Json parse_file(const std::string& path);
+
+ private:
+  void require(Type t, const char* name) const {
+    if (type_ != t) throw JsonError(std::string("json: value is not a ") + name);
+  }
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+}  // namespace pcs::util

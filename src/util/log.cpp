@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pcs::util {
+
+namespace {
+LogLevel level_from_env() {
+  const char* env = std::getenv("PCS_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::Trace;
+  return LogLevel::Warn;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Trace: return "TRACE";
+  }
+  return "?????";
+}
+}  // namespace
+
+Logger::Logger() : level_(level_from_env()) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& category, const std::string& message) {
+  if (clock_) {
+    std::fprintf(stderr, "[%12.6f] [%s] [%s] %s\n", clock_(), level_name(level), category.c_str(),
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[   --wall-- ] [%s] [%s] %s\n", level_name(level), category.c_str(),
+                 message.c_str());
+  }
+}
+
+}  // namespace pcs::util

@@ -1,0 +1,72 @@
+// Tiny levelled logger with per-category control.
+//
+// Categories are free-form strings ("engine", "cache.mm", ...).  The global
+// threshold is taken from the PCS_LOG environment variable at first use
+// ("error", "warn", "info", "debug", "trace"); default is "warn" so library
+// users see nothing during normal operation.  Log lines carry the simulated
+// time when a clock provider is registered (the engine registers itself).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace pcs::util {
+
+enum class LogLevel : int { Error = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+class Logger {
+ public:
+  /// Global singleton; cheap to call.
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return static_cast<int>(level) <= static_cast<int>(level_); }
+
+  /// The engine registers a simulated-clock provider so that log lines are
+  /// stamped with virtual time instead of wall time.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+  void clear_clock() { clock_ = nullptr; }
+
+  void write(LogLevel level, const std::string& category, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::function<double()> clock_;
+};
+
+namespace detail {
+template <typename... Args>
+void log(LogLevel level, const std::string& category, Args&&... args) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  logger.write(level, category, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_error(const std::string& category, Args&&... args) {
+  detail::log(LogLevel::Error, category, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(const std::string& category, Args&&... args) {
+  detail::log(LogLevel::Warn, category, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(const std::string& category, Args&&... args) {
+  detail::log(LogLevel::Info, category, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(const std::string& category, Args&&... args) {
+  detail::log(LogLevel::Debug, category, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_trace(const std::string& category, Args&&... args) {
+  detail::log(LogLevel::Trace, category, std::forward<Args>(args)...);
+}
+
+}  // namespace pcs::util

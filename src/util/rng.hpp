@@ -1,0 +1,56 @@
+// Deterministic xoshiro256** PRNG.  The simulator itself is deterministic;
+// the RNG exists for property-test workload generation and for randomized
+// experiment variants, where reproducibility across platforms matters more
+// than std::mt19937's guarantees.
+#pragma once
+
+#include <cstdint>
+
+namespace pcs::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_u64() % (hi - lo + 1);
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace pcs::util

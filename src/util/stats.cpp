@@ -1,0 +1,150 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pcs::util {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double absolute_relative_error_pct(double simulated, double real) {
+  if (real == 0.0) {
+    if (simulated == 0.0) return 0.0;
+    throw std::invalid_argument("absolute_relative_error_pct: real value is zero");
+  }
+  return std::fabs(simulated - real) / std::fabs(real) * 100.0;
+}
+
+namespace {
+// Regularized incomplete beta via continued fraction (Lentz), used for the
+// Student-t CDF that backs the regression p-value.
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double ibeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) + a * std::log(x) +
+              b * std::log(1.0 - x);
+  double front = std::exp(ln);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+// Two-sided p-value for a t statistic with df degrees of freedom.
+double t_pvalue(double t, double df) {
+  if (df <= 0.0) return 1.0;
+  double x = df / (df + t * t);
+  return ibeta(df / 2.0, 0.5, x);
+}
+}  // namespace
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("linear_fit: size mismatch");
+  std::size_t n = x.size();
+  if (n < 2) throw std::invalid_argument("linear_fit: need at least 2 points");
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  double mx = sx / static_cast<double>(n);
+  double my = sy / static_cast<double>(n);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0) throw std::invalid_argument("linear_fit: x values are constant");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double pred = fit.slope * x[i] + fit.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+  }
+  fit.r2 = syy == 0.0 ? 1.0 : 1.0 - ss_res / syy;
+  if (n > 2) {
+    double df = static_cast<double>(n - 2);
+    double se2 = ss_res / df / sxx;
+    if (se2 <= 0.0) {
+      fit.p_value = 0.0;  // perfect fit
+    } else {
+      double t = fit.slope / std::sqrt(se2);
+      fit.p_value = t_pvalue(t, df);
+    }
+  } else {
+    fit.p_value = 1.0;
+  }
+  return fit;
+}
+
+}  // namespace pcs::util

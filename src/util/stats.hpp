@@ -1,0 +1,40 @@
+// Small statistics toolbox used by the experiment harness:
+// descriptive statistics, absolute relative error (the paper's accuracy
+// metric), and ordinary least-squares linear regression (Fig 8 slopes).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pcs::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// p in [0, 100]; linear interpolation between order statistics.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// The paper's error metric: |simulated - real| / real * 100 (percent).
+/// Returns 0 when both are 0; +inf-like large value guarded to 0 real is an
+/// input error, so we throw instead.
+[[nodiscard]] double absolute_relative_error_pct(double simulated, double real);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;       // coefficient of determination
+  double p_value = 0.0;  // two-sided p-value for slope != 0 (t-test)
+};
+
+/// Ordinary least squares y = slope*x + intercept.  Requires >= 2 points.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace pcs::util

@@ -1,0 +1,64 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pcs::util {
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KB", "MB", "GB", "TB"};
+  double value = bytes;
+  std::size_t idx = 0;
+  while (std::fabs(value) >= 1e3 && idx + 1 < kSuffix.size()) {
+    value /= 1e3;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, kSuffix[idx]);
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (std::fabs(seconds) < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (std::fabs(seconds) < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+double parse_bytes(const std::string& text) {
+  std::size_t pos = 0;
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  std::size_t end = pos;
+  double value = 0.0;
+  try {
+    value = std::stod(text.substr(pos), &end);
+    end += pos;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_bytes: no numeric prefix in '" + text + "'");
+  }
+  while (end < text.size() && std::isspace(static_cast<unsigned char>(text[end]))) ++end;
+  std::string suffix;
+  for (std::size_t i = end; i < text.size(); ++i) {
+    if (!std::isspace(static_cast<unsigned char>(text[i]))) suffix += text[i];
+  }
+  if (suffix.empty() || suffix == "B") return value;
+  if (suffix == "KB" || suffix == "kB") return value * KB;
+  if (suffix == "MB") return value * MB;
+  if (suffix == "GB") return value * GB;
+  if (suffix == "TB") return value * TB;
+  if (suffix == "KiB") return value * KiB;
+  if (suffix == "MiB") return value * MiB;
+  if (suffix == "GiB") return value * GiB;
+  if (suffix == "TiB") return value * TiB;
+  throw std::invalid_argument("parse_bytes: unknown unit suffix '" + suffix + "'");
+}
+
+}  // namespace pcs::util

@@ -1,0 +1,48 @@
+// Byte and time units used throughout the simulator.
+//
+// All data amounts are `double` bytes (fractional bytes arise naturally when
+// a block is split proportionally by a flow-level model), all times are
+// `double` seconds on the simulated clock.  The helpers here keep unit
+// conversions explicit and greppable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pcs::util {
+
+/// Decimal units (used for device bandwidths: MBps as reported by the paper).
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+inline constexpr double TB = 1e12;
+
+/// Binary units (used for memory sizes: the paper's node has 250 GiB RAM).
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * 1024.0;
+inline constexpr double GiB = 1024.0 * 1024.0 * 1024.0;
+inline constexpr double TiB = 1024.0 * GiB;
+
+namespace literals {
+// Integer-literal helpers: 3_GB, 250_GiB, 100_MB ...
+constexpr double operator""_KB(unsigned long long v) { return static_cast<double>(v) * KB; }
+constexpr double operator""_MB(unsigned long long v) { return static_cast<double>(v) * MB; }
+constexpr double operator""_GB(unsigned long long v) { return static_cast<double>(v) * GB; }
+constexpr double operator""_KiB(unsigned long long v) { return static_cast<double>(v) * KiB; }
+constexpr double operator""_MiB(unsigned long long v) { return static_cast<double>(v) * MiB; }
+constexpr double operator""_GiB(unsigned long long v) { return static_cast<double>(v) * GiB; }
+// MBps bandwidth literal, e.g. 465_MBps.
+constexpr double operator""_MBps(unsigned long long v) { return static_cast<double>(v) * MB; }
+}  // namespace literals
+
+/// Render a byte amount with a human-friendly suffix ("1.50 GB").
+[[nodiscard]] std::string format_bytes(double bytes);
+
+/// Render a duration in seconds ("12.34 s", "1.2 ms").
+[[nodiscard]] std::string format_seconds(double seconds);
+
+/// Parse "512MB", "3 GiB", "1024", "2.5GB" into bytes. Throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] double parse_bytes(const std::string& text);
+
+}  // namespace pcs::util

@@ -1,0 +1,95 @@
+#include "workflow/compute_service.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace pcs::wf {
+
+ComputeService::ComputeService(sim::Engine& engine, plat::Host& host,
+                               storage::FileService& storage, double chunk_size)
+    : engine_(engine),
+      host_(host),
+      storage_(storage),
+      chunk_size_(chunk_size),
+      cores_(engine, static_cast<std::size_t>(host.cores())) {
+  if (chunk_size <= 0.0) throw WorkflowError("ComputeService: chunk size must be positive");
+}
+
+void ComputeService::submit(Workflow& workflow, const std::string& instance) {
+  workflow.validate();
+  // Stage external inputs: they exist on disk, uncached, when the
+  // simulation starts (the paper clears the page cache before each run).
+  for (const FileSpec& input : workflow.external_inputs()) {
+    storage_.stage_file(input.name, input.size);
+  }
+  engine_.spawn("executor:" + (instance.empty() ? std::string("wf") : instance),
+                executor(workflow, instance));
+}
+
+const TaskResult& ComputeService::result(const std::string& task_name) const {
+  for (const TaskResult& r : results_) {
+    if (r.name == task_name) return r;
+  }
+  throw WorkflowError("no result recorded for task '" + task_name + "'");
+}
+
+sim::Task<> ComputeService::executor(Workflow& workflow, std::string instance) {
+  std::set<std::string> completed;
+  std::set<std::string> started;
+  sim::ConditionVariable done_cv(engine_);
+  sim::Mutex mutex(engine_);
+
+  while (completed.size() < workflow.task_count()) {
+    for (const std::string& name : workflow.ready_tasks(completed)) {
+      if (started.insert(name).second) {
+        engine_.spawn("task:" + (instance.empty() ? name : instance + ":" + name),
+                      run_task(workflow, name, instance, &completed, &done_cv));
+      }
+    }
+    // Children only run once we suspend; each completion notifies the CV.
+    co_await mutex.lock();
+    co_await done_cv.wait(mutex);
+    mutex.unlock();
+  }
+}
+
+sim::Task<> ComputeService::run_task(Workflow& workflow, std::string task_name,
+                                     std::string instance, std::set<std::string>* completed,
+                                     sim::ConditionVariable* done_cv) {
+  const WorkflowTask& task = workflow.task(task_name);
+  co_await cores_.acquire();
+
+  TaskResult r;
+  r.name = instance.empty() ? task_name : instance + ":" + task_name;
+  r.start = engine_.now();
+
+  r.read_start = engine_.now();
+  for (const FileSpec& input : task.inputs) {
+    co_await storage_.read_file(input.name, chunk_size_);
+  }
+  r.read_end = engine_.now();
+
+  if (task.flops > 0.0) {
+    // One core: the task's rate is bounded by the core speed while the
+    // host-wide CPU resource is shared with every other running task.
+    co_await engine_.submit("compute:" + r.name, sim::one(host_.cpu()), task.flops, host_.speed());
+  }
+  r.compute_end = engine_.now();
+
+  for (const FileSpec& output : task.outputs) {
+    co_await storage_.write_file(output.name, output.size, chunk_size_);
+  }
+  r.write_end = engine_.now();
+  r.end = engine_.now();
+
+  // The paper's applications release their working set when the task ends.
+  storage_.release_anonymous(task.input_bytes());
+
+  results_.push_back(r);
+  completed->insert(task_name);
+  cores_.release();
+  done_cv->notify_all();
+}
+
+}  // namespace pcs::wf

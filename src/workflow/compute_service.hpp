@@ -1,0 +1,71 @@
+// Bare-metal compute service: executes workflow tasks on a host's cores.
+//
+// Each running task is a simulated actor that stages its inputs in (chunked
+// reads through the storage service), computes (one core), writes its
+// outputs, then releases the anonymous memory holding its input data — the
+// behaviour of the paper's synthetic application ("the anonymous memory
+// used by the application was released after each task").
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/sync.hpp"
+#include "storage/file_service.hpp"
+#include "workflow/workflow.hpp"
+
+namespace pcs::wf {
+
+/// Per-task execution record; phase durations feed the paper's figures.
+struct TaskResult {
+  std::string name;
+  double start = 0.0;
+  double read_start = 0.0;
+  double read_end = 0.0;
+  double compute_end = 0.0;
+  double write_end = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] double read_time() const { return read_end - read_start; }
+  [[nodiscard]] double compute_time() const { return compute_end - read_end; }
+  [[nodiscard]] double write_time() const { return write_end - compute_end; }
+  [[nodiscard]] double makespan() const { return end - start; }
+};
+
+class ComputeService {
+ public:
+  /// Tasks of every workflow submitted to this service run on `host` using
+  /// `storage` for file I/O with the given chunk size.
+  ComputeService(sim::Engine& engine, plat::Host& host, storage::FileService& storage,
+                 double chunk_size);
+
+  /// Stage external inputs and spawn the executor actor.  May be called for
+  /// several workflows (they run concurrently, e.g. the paper's concurrent
+  /// application instances).  `instance` tags results.
+  void submit(Workflow& workflow, const std::string& instance = "");
+
+  /// Results are complete once Engine::run() returns.
+  [[nodiscard]] const std::vector<TaskResult>& results() const { return results_; }
+  [[nodiscard]] const TaskResult& result(const std::string& task_name) const;
+
+  [[nodiscard]] plat::Host& host() const { return host_; }
+  [[nodiscard]] double chunk_size() const { return chunk_size_; }
+
+ private:
+  [[nodiscard]] sim::Task<> executor(Workflow& workflow, std::string instance);
+  [[nodiscard]] sim::Task<> run_task(Workflow& workflow, std::string task_name,
+                                     std::string instance, std::set<std::string>* completed,
+                                     sim::ConditionVariable* done_cv);
+
+  sim::Engine& engine_;
+  plat::Host& host_;
+  storage::FileService& storage_;
+  double chunk_size_;
+  sim::Semaphore cores_;
+  std::vector<TaskResult> results_;
+};
+
+}  // namespace pcs::wf

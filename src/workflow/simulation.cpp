@@ -1,0 +1,79 @@
+#include "workflow/simulation.hpp"
+
+namespace pcs::wf {
+
+MemoryProbe::MemoryProbe(sim::Engine& engine, Sampler sampler, double period)
+    : engine_(engine), sampler_(std::move(sampler)), period_(period) {
+  if (period <= 0.0) throw WorkflowError("MemoryProbe: period must be positive");
+  engine_.spawn("memory-probe", loop(), /*daemon=*/true);
+}
+
+void MemoryProbe::sample_now() { samples_.push_back(sampler_()); }
+
+sim::Task<> MemoryProbe::loop() {
+  while (true) {
+    sample_now();
+    co_await engine_.sleep(period_);
+  }
+}
+
+Simulation::Simulation()
+    : engine_(std::make_unique<sim::Engine>()),
+      platform_(std::make_unique<plat::Platform>(*engine_)) {}
+
+storage::LocalStorage* Simulation::create_local_storage(plat::Host& host, plat::Disk& disk,
+                                                        cache::CacheMode mode,
+                                                        const cache::CacheParams& params,
+                                                        double mem_for_cache) {
+  local_storages_.push_back(
+      std::make_unique<storage::LocalStorage>(*engine_, host, disk, mode, params, mem_for_cache));
+  storage::LocalStorage* st = local_storages_.back().get();
+  if (mode == cache::CacheMode::Writeback) st->start_periodic_flush();
+  return st;
+}
+
+storage::NfsServer* Simulation::create_nfs_server(plat::Host& host, plat::Disk& disk,
+                                                  cache::CacheMode mode,
+                                                  const cache::CacheParams& params,
+                                                  double mem_for_cache) {
+  nfs_servers_.push_back(
+      std::make_unique<storage::NfsServer>(*engine_, host, disk, mode, params, mem_for_cache));
+  return nfs_servers_.back().get();
+}
+
+storage::NfsMount* Simulation::create_nfs_mount(plat::Host& client, storage::NfsServer& server,
+                                                cache::CacheMode client_mode,
+                                                const cache::CacheParams& params,
+                                                double mem_for_cache) {
+  const plat::Route& route =
+      platform_->route_between(client.name(), server.host().name());
+  nfs_mounts_.push_back(std::make_unique<storage::NfsMount>(*engine_, client, server, route,
+                                                            client_mode, params, mem_for_cache));
+  storage::NfsMount* mount = nfs_mounts_.back().get();
+  if (client_mode == cache::CacheMode::Writeback) mount->start_periodic_flush();
+  return mount;
+}
+
+ComputeService* Simulation::create_compute_service(plat::Host& host,
+                                                   storage::FileService& storage,
+                                                   double chunk_size) {
+  compute_services_.push_back(
+      std::make_unique<ComputeService>(*engine_, host, storage, chunk_size));
+  return compute_services_.back().get();
+}
+
+Workflow& Simulation::create_workflow() {
+  workflows_.push_back(std::make_unique<Workflow>());
+  return *workflows_.back();
+}
+
+MemoryProbe* Simulation::create_memory_probe(const cache::MemoryManager& mm, double period) {
+  return create_memory_probe([&mm] { return mm.snapshot(); }, period);
+}
+
+MemoryProbe* Simulation::create_memory_probe(MemoryProbe::Sampler sampler, double period) {
+  probes_.push_back(std::make_unique<MemoryProbe>(*engine_, std::move(sampler), period));
+  return probes_.back().get();
+}
+
+}  // namespace pcs::wf

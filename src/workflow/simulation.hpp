@@ -1,0 +1,101 @@
+// User-facing simulation facade: owns the engine, platform, services,
+// workflows and probes, so a complete simulator fits in a few lines
+// (see examples/quickstart.cpp):
+//
+//   pcs::wf::Simulation sim;
+//   auto* host = sim.platform().add_host({...});
+//   auto* disk = host->add_disk(sim.engine(), {...});
+//   auto* st = sim.create_local_storage(*host, *disk, CacheMode::Writeback);
+//   auto* cs = sim.create_compute_service(*host, *st, 100_MB);
+//   auto& wf = sim.create_workflow();
+//   ... build tasks ...
+//   cs->submit(wf);
+//   sim.run();
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pagecache/memory_manager.hpp"
+#include "platform/platform.hpp"
+#include "simcore/engine.hpp"
+#include "storage/local_storage.hpp"
+#include "storage/nfs.hpp"
+#include "workflow/compute_service.hpp"
+#include "workflow/workflow.hpp"
+
+namespace pcs::wf {
+
+/// Periodic record of a cache's memory state (Fig 4b/4c probes).  The
+/// sampler abstracts over model implementations (block-level MemoryManager,
+/// reference kernel, NFS server cache...).
+class MemoryProbe {
+ public:
+  using Sampler = std::function<cache::CacheSnapshot()>;
+
+  MemoryProbe(sim::Engine& engine, Sampler sampler, double period);
+
+  [[nodiscard]] const std::vector<cache::CacheSnapshot>& samples() const { return samples_; }
+  /// Take one sample now (also called automatically every period).
+  void sample_now();
+
+ private:
+  [[nodiscard]] sim::Task<> loop();
+  sim::Engine& engine_;
+  Sampler sampler_;
+  double period_;
+  std::vector<cache::CacheSnapshot> samples_;
+};
+
+class Simulation {
+ public:
+  Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] plat::Platform& platform() { return *platform_; }
+
+  // --- factories (the simulation owns the returned objects) --------------
+
+  storage::LocalStorage* create_local_storage(plat::Host& host, plat::Disk& disk,
+                                              cache::CacheMode mode,
+                                              const cache::CacheParams& params = {},
+                                              double mem_for_cache = -1.0);
+
+  storage::NfsServer* create_nfs_server(plat::Host& host, plat::Disk& disk, cache::CacheMode mode,
+                                        const cache::CacheParams& params = {},
+                                        double mem_for_cache = -1.0);
+
+  storage::NfsMount* create_nfs_mount(plat::Host& client, storage::NfsServer& server,
+                                      cache::CacheMode client_mode,
+                                      const cache::CacheParams& params = {},
+                                      double mem_for_cache = -1.0);
+
+  ComputeService* create_compute_service(plat::Host& host, storage::FileService& storage,
+                                         double chunk_size);
+
+  Workflow& create_workflow();
+
+  /// Attach a sampling probe to a memory manager (or any snapshot source).
+  MemoryProbe* create_memory_probe(const cache::MemoryManager& mm, double period);
+  MemoryProbe* create_memory_probe(MemoryProbe::Sampler sampler, double period);
+
+  /// Run the simulation to completion.
+  void run() { engine_->run(); }
+  [[nodiscard]] double now() const { return engine_->now(); }
+
+ private:
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<plat::Platform> platform_;
+  std::vector<std::unique_ptr<storage::LocalStorage>> local_storages_;
+  std::vector<std::unique_ptr<storage::NfsServer>> nfs_servers_;
+  std::vector<std::unique_ptr<storage::NfsMount>> nfs_mounts_;
+  std::vector<std::unique_ptr<ComputeService>> compute_services_;
+  std::vector<std::unique_ptr<Workflow>> workflows_;
+  std::vector<std::unique_ptr<MemoryProbe>> probes_;
+};
+
+}  // namespace pcs::wf

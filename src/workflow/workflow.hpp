@@ -1,0 +1,86 @@
+// Workflow abstractions (WRENCH analogue): tasks with flops and input/
+// output files, assembled into a DAG.  Dependencies can be declared
+// explicitly or derived from files (a task depends on the producer of each
+// of its input files), which is how the paper's pipelines are wired.
+#pragma once
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pcs::wf {
+
+class WorkflowError : public std::runtime_error {
+ public:
+  explicit WorkflowError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct FileSpec {
+  std::string name;
+  double size = 0.0;  // bytes
+};
+
+struct WorkflowTask {
+  std::string name;
+  double flops = 0.0;
+  std::vector<FileSpec> inputs;
+  std::vector<FileSpec> outputs;
+
+  [[nodiscard]] double input_bytes() const {
+    double total = 0.0;
+    for (const FileSpec& f : inputs) total += f.size;
+    return total;
+  }
+  [[nodiscard]] double output_bytes() const {
+    double total = 0.0;
+    for (const FileSpec& f : outputs) total += f.size;
+    return total;
+  }
+};
+
+class Workflow {
+ public:
+  /// Add a task; names must be unique within the workflow.
+  WorkflowTask& add_task(const std::string& name, double flops);
+
+  /// Declare `file` as an input/output of `task`.
+  void add_input(const std::string& task, const std::string& file, double size);
+  void add_output(const std::string& task, const std::string& file, double size);
+
+  /// Explicit ordering constraint on top of the file-derived ones.
+  void add_dependency(const std::string& parent, const std::string& child);
+
+  [[nodiscard]] WorkflowTask& task(const std::string& name);
+  [[nodiscard]] const WorkflowTask& task(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& task_order() const { return order_; }
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+
+  /// Parents of `child`: explicit dependencies plus producers of its
+  /// inputs.
+  [[nodiscard]] std::set<std::string> parents_of(const std::string& child) const;
+
+  /// The explicitly declared constraints only (for serialization).
+  [[nodiscard]] const std::map<std::string, std::set<std::string>>& explicit_dependencies()
+      const {
+    return explicit_deps_;
+  }
+
+  /// Tasks whose parents are all in `completed`, excluding completed ones.
+  [[nodiscard]] std::vector<std::string> ready_tasks(const std::set<std::string>& completed) const;
+
+  /// Input files no task produces — they must be staged before execution.
+  [[nodiscard]] std::vector<FileSpec> external_inputs() const;
+
+  /// Throws WorkflowError if the dependency graph has a cycle.
+  void validate() const;
+
+ private:
+  std::map<std::string, WorkflowTask> tasks_;
+  std::vector<std::string> order_;  ///< insertion order, for determinism
+  std::map<std::string, std::set<std::string>> explicit_deps_;  // child -> parents
+  std::map<std::string, std::string> producer_of_;              // file -> task
+};
+
+}  // namespace pcs::wf

@@ -1,0 +1,93 @@
+#include "workflow/workflow_json.hpp"
+
+#include "util/units.hpp"
+
+namespace pcs::wf {
+
+namespace {
+double size_field(const util::Json& obj, const std::string& key) {
+  const util::Json& v = obj.at(key);
+  if (v.is_number()) return v.as_number();
+  return util::parse_bytes(v.as_string());
+}
+}  // namespace
+
+Workflow workflow_from_json(const util::Json& doc) {
+  Workflow workflow;
+  const double reference_flops = doc.number_or("reference_gflops", 1.0) * 1e9;
+  for (const util::Json& t : doc.at("tasks").as_array()) {
+    const std::string name = t.at("name").as_string();
+    double flops = 0.0;
+    if (t.contains("flops")) {
+      flops = t.at("flops").as_number();
+    } else if (t.contains("cpu_seconds")) {
+      flops = t.at("cpu_seconds").as_number() * reference_flops;
+    } else {
+      throw WorkflowError("task '" + name + "': needs 'flops' or 'cpu_seconds'");
+    }
+    workflow.add_task(name, flops);
+    if (t.contains("inputs")) {
+      for (const util::Json& f : t.at("inputs").as_array()) {
+        workflow.add_input(name, f.at("name").as_string(), size_field(f, "size"));
+      }
+    }
+    if (t.contains("outputs")) {
+      for (const util::Json& f : t.at("outputs").as_array()) {
+        workflow.add_output(name, f.at("name").as_string(), size_field(f, "size"));
+      }
+    }
+  }
+  if (doc.contains("dependencies")) {
+    for (const util::Json& d : doc.at("dependencies").as_array()) {
+      workflow.add_dependency(d.at("parent").as_string(), d.at("child").as_string());
+    }
+  }
+  workflow.validate();
+  return workflow;
+}
+
+Workflow workflow_from_json_file(const std::string& path) {
+  return workflow_from_json(util::Json::parse_file(path));
+}
+
+util::Json workflow_to_json(const Workflow& workflow) {
+  util::JsonArray tasks;
+  for (const std::string& name : workflow.task_order()) {
+    const WorkflowTask& task = workflow.task(name);
+    util::JsonObject t;
+    t["name"] = task.name;
+    t["flops"] = task.flops;
+    util::JsonArray inputs;
+    for (const FileSpec& f : task.inputs) {
+      util::JsonObject file;
+      file["name"] = f.name;
+      file["size"] = f.size;
+      inputs.push_back(util::Json(std::move(file)));
+    }
+    util::JsonArray outputs;
+    for (const FileSpec& f : task.outputs) {
+      util::JsonObject file;
+      file["name"] = f.name;
+      file["size"] = f.size;
+      outputs.push_back(util::Json(std::move(file)));
+    }
+    t["inputs"] = util::Json(std::move(inputs));
+    t["outputs"] = util::Json(std::move(outputs));
+    tasks.push_back(util::Json(std::move(t)));
+  }
+  util::JsonArray deps;
+  for (const auto& [child, parents] : workflow.explicit_dependencies()) {
+    for (const std::string& parent : parents) {
+      util::JsonObject d;
+      d["parent"] = parent;
+      d["child"] = child;
+      deps.push_back(util::Json(std::move(d)));
+    }
+  }
+  util::JsonObject doc;
+  doc["tasks"] = util::Json(std::move(tasks));
+  doc["dependencies"] = util::Json(std::move(deps));
+  return util::Json(std::move(doc));
+}
+
+}  // namespace pcs::wf

@@ -1,0 +1,34 @@
+// Workflow (de)serialization: a JSON schema close to common workflow
+// description formats (WfCommons-style), so simulators can be driven by
+// files instead of code.
+//
+// Schema:
+//   {
+//     "name": "optional string",
+//     "tasks": [
+//       {"name": "task1", "flops": 5e9,            // or "cpu_seconds": 5
+//        "inputs":  [{"name": "f1", "size": "3 GB"}],
+//        "outputs": [{"name": "f2", "size": 2000000}]}
+//     ],
+//     "dependencies": [{"parent": "task1", "child": "task2"}]
+//   }
+//
+// File sizes accept raw byte numbers or unit strings ("3 GB", "250 MiB").
+// "cpu_seconds" is converted to flops at the given "reference_gflops"
+// (default 1, the paper's convention).
+#pragma once
+
+#include "util/json.hpp"
+#include "workflow/workflow.hpp"
+
+namespace pcs::wf {
+
+/// Parse a workflow document; throws WorkflowError / util::JsonError on
+/// malformed input (including dependency cycles).
+[[nodiscard]] Workflow workflow_from_json(const util::Json& doc);
+[[nodiscard]] Workflow workflow_from_json_file(const std::string& path);
+
+/// Serialize; round-trips with workflow_from_json.
+[[nodiscard]] util::Json workflow_to_json(const Workflow& workflow);
+
+}  // namespace pcs::wf

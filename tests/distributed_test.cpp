@@ -1,0 +1,131 @@
+// Distributed scenarios: several compute hosts sharing one NFS server
+// ("WRENCH provides a full SimGrid-based simulation environment that
+// supports ... applications distributed on multiple hosts").
+#include <gtest/gtest.h>
+
+#include "exp/apps.hpp"
+#include "storage/nfs.hpp"
+#include "test_helpers.hpp"
+#include "workflow/simulation.hpp"
+
+namespace pcs {
+namespace {
+
+// Two clients, one server: client hosts have 1000 B RAM / 100 B/s memory;
+// server disk 10 B/s; each client reaches the server over its own 40 B/s
+// link.
+class DistributedTest : public ::testing::Test {
+ protected:
+  DistributedTest() {
+    c1_ = sim_.platform().add_host(test::small_host("c1", 1000.0, 100.0));
+    c2_ = sim_.platform().add_host(test::small_host("c2", 1000.0, 100.0));
+    server_host_ = sim_.platform().add_host(test::small_host("srv", 1000.0, 100.0));
+    plat::DiskSpec spec;
+    spec.name = "exp";
+    spec.read_bw = 10.0;
+    spec.write_bw = 10.0;
+    disk_ = server_host_->add_disk(sim_.engine(), spec);
+    sim_.platform().add_link({"l1", 40.0, 0.0});
+    sim_.platform().add_link({"l2", 40.0, 0.0});
+    sim_.platform().add_route("c1", "srv", {"l1"});
+    sim_.platform().add_route("c2", "srv", {"l2"});
+    server_ = sim_.create_nfs_server(*server_host_, *disk_, cache::CacheMode::Writethrough);
+    mount1_ = sim_.create_nfs_mount(*c1_, *server_, cache::CacheMode::ReadCache);
+    mount2_ = sim_.create_nfs_mount(*c2_, *server_, cache::CacheMode::ReadCache);
+  }
+
+  wf::Simulation sim_;
+  plat::Host* c1_ = nullptr;
+  plat::Host* c2_ = nullptr;
+  plat::Host* server_host_ = nullptr;
+  plat::Disk* disk_ = nullptr;
+  storage::NfsServer* server_ = nullptr;
+  storage::NfsMount* mount1_ = nullptr;
+  storage::NfsMount* mount2_ = nullptr;
+};
+
+TEST_F(DistributedTest, ConcurrentColdReadsShareTheServerDisk) {
+  server_->fs().create("shared", 100.0);
+  double t1 = 0.0;
+  double t2 = 0.0;
+  auto reader = [&](sim::Engine& e, storage::NfsMount* mount, double* end) -> sim::Task<> {
+    co_await mount->read_file("shared", 50.0);
+    *end = e.now();
+  };
+  sim_.engine().spawn("r1", reader(sim_.engine(), mount1_, &t1));
+  sim_.engine().spawn("r2", reader(sim_.engine(), mount2_, &t2));
+  sim_.run();
+  // Both stream the same 100 B through the shared 10 B/s disk.  The server
+  // cache makes the later-arriving chunks hits, so total time is between
+  // the ideal fully-shared case (20 s) and two sequential reads (40 s... wait,
+  // actually with cache hits it can be well under 20 s for one of them).
+  EXPECT_GT(std::max(t1, t2), 9.9);   // at least one full disk pass
+  EXPECT_LT(std::max(t1, t2), 20.1);  // but the cache prevented a second pass
+}
+
+TEST_F(DistributedTest, SecondClientHitsServerCachePopulatedByFirst) {
+  server_->fs().create("shared", 100.0);
+  auto body = [&](sim::Engine& e) -> sim::Task<> {
+    co_await mount1_->read_file("shared", 50.0);  // c1 pays the disk
+    mount1_->release_anonymous(100.0);
+    double t0 = e.now();
+    co_await mount2_->read_file("shared", 50.0);  // c2 hits the server cache
+    // link(40) + server memory(100): 100 B at 40 B/s = 2.5 s, not 10 s.
+    EXPECT_DOUBLE_EQ(e.now() - t0, 2.5);
+  };
+  test::run_actor(sim_.engine(), body(sim_.engine()));
+}
+
+TEST_F(DistributedTest, ClientCachesAreIndependent) {
+  server_->fs().create("shared", 100.0);
+  auto body = [&](sim::Engine& e) -> sim::Task<> {
+    co_await mount1_->read_file("shared", 50.0);
+    (void)e;
+  };
+  test::run_actor(sim_.engine(), body(sim_.engine()));
+  EXPECT_DOUBLE_EQ(mount1_->memory_manager()->cached("shared"), 100.0);
+  EXPECT_DOUBLE_EQ(mount2_->memory_manager()->cached("shared"), 0.0);
+}
+
+TEST_F(DistributedTest, WritersFromTwoHostsShareTheServerDisk) {
+  double t1 = 0.0;
+  double t2 = 0.0;
+  // Note: spawned coroutines must take the name by value — a reference
+  // parameter would dangle once the spawning statement ends.
+  auto writer = [&](sim::Engine& e, storage::NfsMount* mount, std::string name,
+                    double* end) -> sim::Task<> {
+    co_await mount->write_file(name, 100.0, 50.0);
+    *end = e.now();
+  };
+  sim_.engine().spawn("w1", writer(sim_.engine(), mount1_, "f1", &t1));
+  sim_.engine().spawn("w2", writer(sim_.engine(), mount2_, "f2", &t2));
+  sim_.run();
+  // 200 B total through the 10 B/s server disk, links uncontended: 20 s.
+  EXPECT_DOUBLE_EQ(std::max(t1, t2), 20.0);
+  EXPECT_DOUBLE_EQ(server_->fs().size_of("f1"), 100.0);
+  EXPECT_DOUBLE_EQ(server_->fs().size_of("f2"), 100.0);
+}
+
+TEST_F(DistributedTest, WorkflowsOnTwoComputeServices) {
+  // One pipeline per host, both against the same NFS export.
+  wf::ComputeService* cs1 = sim_.create_compute_service(*c1_, *mount1_, 50.0);
+  wf::ComputeService* cs2 = sim_.create_compute_service(*c2_, *mount2_, 50.0);
+  wf::Workflow& w1 = sim_.create_workflow();
+  exp::build_synthetic(w1, "h1:", 100.0, 1.0);
+  wf::Workflow& w2 = sim_.create_workflow();
+  exp::build_synthetic(w2, "h2:", 100.0, 1.0);
+  cs1->submit(w1);
+  cs2->submit(w2);
+  sim_.run();
+  EXPECT_EQ(cs1->results().size(), 3u);
+  EXPECT_EQ(cs2->results().size(), 3u);
+  // All eight files of both pipelines ended up on the server.
+  EXPECT_EQ(server_->fs().file_count(), 8u);
+  // Both hosts' tasks 2..3 read data their own pipeline wrote through the
+  // server cache; their read phases must beat the cold first read.
+  EXPECT_LT(cs1->result("h1:task2").read_time(), cs1->result("h1:task1").read_time());
+  EXPECT_LT(cs2->result("h2:task3").read_time(), cs2->result("h2:task1").read_time());
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,81 @@
+#include "storage/file_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcs::storage {
+namespace {
+
+TEST(FileSystem, CreateAndQuery) {
+  FileSystem fs;
+  fs.create("a", 100.0);
+  EXPECT_TRUE(fs.exists("a"));
+  EXPECT_FALSE(fs.exists("b"));
+  EXPECT_DOUBLE_EQ(fs.size_of("a"), 100.0);
+  EXPECT_DOUBLE_EQ(fs.used(), 100.0);
+  EXPECT_EQ(fs.file_count(), 1u);
+}
+
+TEST(FileSystem, DuplicateCreateThrows) {
+  FileSystem fs;
+  fs.create("a", 10.0);
+  EXPECT_THROW(fs.create("a", 20.0), StorageError);
+}
+
+TEST(FileSystem, NegativeSizeThrows) {
+  FileSystem fs;
+  EXPECT_THROW(fs.create("a", -1.0), StorageError);
+  fs.create("b", 1.0);
+  EXPECT_THROW(fs.ensure_size("b", -5.0), StorageError);
+}
+
+TEST(FileSystem, EnsureSizeGrowsButNeverShrinks) {
+  FileSystem fs;
+  fs.create("a", 100.0);
+  fs.ensure_size("a", 50.0);
+  EXPECT_DOUBLE_EQ(fs.size_of("a"), 100.0);
+  fs.ensure_size("a", 300.0);
+  EXPECT_DOUBLE_EQ(fs.size_of("a"), 300.0);
+  EXPECT_DOUBLE_EQ(fs.used(), 300.0);
+}
+
+TEST(FileSystem, EnsureSizeCreatesMissingFile) {
+  FileSystem fs;
+  fs.ensure_size("new", 40.0);
+  EXPECT_TRUE(fs.exists("new"));
+  EXPECT_DOUBLE_EQ(fs.size_of("new"), 40.0);
+}
+
+TEST(FileSystem, RemoveReclaimsSpace) {
+  FileSystem fs(1000.0);
+  fs.create("a", 600.0);
+  fs.remove("a");
+  EXPECT_FALSE(fs.exists("a"));
+  EXPECT_DOUBLE_EQ(fs.used(), 0.0);
+  fs.create("b", 1000.0);  // fits again
+  EXPECT_THROW(fs.remove("a"), StorageError);
+}
+
+TEST(FileSystem, CapacityEnforced) {
+  FileSystem fs(100.0);
+  fs.create("a", 70.0);
+  EXPECT_THROW(fs.create("b", 40.0), StorageError);
+  fs.create("b", 30.0);
+  EXPECT_THROW(fs.ensure_size("b", 31.0), StorageError);
+  EXPECT_DOUBLE_EQ(fs.free_space(), 0.0);
+}
+
+TEST(FileSystem, UnlimitedCapacity) {
+  FileSystem fs;  // capacity 0 = unlimited
+  fs.create("a", 1e15);
+  EXPECT_TRUE(std::isinf(fs.free_space()));
+}
+
+TEST(FileSystem, SizeOfMissingThrows) {
+  FileSystem fs;
+  EXPECT_THROW((void)fs.size_of("ghost"), StorageError);
+}
+
+}  // namespace
+}  // namespace pcs::storage

@@ -1,0 +1,87 @@
+// Property test for the JSON layer: randomly generated documents must
+// round-trip exactly through dump() -> parse(), compact and pretty.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::util {
+namespace {
+
+Json random_value(Rng& rng, int depth) {
+  const double roll = rng.next_double();
+  if (depth <= 0 || roll < 0.45) {
+    // Scalars.
+    switch (rng.uniform_int(0, 4)) {
+      case 0: return Json(nullptr);
+      case 1: return Json(rng.bernoulli(0.5));
+      case 2: return Json(static_cast<double>(static_cast<long>(rng.uniform(-1e9, 1e9))));
+      case 3: return Json(rng.uniform(-1e6, 1e6));
+      default: {
+        std::string s;
+        const std::size_t len = rng.uniform_int(0, 12);
+        for (std::size_t i = 0; i < len; ++i) {
+          // Mix printable ASCII with characters that need escaping.
+          const char pool[] = "abcXYZ 019_-\"\\\n\t/{}[]:,";
+          s += pool[rng.uniform_int(0, sizeof(pool) - 2)];
+        }
+        return Json(std::move(s));
+      }
+    }
+  }
+  if (roll < 0.72) {
+    JsonArray arr;
+    const std::size_t n = rng.uniform_int(0, 5);
+    for (std::size_t i = 0; i < n; ++i) arr.push_back(random_value(rng, depth - 1));
+    return Json(std::move(arr));
+  }
+  JsonObject obj;
+  const std::size_t n = rng.uniform_int(0, 5);
+  for (std::size_t i = 0; i < n; ++i) {
+    obj["key" + std::to_string(rng.uniform_int(0, 20))] = random_value(rng, depth - 1);
+  }
+  return Json(std::move(obj));
+}
+
+class JsonFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonFuzz, DumpParseRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 42);
+  for (int doc = 0; doc < 50; ++doc) {
+    Json original = random_value(rng, 4);
+    const std::string compact = original.dump();
+    const std::string pretty = original.dump(2);
+    Json from_compact = Json::parse(compact);
+    Json from_pretty = Json::parse(pretty);
+    ASSERT_TRUE(original == from_compact) << compact;
+    ASSERT_TRUE(original == from_pretty) << pretty;
+    // Dumping the reparsed value must be byte-identical (determinism).
+    ASSERT_EQ(from_compact.dump(), compact);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Range(0, 8));
+
+TEST(JsonFuzz, GarbageNeverCrashes) {
+  Rng rng(99);
+  for (int doc = 0; doc < 300; ++doc) {
+    std::string garbage;
+    const std::size_t len = rng.uniform_int(0, 40);
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.uniform_int(1, 127));
+    }
+    try {
+      Json parsed = Json::parse(garbage);
+      // Accidentally valid documents must still round-trip.
+      Json again = Json::parse(parsed.dump());
+      EXPECT_TRUE(parsed == again);
+    } catch (const JsonError&) {
+      // Expected for almost every input.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcs::util

@@ -1,0 +1,212 @@
+// NFS semantics (the paper's Exp 3 configuration): writethrough server
+// cache, client read cache, no client write cache, composite network+disk
+// flows.  Client memory 1000 B at 100 B/s; server identical; link 40 B/s;
+// server disk 10 B/s.
+#include "storage/nfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace pcs::storage {
+namespace {
+
+class NfsTest : public ::testing::Test {
+ protected:
+  NfsTest() : platform_(engine_) {
+    client_ = platform_.add_host(test::small_host("client", 1000.0, 100.0));
+    server_ = platform_.add_host(test::small_host("server", 1000.0, 100.0));
+    plat::DiskSpec spec;
+    spec.name = "export";
+    spec.read_bw = 10.0;
+    spec.write_bw = 10.0;
+    disk_ = server_->add_disk(engine_, spec);
+    platform_.add_link({"lan", 40.0, 0.0});
+    platform_.add_route("client", "server", {"lan"});
+  }
+
+  NfsServer make_server(cache::CacheMode mode) {
+    return NfsServer(engine_, *server_, *disk_, mode);
+  }
+
+  sim::Engine engine_;
+  plat::Platform platform_;
+  plat::Host* client_ = nullptr;
+  plat::Host* server_ = nullptr;
+  plat::Disk* disk_ = nullptr;
+};
+
+TEST_F(NfsTest, ServerRejectsWritebackCache) {
+  EXPECT_THROW(NfsServer(engine_, *server_, *disk_, cache::CacheMode::Writeback), StorageError);
+  EXPECT_THROW(NfsServer(engine_, *server_, *disk_, cache::CacheMode::ReadCache), StorageError);
+}
+
+TEST_F(NfsTest, WriteGoesAtDiskBandwidthAndPopulatesServerCache) {
+  NfsServer server = make_server(cache::CacheMode::Writethrough);
+  NfsMount mount(engine_, *client_, server, platform_.route_between("client", "server"),
+                 cache::CacheMode::ReadCache);
+  auto body = [&](sim::Engine& e) -> sim::Task<> {
+    co_await mount.write_file("f", 100.0, 50.0);
+    (void)e;
+  };
+  test::run_actor(engine_, body(engine_));
+  // Composite flow: bottleneck is the 10 B/s disk, not the 40 B/s link.
+  EXPECT_DOUBLE_EQ(engine_.now(), 10.0);
+  EXPECT_DOUBLE_EQ(server.fs().size_of("f"), 100.0);
+  // Writethrough: server cache holds the file, clean.
+  EXPECT_DOUBLE_EQ(server.memory_manager()->cached("f"), 100.0);
+  EXPECT_DOUBLE_EQ(server.memory_manager()->dirty(), 0.0);
+  // No client write cache.
+  EXPECT_DOUBLE_EQ(mount.memory_manager()->cached("f"), 0.0);
+}
+
+TEST_F(NfsTest, ReadAfterWriteHitsServerCache) {
+  NfsServer server = make_server(cache::CacheMode::Writethrough);
+  NfsMount mount(engine_, *client_, server, platform_.route_between("client", "server"),
+                 cache::CacheMode::ReadCache);
+  auto body = [&](sim::Engine& e) -> sim::Task<> {
+    co_await mount.write_file("f", 100.0, 50.0);
+    double t0 = e.now();
+    co_await mount.read_file("f", 50.0);
+    // Server cache hit: composite link(40) + server memory(100) -> 40 B/s.
+    EXPECT_DOUBLE_EQ(e.now() - t0, 2.5);
+  };
+  test::run_actor(engine_, body(engine_));
+}
+
+TEST_F(NfsTest, SecondReadHitsClientCache) {
+  NfsServer server = make_server(cache::CacheMode::Writethrough);
+  NfsMount mount(engine_, *client_, server, platform_.route_between("client", "server"),
+                 cache::CacheMode::ReadCache);
+  server.fs().create("f", 100.0);
+  auto body = [&](sim::Engine& e) -> sim::Task<> {
+    double t0 = e.now();
+    co_await mount.read_file("f", 50.0);
+    // Cold: server miss -> composite link+disk at 10 B/s = 10 s.
+    EXPECT_DOUBLE_EQ(e.now() - t0, 10.0);
+    mount.release_anonymous(100.0);
+    t0 = e.now();
+    co_await mount.read_file("f", 50.0);
+    // Warm at the client: pure client memory read at 100 B/s = 1 s.
+    EXPECT_DOUBLE_EQ(e.now() - t0, 1.0);
+  };
+  test::run_actor(engine_, body(engine_));
+  EXPECT_DOUBLE_EQ(mount.memory_manager()->cached("f"), 100.0);
+  EXPECT_DOUBLE_EQ(server.memory_manager()->cached("f"), 100.0);
+}
+
+TEST_F(NfsTest, CachelessBaselineAlwaysMovesBytes) {
+  NfsServer server = make_server(cache::CacheMode::None);
+  NfsMount mount(engine_, *client_, server, platform_.route_between("client", "server"),
+                 cache::CacheMode::None);
+  EXPECT_EQ(server.memory_manager(), nullptr);
+  EXPECT_EQ(mount.memory_manager(), nullptr);
+  server.fs().create("f", 100.0);
+  auto body = [&](sim::Engine& e) -> sim::Task<> {
+    co_await mount.read_file("f", 50.0);
+    co_await mount.read_file("f", 50.0);  // same cost again
+    (void)e;
+  };
+  test::run_actor(engine_, body(engine_));
+  EXPECT_DOUBLE_EQ(engine_.now(), 20.0);
+}
+
+TEST_F(NfsTest, SlowLinkBecomesTheBottleneck) {
+  // Rebuild with a 5 B/s link: slower than the 10 B/s disk.
+  plat::Platform p2(engine_);
+  plat::Host* c2 = p2.add_host(test::small_host("c2", 1000.0, 100.0));
+  plat::Host* s2 = p2.add_host(test::small_host("s2", 1000.0, 100.0));
+  plat::DiskSpec spec;
+  spec.name = "exp";
+  spec.read_bw = 10.0;
+  spec.write_bw = 10.0;
+  plat::Disk* d2 = s2->add_disk(engine_, spec);
+  p2.add_link({"slow", 5.0, 0.0});
+  p2.add_route("c2", "s2", {"slow"});
+  NfsServer server(engine_, *s2, *d2, cache::CacheMode::Writethrough);
+  NfsMount mount(engine_, *c2, server, p2.route_between("c2", "s2"),
+                 cache::CacheMode::ReadCache);
+  server.fs().create("f", 100.0);
+  auto body = [&](sim::Engine& e) -> sim::Task<> {
+    co_await mount.read_file("f", 100.0);
+    (void)e;
+  };
+  test::run_actor(engine_, body(engine_));
+  EXPECT_DOUBLE_EQ(engine_.now(), 20.0);  // 100 B at 5 B/s link
+}
+
+TEST_F(NfsTest, RouteLatencyChargedPerTransfer) {
+  plat::Platform p2(engine_);
+  plat::Host* c2 = p2.add_host(test::small_host("c3", 1000.0, 100.0));
+  plat::Host* s2 = p2.add_host(test::small_host("s3", 1000.0, 100.0));
+  plat::DiskSpec spec;
+  spec.name = "exp";
+  spec.read_bw = 10.0;
+  spec.write_bw = 10.0;
+  plat::Disk* d2 = s2->add_disk(engine_, spec);
+  p2.add_link({"lagged", 40.0, 0.25});
+  p2.add_route("c3", "s3", {"lagged"});
+  NfsServer server(engine_, *s2, *d2, cache::CacheMode::Writethrough);
+  NfsMount mount(engine_, *c2, server, p2.route_between("c3", "s3"),
+                 cache::CacheMode::ReadCache);
+  auto body = [&](sim::Engine& e) -> sim::Task<> {
+    co_await mount.write_file("f", 100.0, 50.0);
+    (void)e;
+  };
+  test::run_actor(engine_, body(engine_));
+  // Two chunks, each 0.25 s latency + 5 s disk-bound transfer.
+  EXPECT_DOUBLE_EQ(engine_.now(), 10.5);
+}
+
+TEST_F(NfsTest, WarmFilePopulatesServerCache) {
+  NfsServer server = make_server(cache::CacheMode::Writethrough);
+  NfsMount mount(engine_, *client_, server, platform_.route_between("client", "server"),
+                 cache::CacheMode::ReadCache);
+  server.fs().create("staged", 100.0);
+  server.warm_file("staged");
+  EXPECT_DOUBLE_EQ(server.memory_manager()->cached("staged"), 100.0);
+  EXPECT_DOUBLE_EQ(server.memory_manager()->dirty(), 0.0);
+  server.warm_file("staged");  // idempotent
+  EXPECT_DOUBLE_EQ(server.memory_manager()->cached("staged"), 100.0);
+  EXPECT_THROW(server.warm_file("ghost"), StorageError);
+
+  auto body = [&](sim::Engine& e) -> sim::Task<> {
+    double t0 = e.now();
+    co_await mount.read_file("staged", 50.0);
+    // Server cache hit from the first byte: link+memory, not disk.
+    EXPECT_DOUBLE_EQ(e.now() - t0, 2.5);
+  };
+  test::run_actor(engine_, body(engine_));
+}
+
+TEST_F(NfsTest, WarmFileOnCachelessServerIsNoop) {
+  NfsServer server = make_server(cache::CacheMode::None);
+  server.fs().create("f", 10.0);
+  EXPECT_NO_THROW(server.warm_file("f"));
+}
+
+TEST_F(NfsTest, WritebackClientCachesWritesAndFlushesRemotely) {
+  // Extension: async-NFS client (the abstract's "writeback ... for
+  // network-based filesystems").
+  cache::CacheParams params;
+  params.dirty_expire = 5.0;
+  params.flush_period = 1.0;
+  NfsServer server = make_server(cache::CacheMode::Writethrough);
+  NfsMount mount(engine_, *client_, server, platform_.route_between("client", "server"),
+                 cache::CacheMode::Writeback, params);
+  mount.start_periodic_flush();
+  auto body = [&](sim::Engine& e) -> sim::Task<> {
+    double t0 = e.now();
+    co_await mount.write_file("f", 100.0, 50.0);
+    // Below the dirty limit: client memory speed (100 B at 100 B/s).
+    EXPECT_DOUBLE_EQ(e.now() - t0, 1.0);
+    EXPECT_DOUBLE_EQ(mount.memory_manager()->dirty(), 100.0);
+    co_await e.sleep(20.0);  // periodic flusher pushes it to the server
+    EXPECT_DOUBLE_EQ(mount.memory_manager()->dirty(), 0.0);
+  };
+  test::run_actor(engine_, body(engine_));
+  EXPECT_DOUBLE_EQ(server.fs().size_of("f"), 100.0);
+}
+
+}  // namespace
+}  // namespace pcs::storage

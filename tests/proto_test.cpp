@@ -1,0 +1,137 @@
+// The analytic prototype: closed-form t = D/bw timings and the same cache
+// algorithms as the full model.
+#include "proto/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcs::proto {
+namespace {
+
+ProtoConfig small_config() {
+  ProtoConfig c;
+  c.total_mem = 1000.0;
+  c.mem_read_bw = 100.0;
+  c.mem_write_bw = 100.0;
+  c.disk_read_bw = 10.0;
+  c.disk_write_bw = 10.0;
+  return c;
+}
+
+TEST(AnalyticSim, RejectsBadConfig) {
+  ProtoConfig c = small_config();
+  c.disk_read_bw = 0.0;
+  EXPECT_THROW(AnalyticSim{c}, std::invalid_argument);
+}
+
+TEST(AnalyticSim, ColdReadAtDiskBandwidth) {
+  AnalyticSim sim(small_config());
+  sim.stage_file("f", 100.0);
+  sim.read_file("f", 50.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  EXPECT_DOUBLE_EQ(sim.cached("f"), 100.0);
+  EXPECT_DOUBLE_EQ(sim.anonymous(), 100.0);
+}
+
+TEST(AnalyticSim, WarmReadAtMemoryBandwidth) {
+  AnalyticSim sim(small_config());
+  sim.stage_file("f", 100.0);
+  sim.read_file("f", 50.0);
+  sim.release_anonymous(100.0);
+  double t0 = sim.now();
+  sim.read_file("f", 50.0);
+  EXPECT_DOUBLE_EQ(sim.now() - t0, 1.0);
+}
+
+TEST(AnalyticSim, WriteBelowDirtyLimitAtMemoryBandwidth) {
+  AnalyticSim sim(small_config());
+  sim.write_file("f", 150.0, 50.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+  EXPECT_DOUBLE_EQ(sim.dirty(), 150.0);
+  EXPECT_DOUBLE_EQ(sim.file_size("f"), 150.0);
+}
+
+TEST(AnalyticSim, LargeWriteThrottledByDirtyLimit) {
+  AnalyticSim sim(small_config());
+  sim.write_file("f", 600.0, 50.0);
+  // dirty limit 200: at least 400 B were flushed synchronously at 10 B/s,
+  // so the write takes far longer than the pure memory time (6 s).
+  EXPECT_GT(sim.now(), 40.0);
+  EXPECT_LE(sim.dirty(), 200.0 + 50.0);
+  EXPECT_DOUBLE_EQ(sim.cached("f"), 600.0);
+}
+
+TEST(AnalyticSim, ExpiredDirtyDataFlushesDuringCompute) {
+  ProtoConfig c = small_config();
+  c.cache.dirty_expire = 30.0;
+  AnalyticSim sim(c);
+  sim.write_file("f", 100.0, 50.0);
+  EXPECT_DOUBLE_EQ(sim.dirty(), 100.0);
+  sim.compute(100.0);  // well past the 30 s expiry
+  EXPECT_DOUBLE_EQ(sim.dirty(), 0.0);
+  // Compute time itself is unaffected (background flush overlaps).
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0 + 100.0);
+}
+
+TEST(AnalyticSim, BackgroundFlushIsRateLimited) {
+  ProtoConfig c = small_config();
+  c.cache.dirty_expire = 1.0;  // expire almost immediately
+  AnalyticSim sim(c);
+  sim.write_file("f", 100.0, 100.0);
+  sim.compute(3.0);  // window after expiry is ~3 s -> at most ~30 B flushed
+  EXPECT_GT(sim.dirty(), 50.0);
+  sim.compute(20.0);
+  EXPECT_DOUBLE_EQ(sim.dirty(), 0.0);
+}
+
+TEST(AnalyticSim, ReadEvictsOtherFilesFirst) {
+  AnalyticSim sim(small_config());
+  sim.stage_file("a", 450.0);
+  sim.stage_file("b", 450.0);
+  sim.read_file("a", 50.0);
+  sim.release_anonymous(450.0);
+  sim.read_file("b", 50.0);
+  // Reading b (450 anon + 450 cache) forces eviction of a's cached data.
+  EXPECT_DOUBLE_EQ(sim.cached("b"), 450.0);
+  EXPECT_LT(sim.cached("a"), 450.0);
+}
+
+TEST(AnalyticSim, SnapshotAndProfile) {
+  AnalyticSim sim(small_config());
+  sim.stage_file("f", 100.0);
+  sim.read_file("f", 25.0);
+  cache::CacheSnapshot s = sim.snapshot();
+  EXPECT_DOUBLE_EQ(s.total, 1000.0);
+  EXPECT_DOUBLE_EQ(s.cached, 100.0);
+  EXPECT_DOUBLE_EQ(s.per_file.at("f"), 100.0);
+  EXPECT_EQ(sim.profile().size(), 4u);  // one record per chunk
+  // Clock is non-decreasing across the profile.
+  for (std::size_t i = 1; i < sim.profile().size(); ++i) {
+    EXPECT_GE(sim.profile()[i].time, sim.profile()[i - 1].time);
+  }
+}
+
+TEST(AnalyticSim, StageDuplicateThrows) {
+  AnalyticSim sim(small_config());
+  sim.stage_file("f", 10.0);
+  EXPECT_THROW(sim.stage_file("f", 10.0), std::invalid_argument);
+  EXPECT_THROW((void)sim.file_size("ghost"), std::invalid_argument);
+}
+
+TEST(AnalyticSim, SyntheticPipelineDirtyStaysBounded) {
+  ProtoConfig c = small_config();
+  AnalyticSim sim(c);
+  sim.stage_file("f1", 300.0);
+  for (int i = 1; i <= 3; ++i) {
+    sim.read_file("f" + std::to_string(i), 50.0);
+    sim.compute(5.0);
+    sim.write_file("f" + std::to_string(i + 1), 300.0, 50.0);
+    sim.release_anonymous(300.0);
+  }
+  for (const auto& snap : sim.profile()) {
+    EXPECT_LE(snap.dirty, sim.dirty_limit() + 50.0 + 1.0);
+    EXPECT_GE(snap.free, -1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pcs::proto

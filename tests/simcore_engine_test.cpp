@@ -1,0 +1,224 @@
+#include "simcore/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/sync.hpp"
+#include "test_helpers.hpp"
+
+namespace pcs::sim {
+namespace {
+
+TEST(Engine, EmptyRunStaysAtZero) {
+  Engine engine;
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(Engine, SleepAdvancesClock) {
+  Engine engine;
+  auto body = [](Engine& e) -> Task<> { co_await e.sleep(5.0); };
+  test::run_actor(engine, body(engine));
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+}
+
+TEST(Engine, NonPositiveSleepIsImmediate) {
+  Engine engine;
+  auto body = [](Engine& e) -> Task<> {
+    co_await e.sleep(0.0);
+    co_await e.sleep(-3.0);
+  };
+  test::run_actor(engine, body(engine));
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(Engine, SequentialSleepsAccumulate) {
+  Engine engine;
+  std::vector<double> stamps;
+  auto body = [&stamps](Engine& e) -> Task<> {
+    co_await e.sleep(1.0);
+    stamps.push_back(e.now());
+    co_await e.sleep(2.5);
+    stamps.push_back(e.now());
+  };
+  test::run_actor(engine, body(engine));
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_DOUBLE_EQ(stamps[0], 1.0);
+  EXPECT_DOUBLE_EQ(stamps[1], 3.5);
+}
+
+TEST(Engine, SingleActivityDuration) {
+  Engine engine;
+  Resource* disk = engine.new_resource("disk", 10.0);  // 10 B/s
+  auto body = [disk](Engine& e) -> Task<> {
+    co_await e.submit("io", sim::one(disk), 100.0);
+  };
+  test::run_actor(engine, body(engine));
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, ZeroAmountCompletesInstantly) {
+  Engine engine;
+  Resource* disk = engine.new_resource("disk", 10.0);
+  auto body = [disk](Engine& e) -> Task<> {
+    co_await e.submit("noop", sim::one(disk), 0.0);
+    co_await e.submit("neg", sim::one(disk), -5.0);
+  };
+  test::run_actor(engine, body(engine));
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(Engine, ActorSpawnedDuringRunExecutes) {
+  Engine engine;
+  bool inner_ran = false;
+  auto inner = [&inner_ran](Engine& e) -> Task<> {
+    co_await e.sleep(1.0);
+    inner_ran = true;
+  };
+  auto outer = [&](Engine& e) -> Task<> {
+    co_await e.sleep(1.0);
+    e.spawn("inner", inner(e));
+    co_return;
+  };
+  test::run_actor(engine, outer(engine));
+  EXPECT_TRUE(inner_ran);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(Engine, NestedTaskPropagatesValue) {
+  Engine engine;
+  auto child = [](Engine& e) -> Task<double> {
+    co_await e.sleep(2.0);
+    co_return 21.0;
+  };
+  double result = 0.0;
+  auto parent = [&](Engine& e) -> Task<> {
+    double v = co_await child(e);
+    result = 2 * v;
+  };
+  test::run_actor(engine, parent(engine));
+  EXPECT_DOUBLE_EQ(result, 42.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(Engine, ExceptionInActorPropagates) {
+  Engine engine;
+  auto body = [](Engine& e) -> Task<> {
+    co_await e.sleep(1.0);
+    throw std::runtime_error("boom");
+  };
+  engine.spawn("thrower", body(engine));
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(Engine, ExceptionInNestedTaskReachesParent) {
+  Engine engine;
+  auto child = [](Engine& e) -> Task<> {
+    co_await e.sleep(1.0);
+    throw std::logic_error("inner");
+  };
+  bool caught = false;
+  auto parent = [&](Engine& e) -> Task<> {
+    try {
+      co_await child(e);
+    } catch (const std::logic_error&) {
+      caught = true;
+    }
+  };
+  test::run_actor(engine, parent(engine));
+  EXPECT_TRUE(caught);
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine engine;
+  Mutex mutex(engine);
+  auto body = [&mutex](Engine& /*e*/) -> Task<> {
+    co_await mutex.lock();
+    co_await mutex.lock();  // self-deadlock
+  };
+  engine.spawn("stuck", body(engine));
+  EXPECT_THROW(engine.run(), SimulationError);
+}
+
+TEST(Engine, DaemonDoesNotBlockTermination) {
+  Engine engine;
+  int beats = 0;
+  auto daemon = [&beats](Engine& e) -> Task<> {
+    while (true) {
+      co_await e.sleep(1.0);
+      ++beats;
+    }
+  };
+  auto main_actor = [](Engine& e) -> Task<> { co_await e.sleep(3.5); };
+  engine.spawn("heartbeat", daemon(engine), /*daemon=*/true);
+  engine.spawn("main", main_actor(engine));
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 3.5);
+  EXPECT_EQ(beats, 3);
+}
+
+TEST(Engine, RunUntilStopsEarly) {
+  Engine engine;
+  auto body = [](Engine& e) -> Task<> { co_await e.sleep(100.0); };
+  engine.spawn("sleeper", body(engine));
+  engine.run_until(30.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 30.0);
+  EXPECT_FALSE(engine.all_actors_done());
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 100.0);
+  EXPECT_TRUE(engine.all_actors_done());
+}
+
+TEST(Engine, DetachedActivityProgressesAlone) {
+  Engine engine;
+  Resource* disk = engine.new_resource("disk", 10.0);
+  ActivityPtr detached;
+  auto body = [&](Engine& e) -> Task<> {
+    detached = e.submit_detached("bg", sim::one(disk), 50.0);
+    co_await e.sleep(10.0);
+  };
+  test::run_actor(engine, body(engine));
+  ASSERT_TRUE(detached != nullptr);
+  EXPECT_TRUE(detached->done());
+  EXPECT_DOUBLE_EQ(detached->end_time(), 5.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, DeterministicReplay) {
+  auto run_once = [] {
+    Engine engine;
+    Resource* r = engine.new_resource("r", 7.0);
+    auto worker = [r](Engine& e, double amount, double delay) -> Task<> {
+      co_await e.sleep(delay);
+      co_await e.submit("w", sim::one(r), amount);
+    };
+    for (int i = 0; i < 5; ++i) {
+      engine.spawn("w" + std::to_string(i), worker(engine, 10.0 + i, 0.5 * i));
+    }
+    engine.run();
+    return std::pair{engine.now(), engine.scheduling_points()};
+  };
+  auto [t1, s1] = run_once();
+  auto [t2, s2] = run_once();
+  EXPECT_DOUBLE_EQ(t1, t2);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Engine, ManyActorsAllComplete) {
+  Engine engine;
+  Resource* r = engine.new_resource("r", 100.0);
+  int done = 0;
+  auto worker = [&done, r](Engine& e) -> Task<> {
+    co_await e.submit("w", sim::one(r), 10.0);
+    ++done;
+  };
+  for (int i = 0; i < 50; ++i) engine.spawn("w" + std::to_string(i), worker(engine));
+  engine.run();
+  EXPECT_EQ(done, 50);
+  // 50 activities x 10 units sharing 100/s: all finish together at 5 s.
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+}
+
+}  // namespace
+}  // namespace pcs::sim

@@ -1,0 +1,250 @@
+// Max-min fair-sharing semantics of the engine's resource model — the
+// property the paper's concurrent experiments (Exp 2 / Exp 3) depend on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "simcore/engine.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sim {
+namespace {
+
+TEST(FairShare, EqualSplitBetweenTwo) {
+  Engine engine;
+  Resource* disk = engine.new_resource("disk", 10.0);
+  double t_a = 0.0;
+  double t_b = 0.0;
+  auto worker = [disk](Engine& e, double amount, double* out) -> Task<> {
+    co_await e.submit("w", sim::one(disk), amount);
+    *out = e.now();
+  };
+  engine.spawn("a", worker(engine, 100.0, &t_a));
+  engine.spawn("b", worker(engine, 100.0, &t_b));
+  engine.run();
+  // Both share 10 B/s -> 5 B/s each -> 20 s.
+  EXPECT_DOUBLE_EQ(t_a, 20.0);
+  EXPECT_DOUBLE_EQ(t_b, 20.0);
+}
+
+TEST(FairShare, StaggeredArrivalRebalances) {
+  Engine engine;
+  Resource* disk = engine.new_resource("disk", 10.0);
+  double t_a = 0.0;
+  double t_b = 0.0;
+  auto first = [&](Engine& e) -> Task<> {
+    co_await e.submit("a", sim::one(disk), 100.0);
+    t_a = e.now();
+  };
+  auto second = [&](Engine& e) -> Task<> {
+    co_await e.sleep(5.0);
+    co_await e.submit("b", sim::one(disk), 50.0);
+    t_b = e.now();
+  };
+  engine.spawn("a", first(engine));
+  engine.spawn("b", second(engine));
+  engine.run();
+  // 0-5 s: A alone at 10 B/s -> 50 B done.  5-15 s: both at 5 B/s; A's
+  // remaining 50 B and B's 50 B finish together at t=15.
+  EXPECT_DOUBLE_EQ(t_a, 15.0);
+  EXPECT_DOUBLE_EQ(t_b, 15.0);
+}
+
+TEST(FairShare, BottleneckAcrossTwoResources) {
+  Engine engine;
+  Resource* link = engine.new_resource("link", 10.0);
+  Resource* disk = engine.new_resource("disk", 4.0);
+  auto body = [&](Engine& e) -> Task<> {
+    // Composite flow (an NFS transfer): rate = min share = 4 B/s.
+    std::vector<Claim> claims{{link, 1.0}, {disk, 1.0}};
+    co_await e.submit("nfs", claims, 40.0);
+  };
+  test::run_actor(engine, body(engine));
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(FairShare, UnusedCapacityRedistributed) {
+  Engine engine;
+  Resource* link = engine.new_resource("link", 10.0);
+  Resource* disk = engine.new_resource("disk", 4.0);
+  double t_composite = 0.0;
+  double t_pure = 0.0;
+  auto composite = [&](Engine& e) -> Task<> {
+    std::vector<Claim> claims{{link, 1.0}, {disk, 1.0}};
+    co_await e.submit("c", claims, 40.0);
+    t_composite = e.now();
+  };
+  auto pure = [&](Engine& e) -> Task<> {
+    co_await e.submit("p", sim::one(link), 60.0);
+    t_pure = e.now();
+  };
+  engine.spawn("c", composite(engine));
+  engine.spawn("p", pure(engine));
+  engine.run();
+  // Max-min: composite is disk-bound at 4 B/s; the pure link flow gets the
+  // remaining 6 B/s.  Composite: 40/4 = 10 s.  Pure: 60/6 = 10 s.
+  EXPECT_DOUBLE_EQ(t_composite, 10.0);
+  EXPECT_DOUBLE_EQ(t_pure, 10.0);
+}
+
+TEST(FairShare, PerActivityBound) {
+  Engine engine;
+  Resource* cpu = engine.new_resource("cpu", 10.0);
+  double t_bounded = 0.0;
+  double t_free = 0.0;
+  auto bounded = [&](Engine& e) -> Task<> {
+    co_await e.submit("b", sim::one(cpu), 30.0, /*bound=*/3.0);
+    t_bounded = e.now();
+  };
+  auto free_flow = [&](Engine& e) -> Task<> {
+    co_await e.submit("f", sim::one(cpu), 70.0);
+    t_free = e.now();
+  };
+  engine.spawn("b", bounded(engine));
+  engine.spawn("f", free_flow(engine));
+  engine.run();
+  // Bounded runs at 3; the other takes the remaining 7.  Both end at 10 s.
+  EXPECT_DOUBLE_EQ(t_bounded, 10.0);
+  EXPECT_DOUBLE_EQ(t_free, 10.0);
+}
+
+TEST(FairShare, BoundAboveFairShareIsInert) {
+  Engine engine;
+  Resource* cpu = engine.new_resource("cpu", 10.0);
+  auto worker = [cpu](Engine& e) -> Task<> {
+    co_await e.submit("w", sim::one(cpu), 50.0, /*bound=*/100.0);
+  };
+  engine.spawn("a", worker(engine));
+  engine.spawn("b", worker(engine));
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);  // plain 5 B/s each
+}
+
+TEST(FairShare, WeightedClaimConsumesMore) {
+  Engine engine;
+  Resource* r = engine.new_resource("r", 9.0);
+  double t_heavy = 0.0;
+  double t_light = 0.0;
+  auto heavy = [&](Engine& e) -> Task<> {
+    std::vector<Claim> claims{{r, 2.0}};  // each unit of rate consumes 2
+    co_await e.submit("h", claims, 30.0);
+    t_heavy = e.now();
+  };
+  auto light = [&](Engine& e) -> Task<> {
+    co_await e.submit("l", sim::one(r), 30.0);
+    t_light = e.now();
+  };
+  engine.spawn("h", heavy(engine));
+  engine.spawn("l", light(engine));
+  engine.run();
+  // Fair share: capacity 9, total weight 3 -> rate 3 each (heavy consumes
+  // 6, light 3).  30 units / 3 per s = 10 s for both.
+  EXPECT_DOUBLE_EQ(t_heavy, 10.0);
+  EXPECT_DOUBLE_EQ(t_light, 10.0);
+}
+
+TEST(FairShare, CapacityChangeTakesEffect) {
+  Engine engine;
+  Resource* disk = engine.new_resource("disk", 10.0);
+  auto controller = [disk](Engine& e) -> Task<> {
+    co_await e.sleep(5.0);
+    disk->set_capacity(5.0);
+    // Force a scheduling point so the new capacity is observed.
+    co_await e.submit("poke", sim::one(disk), 1e-9);
+  };
+  auto worker = [disk](Engine& e) -> Task<> {
+    co_await e.submit("w", sim::one(disk), 100.0);
+  };
+  engine.spawn("ctrl", controller(engine));
+  engine.spawn("w", worker(engine));
+  engine.run();
+  // 0-5 s at 10 B/s = 50 B; remaining 50 B at ~5 B/s = ~10 s -> ~15 s.
+  EXPECT_NEAR(engine.now(), 15.0, 0.01);
+}
+
+TEST(FairShare, ThreeWayThenTwoWay) {
+  Engine engine;
+  Resource* disk = engine.new_resource("disk", 12.0);
+  std::vector<double> ends(3);
+  auto worker = [&](Engine& e, int i, double amount) -> Task<> {
+    co_await e.submit("w", sim::one(disk), amount);
+    ends[static_cast<std::size_t>(i)] = e.now();
+  };
+  engine.spawn("a", worker(engine, 0, 12.0));
+  engine.spawn("b", worker(engine, 1, 24.0));
+  engine.spawn("c", worker(engine, 2, 24.0));
+  engine.run();
+  // Phase 1: 4 B/s each; A done at t=3 (12 B).  B,C have 12 left, then get
+  // 6 B/s each -> done at t = 3 + 2 = 5.
+  EXPECT_DOUBLE_EQ(ends[0], 3.0);
+  EXPECT_DOUBLE_EQ(ends[1], 5.0);
+  EXPECT_DOUBLE_EQ(ends[2], 5.0);
+}
+
+// Property sweep: random topologies; verify no resource is oversubscribed
+// and that every activity is pinned by a saturated resource or its own
+// bound (the defining property of a max-min fair allocation).
+class FairShareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareProperty, RatesAreFeasibleAndMaxMin) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1337 + 17);
+  Engine engine;
+  std::vector<Resource*> resources;
+  const int n_resources = 2 + static_cast<int>(rng.uniform_int(0, 4));
+  for (int i = 0; i < n_resources; ++i) {
+    resources.push_back(engine.new_resource("r" + std::to_string(i), rng.uniform(1.0, 50.0)));
+  }
+  const std::size_t n_activities = 1 + rng.uniform_int(0, 9);
+  std::vector<ActivityPtr> activities;
+  std::vector<std::vector<Claim>> all_claims(n_activities);
+  std::vector<double> bounds(n_activities, std::numeric_limits<double>::infinity());
+
+  for (std::size_t i = 0; i < n_activities; ++i) {
+    const std::size_t n_claims = 1 + rng.uniform_int(0, 2);
+    std::vector<Resource*> chosen;
+    for (std::size_t c = 0; c < n_claims; ++c) {
+      Resource* r = resources[rng.uniform_int(0, resources.size() - 1)];
+      // Avoid duplicate claims on the same resource within one activity.
+      if (std::find(chosen.begin(), chosen.end(), r) == chosen.end()) chosen.push_back(r);
+    }
+    for (Resource* r : chosen) all_claims[i].push_back({r, 1.0});
+    if (rng.bernoulli(0.3)) bounds[i] = rng.uniform(0.5, 20.0);
+    activities.push_back(engine.submit_detached("act" + std::to_string(i), all_claims[i],
+                                                /*amount=*/1e12, bounds[i]));
+  }
+
+  // One scheduling step computes the allocation; activities are far from
+  // completion at t=1e-6 so every rate is still the initial solution.
+  auto idler = [](Engine& e) -> Task<> { co_await e.sleep(1e-6); };
+  engine.spawn("idler", idler(engine));
+  engine.run();
+
+  constexpr double kTol = 1e-6;
+  // Feasibility: per-resource consumption <= capacity.
+  std::map<Resource*, double> usage;
+  for (std::size_t i = 0; i < n_activities; ++i) {
+    for (const Claim& c : all_claims[i]) usage[c.resource] += activities[i]->rate() * c.weight;
+  }
+  for (const auto& [r, used] : usage) {
+    EXPECT_LE(used, r->capacity() * (1.0 + kTol)) << r->name();
+  }
+  // Max-min: every activity is pinned by its bound or a saturated resource.
+  for (std::size_t i = 0; i < n_activities; ++i) {
+    const double rate = activities[i]->rate();
+    EXPECT_GT(rate, 0.0);
+    bool pinned = rate >= bounds[i] * (1.0 - kTol);
+    for (const Claim& c : all_claims[i]) {
+      if (usage[c.resource] >= c.resource->capacity() * (1.0 - kTol)) pinned = true;
+    }
+    EXPECT_TRUE(pinned) << "activity " << i << " rate " << rate << " is not pinned";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, FairShareProperty, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace pcs::sim

@@ -1,0 +1,81 @@
+// Shared fixtures for the test suite: a minimal platform, an instrumented
+// backing store, and a helper to run a single coroutine to completion.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pagecache/backing_store.hpp"
+#include "platform/platform.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/task.hpp"
+
+namespace pcs::test {
+
+/// Backing store with configurable device bandwidths that records every
+/// transfer it was asked to perform.
+class FakeStore : public cache::BackingStore {
+ public:
+  FakeStore(sim::Engine& engine, double read_bw, double write_bw)
+      : engine_(engine),
+        read_channel_(engine.new_resource("fake:rd", read_bw)),
+        write_channel_(engine.new_resource("fake:wr", write_bw)) {}
+
+  sim::Task<> read(const std::string& file, double bytes) override {
+    reads.emplace_back(file, bytes);
+    co_await engine_.submit("fake-read", sim::one(read_channel_), bytes);
+  }
+
+  sim::Task<> write(const std::string& file, double bytes) override {
+    writes.emplace_back(file, bytes);
+    co_await engine_.submit("fake-write", sim::one(write_channel_), bytes);
+  }
+
+  [[nodiscard]] double total_read() const {
+    double sum = 0.0;
+    for (const auto& [f, b] : reads) sum += b;
+    return sum;
+  }
+  [[nodiscard]] double total_written() const {
+    double sum = 0.0;
+    for (const auto& [f, b] : writes) sum += b;
+    return sum;
+  }
+  [[nodiscard]] double written_of(const std::string& file) const {
+    double sum = 0.0;
+    for (const auto& [f, b] : writes) {
+      if (f == file) sum += b;
+    }
+    return sum;
+  }
+
+  std::vector<std::pair<std::string, double>> reads;
+  std::vector<std::pair<std::string, double>> writes;
+
+ private:
+  sim::Engine& engine_;
+  sim::Resource* read_channel_;
+  sim::Resource* write_channel_;
+};
+
+/// Spawn `body` as the only actor and run the engine to completion.
+inline void run_actor(sim::Engine& engine, sim::Task<> body) {
+  engine.spawn("test-actor", std::move(body));
+  engine.run();
+}
+
+/// A small host: 1 Gflops, 4 cores, `ram` bytes, memory channels at
+/// mem_bw both ways.
+inline plat::HostSpec small_host(const std::string& name, double ram, double mem_bw) {
+  plat::HostSpec spec;
+  spec.name = name;
+  spec.speed = 1e9;
+  spec.cores = 4;
+  spec.ram = ram;
+  spec.mem_read_bw = mem_bw;
+  spec.mem_write_bw = mem_bw;
+  return spec;
+}
+
+}  // namespace pcs::test

@@ -1,0 +1,94 @@
+#include "simcore/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/engine.hpp"
+#include "test_helpers.hpp"
+
+namespace pcs::sim {
+namespace {
+
+TEST(Tracer, RecordsActivitySpans) {
+  Engine engine;
+  Tracer tracer;
+  engine.set_tracer(&tracer);
+  Resource* disk = engine.new_resource("disk", 10.0);
+  auto body = [disk](Engine& e) -> Task<> {
+    co_await e.submit("disk-read:f", sim::one(disk), 100.0);
+    co_await e.sleep(5.0);
+    co_await e.submit("disk-write:f", sim::one(disk), 50.0);
+  };
+  test::run_actor(engine, body(engine));
+
+  ASSERT_EQ(tracer.span_count(), 2u);
+  EXPECT_EQ(tracer.spans()[0].name, "disk-read:f");
+  EXPECT_DOUBLE_EQ(tracer.spans()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(tracer.spans()[0].end, 10.0);
+  EXPECT_EQ(tracer.spans()[1].name, "disk-write:f");
+  EXPECT_DOUBLE_EQ(tracer.spans()[1].start, 15.0);
+  EXPECT_DOUBLE_EQ(tracer.spans()[1].end, 20.0);
+}
+
+TEST(Tracer, TotalTimeByPrefix) {
+  Tracer tracer;
+  tracer.record("disk-read:a", 0.0, 2.0);
+  tracer.record("disk-read:b", 1.0, 4.0);
+  tracer.record("disk-write:a", 0.0, 7.0);
+  EXPECT_DOUBLE_EQ(tracer.total_time("disk-read:"), 5.0);
+  EXPECT_DOUBLE_EQ(tracer.total_time("disk-write:"), 7.0);
+  EXPECT_DOUBLE_EQ(tracer.total_time("compute:"), 0.0);
+}
+
+TEST(Tracer, ChromeTraceFormat) {
+  Tracer tracer;
+  tracer.record("disk-read:f", 1.0, 3.5);
+  util::Json doc = tracer.to_chrome_trace();
+  const util::Json& events = doc.at("traceEvents");
+  ASSERT_EQ(events.size(), 1u);
+  const util::Json& event = events.at(0);
+  EXPECT_EQ(event.at("name").as_string(), "disk-read:f");
+  EXPECT_EQ(event.at("cat").as_string(), "disk-read");
+  EXPECT_EQ(event.at("ph").as_string(), "X");
+  EXPECT_DOUBLE_EQ(event.at("ts").as_number(), 1e6);
+  EXPECT_DOUBLE_EQ(event.at("dur").as_number(), 2.5e6);
+}
+
+TEST(Tracer, UncategorizedSpans) {
+  Tracer tracer;
+  tracer.record("plainname", 0.0, 1.0);
+  util::Json doc = tracer.to_chrome_trace();
+  EXPECT_EQ(doc.at("traceEvents").at(0).at("cat").as_string(), "activity");
+}
+
+TEST(Tracer, DetachedTracerCostsNothing) {
+  Engine engine;
+  Tracer tracer;
+  engine.set_tracer(&tracer);
+  engine.set_tracer(nullptr);
+  Resource* disk = engine.new_resource("disk", 10.0);
+  auto body = [disk](Engine& e) -> Task<> {
+    co_await e.submit("io", sim::one(disk), 10.0);
+  };
+  test::run_actor(engine, body(engine));
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(Tracer, WriteFileRoundTrips) {
+  Tracer tracer;
+  tracer.record("compute:t", 0.0, 2.0);
+  const std::string path = ::testing::TempDir() + "/pcs_trace_test.json";
+  tracer.write(path);
+  util::Json loaded = util::Json::parse_file(path);
+  EXPECT_EQ(loaded.at("traceEvents").size(), 1u);
+  EXPECT_THROW(tracer.write("/nonexistent-dir/x.json"), util::JsonError);
+}
+
+TEST(Tracer, ClearResets) {
+  Tracer tracer;
+  tracer.record("a", 0.0, 1.0);
+  tracer.clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pcs::sim

@@ -1,0 +1,145 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcs::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5").as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5E-2").as_number(), 0.025);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, Strings) {
+  EXPECT_EQ(Json::parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(Json::parse(R"("line\nbreak")").as_string(), "line\nbreak");
+  EXPECT_EQ(Json::parse(R"("tab\there")").as_string(), "tab\there");
+  EXPECT_EQ(Json::parse(R"("back\\slash")").as_string(), "back\\slash");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(JsonParse, Containers) {
+  Json arr = Json::parse("[1, 2, 3]");
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr.at(1).as_number(), 2.0);
+
+  Json obj = Json::parse(R"({"a": 1, "b": [true, null]})");
+  ASSERT_TRUE(obj.is_object());
+  EXPECT_DOUBLE_EQ(obj.at("a").as_number(), 1.0);
+  EXPECT_TRUE(obj.at("b").at(1).is_null());
+  EXPECT_TRUE(obj.contains("a"));
+  EXPECT_FALSE(obj.contains("z"));
+}
+
+TEST(JsonParse, NestedDeep) {
+  Json v = Json::parse(R"({"a":{"b":{"c":[{"d": 7}]}}})");
+  EXPECT_DOUBLE_EQ(v.at("a").at("b").at("c").at(0).at("d").as_number(), 7.0);
+}
+
+TEST(JsonParse, CommentsAndTrailingCommas) {
+  Json v = Json::parse("// header comment\n{\"a\": 1, // inline\n \"b\": [1, 2,], }");
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.0);
+  EXPECT_EQ(v.at("b").size(), 2u);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").size(), 0u);
+  EXPECT_EQ(Json::parse("{}").size(), 0u);
+  EXPECT_EQ(Json::parse("[ ]").size(), 0u);
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1, 2"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);
+  EXPECT_THROW(Json::parse("{'a': 1}"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("[1, , 2]"), JsonError);
+  EXPECT_THROW(Json::parse("01x"), JsonError);
+}
+
+TEST(JsonParse, ErrorMessageHasLineAndColumn) {
+  try {
+    Json::parse("{\n  \"a\": ???\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(JsonAccess, TypeErrors) {
+  Json v = Json::parse("[1]");
+  EXPECT_THROW((void)v.as_object(), JsonError);
+  EXPECT_THROW((void)v.at("key"), JsonError);
+  EXPECT_THROW((void)v.at(5), JsonError);
+  EXPECT_THROW((void)Json(1.0).size(), JsonError);
+}
+
+TEST(JsonAccess, Defaults) {
+  Json obj = Json::parse(R"({"x": 3, "s": "v", "f": false})");
+  EXPECT_DOUBLE_EQ(obj.number_or("x", 9.0), 3.0);
+  EXPECT_DOUBLE_EQ(obj.number_or("missing", 9.0), 9.0);
+  EXPECT_EQ(obj.string_or("s", "d"), "v");
+  EXPECT_EQ(obj.string_or("missing", "d"), "d");
+  EXPECT_EQ(obj.bool_or("f", true), false);
+  EXPECT_EQ(obj.bool_or("missing", true), true);
+}
+
+TEST(JsonBuild, SetAndPush) {
+  Json obj;
+  obj.set("name", "x").set("value", 3);
+  Json arr;
+  arr.push_back(1).push_back("two");
+  obj.set("list", arr);
+  EXPECT_EQ(obj.at("name").as_string(), "x");
+  EXPECT_EQ(obj.at("list").at(1).as_string(), "two");
+}
+
+TEST(JsonDump, RoundTrip) {
+  const std::string docs[] = {
+      "null",
+      "true",
+      "[1,2,3]",
+      R"({"a":1,"b":[true,null,"x"],"c":{"d":2.5}})",
+      R"({"esc":"a\"b\\c\nd"})",
+  };
+  for (const std::string& doc : docs) {
+    Json parsed = Json::parse(doc);
+    Json reparsed = Json::parse(parsed.dump());
+    EXPECT_TRUE(parsed == reparsed) << doc;
+  }
+}
+
+TEST(JsonDump, PrettyPrintParses) {
+  Json v = Json::parse(R"({"a":[1,2],"b":{"c":true}})");
+  Json round = Json::parse(v.dump(2));
+  EXPECT_TRUE(v == round);
+  EXPECT_NE(v.dump(2).find('\n'), std::string::npos);
+}
+
+TEST(JsonDump, IntegersStayIntegral) {
+  EXPECT_EQ(Json(42.0).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(JsonDump, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(JsonFile, MissingFileThrows) { EXPECT_THROW(Json::parse_file("/nonexistent"), JsonError); }
+
+}  // namespace
+}  // namespace pcs::util

@@ -1,0 +1,134 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace pcs::util {
+namespace {
+
+TEST(Summarize, Basic) {
+  std::array<double, 5> values = {1, 2, 3, 4, 5};
+  Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Summarize, Empty) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  std::array<double, 1> values = {7.5};
+  Summary s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(Percentile, Errors) {
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(AbsoluteRelativeError, Basic) {
+  EXPECT_DOUBLE_EQ(absolute_relative_error_pct(150, 100), 50.0);
+  EXPECT_DOUBLE_EQ(absolute_relative_error_pct(50, 100), 50.0);
+  EXPECT_DOUBLE_EQ(absolute_relative_error_pct(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(absolute_relative_error_pct(0, 0), 0.0);
+  EXPECT_THROW((void)absolute_relative_error_pct(1, 0), std::invalid_argument);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {3, 5, 7, 9, 11};  // y = 2x + 1
+  LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_LT(fit.p_value, 1e-6);
+}
+
+TEST(LinearFit, NoisyLineStillSignificant) {
+  // Fig 8 of the paper reports p < 1e-24 for its regressions; check that a
+  // strongly linear series yields a tiny p-value here too.
+  Rng rng(7);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 32; ++i) {
+    x.push_back(i);
+    y.push_back(0.05 * i + 0.02 + rng.uniform(-0.005, 0.005));
+  }
+  LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.05, 0.005);
+  EXPECT_GT(fit.r2, 0.98);
+  EXPECT_LT(fit.p_value, 1e-20);
+}
+
+TEST(LinearFit, FlatLineInsignificantSlope) {
+  Rng rng(11);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 30; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 + rng.uniform(-1.0, 1.0));
+  }
+  LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 0.05);
+  EXPECT_GT(fit.p_value, 0.01);
+}
+
+TEST(LinearFit, Errors) {
+  std::vector<double> one = {1.0};
+  EXPECT_THROW((void)linear_fit(one, one), std::invalid_argument);
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW((void)linear_fit(x, y), std::invalid_argument);
+  std::vector<double> constant = {2, 2, 2};
+  std::vector<double> ys = {1, 2, 3};
+  EXPECT_THROW((void)linear_fit(constant, ys), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicAndUniform) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+
+  Rng c(1);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double v = c.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 7u);
+  }
+}
+
+}  // namespace
+}  // namespace pcs::util

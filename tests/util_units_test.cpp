@@ -1,0 +1,50 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcs::util {
+namespace {
+
+using namespace pcs::util::literals;
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ(3_GB, 3e9);
+  EXPECT_DOUBLE_EQ(100_MB, 1e8);
+  EXPECT_DOUBLE_EQ(1_KiB, 1024.0);
+  EXPECT_DOUBLE_EQ(250_GiB, 250.0 * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(465_MBps, 465e6);
+}
+
+TEST(FormatBytes, Ranges) {
+  EXPECT_EQ(format_bytes(0), "0.00 B");
+  EXPECT_EQ(format_bytes(999), "999.00 B");
+  EXPECT_EQ(format_bytes(1500), "1.50 KB");
+  EXPECT_EQ(format_bytes(20e9), "20.00 GB");
+  EXPECT_EQ(format_bytes(2.5e12), "2.50 TB");
+}
+
+TEST(FormatSeconds, Ranges) {
+  EXPECT_EQ(format_seconds(0.0000005), "0.5 us");
+  EXPECT_EQ(format_seconds(0.0025), "2.5 ms");
+  EXPECT_EQ(format_seconds(12.345), "12.35 s");
+}
+
+TEST(ParseBytes, Suffixes) {
+  EXPECT_DOUBLE_EQ(parse_bytes("1024"), 1024.0);
+  EXPECT_DOUBLE_EQ(parse_bytes("512B"), 512.0);
+  EXPECT_DOUBLE_EQ(parse_bytes("3 GB"), 3e9);
+  EXPECT_DOUBLE_EQ(parse_bytes("2.5GB"), 2.5e9);
+  EXPECT_DOUBLE_EQ(parse_bytes("250 GiB"), 250.0 * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(parse_bytes("1 MiB"), 1024.0 * 1024);
+  EXPECT_DOUBLE_EQ(parse_bytes("7 kB"), 7e3);
+  EXPECT_DOUBLE_EQ(parse_bytes("  42 MB  "), 42e6);
+}
+
+TEST(ParseBytes, Errors) {
+  EXPECT_THROW((void)parse_bytes(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_bytes("GB"), std::invalid_argument);
+  EXPECT_THROW((void)parse_bytes("12 XB"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcs::util

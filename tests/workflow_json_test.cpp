@@ -1,0 +1,79 @@
+#include "workflow/workflow_json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcs::wf {
+namespace {
+
+constexpr const char* kDoc = R"json({
+  "reference_gflops": 2,
+  "tasks": [
+    {"name": "a", "cpu_seconds": 3,
+     "inputs":  [{"name": "raw", "size": "2 GB"}],
+     "outputs": [{"name": "mid", "size": 1000000}]},
+    {"name": "b", "flops": 7e9,
+     "inputs":  [{"name": "mid", "size": 1000000}],
+     "outputs": [{"name": "out", "size": "500 MB"}]}
+  ],
+  "dependencies": [{"parent": "a", "child": "b"}]
+})json";
+
+TEST(WorkflowJson, ParsesTasksFilesAndDeps) {
+  Workflow wf = workflow_from_json(util::Json::parse(kDoc));
+  EXPECT_EQ(wf.task_count(), 2u);
+  // cpu_seconds * reference_gflops: 3 s at 2 Gflops = 6e9 flops.
+  EXPECT_DOUBLE_EQ(wf.task("a").flops, 6e9);
+  EXPECT_DOUBLE_EQ(wf.task("b").flops, 7e9);
+  ASSERT_EQ(wf.task("a").inputs.size(), 1u);
+  EXPECT_DOUBLE_EQ(wf.task("a").inputs[0].size, 2e9);
+  EXPECT_DOUBLE_EQ(wf.task("b").outputs[0].size, 5e8);
+  EXPECT_TRUE(wf.parents_of("b").count("a"));
+  auto ext = wf.external_inputs();
+  ASSERT_EQ(ext.size(), 1u);
+  EXPECT_EQ(ext[0].name, "raw");
+}
+
+TEST(WorkflowJson, MissingFlopsRejected) {
+  EXPECT_THROW(workflow_from_json(util::Json::parse(R"({"tasks":[{"name":"x"}]})")),
+               WorkflowError);
+}
+
+TEST(WorkflowJson, CycleRejectedAtParse) {
+  const char* cyclic = R"json({
+    "tasks": [{"name": "a", "flops": 1}, {"name": "b", "flops": 1}],
+    "dependencies": [{"parent": "a", "child": "b"}, {"parent": "b", "child": "a"}]
+  })json";
+  EXPECT_THROW(workflow_from_json(util::Json::parse(cyclic)), WorkflowError);
+}
+
+TEST(WorkflowJson, MalformedDocumentRejected) {
+  EXPECT_THROW(workflow_from_json(util::Json::parse("{}")), util::JsonError);
+  EXPECT_THROW(workflow_from_json_file("/nonexistent.json"), util::JsonError);
+}
+
+TEST(WorkflowJson, RoundTrip) {
+  Workflow original = workflow_from_json(util::Json::parse(kDoc));
+  util::Json dumped = workflow_to_json(original);
+  Workflow reloaded = workflow_from_json(dumped);
+  EXPECT_EQ(reloaded.task_count(), original.task_count());
+  for (const std::string& name : original.task_order()) {
+    EXPECT_DOUBLE_EQ(reloaded.task(name).flops, original.task(name).flops);
+    EXPECT_EQ(reloaded.task(name).inputs.size(), original.task(name).inputs.size());
+    EXPECT_EQ(reloaded.parents_of(name), original.parents_of(name));
+  }
+}
+
+TEST(WorkflowJson, SerializedDependenciesAreExplicitOnly) {
+  Workflow wf;
+  wf.add_task("p", 1.0);
+  wf.add_task("c", 1.0);
+  wf.add_output("p", "f", 10.0);
+  wf.add_input("c", "f", 10.0);  // file-derived dependency
+  util::Json doc = workflow_to_json(wf);
+  EXPECT_EQ(doc.at("dependencies").size(), 0u);  // derived deps come from files
+  Workflow reloaded = workflow_from_json(doc);
+  EXPECT_TRUE(reloaded.parents_of("c").count("p"));  // still derived on reload
+}
+
+}  // namespace
+}  // namespace pcs::wf

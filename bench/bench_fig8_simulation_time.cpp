@@ -7,6 +7,8 @@
 // NFS WRENCH-cache runs are faster than local ones because the
 // writethrough server cache skips all flushing machinery.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "util/json.hpp"
 
 int main() {
   using namespace pcs;
@@ -52,12 +54,29 @@ int main() {
 
   print_banner(std::cout, "Linear regression (paper: all linear, p < 1e-24)");
   TablePrinter fits({"Configuration", "slope (s/app)", "intercept (s)", "r^2", "p-value"});
+  util::Json section(util::JsonObject{});
+  section.set("instances", [&] {
+    util::Json arr(util::JsonArray{});
+    for (double x : xs) arr.push_back(x);
+    return arr;
+  }());
   for (std::size_t c = 0; c < 4; ++c) {
     util::LinearFit fit = util::linear_fit(xs, wall[c]);
     char p[32];
     std::snprintf(p, sizeof(p), "%.1e", fit.p_value);
     fits.add_row({configs[c].name, fmt(fit.slope, 4), fmt(fit.intercept, 4), fmt(fit.r2, 3), p});
+    util::Json entry(util::JsonObject{});
+    entry.set("wall_seconds", [&] {
+      util::Json arr(util::JsonArray{});
+      for (double w : wall[c]) arr.push_back(w);
+      return arr;
+    }());
+    entry.set("slope_s_per_app", fit.slope);
+    entry.set("intercept_s", fit.intercept);
+    entry.set("r2", fit.r2);
+    section.set(configs[c].name, std::move(entry));
   }
   fits.print(std::cout);
+  bench::write_bench_section("fig8_simulation_time", std::move(section));
   return 0;
 }

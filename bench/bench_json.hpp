@@ -1,0 +1,46 @@
+// Machine-readable benchmark output.
+//
+// Bench binaries merge their results as one top-level section of a shared
+// JSON document (default ./BENCH_core.json, overridable with the
+// PCS_BENCH_JSON environment variable) so successive PRs can track the perf
+// trajectory: each run overwrites only its own section and preserves the
+// others.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace pcs::bench {
+
+inline std::string bench_json_path() {
+  const char* env = std::getenv("PCS_BENCH_JSON");
+  return env != nullptr && *env != '\0' ? env : "BENCH_core.json";
+}
+
+/// Merge `section` into the shared benchmark document and rewrite it.
+/// A corrupt or missing document is replaced rather than fatal: benchmark
+/// recording must never fail the benchmark itself.
+inline void write_bench_section(const std::string& section, util::Json value) {
+  const std::string path = bench_json_path();
+  util::Json doc = util::Json(util::JsonObject{});
+  try {
+    util::Json existing = util::Json::parse_file(path);
+    if (existing.is_object()) doc = std::move(existing);
+  } catch (const util::JsonError&) {
+    // start fresh
+  }
+  doc.set(section, std::move(value));
+  std::ofstream out(path);
+  out << doc.dump(2) << "\n";
+  if (!out) {
+    std::cerr << "warning: could not write benchmark record to " << path << "\n";
+  } else {
+    std::cout << "[bench] recorded section '" << section << "' in " << path << "\n";
+  }
+}
+
+}  // namespace pcs::bench

@@ -3,8 +3,22 @@
 // engine's event loop, and JSON parsing.  These back the Fig 8 scalability
 // discussion: the page-cache model's extra cost per application is LRU and
 // solver work.
+//
+// Besides the google-benchmark timings (human-readable), the binary runs a
+// fixed 1000-actor concurrent scenario and a mixed LRU workload, and records
+// them in BENCH_core.json (see bench_json.hpp) so the perf trajectory is
+// machine-readable across PRs.  `--scenario-only` skips google-benchmark and
+// runs just the recorded workloads (what CI uses).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "exp/corebench.hpp"
 #include "pagecache/lru_list.hpp"
 #include "simcore/engine.hpp"
 #include "util/json.hpp"
@@ -134,6 +148,124 @@ void BM_JsonParsePlatform(benchmark::State& state) {
 }
 BENCHMARK(BM_JsonParsePlatform);
 
+// --- recorded workloads (BENCH_core.json) ----------------------------------
+
+/// The acceptance scenario: 1000 concurrent actors in 100 independent
+/// resource groups.  Records wall-clock, scheduling points, activities/sec
+/// and the simulated-time fingerprints that must stay bit-identical across
+/// engine refactors.
+util::Json run_recorded_scenario() {
+  exp::CoreScenarioConfig config;  // defaults: 1000 actors, 100 groups, 20 rounds
+  exp::CoreScenarioResult r = exp::run_core_scenario(config);
+  std::cout << "[scenario] 1000-actor concurrent core scenario\n"
+            << "  wall_seconds       = " << r.wall_seconds << "\n"
+            << "  scheduling_points  = " << r.scheduling_points << "\n"
+            << "  activities         = " << r.activities << "\n"
+            << "  activities_per_sec = " << static_cast<double>(r.activities) / r.wall_seconds
+            << "\n"
+            << "  final_vtime        = " << r.final_vtime << "\n"
+            << "  checksum           = " << r.completion_checksum << "\n"
+            << "  checksum_ns        = " << r.checksum_ns << "\n";
+  util::Json j(util::JsonObject{});
+  j.set("actors", config.actors);
+  j.set("groups", config.groups);
+  j.set("rounds", config.rounds);
+  j.set("wall_seconds", r.wall_seconds);
+  j.set("scheduling_points", static_cast<unsigned long>(r.scheduling_points));
+  j.set("activities", static_cast<unsigned long>(r.activities));
+  j.set("activities_per_sec", static_cast<double>(r.activities) / r.wall_seconds);
+  j.set("final_vtime", r.final_vtime);
+  j.set("completion_checksum", r.completion_checksum);
+  j.set("checksum_ns", static_cast<unsigned long>(r.checksum_ns));
+  return j;
+}
+
+/// Mixed LRU workload: a populated list under random touch / dirty-flip /
+/// LRU-query / find pressure — the pagecache layer's hot operations.
+util::Json run_recorded_lru_workload() {
+  constexpr std::uint64_t kBlocks = 4096;
+  constexpr std::uint64_t kOps = 200000;
+  cache::LruList list;
+  util::Rng rng(1234);
+  for (std::uint64_t i = 0; i < kBlocks; ++i) {
+    cache::DataBlock b;
+    b.id = i;
+    b.file = "f" + std::to_string(i % 64);
+    b.size = 4096.0;
+    b.entry_time = static_cast<double>(i);
+    b.last_access = static_cast<double>(i);
+    b.dirty = rng.bernoulli(0.3);
+    list.insert(std::move(b));
+  }
+  double now = static_cast<double>(kBlocks);
+  double sink = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t op = 0; op < kOps; ++op) {
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {
+        auto it = list.find(rng.uniform_int(0, kBlocks - 1));
+        if (it != list.end()) list.touch(it, now);
+        now += 1.0;
+        break;
+      }
+      case 1: {
+        auto it = list.lru_dirty("f" + std::to_string(rng.uniform_int(0, 63)));
+        if (it != list.end()) sink += it->size;
+        break;
+      }
+      case 2: {
+        auto it = list.lru_clean("f" + std::to_string(rng.uniform_int(0, 63)));
+        if (it != list.end()) sink += it->size;
+        break;
+      }
+      case 3: {
+        auto it = list.lru_dirty_of("f" + std::to_string(rng.uniform_int(0, 63)));
+        if (it != list.end()) sink += it->size;
+        break;
+      }
+      default: {
+        auto it = list.find(rng.uniform_int(0, kBlocks - 1));
+        if (it != list.end()) list.set_dirty(it, !it->dirty);
+        sink += list.clean_excluding("f" + std::to_string(rng.uniform_int(0, 63)));
+        break;
+      }
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  std::cout << "[lru] mixed workload: " << kOps << " ops over " << kBlocks << " blocks in "
+            << wall << " s (" << static_cast<double>(kOps) / wall << " ops/s, sink=" << sink
+            << ")\n";
+  util::Json j(util::JsonObject{});
+  j.set("blocks", static_cast<unsigned long>(kBlocks));
+  j.set("ops", static_cast<unsigned long>(kOps));
+  j.set("wall_seconds", wall);
+  j.set("ops_per_sec", static_cast<double>(kOps) / wall);
+  return j;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool scenario_only = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scenario-only") == 0) {
+      scenario_only = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  if (!scenario_only) {
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+  }
+
+  util::Json section(util::JsonObject{});
+  section.set("concurrent_1000", run_recorded_scenario());
+  section.set("lru_mixed", run_recorded_lru_workload());
+  pcs::bench::write_bench_section("micro_core", std::move(section));
+  return 0;
+}

@@ -11,52 +11,143 @@ namespace {
 // Byte accounting tolerance: amounts are doubles and accumulate rounding
 // noise over many split/merge cycles; anything under a milli-byte is zero.
 constexpr double kEps = 1e-3;
+// Spacing between order keys after a renumber/append, leaving room for ~50
+// fractional insertions between any adjacent pair before renumbering.
+constexpr double kKeyGap = 1.0;
 }  // namespace
 
 void LruList::account_add(const DataBlock& b) {
   total_ += b.size;
-  if (b.dirty) dirty_ += b.size;
-  file_bytes_[b.file] += b.size;
+  FileAccount& acct = files_[b.file];
+  acct.bytes += b.size;
+  if (b.dirty) {
+    dirty_ += b.size;
+    acct.dirty_bytes += b.size;
+  }
 }
 
 void LruList::account_remove(const DataBlock& b) {
   total_ -= b.size;
   if (b.dirty) dirty_ -= b.size;
-  auto it = file_bytes_.find(b.file);
-  if (it != file_bytes_.end()) {
-    it->second -= b.size;
-    if (it->second <= kEps) file_bytes_.erase(it);
+  auto it = files_.find(b.file);
+  if (it != files_.end()) {
+    it->second.bytes -= b.size;
+    if (b.dirty) it->second.dirty_bytes -= b.size;
+    if (it->second.dirty_bytes < kEps) it->second.dirty_bytes = 0.0;
+    if (it->second.bytes <= kEps && it->second.dirty_nodes.empty()) files_.erase(it);
   }
   if (total_ < kEps) total_ = 0.0;
   if (dirty_ < kEps) dirty_ = 0.0;
 }
 
+void LruList::index_add(Node* node) {
+  all_.insert(node);
+  by_id_[node->id] = node;
+  if (node->dirty) {
+    dirty_idx_.insert(node);
+    files_[node->file].dirty_nodes.insert(node);
+  } else {
+    clean_idx_.insert(node);
+  }
+}
+
+void LruList::index_remove(Node* node) {
+  all_.erase(node);
+  auto id_it = by_id_.find(node->id);
+  if (id_it != by_id_.end() && id_it->second == node) by_id_.erase(id_it);
+  if (node->dirty) {
+    dirty_idx_.erase(node);
+    auto file_it = files_.find(node->file);
+    if (file_it != files_.end()) {
+      file_it->second.dirty_nodes.erase(node);
+      if (file_it->second.bytes <= kEps && file_it->second.dirty_nodes.empty()) {
+        files_.erase(file_it);
+      }
+    }
+  } else {
+    clean_idx_.erase(node);
+  }
+}
+
+void LruList::assign_order_key(iterator node, iterator next_pos) {
+  const bool has_prev = node != blocks_.begin();
+  const bool has_next = next_pos != blocks_.end();
+  const double prev_key = has_prev ? std::prev(node)->order_key : 0.0;
+  const double next_key = has_next ? next_pos->order_key : 0.0;
+  if (!has_prev && !has_next) {
+    node->order_key = 0.0;
+    return;
+  }
+  if (!has_next) {
+    node->order_key = prev_key + kKeyGap;
+    return;
+  }
+  if (!has_prev) {
+    node->order_key = next_key - kKeyGap;
+    return;
+  }
+  const double mid = prev_key + (next_key - prev_key) / 2.0;
+  if (mid > prev_key && mid < next_key) {
+    node->order_key = mid;
+    return;
+  }
+  // Fractional precision exhausted between these neighbours: renumber the
+  // whole list (relative order of every node is unchanged, so the index
+  // sets remain valid) and land exactly between the fresh keys.
+  renumber_keys();
+  node->order_key = std::prev(node)->order_key + kKeyGap / 2.0;
+}
+
+void LruList::renumber_keys() {
+  double key = 0.0;
+  for (Node& node : blocks_) {
+    node.order_key = key;
+    key += kKeyGap;
+  }
+}
+
+LruList::iterator LruList::emplace_node(iterator pos, DataBlock block) {
+  iterator it = blocks_.emplace(pos, Node(std::move(block)));
+  it->self = it;
+  assign_order_key(it, pos);
+  index_add(&*it);
+  return it;
+}
+
 LruList::iterator LruList::insert(DataBlock block) {
   account_add(block);
-  // Find the first element strictly newer than the block; insert before it.
-  // Scanning from the back is O(1) for the dominant append-at-tail case.
-  auto pos = blocks_.end();
-  while (pos != blocks_.begin()) {
-    auto prev = std::prev(pos);
-    if (prev->last_access <= block.last_access) break;
-    pos = prev;
-  }
-  return blocks_.insert(pos, std::move(block));
+  // First element strictly newer than the block (FIFO among equal access
+  // times); the position search is O(log n) through the position index.
+  auto newer = all_.upper_bound(block.last_access);
+  iterator pos = newer == all_.end() ? blocks_.end() : (*newer)->self;
+  return emplace_node(pos, std::move(block));
 }
 
 DataBlock LruList::extract(iterator it) {
   account_remove(*it);
-  DataBlock block = std::move(*it);
+  index_remove(&*it);
+  DataBlock block = std::move(static_cast<DataBlock&>(*it));
   blocks_.erase(it);
   return block;
 }
 
 void LruList::erase(iterator it) {
   account_remove(*it);
+  index_remove(&*it);
   blocks_.erase(it);
 }
 
 void LruList::touch(iterator it, double now) {
+  if (now == it->last_access) return;  // stable-position fast path: no-op
+  const bool prev_ok = it == blocks_.begin() || std::prev(it)->last_access <= now;
+  auto next = std::next(it);
+  const bool next_ok = next == blocks_.end() || next->last_access > now;
+  if (prev_ok && next_ok) {
+    // Position stays valid: update in place.  Index sets order by
+    // order_key, which is untouched, and access-time probes stay monotone.
+    it->last_access = now;
+    return;
+  }
   DataBlock block = extract(it);
   block.last_access = now;
   insert(std::move(block));
@@ -73,89 +164,143 @@ std::pair<LruList::iterator, LruList::iterator> LruList::split(iterator it, doub
   // In-place shrink of the first part keeps accounting exact.
   resize(it, first_size);
   account_add(second);
-  auto second_it = blocks_.insert(std::next(it), std::move(second));
+  iterator second_it = emplace_node(std::next(it), std::move(second));
   return {it, second_it};
 }
 
 void LruList::set_dirty(iterator it, bool dirty) {
   if (it->dirty == dirty) return;
-  if (it->dirty) {
-    dirty_ -= it->size;
+  Node* node = &*it;
+  FileAccount& acct = files_[node->file];
+  if (node->dirty) {
+    dirty_ -= node->size;
+    acct.dirty_bytes -= node->size;
     if (dirty_ < kEps) dirty_ = 0.0;
+    if (acct.dirty_bytes < kEps) acct.dirty_bytes = 0.0;
+    dirty_idx_.erase(node);
+    acct.dirty_nodes.erase(node);
+    node->dirty = false;
+    clean_idx_.insert(node);
   } else {
-    dirty_ += it->size;
+    dirty_ += node->size;
+    acct.dirty_bytes += node->size;
+    clean_idx_.erase(node);
+    node->dirty = true;
+    dirty_idx_.insert(node);
+    acct.dirty_nodes.insert(node);
   }
-  it->dirty = dirty;
 }
 
 void LruList::resize(iterator it, double new_size) {
   double delta = new_size - it->size;
   total_ += delta;
-  if (it->dirty) dirty_ += delta;
-  file_bytes_[it->file] += delta;
+  FileAccount& acct = files_[it->file];
+  acct.bytes += delta;
+  if (it->dirty) {
+    dirty_ += delta;
+    acct.dirty_bytes += delta;
+    if (acct.dirty_bytes < kEps) acct.dirty_bytes = 0.0;
+  }
   it->size = new_size;
   if (total_ < kEps) total_ = 0.0;
   if (dirty_ < kEps) dirty_ = 0.0;
 }
 
 double LruList::file_bytes(const std::string& file) const {
-  auto it = file_bytes_.find(file);
-  return it == file_bytes_.end() ? 0.0 : it->second;
+  auto it = files_.find(file);
+  return it == files_.end() ? 0.0 : it->second.bytes;
+}
+
+std::map<std::string, double> LruList::per_file() const {
+  std::map<std::string, double> out;
+  for (const auto& [file, acct] : files_) {
+    if (acct.bytes > 0.0) out[file] = acct.bytes;
+  }
+  return out;
 }
 
 double LruList::clean_excluding(const std::string& exclude_file) const {
   double clean = clean_total();
   if (exclude_file.empty()) return clean;
-  // Subtract the excluded file's clean bytes.
-  double excluded_clean = 0.0;
-  for (const DataBlock& b : blocks_) {
-    if (!b.dirty && b.file == exclude_file) excluded_clean += b.size;
-  }
-  return clean - excluded_clean;
+  auto it = files_.find(exclude_file);
+  if (it == files_.end()) return clean;
+  return clean - (it->second.bytes - it->second.dirty_bytes);
 }
 
 LruList::iterator LruList::lru_dirty(const std::string& exclude_file) {
-  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
-    if (it->dirty && (exclude_file.empty() || it->file != exclude_file)) return it;
+  for (Node* node : dirty_idx_) {
+    if (exclude_file.empty() || node->file != exclude_file) return node->self;
   }
   return blocks_.end();
 }
 
 LruList::iterator LruList::lru_clean(const std::string& exclude_file) {
-  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
-    if (!it->dirty && (exclude_file.empty() || it->file != exclude_file)) return it;
+  for (Node* node : clean_idx_) {
+    if (exclude_file.empty() || node->file != exclude_file) return node->self;
   }
   return blocks_.end();
 }
 
 LruList::iterator LruList::lru_dirty_of(const std::string& file) {
-  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
-    if (it->dirty && it->file == file) return it;
-  }
-  return blocks_.end();
+  auto it = files_.find(file);
+  if (it == files_.end() || it->second.dirty_nodes.empty()) return blocks_.end();
+  return (*it->second.dirty_nodes.begin())->self;
 }
 
 LruList::iterator LruList::find(std::uint64_t id) {
-  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
-    if (it->id == id) return it;
-  }
-  return blocks_.end();
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? blocks_.end() : it->second->self;
 }
 
 void LruList::check_invariants() const {
   double total = 0.0;
   double dirty = 0.0;
-  std::map<std::string, double> per_file;
+  std::map<std::string, double> per_file_bytes;
+  std::map<std::string, double> per_file_dirty;
+  std::size_t dirty_count = 0;
   double prev_access = -std::numeric_limits<double>::infinity();
-  for (const DataBlock& b : blocks_) {
+  double prev_key = -std::numeric_limits<double>::infinity();
+  for (const_iterator it = blocks_.begin(); it != blocks_.end(); ++it) {
+    const Node& b = *it;
     if (b.size <= 0.0) throw std::logic_error("LruList: non-positive block size");
     if (b.last_access < prev_access - 1e-12) {
       throw std::logic_error("LruList: blocks not ordered by last access");
     }
+    if (b.order_key <= prev_key) {
+      throw std::logic_error("LruList: order keys not strictly increasing");
+    }
     prev_access = b.last_access;
+    prev_key = b.order_key;
     total += b.size;
-    if (b.dirty) dirty += b.size;
-    per_file[b.file] += b.size;
+    if (b.dirty) {
+      dirty += b.size;
+      per_file_dirty[b.file] += b.size;
+      ++dirty_count;
+    }
+    per_file_bytes[b.file] += b.size;
+
+    Node* node = const_cast<Node*>(&b);
+    if (node->self != it) throw std::logic_error("LruList: node self-iterator drift");
+    auto id_it = by_id_.find(b.id);
+    if (id_it == by_id_.end() || id_it->second != node) {
+      throw std::logic_error("LruList: id index drift");
+    }
+    if (all_.count(node) == 0) throw std::logic_error("LruList: position index drift");
+    if (b.dirty) {
+      if (dirty_idx_.count(node) == 0) throw std::logic_error("LruList: dirty index drift");
+      auto file_it = files_.find(b.file);
+      if (file_it == files_.end() || file_it->second.dirty_nodes.count(node) == 0) {
+        throw std::logic_error("LruList: per-file dirty index drift");
+      }
+      if (clean_idx_.count(node) != 0) throw std::logic_error("LruList: dirty block in clean index");
+    } else {
+      if (clean_idx_.count(node) == 0) throw std::logic_error("LruList: clean index drift");
+      if (dirty_idx_.count(node) != 0) throw std::logic_error("LruList: clean block in dirty index");
+    }
+  }
+  if (all_.size() != blocks_.size() || by_id_.size() != blocks_.size() ||
+      dirty_idx_.size() != dirty_count || clean_idx_.size() != blocks_.size() - dirty_count) {
+    throw std::logic_error("LruList: index cardinality drift");
   }
   auto close = [](double a, double b) { return std::fabs(a - b) <= 1e-3 + 1e-9 * std::fabs(a); };
   if (!close(total, total_)) {
@@ -164,9 +309,17 @@ void LruList::check_invariants() const {
     throw std::logic_error(oss.str());
   }
   if (!close(dirty, dirty_)) throw std::logic_error("LruList: dirty account drift");
-  for (const auto& [file, bytes] : per_file) {
+  for (const auto& [file, bytes] : per_file_bytes) {
     if (!close(bytes, file_bytes(file))) {
       throw std::logic_error("LruList: per-file account drift for " + file);
+    }
+  }
+  for (const auto& [file, acct] : files_) {
+    double expect_dirty = 0.0;
+    auto dirty_it = per_file_dirty.find(file);
+    if (dirty_it != per_file_dirty.end()) expect_dirty = dirty_it->second;
+    if (!close(expect_dirty, acct.dirty_bytes)) {
+      throw std::logic_error("LruList: per-file dirty account drift for " + file);
     }
   }
 }

@@ -1,16 +1,33 @@
 // A page-cache LRU list of data blocks, ordered by last access time
-// (earliest — least recently used — first), with O(1) byte accounting.
+// (earliest — least recently used — first), with O(1) byte accounting and
+// indexed lookups.
 //
 // Two instances (inactive + active) form the kernel's two-list strategy in
-// the MemoryManager.  The list maintains per-file byte totals so the
-// round-robin read model (Figure 3 of the paper) can cheaply answer "how
-// much of file f is cached here?".
+// the MemoryManager.  Beyond the ordered block list itself, the list
+// maintains:
+//   * an id -> node hash index, making find() O(1) (the periodic flusher
+//     revalidates candidates by id across simulated awaits);
+//   * dirty and clean index sets ordered by list position, so lru_dirty()
+//     and lru_clean() are O(log n) — and when an exclude_file is given they
+//     skip only that file's blocks instead of scanning the whole list;
+//   * per-file accounting with a dirty/clean byte split and a per-file
+//     dirty index, so file_bytes(), clean_excluding() and lru_dirty_of()
+//     no longer scan (the round-robin read model of Figure 3 and fsync ask
+//     these constantly).
+//
+// List positions are mirrored into the index sets through a per-node
+// `order_key`, a double that strictly increases along the list.  Keys are
+// assigned fractionally on insertion (midpoint of the neighbours); when the
+// midpoint degenerates the whole list is renumbered, which preserves the
+// relative order of every node and therefore every index set.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <map>
+#include <set>
 #include <string>
+#include <unordered_map>
 
 #include "pagecache/block.hpp"
 
@@ -18,9 +35,23 @@ namespace pcs::cache {
 
 class LruList {
  public:
-  using BlockList = std::list<DataBlock>;
+  /// A stored block: the DataBlock payload plus the index bookkeeping.
+  /// Public inheritance keeps the historical element API — iterators
+  /// dereference to something usable as a DataBlock.
+  struct Node;
+  using BlockList = std::list<Node>;
   using iterator = BlockList::iterator;
   using const_iterator = BlockList::const_iterator;
+
+  struct Node : DataBlock {
+    explicit Node(DataBlock b) : DataBlock(std::move(b)) {}
+    double order_key = 0.0;  ///< strictly increasing along the list
+    iterator self{};         ///< this node's own list position
+  };
+
+  LruList() = default;
+  LruList(const LruList&) = delete;
+  LruList& operator=(const LruList&) = delete;
 
   /// Insert keeping last-access order; among equal access times the new
   /// block goes last (FIFO), so same-instant insertions stay stable.
@@ -32,7 +63,10 @@ class LruList {
   /// Remove a block, dropping its bytes from the accounting.
   void erase(iterator it);
 
-  /// Update a block's last access time and restore ordering.
+  /// Update a block's last access time and restore ordering.  A touch that
+  /// does not change the access time, or that leaves the block's position
+  /// valid (no follower is older than the new time), updates in place;
+  /// otherwise the block is re-inserted and `it` is invalidated.
   void touch(iterator it, double now);
 
   /// Split the block at `it` into a leading part of `first_size` bytes and
@@ -42,7 +76,7 @@ class LruList {
   /// `second_id`.
   std::pair<iterator, iterator> split(iterator it, double first_size, std::uint64_t second_id);
 
-  /// Flip the dirty flag, maintaining the dirty-byte account.
+  /// Flip the dirty flag, maintaining the dirty-byte account and indexes.
   void set_dirty(iterator it, bool dirty);
 
   /// Grow/shrink a block in place (used when merging reads).
@@ -59,9 +93,11 @@ class LruList {
   [[nodiscard]] double dirty_total() const { return dirty_; }
   [[nodiscard]] double clean_total() const { return total_ - dirty_; }
   [[nodiscard]] double file_bytes(const std::string& file) const;
-  /// Per-file byte totals (for cache-content probes, Fig 4c).
-  [[nodiscard]] const std::map<std::string, double>& per_file() const { return file_bytes_; }
-  /// Clean bytes excluding one file (eviction candidates wrt. an exclusion).
+  /// Per-file byte totals (for cache-content probes, Fig 4c), ordered by
+  /// file name so serialized output stays deterministic.
+  [[nodiscard]] std::map<std::string, double> per_file() const;
+  /// Clean bytes excluding one file (eviction candidates wrt. an
+  /// exclusion).  O(1): per-file accounting keeps the dirty/clean split.
   [[nodiscard]] double clean_excluding(const std::string& exclude_file) const;
 
   /// Least recently used dirty block, or end().
@@ -72,21 +108,53 @@ class LruList {
   [[nodiscard]] iterator lru_dirty_of(const std::string& file);
 
   /// Find by block id (used by the periodic flusher to revalidate
-  /// candidates across simulated awaits); end() if gone.
+  /// candidates across simulated awaits); end() if gone.  O(1).
   [[nodiscard]] iterator find(std::uint64_t id);
 
-  /// Verify ordering and accounting; throws std::logic_error on violation.
-  /// Used by tests and debug assertions.
+  /// Verify ordering, accounting and index consistency; throws
+  /// std::logic_error on violation.  Called explicitly by tests; internal
+  /// hot-path self-checks compile in only with PCS_DEBUG_INVARIANTS.
   void check_invariants() const;
 
  private:
+  /// Orders index-set entries by list position.
+  struct OrderCmp {
+    using is_transparent = void;
+    bool operator()(const Node* a, const Node* b) const { return a->order_key < b->order_key; }
+    // Heterogeneous probes by access time (valid because last_access is
+    // non-decreasing in order_key): upper_bound(t) is the first block
+    // strictly newer than t.
+    bool operator()(const Node* a, double access) const { return a->last_access <= access; }
+    bool operator()(double access, const Node* a) const { return access < a->last_access; }
+  };
+  using NodeSet = std::set<Node*, OrderCmp>;
+
+  struct FileAccount {
+    double bytes = 0.0;
+    double dirty_bytes = 0.0;
+    NodeSet dirty_nodes;
+  };
+
   BlockList blocks_;
   double total_ = 0.0;
   double dirty_ = 0.0;
-  std::map<std::string, double> file_bytes_;
+  NodeSet all_;    ///< every block, by list position (insert-position search)
+  NodeSet dirty_idx_;
+  NodeSet clean_idx_;
+  std::unordered_map<std::uint64_t, Node*> by_id_;
+  std::unordered_map<std::string, FileAccount> files_;
 
   void account_add(const DataBlock& b);
   void account_remove(const DataBlock& b);
+  void index_add(Node* node);
+  void index_remove(Node* node);
+  /// Place a new node before `pos`, wiring self-iterator, order key and
+  /// indexes (shared by insert and split; accounting is the caller's job).
+  iterator emplace_node(iterator pos, DataBlock block);
+  /// Assign `node` an order key placing it right before `next_pos` in the
+  /// list (end() = append); renumbers all keys when midpoints degenerate.
+  void assign_order_key(iterator node, iterator next_pos);
+  void renumber_keys();
 };
 
 }  // namespace pcs::cache

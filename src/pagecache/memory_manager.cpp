@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "util/debug.hpp"
 #include "util/log.hpp"
 
 namespace pcs::cache {
@@ -140,6 +141,7 @@ void MemoryManager::evict(double amount, const std::string& exclude_file) {
     }
   }
   balance_lists();
+  PCS_CHECK_INVARIANTS(check_invariants());
 }
 
 double MemoryManager::touch_cached(const std::string& file, double amount) {
@@ -196,6 +198,7 @@ double MemoryManager::touch_cached(const std::string& file, double amount) {
     active_.insert(std::move(merged));
   }
   balance_lists();
+  PCS_CHECK_INVARIANTS(check_invariants());
   return amount - std::max(0.0, remaining);
 }
 
@@ -224,6 +227,7 @@ double MemoryManager::add_to_cache(const std::string& file, double amount, bool 
   block.last_access = engine_.now();
   block.dirty = dirty;
   inactive_.insert(std::move(block));
+  PCS_CHECK_INVARIANTS(check_invariants());
   return amount;
 }
 
@@ -299,6 +303,7 @@ void MemoryManager::drop_file(const std::string& file) {
       }
     }
   }
+  PCS_CHECK_INVARIANTS(check_invariants());
 }
 
 void MemoryManager::balance_lists() {

@@ -5,6 +5,11 @@
 // bounded by the minimum share across all claimed resources (bottleneck
 // model: an NFS read claims the network link *and* the server disk) and by
 // an optional per-activity rate bound (e.g. one core's speed).
+//
+// Progress is tracked lazily: `remaining_` is exact as of `last_update_`
+// and the engine only materializes it when the activity's rate changes or
+// it completes, so activities in untouched fair-share components cost
+// nothing per scheduling point.
 #pragma once
 
 #include <coroutine>
@@ -24,7 +29,8 @@ class Activity {
  public:
   [[nodiscard]] const std::string& label() const { return label_; }
   [[nodiscard]] double total() const { return total_; }
-  [[nodiscard]] double remaining() const { return remaining_; }
+  /// Remaining work projected to the engine's current virtual time.
+  [[nodiscard]] double remaining() const;
   [[nodiscard]] double rate() const { return rate_; }
   [[nodiscard]] bool done() const { return done_; }
   [[nodiscard]] double start_time() const { return start_time_; }
@@ -33,31 +39,39 @@ class Activity {
  private:
   friend class Engine;
   friend class ActivityAwaiter;
-  Activity(std::uint64_t id, std::string label, std::vector<Claim> claims, double amount,
-           double bound, double start_time)
-      : id_(id),
+  Activity(Engine* engine, std::uint64_t id, std::string label, std::vector<Claim> claims,
+           double amount, double bound, double start_time)
+      : engine_(engine),
+        id_(id),
         label_(std::move(label)),
         claims_(std::move(claims)),
         total_(amount),
         remaining_(amount),
         bound_(bound),
-        start_time_(start_time) {}
+        start_time_(start_time),
+        last_update_(start_time) {}
 
+  Engine* engine_;
   std::uint64_t id_;
   std::string label_;
   std::vector<Claim> claims_;
   double total_;
-  double remaining_;
+  double remaining_;  ///< remaining work, exact as of last_update_
   double bound_ = std::numeric_limits<double>::infinity();
   double rate_ = 0.0;
   double start_time_ = 0.0;
   double end_time_ = -1.0;
+  double last_update_ = 0.0;     ///< virtual time remaining_ refers to
+  double completion_time_ = std::numeric_limits<double>::infinity();
+  std::uint64_t version_ = 0;    ///< invalidates stale completion-heap entries
+  std::size_t run_index_ = 0;    ///< position in Engine::running_
+  std::uint64_t visit_mark_ = 0; ///< component-BFS visit stamp
   bool done_ = false;
   std::coroutine_handle<> waiter_{};
 
-  // Scratch for the fair-share solver and the completion scan.
+  // Scratch for the fair-share solver and its full-solve cross-check.
   bool scratch_assigned_ = false;
-  double scratch_completion_ = 0.0;
+  double scratch_check_rate_ = 0.0;
 };
 
 using ActivityPtr = std::shared_ptr<Activity>;

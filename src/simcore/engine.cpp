@@ -27,11 +27,43 @@ Engine::Engine() {
   util::Logger::instance().set_clock([this] { return now_; });
 }
 
-Engine::~Engine() { util::Logger::instance().clear_clock(); }
+Engine::~Engine() {
+  // Detach surviving activities (daemon-owned work abandoned at run() exit,
+  // or detached ActivityPtrs the caller still holds): materialize their
+  // progress and clear the engine back-pointer so remaining() stays safe
+  // after the engine is gone.
+  for (const ActivityPtr& act : running_) {
+    sync_remaining(*act);
+    act->engine_ = nullptr;
+  }
+  util::Logger::instance().clear_clock();
+}
+
+void Resource::set_capacity(double capacity) {
+  capacity_ = capacity;
+  if (engine_ != nullptr) engine_->mark_resource_dirty(this);
+}
+
+double Activity::remaining() const {
+  if (done_) return 0.0;
+  if (engine_ == nullptr || rate_ <= 0.0) return remaining_;
+  const double dt = engine_->now() - last_update_;
+  if (dt <= 0.0) return remaining_;
+  const double projected = remaining_ - rate_ * dt;
+  return projected > 0.0 ? projected : 0.0;
+}
 
 Resource* Engine::new_resource(std::string name, double capacity) {
   resources_.push_back(std::make_unique<Resource>(std::move(name), capacity));
+  resources_.back()->engine_ = this;
   return resources_.back().get();
+}
+
+void Engine::mark_resource_dirty(Resource* resource) {
+  if (!resource->dirty_queued_) {
+    resource->dirty_queued_ = true;
+    dirty_resources_.push_back(resource);
+  }
 }
 
 ActivityAwaiter Engine::submit(std::string label, std::vector<Claim> claims, double amount,
@@ -45,17 +77,52 @@ ActivityPtr Engine::submit_detached(std::string label, std::vector<Claim> claims
   // return and do not do anything"; zero-work activities likewise complete
   // immediately without a scheduling point.
   auto activity = ActivityPtr(
-      new Activity(next_id_++, std::move(label), std::move(claims), amount, bound, now_));
+      new Activity(this, next_id_++, std::move(label), std::move(claims), amount, bound, now_));
   if (amount <= 0.0) {
     activity->remaining_ = 0.0;
     activity->done_ = true;
     activity->end_time_ = now_;
     return activity;
   }
+  activity->run_index_ = running_.size();
   running_.push_back(activity);
-  rates_dirty_ = true;
+  if (activity->claims_.empty()) {
+    // A claimless activity is its own fair-share component: its rate is its
+    // bound (or the unconstrained rate) and never changes, so the solver
+    // needn't see it.  Matches the progressive-filling terminal branch.
+    activity->rate_ = std::isfinite(activity->bound_) ? activity->bound_ : kUnconstrainedRate;
+    update_completion(*activity);
+  } else {
+    register_claims(activity);
+  }
   util::log_trace("engine", "start activity '", activity->label_, "' amount=", amount);
   return activity;
+}
+
+void Engine::register_claims(const ActivityPtr& activity) {
+  for (std::size_t i = 0; i < activity->claims_.size(); ++i) {
+    Claim& claim = activity->claims_[i];
+    assert(claim.resource != nullptr && "activity claim without a resource");
+    claim.slot_ = claim.resource->incumbents_.size();
+    claim.resource->incumbents_.emplace_back(activity.get(), i);
+    mark_resource_dirty(claim.resource);
+  }
+}
+
+void Engine::deregister_claims(Activity& activity) {
+  for (Claim& claim : activity.claims_) {
+    Resource* r = claim.resource;
+    mark_resource_dirty(r);
+    auto& incumbents = r->incumbents_;
+    const std::size_t slot = claim.slot_;
+    assert(slot < incumbents.size() && incumbents[slot].first == &activity);
+    incumbents[slot] = incumbents.back();
+    incumbents.pop_back();
+    if (slot < incumbents.size()) {
+      auto [moved, moved_claim] = incumbents[slot];
+      moved->claims_[moved_claim].slot_ = slot;
+    }
+  }
 }
 
 void Engine::spawn(std::string name, Task<> task, bool daemon) {
@@ -88,19 +155,91 @@ std::size_t Engine::drain_ready() {
   return resumed;
 }
 
+void Engine::sync_remaining(Activity& activity) {
+  if (activity.last_update_ >= now_) return;
+  if (activity.rate_ > 0.0) {
+    activity.remaining_ -= activity.rate_ * (now_ - activity.last_update_);
+    if (activity.remaining_ < 0.0) activity.remaining_ = 0.0;
+  }
+  activity.last_update_ = now_;
+}
+
+void Engine::update_completion(Activity& activity) {
+  ++activity.version_;
+  activity.completion_time_ =
+      activity.rate_ > 0.0 ? now_ + activity.remaining_ / activity.rate_ : kInf;
+  if (activity.completion_time_ < kInf) {
+    completions_.push(CompletionEntry{activity.completion_time_, activity.id_,
+                                      activity.version_, running_[activity.run_index_]});
+  }
+}
+
+double Engine::heap_top_time() {
+  while (!completions_.empty()) {
+    const CompletionEntry& e = completions_.top();
+    if (e.activity->done_ || e.version != e.activity->version_) {
+      completions_.pop();
+      continue;
+    }
+    return e.time;
+  }
+  return kInf;
+}
+
 void Engine::recompute_rates() {
-  rates_dirty_ = false;
-  std::vector<Resource*> used;
-  for (const ActivityPtr& act : running_) {
+  // Collect the connected components reachable from dirty resources over
+  // the incumbency graph (resource -> claiming activities -> their other
+  // resources).  Everything outside keeps its rate, remaining amount and
+  // completion entry untouched.
+  ++visit_mark_;
+  affected_acts_.clear();
+  bfs_stack_.clear();
+  for (Resource* r : dirty_resources_) {
+    r->dirty_queued_ = false;
+    bfs_stack_.push_back(r);
+  }
+  dirty_resources_.clear();
+  while (!bfs_stack_.empty()) {
+    Resource* r = bfs_stack_.back();
+    bfs_stack_.pop_back();
+    if (r->visit_mark_ == visit_mark_) continue;
+    r->visit_mark_ = visit_mark_;
+    for (const auto& [act, claim_idx] : r->incumbents_) {
+      (void)claim_idx;
+      if (act->visit_mark_ == visit_mark_) continue;
+      act->visit_mark_ = visit_mark_;
+      affected_acts_.push_back(act);
+      for (const Claim& claim : act->claims_) {
+        if (claim.resource->visit_mark_ != visit_mark_) bfs_stack_.push_back(claim.resource);
+      }
+    }
+  }
+
+  // Canonical order: ascending id = submission order, the same relative
+  // order a full solve over `running_` would visit.  This keeps tie-breaks
+  // — and therefore floating-point operation order — bit-identical to the
+  // full solve.
+  std::sort(affected_acts_.begin(), affected_acts_.end(),
+            [](const Activity* a, const Activity* b) { return a->id_ < b->id_; });
+
+  for (Activity* act : affected_acts_) sync_remaining(*act);
+  solve_subset(affected_acts_);
+  for (Activity* act : affected_acts_) update_completion(*act);
+
+  if (cross_check_) verify_full_solve();
+}
+
+void Engine::solve_subset(const std::vector<Activity*>& acts) {
+  solve_used_.clear();
+  for (Activity* act : acts) {
     act->scratch_assigned_ = false;
     for (const Claim& claim : act->claims_) {
       Resource* r = claim.resource;
-      assert(r != nullptr && "activity claim without a resource");
       if (!r->scratch_active_) {
         r->scratch_active_ = true;
         r->scratch_capacity_ = r->capacity_;
         r->scratch_weight_ = 0.0;
-        used.push_back(r);
+        solve_used_.push_back(r);
       }
       r->scratch_weight_ += claim.weight;
     }
@@ -110,12 +249,12 @@ void Engine::recompute_rates() {
   // resource with the smallest fair share, or an activity whose own bound
   // is smaller), fix the rate of the activities it pins, subtract their
   // consumption everywhere, repeat.
-  std::size_t unassigned = running_.size();
+  std::size_t unassigned = acts.size();
   while (unassigned > 0) {
     double best = kInf;
     Resource* best_resource = nullptr;
     Activity* best_bounded = nullptr;
-    for (Resource* r : used) {
+    for (Resource* r : solve_used_) {
       if (r->scratch_weight_ <= 0.0) continue;
       double fair = r->scratch_capacity_ / r->scratch_weight_;
       if (fair < best) {
@@ -124,18 +263,18 @@ void Engine::recompute_rates() {
         best_bounded = nullptr;
       }
     }
-    for (const ActivityPtr& act : running_) {
+    for (Activity* act : acts) {
       if (act->scratch_assigned_) continue;
       if (act->bound_ < best) {
         best = act->bound_;
-        best_bounded = act.get();
+        best_bounded = act;
         best_resource = nullptr;
       }
     }
 
     if (best_resource == nullptr && best_bounded == nullptr) {
       // Remaining activities have no claims and no finite bound.
-      for (const ActivityPtr& act : running_) {
+      for (Activity* act : acts) {
         if (!act->scratch_assigned_) {
           act->rate_ = kUnconstrainedRate;
           act->scratch_assigned_ = true;
@@ -159,7 +298,7 @@ void Engine::recompute_rates() {
       consume(*best_bounded, best_bounded->rate_);
       --unassigned;
     } else {
-      for (const ActivityPtr& act : running_) {
+      for (Activity* act : acts) {
         if (act->scratch_assigned_) continue;
         bool uses = std::any_of(act->claims_.begin(), act->claims_.end(),
                                 [&](const Claim& c) { return c.resource == best_resource; });
@@ -173,31 +312,51 @@ void Engine::recompute_rates() {
     }
   }
 
-  for (Resource* r : used) r->scratch_active_ = false;
+  for (Resource* r : solve_used_) r->scratch_active_ = false;
 }
 
-double Engine::next_completion_time() const {
-  double best = kInf;
-  for (const ActivityPtr& act : running_) {
-    double ct = act->rate_ > 0.0 ? now_ + act->remaining_ / act->rate_ : kInf;
-    act->scratch_completion_ = ct;
-    best = std::min(best, ct);
-  }
-  return best;
-}
+void Engine::verify_full_solve() {
+  // Debug cross-check: the incremental solver must agree bit-for-bit with a
+  // full progressive-filling solve over every running activity.
+  std::vector<Activity*> all;
+  all.reserve(running_.size());
+  for (const ActivityPtr& act : running_) all.push_back(act.get());
+  std::sort(all.begin(), all.end(),
+            [](const Activity* a, const Activity* b) { return a->id_ < b->id_; });
 
-void Engine::advance_activities(double dt) {
-  if (dt <= 0.0) return;
-  for (const ActivityPtr& act : running_) {
-    act->remaining_ = std::max(0.0, act->remaining_ - act->rate_ * dt);
+  // Save incremental rates, run the full solve, compare, restore.
+  for (Activity* act : all) act->scratch_check_rate_ = act->rate_;
+  solve_subset(all);
+  for (Activity* act : all) {
+    const double full_rate = act->rate_;
+    act->rate_ = act->scratch_check_rate_;
+    if (full_rate != act->scratch_check_rate_) {
+      throw SimulationError("incremental solver diverged from full solve for activity '" +
+                            act->label_ + "': incremental " +
+                            std::to_string(act->scratch_check_rate_) + " vs full " +
+                            std::to_string(full_rate));
+    }
   }
 }
 
 void Engine::complete_activity(Activity& activity) {
   activity.remaining_ = 0.0;
+  activity.last_update_ = now_;
   activity.done_ = true;
   activity.end_time_ = now_;
   activity.rate_ = 0.0;
+  ++activity.version_;  // drop any still-queued completion entry
+  deregister_claims(activity);
+
+  // Swap-remove from the running set.
+  const std::size_t idx = activity.run_index_;
+  assert(idx < running_.size() && running_[idx].get() == &activity);
+  if (idx + 1 != running_.size()) {
+    running_[idx] = std::move(running_.back());
+    running_[idx]->run_index_ = idx;
+  }
+  running_.pop_back();
+
   if (tracer_ != nullptr) tracer_->record(activity.label_, activity.start_time_, now_);
   util::log_trace("engine", "complete activity '", activity.label_, "'");
   if (activity.waiter_) {
@@ -207,41 +366,49 @@ void Engine::complete_activity(Activity& activity) {
 }
 
 void Engine::step(double time_limit) {
+  bool check_actors = true;
   while (true) {
-    drain_ready();
-    if (all_actors_done()) return;
-    if (rates_dirty_) recompute_rates();
+    if (drain_ready() > 0) check_actors = true;
+    if (check_actors) {
+      if (all_actors_done()) return;
+      check_actors = false;  // can only change after a coroutine resumes
+    }
+    if (!dirty_resources_.empty()) recompute_rates();
 
-    double t_act = next_completion_time();
+    double t_act = heap_top_time();
     double t_timer = timers_.empty() ? kInf : timers_.top().time;
     double t_next = std::min(t_act, t_timer);
     if (t_next == kInf) return;  // no event source left; caller decides if deadlock
     if (t_next > time_limit) {
-      advance_activities(time_limit - now_);
+      // Idle activities advance lazily; moving the clock is all that's
+      // needed (remaining() projects through last_update_).
       now_ = time_limit;
       return;
     }
 
-    advance_activities(t_next - now_);
     now_ = t_next;
     ++scheduling_points_;
 
     // Activities whose completion lands at this scheduling point (within
-    // relative tolerance, so simultaneous finishes stay simultaneous).
+    // relative tolerance, so simultaneous finishes stay simultaneous),
+    // completed in submission order — the same order the former full scan
+    // over `running_` used.
     const double tol = 1e-9 * (1.0 + std::fabs(t_next));
-    bool any_completed = false;
-    for (const ActivityPtr& act : running_) {
-      if (act->scratch_completion_ <= t_next + tol) {
-        complete_activity(*act);
-        any_completed = true;
+    completed_scratch_.clear();
+    while (!completions_.empty()) {
+      const CompletionEntry& e = completions_.top();
+      if (e.activity->done_ || e.version != e.activity->version_) {
+        completions_.pop();
+        continue;
       }
+      if (e.time > t_next + tol) break;
+      completed_scratch_.push_back(e.activity);
+      completions_.pop();
     }
-    if (any_completed) {
-      running_.erase(std::remove_if(running_.begin(), running_.end(),
-                                    [](const ActivityPtr& a) { return a->done_; }),
-                     running_.end());
-      rates_dirty_ = true;
-    }
+    std::sort(completed_scratch_.begin(), completed_scratch_.end(),
+              [](const ActivityPtr& a, const ActivityPtr& b) { return a->id_ < b->id_; });
+    for (const ActivityPtr& act : completed_scratch_) complete_activity(*act);
+    completed_scratch_.clear();
 
     while (!timers_.empty() && timers_.top().time <= now_ + tol) {
       schedule(timers_.top().handle);

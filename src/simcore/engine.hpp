@@ -8,6 +8,19 @@
 // exactly the flow-level approach of SimGrid on which WRENCH (and therefore
 // the paper's results) is built.
 //
+// The solver is *incremental* (SimGrid's lazy/partial-invalidation idea):
+// events mark the resources they touch dirty, and the next scheduling point
+// re-solves only the connected components of the activity/resource
+// incumbency graph reachable from dirty resources.  Activities elsewhere
+// keep their rates, their progress is tracked lazily through per-activity
+// last-update timestamps, and their completion times sit unchanged in a
+// min-heap — so an event's cost scales with the size of the component it
+// touched, not with the number of running activities.  The allocation a
+// component solve produces is bit-identical to a full progressive-filling
+// solve (components do not interact, and iteration orders are preserved);
+// `set_solver_cross_check(true)` — default in PCS_DEBUG_INVARIANTS builds —
+// verifies exactly that after every solve.
+//
 // Termination: the run loop ends when every non-daemon root actor has
 // finished.  Daemon actors (the Memory Manager's periodic-flush thread,
 // Algorithm 1 of the paper, is an infinite loop) are simply abandoned at
@@ -117,6 +130,16 @@ class Engine {
   /// Pass nullptr to detach.  The tracer must outlive the engine's use.
   void set_tracer(class Tracer* tracer) { tracer_ = tracer; }
 
+  /// Re-run the full progressive-filling solve after every incremental
+  /// solve and throw SimulationError if any rate differs.  Defaults to on
+  /// in PCS_DEBUG_INVARIANTS builds; tests enable it explicitly elsewhere.
+  void set_solver_cross_check(bool enabled) { cross_check_ = enabled; }
+  [[nodiscard]] bool solver_cross_check() const { return cross_check_; }
+
+  /// Internal (called by Resource::set_capacity and activity lifecycle):
+  /// mark a resource's fair-share component for re-solving.
+  void mark_resource_dirty(Resource* resource);
+
  private:
   struct Timer {
     double time;
@@ -128,6 +151,17 @@ class Engine {
     }
   };
 
+  struct CompletionEntry {
+    double time;
+    std::uint64_t id;       ///< activity id: deterministic tie-break
+    std::uint64_t version;  ///< stale when != activity->version_
+    ActivityPtr activity;
+    bool operator>(const CompletionEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
   struct RootActor {
     std::string name;
     Task<> task;
@@ -135,25 +169,52 @@ class Engine {
   };
 
   void recompute_rates();
-  void advance_activities(double dt);
+  /// Progressive filling restricted to `acts` (sorted by id) and the
+  /// resources they claim; writes Activity::rate_.
+  void solve_subset(const std::vector<Activity*>& acts);
+  /// Materialize remaining work at the current virtual time.
+  void sync_remaining(Activity& activity);
+  /// Refresh completion_time_ and push a fresh heap entry.
+  void update_completion(Activity& activity);
+  /// Earliest valid completion time, dropping stale heap entries; kInf if none.
+  double heap_top_time();
+  void register_claims(const ActivityPtr& activity);
+  void deregister_claims(Activity& activity);
+  /// Full-solve determinism cross-check; throws on divergence.
+  void verify_full_solve();
   /// Runs every ready coroutine; returns number resumed.
   std::size_t drain_ready();
-  double next_completion_time() const;
   void complete_activity(Activity& activity);
   void step(double time_limit);
 
   double now_ = 0.0;
-  bool rates_dirty_ = false;
   bool running_loop_ = false;
+  bool cross_check_ =
+#ifdef PCS_DEBUG_INVARIANTS
+      true;
+#else
+      false;
+#endif
   std::uint64_t next_id_ = 1;
   std::uint64_t scheduling_points_ = 0;
+  std::uint64_t visit_mark_ = 0;
 
   Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Resource>> resources_;
+  /// Running activities, unordered (swap-remove via Activity::run_index_).
   std::vector<ActivityPtr> running_;
+  std::vector<Resource*> dirty_resources_;
+  std::priority_queue<CompletionEntry, std::vector<CompletionEntry>, std::greater<>>
+      completions_;
   std::deque<std::coroutine_handle<>> ready_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::vector<RootActor> roots_;
+
+  // Reused solve scratch (avoids per-event allocation).
+  std::vector<Activity*> affected_acts_;
+  std::vector<Resource*> bfs_stack_;
+  std::vector<Resource*> solve_used_;
+  std::vector<ActivityPtr> completed_scratch_;
 };
 
 }  // namespace pcs::sim

@@ -7,13 +7,21 @@
 // flow-level model SimGrid uses for storage and network simulation
 // (Lebre et al., CCGrid 2015) and therefore the model the paper's results
 // rely on for concurrent I/O (Exp 2 and Exp 3).
+//
+// Each resource tracks its incumbents — the running activities currently
+// claiming it.  That incumbency graph is what lets the engine's incremental
+// solver re-solve only the connected component an event touched instead of
+// the whole platform.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pcs::sim {
 
+class Activity;
 class Engine;
 
 class Resource {
@@ -27,13 +35,21 @@ class Resource {
   [[nodiscard]] double capacity() const { return capacity_; }
 
   /// Capacity may change mid-simulation (e.g. modelling degraded devices);
-  /// the engine recomputes shares on the next scheduling point.
-  void set_capacity(double capacity) { capacity_ = capacity; }
+  /// the engine re-solves the affected component on the next scheduling
+  /// point.
+  void set_capacity(double capacity);
 
  private:
   friend class Engine;
   std::string name_;
   double capacity_;
+  Engine* engine_ = nullptr;  ///< set by Engine::new_resource
+
+  /// Running activities claiming this resource, as (activity, claim index)
+  /// pairs.  Unordered; removal is O(1) swap-remove through Claim::slot_.
+  std::vector<std::pair<Activity*, std::size_t>> incumbents_;
+  bool dirty_queued_ = false;      ///< already in the engine's dirty list
+  std::uint64_t visit_mark_ = 0;   ///< component-BFS visit stamp
 
   // Scratch state for the fair-share solver (valid only inside a solve).
   double scratch_capacity_ = 0.0;
@@ -46,6 +62,10 @@ class Resource {
 struct Claim {
   Resource* resource = nullptr;
   double weight = 1.0;
+
+  /// Internal: this claim's position in resource->incumbents_ while the
+  /// owning activity is running.  Maintained by the engine.
+  std::size_t slot_ = 0;
 };
 
 /// Single-resource claim list.  Prefer this over a braced initializer list

@@ -1,0 +1,15 @@
+// Hot-path self-checking.
+//
+// PCS_CHECK_INVARIANTS(expr) evaluates `expr` only when the build defines
+// PCS_DEBUG_INVARIANTS (Debug builds and the Debug CI leg); Release builds
+// compile it out entirely.  The check functions themselves
+// (LruList::check_invariants, MemoryManager::check_invariants, the engine's
+// full-solve cross-check) stay available in every build so tests can invoke
+// them explicitly regardless of configuration.
+#pragma once
+
+#ifdef PCS_DEBUG_INVARIANTS
+#define PCS_CHECK_INVARIANTS(expr) (expr)
+#else
+#define PCS_CHECK_INVARIANTS(expr) ((void)0)
+#endif

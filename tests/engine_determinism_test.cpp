@@ -1,0 +1,88 @@
+// Determinism regression for the incremental fair-share solver.
+//
+// The same scenario run twice must be bit-identical: same scheduling-point
+// count, same final virtual time, same per-event timestamp fingerprints.
+// A third run enables the full-solve cross-check, which re-solves the whole
+// platform after every incremental solve and throws if any activity rate
+// diverges — proving the incremental solver's component restriction exact,
+// not merely approximately right.
+#include <gtest/gtest.h>
+
+#include "exp/corebench.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/task.hpp"
+
+namespace pcs::exp {
+namespace {
+
+CoreScenarioConfig small_config() {
+  CoreScenarioConfig config;
+  config.actors = 200;
+  config.groups = 20;
+  config.rounds = 10;
+  return config;
+}
+
+TEST(EngineDeterminism, RepeatedRunsAreBitIdentical) {
+  const CoreScenarioConfig config = small_config();
+  const CoreScenarioResult a = run_core_scenario(config);
+  const CoreScenarioResult b = run_core_scenario(config);
+  EXPECT_EQ(a.scheduling_points, b.scheduling_points);
+  EXPECT_EQ(a.final_vtime, b.final_vtime);  // bitwise, not NEAR
+  EXPECT_EQ(a.completion_checksum, b.completion_checksum);
+  EXPECT_EQ(a.checksum_ns, b.checksum_ns);
+  EXPECT_GT(a.scheduling_points, 0u);
+}
+
+TEST(EngineDeterminism, IncrementalSolverMatchesFullSolve) {
+  CoreScenarioConfig config = small_config();
+  const CoreScenarioResult plain = run_core_scenario(config);
+  config.solver_cross_check = true;
+  // Throws SimulationError on any rate divergence between the incremental
+  // component solve and a full progressive-filling solve.
+  const CoreScenarioResult checked = run_core_scenario(config);
+  EXPECT_EQ(plain.scheduling_points, checked.scheduling_points);
+  EXPECT_EQ(plain.final_vtime, checked.final_vtime);
+  EXPECT_EQ(plain.completion_checksum, checked.completion_checksum);
+  EXPECT_EQ(plain.checksum_ns, checked.checksum_ns);
+}
+
+TEST(EngineDeterminism, SingleComponentTopologyCrossChecks) {
+  // groups=1 couples every actor into one fair-share component, so the
+  // incremental solve degenerates to the full solve; the cross-check must
+  // still agree and the run stay deterministic.
+  CoreScenarioConfig config;
+  config.actors = 64;
+  config.groups = 1;
+  config.rounds = 6;
+  config.solver_cross_check = true;
+  const CoreScenarioResult a = run_core_scenario(config);
+  const CoreScenarioResult b = run_core_scenario(config);
+  EXPECT_EQ(a.checksum_ns, b.checksum_ns);
+  EXPECT_EQ(a.final_vtime, b.final_vtime);
+}
+
+TEST(EngineDeterminism, CrossCheckCatchesCapacityEdits) {
+  // Capacity edits mid-run dirty the resource; the next scheduling point
+  // re-solves its component.  With the cross-check on, a missed
+  // invalidation would throw here.
+  sim::Engine engine;
+  engine.set_solver_cross_check(true);
+  sim::Resource* disk = engine.new_resource("disk", 100.0);
+  auto worker = [](sim::Engine& e, sim::Resource* r) -> sim::Task<> {
+    co_await e.submit("w", sim::one(r), 1000.0);
+  };
+  auto controller = [](sim::Engine& e, sim::Resource* r) -> sim::Task<> {
+    co_await e.sleep(2.0);
+    r->set_capacity(50.0);
+    co_await e.submit("poke", sim::one(r), 1e-9);
+  };
+  engine.spawn("w", worker(engine, disk));
+  engine.spawn("ctrl", controller(engine, disk));
+  engine.run();
+  // 0-2 s at 100/s = 200 done; remaining 800 at ~50/s = 16 s -> ~18 s.
+  EXPECT_NEAR(engine.now(), 18.0, 0.05);
+}
+
+}  // namespace
+}  // namespace pcs::exp

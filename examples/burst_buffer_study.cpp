@@ -7,97 +7,101 @@
 //   1. sync NFS      — writes go through the wire at remote-disk bandwidth;
 //   2. async client  — an NFS client write cache absorbs bursts and drains
 //                      them in the background (writeback mount);
-//   3. burst buffer  — tasks write to the node-local SSD, and a drainer
-//                      actor stages finished files to the server while the
-//                      pipeline keeps computing.
+//   3. burst buffer  — tasks write to the node-local SSD, and the
+//                      burst_buffer backend's drainer stages finished
+//                      results to the server while the pipelines compute.
+//
+// Since the scenario subsystem landed, each design is literally a scenario
+// document (see scenarios/nfs_cluster.json, scenarios/nfs_writeback_client
+// .json and scenarios/burst_buffer.json for the committed equivalents) —
+// this example builds the three specs programmatically and runs them
+// through the same runner `pcs_cli run` uses.
 #include <iostream>
 
-#include "exp/apps.hpp"
-#include "exp/runners.hpp"
 #include "exp/presets.hpp"
 #include "exp/report.hpp"
-#include "storage/local_storage.hpp"
-#include "storage/nfs.hpp"
-#include "workflow/simulation.hpp"
+#include "scenario/runner.hpp"
+#include "util/json.hpp"
 
 namespace {
 
 using namespace pcs;
-using namespace pcs::exp;
-using util::GB;
-using util::MB;
 
 constexpr int kInstances = 8;
-constexpr double kFileSize = 3.0 * GB;
-constexpr double kChunk = 100.0 * MB;
+constexpr const char* kFileSize = "3 GB";
 
-double run_nfs(cache::CacheMode client_mode) {
-  wf::Simulation sim;
-  ClusterPlatform cluster = make_cluster(sim.platform(), BandwidthMode::SimulatorSymmetric);
-  storage::NfsServer* server = sim.create_nfs_server(*cluster.storage, *cluster.remote_disk,
-                                                     cache::CacheMode::Writethrough);
-  storage::NfsMount* mount = sim.create_nfs_mount(*cluster.compute, *server, client_mode);
-  wf::ComputeService* cs = sim.create_compute_service(*cluster.compute, *mount, kChunk);
-  for (int i = 0; i < kInstances; ++i) {
-    wf::Workflow& workflow = sim.create_workflow();
-    build_synthetic(workflow, instance_prefix(i), kFileSize, synthetic_cpu_seconds(kFileSize));
-    cs->submit(workflow);
-  }
-  sim.run();
-  return sim.now();
+// The paper's cluster pair, serialized from the canonical preset (one
+// source of truth with exp::make_cluster and the generated specs).
+util::Json cluster_platform() {
+  sim::Engine scratch_engine;
+  plat::Platform scratch(scratch_engine);
+  exp::make_cluster(scratch, exp::BandwidthMode::SimulatorSymmetric);
+  return scratch.to_json();
+}
+
+util::Json synthetic_workload() {
+  return util::Json{util::JsonObject{}}
+      .set("type", "synthetic")
+      .set("input_size", kFileSize)
+      .set("instances", kInstances);
+}
+
+double run_nfs(const std::string& client_cache) {
+  util::Json service = util::Json{util::JsonObject{}}
+                           .set("name", "store")
+                           .set("type", "nfs")
+                           .set("host", "compute0")
+                           .set("server_host", "storage0")
+                           .set("server_disk", "nfs-ssd")
+                           .set("server_cache", "writethrough")
+                           .set("cache", client_cache);
+  util::Json doc{util::JsonObject{}};
+  doc.set("name", "nfs_" + client_cache);
+  doc.set("platform", cluster_platform());
+  doc.set("services", util::Json{util::JsonArray{}}.push_back(std::move(service)));
+  doc.set("workload", synthetic_workload());
+  return scenario::run_scenario(scenario::ScenarioSpec::parse(doc)).makespan;
 }
 
 double run_burst_buffer() {
-  wf::Simulation sim;
-  ClusterPlatform cluster = make_cluster(sim.platform(), BandwidthMode::SimulatorSymmetric);
-  storage::NfsServer* server = sim.create_nfs_server(*cluster.storage, *cluster.remote_disk,
-                                                     cache::CacheMode::Writethrough);
-  storage::NfsMount* mount =
-      sim.create_nfs_mount(*cluster.compute, *server, cache::CacheMode::ReadCache);
-  // The burst buffer: the node-local SSD with its own page cache.
-  storage::LocalStorage* buffer = sim.create_local_storage(
-      *cluster.compute, *cluster.local_disk, cache::CacheMode::Writeback);
-  wf::ComputeService* cs = sim.create_compute_service(*cluster.compute, *buffer, kChunk);
+  util::Json target = util::Json{util::JsonObject{}}
+                          .set("server_host", "storage0")
+                          .set("server_disk", "nfs-ssd")
+                          .set("server_cache", "writethrough")
+                          .set("cache", "read");
+  util::Json drain_files{util::JsonArray{}};
   for (int i = 0; i < kInstances; ++i) {
-    wf::Workflow& workflow = sim.create_workflow();
-    build_synthetic(workflow, instance_prefix(i), kFileSize, synthetic_cpu_seconds(kFileSize));
-    cs->submit(workflow);
+    drain_files.push_back("a" + std::to_string(i) + ":file4");
   }
-  // Drainer: stage each pipeline's final output (file4) from the buffer to
-  // the NFS server as soon as it exists.
-  auto drainer = [&](sim::Engine& e) -> sim::Task<> {
-    std::vector<std::string> pending;
-    pending.reserve(kInstances);
-    for (int i = 0; i < kInstances; ++i) pending.push_back(instance_prefix(i) + "file4");
-    while (!pending.empty()) {
-      for (std::size_t i = 0; i < pending.size();) {
-        if (buffer->fs().exists(pending[i]) &&
-            buffer->fs().size_of(pending[i]) >= kFileSize) {
-          // Read from the buffer (usually its page cache) and push to NFS.
-          co_await buffer->read_file(pending[i], kChunk);
-          buffer->release_anonymous(kFileSize);
-          co_await mount->write_file(pending[i], kFileSize, kChunk);
-          pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
-        } else {
-          ++i;
-        }
-      }
-      co_await e.sleep(1.0);
-    }
-  };
-  sim.engine().spawn("drainer", drainer(sim.engine()));
-  sim.run();
-  return sim.now();
+  util::Json service = util::Json{util::JsonObject{}}
+                           .set("name", "bb")
+                           .set("type", "burst_buffer")
+                           .set("host", "compute0")
+                           .set("disk", "ssd0")
+                           .set("cache", "writeback")
+                           .set("target", std::move(target))
+                           .set("drain_files", std::move(drain_files));
+  util::Json doc{util::JsonObject{}};
+  doc.set("name", "burst_buffer");
+  doc.set("platform", cluster_platform());
+  doc.set("services", util::Json{util::JsonArray{}}.push_back(std::move(service)));
+  doc.set("workload", synthetic_workload());
+  // The drainer holds the simulation open until every result is durable,
+  // so this makespan is "time until all results are on the server".
+  return scenario::run_scenario(scenario::ScenarioSpec::parse(doc)).makespan;
 }
 
 }  // namespace
 
 int main() {
-  std::cout << "Burst-buffer study: " << kInstances
-            << " write-heavy pipelines whose outputs must reach the NFS server.\n\n";
+  using namespace pcs::exp;
 
-  double sync_nfs = run_nfs(cache::CacheMode::ReadCache);
-  double async_nfs = run_nfs(cache::CacheMode::Writeback);
+  std::cout << "Burst-buffer study: " << kInstances
+            << " write-heavy pipelines whose outputs must reach the NFS server.\n"
+               "Each design is a declarative scenario (cf. scenarios/*.json).\n\n";
+
+  double sync_nfs = run_nfs("read");
+  double async_nfs = run_nfs("writeback");
   double burst = run_burst_buffer();
 
   print_banner(std::cout, "Time until all results are on the server");

@@ -1,27 +1,47 @@
-// A small command-line simulator: load a platform JSON and a workflow
-// JSON, run the workflow through a chosen cache mode, and print per-task
-// timings (optionally a Chrome trace).  With no arguments it runs a
-// built-in demo so the binary is self-contained.
+// The generic scenario runner: every committed example is a
+// scenarios/*.json file this binary can execute, inspect and regression-
+// check.
 //
 // Usage:
-//   pcs_cli [--platform platform.json] [--workflow workflow.json]
-//           [--mode writeback|writethrough|none] [--chunk-mb N]
-//           [--trace out.json]
+//   pcs_cli run <scenario.json> [--trace FILE] [--json] [--dump-effective]
+//       Run one declarative scenario and print per-task timings (--json for
+//       machine-readable output; --dump-effective prints the fully-
+//       defaulted spec instead of running).
+//   pcs_cli smoke <scenarios-dir> <record.json> [--update] [--tolerance R]
+//       Run every *.json scenario in the directory and compare makespans
+//       against the recorded baseline (BENCH_scenarios.json in CI); exits
+//       nonzero on any failure or drift.  --update rewrites the record.
+//   pcs_cli dump-preset <reference|wrench|wrench_cache|prototype>
+//       [--nfs] [--nighres] [--instances N]
+//       Print the paper preset re-expressed as a generated scenario spec.
+//   pcs_cli list-backends
+//       List the registered storage backend types.
 //
-// The platform must contain at least one host with one disk; the workflow
-// runs on the first host/disk.
+// Legacy flags (no subcommand) keep working: pcs_cli [--platform FILE]
+// [--workflow FILE] [--mode writeback|writethrough|none] [--chunk-mb N]
+// [--trace FILE] runs a single DAG on one host — now routed through the
+// scenario subsystem as well.  Unknown flags and commands print usage and
+// exit 2.
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "pagecache/kernel_params.hpp"
+#include "exp/runners.hpp"
+#include "storage/service_registry.hpp"
+#include "scenario/runner.hpp"
 #include "simcore/trace.hpp"
 #include "util/json.hpp"
 #include "util/units.hpp"
-#include "workflow/simulation.hpp"
-#include "workflow/workflow_json.hpp"
 
 namespace {
+
+using namespace pcs;
 
 constexpr const char* kDemoPlatform = R"json({
   "hosts": [
@@ -46,109 +66,405 @@ constexpr const char* kDemoWorkflow = R"json({
   ]
 })json";
 
-void usage() {
-  std::cout << "usage: pcs_cli [--platform FILE] [--workflow FILE]\n"
-               "               [--mode writeback|writethrough|none] [--chunk-mb N]\n"
-               "               [--trace FILE]\n"
-               "Runs the built-in demo when no files are given.\n";
+void usage(std::ostream& out) {
+  out << "usage: pcs_cli <command> [options]\n"
+         "  run <scenario.json> [--trace FILE] [--json] [--dump-effective]\n"
+         "  smoke <scenarios-dir> <record.json> [--update] [--tolerance REL]\n"
+         "  dump-preset <reference|wrench|wrench_cache|prototype> [--nfs] [--nighres]\n"
+         "              [--instances N]\n"
+         "  list-backends\n"
+         "legacy single-DAG mode (no command):\n"
+         "  pcs_cli [--platform FILE] [--workflow FILE]\n"
+         "          [--mode writeback|writethrough|none] [--chunk-mb N] [--trace FILE]\n"
+         "Runs the built-in demo when no files are given.\n";
+}
+
+int usage_error(const std::string& message) {
+  std::cerr << message << "\n";
+  usage(std::cerr);
+  return 2;
+}
+
+/// Strict numeric flag parsing: the whole token must convert, and failures
+/// route through usage_error rather than escaping as std::stod exceptions.
+bool parse_number(const std::string& text, double* out) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    if (pos != text.size()) return false;
+    *out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_int(const std::string& text, int* out) {
+  double value = 0.0;
+  if (!parse_number(text, &value)) return false;
+  // Range-check before the cast: float→int conversion of an
+  // unrepresentable value is UB.
+  if (std::isnan(value) || value < static_cast<double>(std::numeric_limits<int>::min()) ||
+      value > static_cast<double>(std::numeric_limits<int>::max())) {
+    return false;
+  }
+  if (value != static_cast<double>(static_cast<int>(value))) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+void print_result_table(const scenario::ScenarioSpec& spec, const scenario::RunResult& result) {
+  std::cout << "scenario '" << spec.name << "' (" << spec.simulator << ", chunk "
+            << util::format_bytes(spec.chunk_size) << ")\n\n";
+  std::cout << "task                          read(s)  compute(s)  write(s)  makespan(s)\n";
+  for (const wf::TaskResult& r : result.tasks) {
+    std::printf("%-28s %8.2f %11.2f %9.2f %12.2f\n", r.name.c_str(), r.read_time(),
+                r.compute_time(), r.write_time(), r.makespan());
+  }
+  std::cout << "\nscenario makespan: " << util::format_seconds(result.makespan)
+            << "  (simulated in " << util::format_seconds(result.wall_seconds)
+            << " of wall clock)\n";
+}
+
+util::Json result_to_json(const scenario::ScenarioSpec& spec,
+                          const scenario::RunResult& result) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("name", spec.name);
+  doc.set("simulator", spec.simulator);
+  doc.set("makespan", result.makespan);
+  doc.set("wall_seconds", result.wall_seconds);
+  util::Json tasks{util::JsonArray{}};
+  for (const wf::TaskResult& r : result.tasks) {
+    util::Json t{util::JsonObject{}};
+    t.set("name", r.name);
+    t.set("start", r.start);
+    t.set("read_s", r.read_time());
+    t.set("compute_s", r.compute_time());
+    t.set("write_s", r.write_time());
+    t.set("end", r.end);
+    tasks.push_back(std::move(t));
+  }
+  doc.set("tasks", std::move(tasks));
+  return doc;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::string scenario_path;
+  std::string trace_path;
+  bool as_json = false;
+  bool dump_effective = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--trace") {
+      if (++i >= args.size()) return usage_error("--trace needs an argument");
+      trace_path = args[i];
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--dump-effective") {
+      dump_effective = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (scenario_path.empty()) {
+      scenario_path = arg;
+    } else {
+      return usage_error("unexpected argument '" + arg + "'");
+    }
+  }
+  if (scenario_path.empty()) return usage_error("run: missing scenario file");
+
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::from_file(scenario_path);
+  if (dump_effective) {
+    std::cout << spec.to_json().dump(2) << "\n";
+    return 0;
+  }
+  sim::Tracer tracer;
+  scenario::RunOptions options;
+  if (!trace_path.empty()) options.tracer = &tracer;
+  scenario::RunResult result = scenario::run_scenario(spec, options);
+
+  if (as_json) {
+    std::cout << result_to_json(spec, result).dump(2) << "\n";
+  } else {
+    print_result_table(spec, result);
+  }
+  if (!trace_path.empty()) {
+    tracer.write(trace_path);
+    // Keep stdout machine-readable under --json.
+    (as_json ? std::cerr : std::cout)
+        << "wrote " << tracer.span_count() << " trace spans to " << trace_path
+        << " (open in chrome://tracing)\n";
+  }
+  return 0;
+}
+
+int cmd_smoke(const std::vector<std::string>& args) {
+  std::string dir;
+  std::string record_path;
+  bool update = false;
+  double tolerance = 1e-9;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--update") {
+      update = true;
+    } else if (arg == "--tolerance") {
+      if (++i >= args.size()) return usage_error("--tolerance needs an argument");
+      if (!parse_number(args[i], &tolerance)) {
+        return usage_error("--tolerance: '" + args[i] + "' is not a number");
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (dir.empty()) {
+      dir = arg;
+    } else if (record_path.empty()) {
+      record_path = arg;
+    } else {
+      return usage_error("unexpected argument '" + arg + "'");
+    }
+  }
+  if (dir.empty() || record_path.empty()) {
+    return usage_error("smoke: need a scenarios directory and a record file");
+  }
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "smoke: no *.json scenarios in '" << dir << "'\n";
+    return 1;
+  }
+
+  util::Json recorded{util::JsonObject{}};
+  if (!update) {
+    util::Json doc = util::Json::parse_file(record_path);
+    recorded = doc.at("scenarios");
+  }
+
+  util::Json fresh{util::JsonObject{}};
+  bool failed = false;
+  for (const std::filesystem::path& file : files) {
+    const std::string name = file.stem().string();
+    double makespan = 0.0;
+    try {
+      makespan = scenario::run_scenario_file(file.string()).makespan;
+    } catch (const std::exception& e) {
+      std::cout << "  FAIL " << name << ": " << e.what() << "\n";
+      failed = true;
+      continue;
+    }
+    fresh.set(name, makespan);
+    if (update) {
+      std::cout << "  record " << name << ": makespan " << makespan << " s\n";
+      continue;
+    }
+    if (!recorded.contains(name)) {
+      std::cout << "  FAIL " << name << ": no recorded makespan (run with --update?)\n";
+      failed = true;
+      continue;
+    }
+    const double expected = recorded.at(name).as_number();
+    const double drift = std::abs(makespan - expected) /
+                         std::max(1.0, std::max(std::abs(makespan), std::abs(expected)));
+    if (drift > tolerance) {
+      std::cout << "  FAIL " << name << ": makespan " << makespan << " s, recorded "
+                << expected << " s (relative drift " << drift << ")\n";
+      failed = true;
+    } else {
+      std::cout << "  ok   " << name << ": makespan " << makespan << " s\n";
+    }
+  }
+
+  if (update) {
+    if (failed) {
+      // Never write a partial baseline over the committed record.
+      std::cerr << "scenario smoke FAILED; record not updated\n";
+      return 1;
+    }
+    util::Json doc{util::JsonObject{}};
+    doc.set("comment",
+            "Recorded scenario makespans; regenerate with `pcs_cli smoke <dir> <file> "
+            "--update` after intentional model changes.");
+    doc.set("scenarios", std::move(fresh));
+    std::ofstream out(record_path);
+    if (!out) {
+      std::cerr << "smoke: cannot write '" << record_path << "'\n";
+      return 1;
+    }
+    out << doc.dump(2) << "\n";
+    std::cout << "wrote " << record_path << "\n";
+    return 0;
+  }
+  // Recorded scenarios that vanished from the directory are drift too
+  // (scenarios that are present but failed to run were reported above).
+  for (const auto& [name, value] : recorded.as_object()) {
+    const bool on_disk = std::any_of(files.begin(), files.end(), [&](const auto& file) {
+      return file.stem().string() == name;
+    });
+    if (!on_disk) {
+      std::cout << "  FAIL " << name << ": recorded but not present in '" << dir << "'\n";
+      failed = true;
+    }
+  }
+  if (failed) {
+    std::cerr << "scenario smoke FAILED\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_dump_preset(const std::vector<std::string>& args) {
+  exp::RunConfig config;
+  bool have_kind = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--nfs") {
+      config.nfs = true;
+    } else if (arg == "--nighres") {
+      config.app = exp::AppKind::Nighres;
+    } else if (arg == "--instances") {
+      if (++i >= args.size()) return usage_error("--instances needs an argument");
+      if (!parse_int(args[i], &config.instances) || config.instances < 1) {
+        return usage_error("--instances: '" + args[i] + "' is not a positive integer");
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (!have_kind) {
+      if (arg == "reference") {
+        config.kind = exp::SimulatorKind::Reference;
+      } else if (arg == "wrench") {
+        config.kind = exp::SimulatorKind::Wrench;
+      } else if (arg == "wrench_cache") {
+        config.kind = exp::SimulatorKind::WrenchCache;
+      } else if (arg == "prototype") {
+        config.kind = exp::SimulatorKind::Prototype;
+      } else {
+        return usage_error("unknown simulator '" + arg + "'");
+      }
+      have_kind = true;
+    } else {
+      return usage_error("unexpected argument '" + arg + "'");
+    }
+  }
+  if (!have_kind) return usage_error("dump-preset: missing simulator kind");
+  std::cout << exp::scenario_from_run_config(config).to_json().dump(2) << "\n";
+  return 0;
+}
+
+int cmd_list_backends() {
+  std::cout << "registered storage backends:\n";
+  for (const std::string& type : storage::ServiceRegistry::instance().types()) {
+    std::cout << "  " << type << "\n";
+  }
+  return 0;
+}
+
+/// The original pcs_cli: one DAG on one host/disk — now expressed as a
+/// scenario built from the legacy flags.
+int legacy_mode(const std::vector<std::string>& args) {
+  std::string platform_path;
+  std::string workflow_path;
+  std::string trace_path;
+  std::string mode_name = "writeback";
+  double chunk_mb = 100.0;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](const char* flag) -> const std::string* {
+      if (++i >= args.size()) {
+        std::cerr << flag << " needs an argument\n";
+        return nullptr;
+      }
+      return &args[i];
+    };
+    const std::string* value = nullptr;
+    if (arg == "--platform") {
+      if ((value = next("--platform")) == nullptr) return 2;
+      platform_path = *value;
+    } else if (arg == "--workflow") {
+      if ((value = next("--workflow")) == nullptr) return 2;
+      workflow_path = *value;
+    } else if (arg == "--mode") {
+      if ((value = next("--mode")) == nullptr) return 2;
+      mode_name = *value;
+    } else if (arg == "--chunk-mb") {
+      if ((value = next("--chunk-mb")) == nullptr) return 2;
+      if (!parse_number(*value, &chunk_mb) || chunk_mb <= 0.0) {
+        return usage_error("--chunk-mb: '" + *value + "' is not a positive number");
+      }
+    } else if (arg == "--trace") {
+      if ((value = next("--trace")) == nullptr) return 2;
+      trace_path = *value;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      return usage_error("unknown flag '" + arg + "'");
+    }
+  }
+  if (mode_name != "writeback" && mode_name != "writethrough" && mode_name != "none") {
+    std::cerr << "unknown mode '" << mode_name << "'\n";
+    return 2;
+  }
+
+  util::Json platform_doc = platform_path.empty() ? util::Json::parse(kDemoPlatform)
+                                                  : util::Json::parse_file(platform_path);
+  util::Json workflow_doc = workflow_path.empty() ? util::Json::parse(kDemoWorkflow)
+                                                  : util::Json::parse_file(workflow_path);
+
+  util::Json service{util::JsonObject{}};
+  service.set("name", "store").set("type", "local").set("cache", mode_name);
+  util::Json doc{util::JsonObject{}};
+  doc.set("name", "cli");
+  doc.set("platform", std::move(platform_doc));
+  doc.set("services", util::Json{util::JsonArray{}}.push_back(std::move(service)));
+  doc.set("workload",
+          util::Json{util::JsonObject{}}.set("type", "dag").set("workflow", workflow_doc));
+  doc.set("chunk_size", chunk_mb * util::MB);
+
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse(doc);
+  sim::Tracer tracer;
+  scenario::RunOptions options;
+  if (!trace_path.empty()) options.tracer = &tracer;
+  scenario::RunResult result = scenario::run_scenario(spec, options);
+  print_result_table(spec, result);
+  if (!trace_path.empty()) {
+    tracer.write(trace_path);
+    std::cout << "wrote " << tracer.span_count() << " trace spans to " << trace_path
+              << " (open in chrome://tracing)\n";
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace pcs;
-
-  std::string platform_path;
-  std::string workflow_path;
-  std::string trace_path;
-  std::string mode_name = "writeback";
-  double chunk = 100.0 * util::MB;
-
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << flag << " needs an argument\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--platform") == 0) {
-      platform_path = next("--platform");
-    } else if (std::strcmp(argv[i], "--workflow") == 0) {
-      workflow_path = next("--workflow");
-    } else if (std::strcmp(argv[i], "--mode") == 0) {
-      mode_name = next("--mode");
-    } else if (std::strcmp(argv[i], "--chunk-mb") == 0) {
-      chunk = std::stod(next("--chunk-mb")) * util::MB;
-    } else if (std::strcmp(argv[i], "--trace") == 0) {
-      trace_path = next("--trace");
-    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      usage();
-      return 0;
-    } else {
-      std::cerr << "unknown flag '" << argv[i] << "'\n";
-      usage();
-      return 2;
-    }
-  }
-
-  cache::CacheMode mode;
-  if (mode_name == "writeback") {
-    mode = cache::CacheMode::Writeback;
-  } else if (mode_name == "writethrough") {
-    mode = cache::CacheMode::Writethrough;
-  } else if (mode_name == "none") {
-    mode = cache::CacheMode::None;
-  } else {
-    std::cerr << "unknown mode '" << mode_name << "'\n";
-    return 2;
-  }
-
+  std::vector<std::string> args(argv + 1, argv + argc);
   try {
-    wf::Simulation sim;
-    sim::Tracer tracer;
-    if (!trace_path.empty()) sim.engine().set_tracer(&tracer);
-
-    util::Json platform_doc = platform_path.empty()
-                                  ? util::Json::parse(kDemoPlatform)
-                                  : util::Json::parse_file(platform_path);
-    auto platform = plat::Platform::from_json(sim.engine(), platform_doc);
-    const std::string host_name =
-        platform_doc.at("hosts").at(0).at("name").as_string();
-    plat::Host* host = platform->host(host_name);
-    if (host->disks().empty()) {
-      std::cerr << "host '" << host_name << "' has no disk\n";
-      return 1;
+    if (!args.empty() && args[0] == "run") {
+      return cmd_run({args.begin() + 1, args.end()});
     }
-    plat::Disk* disk = host->disks().front().get();
-
-    storage::LocalStorage* storage = sim.create_local_storage(*host, *disk, mode);
-    wf::ComputeService* compute = sim.create_compute_service(*host, *storage, chunk);
-
-    wf::Workflow workflow = workflow_path.empty()
-                                ? wf::workflow_from_json(util::Json::parse(kDemoWorkflow))
-                                : wf::workflow_from_json_file(workflow_path);
-    compute->submit(workflow);
-
-    sim.run();
-
-    std::cout << "host " << host_name << ", disk " << disk->name() << ", cache mode "
-              << mode_name << ", chunk " << util::format_bytes(chunk) << "\n\n";
-    std::cout << "task                read(s)  compute(s)  write(s)  makespan(s)\n";
-    for (const wf::TaskResult& r : compute->results()) {
-      std::printf("%-18s %8.2f %11.2f %9.2f %12.2f\n", r.name.c_str(), r.read_time(),
-                  r.compute_time(), r.write_time(), r.makespan());
+    if (!args.empty() && args[0] == "smoke") {
+      return cmd_smoke({args.begin() + 1, args.end()});
     }
-    std::cout << "\nworkflow makespan: " << util::format_seconds(sim.now()) << "\n";
-
-    if (!trace_path.empty()) {
-      tracer.write(trace_path);
-      std::cout << "wrote " << tracer.span_count() << " trace spans to " << trace_path
-                << " (open in chrome://tracing)\n";
+    if (!args.empty() && args[0] == "dump-preset") {
+      return cmd_dump_preset({args.begin() + 1, args.end()});
     }
+    if (!args.empty() && args[0] == "list-backends") {
+      return cmd_list_backends();
+    }
+    if (!args.empty() && args[0] == "--help") {
+      usage(std::cout);
+      return 0;
+    }
+    if (!args.empty() && args[0][0] != '-') {
+      return usage_error("unknown command '" + args[0] + "'");
+    }
+    return legacy_mode(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return 0;
 }

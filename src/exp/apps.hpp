@@ -1,61 +1,20 @@
-// The paper's two applications as workflow builders.
-//
-// Synthetic application (Table I): three single-core sequential tasks; each
-// reads the file produced by the previous task, increments every byte
-// (CPU), and writes the result.  Files are numbered by ascending access
-// time: Task 1 reads file1 and writes file2, etc.
-//
-// Nighres cortical-reconstruction workflow (Table II): four steps — skull
-// stripping, tissue classification, region extraction, cortical
-// reconstruction — with the measured input/output sizes and CPU times.
+// Compatibility header: the paper's application builders moved into the
+// generic workload layer (src/workload/apps.*).  The pcs::exp names are
+// preserved for the benches, examples and tests of the paper harness.
 #pragma once
 
-#include <string>
-#include <vector>
-
-#include "util/units.hpp"
-#include "workflow/workflow.hpp"
+#include "workload/apps.hpp"
 
 namespace pcs::exp {
 
-/// One row of Table I.
-struct SyntheticParams {
-  double input_size;   // bytes
-  double cpu_seconds;  // measured task CPU time
-};
-
-/// Table I: {3, 20, 50, 75, 100} GB inputs.
-[[nodiscard]] const std::vector<SyntheticParams>& synthetic_table();
-
-/// CPU seconds for an input size, linearly interpolated between Table I
-/// rows (exact at the measured points).
-[[nodiscard]] double synthetic_cpu_seconds(double input_size);
-
-inline constexpr int kSyntheticTasks = 3;
-
-/// Build one synthetic-application instance into `workflow`.  Files are
-/// named "<prefix>file1" ... "<prefix>file4" so concurrent instances
-/// operate on distinct files (Exp 2/3).
-void build_synthetic(wf::Workflow& workflow, const std::string& prefix, double input_size,
-                     double cpu_seconds);
-
-/// One row of Table II.
-struct NighresStep {
-  std::string name;
-  double input_bytes;
-  double output_bytes;
-  double cpu_seconds;
-};
-
-/// Table II in execution order.
-[[nodiscard]] const std::vector<NighresStep>& nighres_table();
-
-/// Build the Nighres workflow.  Step wiring follows the paper: each step
-/// reads files produced by earlier steps ("wrote files that were or were
-/// not read by the subsequent step"); the 393 MB read by cortical
-/// reconstruction is skull stripping's output, re-read after two
-/// intervening steps.  Steps are chained sequentially (the real application
-/// is a sequential script).
-void build_nighres(wf::Workflow& workflow, const std::string& prefix = "");
+using workload::build_nighres;
+using workload::build_synthetic;
+using workload::instance_prefix;
+using workload::kSyntheticTasks;
+using workload::NighresStep;
+using workload::nighres_table;
+using workload::SyntheticParams;
+using workload::synthetic_cpu_seconds;
+using workload::synthetic_table;
 
 }  // namespace pcs::exp

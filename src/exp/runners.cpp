@@ -1,13 +1,13 @@
 #include "exp/runners.hpp"
 
 #include <chrono>
-#include <cmath>
-#include <map>
 #include <memory>
 #include <stdexcept>
 
 #include "proto/analytic.hpp"
 #include "refmodel/page_model.hpp"
+#include "scenario/runner.hpp"
+#include "storage/service_registry.hpp"
 #include "workflow/simulation.hpp"
 
 namespace pcs::exp {
@@ -22,60 +22,93 @@ std::string to_string(SimulatorKind kind) {
   return "?";
 }
 
-std::string instance_prefix(int instance) { return "a" + std::to_string(instance) + ":"; }
-
-const wf::TaskResult& RunResult::task(const std::string& name) const {
-  for (const wf::TaskResult& r : tasks) {
-    if (r.name == name) return r;
-  }
-  throw std::runtime_error("RunResult: no task named '" + name + "'");
-}
-
-double RunResult::read_time(int instance, int step) const {
-  return task(instance_prefix(instance) + "task" + std::to_string(step)).read_time();
-}
-
-double RunResult::write_time(int instance, int step) const {
-  return task(instance_prefix(instance) + "task" + std::to_string(step)).write_time();
-}
-
 namespace {
-std::string instance_of(const std::string& task_name) {
-  auto pos = task_name.find(':');
-  return pos == std::string::npos ? std::string() : task_name.substr(0, pos);
+
+std::string simulator_name(SimulatorKind kind) {
+  switch (kind) {
+    case SimulatorKind::Reference: return "reference";
+    case SimulatorKind::Wrench: return "wrench";
+    case SimulatorKind::WrenchCache: return "wrench_cache";
+    case SimulatorKind::Prototype: return "prototype";
+  }
+  return "?";
 }
+
 }  // namespace
 
-double RunResult::mean_instance_read_time() const {
-  std::map<std::string, double> per_instance;
-  for (const wf::TaskResult& r : tasks) per_instance[instance_of(r.name)] += r.read_time();
-  if (per_instance.empty()) return 0.0;
-  double sum = 0.0;
-  for (const auto& [name, t] : per_instance) sum += t;
-  return sum / static_cast<double>(per_instance.size());
-}
-
-double RunResult::mean_instance_write_time() const {
-  std::map<std::string, double> per_instance;
-  for (const wf::TaskResult& r : tasks) per_instance[instance_of(r.name)] += r.write_time();
-  if (per_instance.empty()) return 0.0;
-  double sum = 0.0;
-  for (const auto& [name, t] : per_instance) sum += t;
-  return sum / static_cast<double>(per_instance.size());
-}
-
-const cache::CacheSnapshot& RunResult::snapshot_at(double t) const {
-  if (profile.empty()) throw std::runtime_error("RunResult: no memory profile recorded");
-  const cache::CacheSnapshot* best = &profile.front();
-  for (const cache::CacheSnapshot& s : profile) {
-    if (std::fabs(s.time - t) < std::fabs(best->time - t)) best = &s;
+scenario::ScenarioSpec scenario_from_run_config(const RunConfig& config) {
+  if (config.kind == SimulatorKind::Prototype && config.nfs) {
+    throw std::runtime_error(
+        "the analytic prototype only supports the single-instance synthetic app on a local disk "
+        "(as in the paper)");
   }
-  return *best;
+  scenario::ScenarioSpec spec;
+  spec.simulator = simulator_name(config.kind);
+  spec.name = "preset_" + spec.simulator + (config.nfs ? "_nfs" : "") +
+              (config.app == AppKind::Nighres ? "_nighres" : "_synthetic");
+
+  // The paper's cluster pair, serialized through the platform round-trip.
+  const BandwidthMode mode = config.bandwidth_override.value_or(
+      config.kind == SimulatorKind::Reference ? BandwidthMode::RealAsymmetric
+                                              : BandwidthMode::SimulatorSymmetric);
+  {
+    sim::Engine scratch_engine;
+    plat::Platform scratch(scratch_engine);
+    make_cluster(scratch, mode);
+    spec.platform = scratch.to_json();
+  }
+  spec.compute_host = "compute0";
+  spec.chunk_size = config.chunk_size;
+  spec.probe_period = config.probe_period;
+  spec.cache_params = config.cache_params;
+  spec.warm_inputs = config.nfs && config.nfs_warm_inputs;
+
+  if (config.kind != SimulatorKind::Prototype) {
+    scenario::ServiceDecl decl;
+    decl.name = "store";
+    decl.spec = util::Json{util::JsonObject{}};
+    if (!config.nfs) {
+      decl.type = config.kind == SimulatorKind::Reference ? "reference" : "local";
+      decl.spec.set("host", "compute0").set("disk", "ssd0");
+      if (decl.type == "local") {
+        decl.spec.set("cache",
+                      config.kind == SimulatorKind::Wrench ? "none" : "writeback");
+      }
+    } else {
+      decl.type = "nfs";
+      decl.spec.set("host", "compute0")
+          .set("server_host", "storage0")
+          .set("server_disk", "nfs-ssd")
+          .set("server_cache",
+               config.kind == SimulatorKind::Wrench ? "none" : "writethrough")
+          .set("cache", config.kind == SimulatorKind::Wrench ? "none" : "read");
+    }
+    decl.spec.set("name", decl.name).set("type", decl.type);
+    spec.services.push_back(std::move(decl));
+    spec.default_service = "store";
+    spec.probe_service = "store";
+  }
+
+  util::Json workload{util::JsonObject{}};
+  workload.set("type", config.app == AppKind::Synthetic ? "synthetic" : "nighres");
+  if (config.app == AppKind::Synthetic) workload.set("input_size", config.input_size);
+  workload.set("instances", config.instances);
+  spec.workload = std::move(workload);
+  return spec;
 }
+
+RunResult run_experiment(const RunConfig& config) {
+  return scenario::run_scenario(scenario_from_run_config(config));
+}
+
+// ---------------------------------------------------------------------------
+// The pre-scenario construction path: kept verbatim as the oracle the
+// equivalence test pins the scenario runner against.
+// ---------------------------------------------------------------------------
 
 namespace {
 
-RunResult run_prototype(const RunConfig& config) {
+RunResult run_prototype_legacy(const RunConfig& config) {
   if (config.app != AppKind::Synthetic || config.nfs || config.instances != 1) {
     throw std::runtime_error(
         "the analytic prototype only supports the single-instance synthetic app on a local disk "
@@ -114,8 +147,8 @@ RunResult run_prototype(const RunConfig& config) {
 
 }  // namespace
 
-RunResult run_experiment(const RunConfig& config) {
-  if (config.kind == SimulatorKind::Prototype) return run_prototype(config);
+RunResult run_experiment_legacy(const RunConfig& config) {
+  if (config.kind == SimulatorKind::Prototype) return run_prototype_legacy(config);
 
   const auto wall_start = std::chrono::steady_clock::now();
   wf::Simulation sim;

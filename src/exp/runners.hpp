@@ -6,6 +6,12 @@
 //   Wrench      — the cacheless original-WRENCH baseline;
 //   WrenchCache — the paper's contribution (pcs::cache block model);
 //   Prototype   — the analytic pysim port (pcs::proto).
+//
+// Since the scenario subsystem landed, RunConfig is a thin veneer: it is
+// compiled into a declarative ScenarioSpec (scenario_from_run_config) and
+// executed by scenario::run_scenario.  The hand-built construction path
+// survives as run_experiment_legacy, pinned bit-identical to the scenario
+// path by tests/scenario_equivalence_test.cpp.
 #pragma once
 
 #include <optional>
@@ -16,6 +22,8 @@
 #include "exp/presets.hpp"
 #include "pagecache/kernel_params.hpp"
 #include "pagecache/memory_manager.hpp"
+#include "scenario/run_result.hpp"
+#include "scenario/scenario.hpp"
 #include "workflow/compute_service.hpp"
 
 namespace pcs::exp {
@@ -43,31 +51,17 @@ struct RunConfig {
   std::optional<BandwidthMode> bandwidth_override;
 };
 
-struct RunResult {
-  std::vector<wf::TaskResult> tasks;
-  std::vector<cache::CacheSnapshot> profile;
-  double makespan = 0.0;
-  double wall_seconds = 0.0;  ///< host wall-clock spent simulating (Fig 8)
-  cache::CacheSnapshot final_state;  ///< cache state at the makespan (cached modes)
-  std::size_t final_inactive_blocks = 0;  ///< block counts (A3 ablation)
-  std::size_t final_active_blocks = 0;
+using RunResult = scenario::RunResult;
 
-  [[nodiscard]] const wf::TaskResult& task(const std::string& name) const;
-  /// Phase time of instance `i` (prefix "a<i>:"), synthetic task index
-  /// 1-based.
-  [[nodiscard]] double read_time(int instance, int step) const;
-  [[nodiscard]] double write_time(int instance, int step) const;
-  /// Mean over instances of the per-instance summed read (write) phase
-  /// durations — the y axes of Fig 5 / Fig 7.
-  [[nodiscard]] double mean_instance_read_time() const;
-  [[nodiscard]] double mean_instance_write_time() const;
-  /// Cache snapshot closest to time `t` (requires probe_period > 0).
-  [[nodiscard]] const cache::CacheSnapshot& snapshot_at(double t) const;
-};
+/// Compile a RunConfig into the equivalent declarative scenario (platform
+/// via make_cluster + Platform::to_json, one registry-built service, a
+/// synthetic/nighres workload).  `pcs_cli dump-preset` serializes these.
+[[nodiscard]] scenario::ScenarioSpec scenario_from_run_config(const RunConfig& config);
 
-/// Instance/file naming shared by runners and benches.
-[[nodiscard]] std::string instance_prefix(int instance);
-
+/// Runs through the scenario subsystem (the production path).
 RunResult run_experiment(const RunConfig& config);
+
+/// The pre-scenario hand-built path, kept as the equivalence oracle.
+RunResult run_experiment_legacy(const RunConfig& config);
 
 }  // namespace pcs::exp

@@ -100,37 +100,34 @@ bool Platform::has_route(const std::string& src, const std::string& dst) const {
   return routes_.count({src, dst}) != 0;
 }
 
-namespace {
-double bytes_field(const util::Json& obj, const std::string& key) {
-  const util::Json& v = obj.at(key);
-  if (v.is_number()) return v.as_number();
-  return util::parse_bytes(v.as_string());
-}
-}  // namespace
-
 std::unique_ptr<Platform> Platform::from_json(sim::Engine& engine, const util::Json& doc) {
   auto platform = std::make_unique<Platform>(engine);
+  platform->load_json(doc);
+  return platform;
+}
+
+void Platform::load_json(const util::Json& doc) {
   for (const util::Json& h : doc.at("hosts").as_array()) {
     HostSpec spec;
     spec.name = h.at("name").as_string();
     spec.speed = h.number_or("speed_gflops", 1.0) * 1e9;
     spec.cores = static_cast<int>(h.number_or("cores", 1));
-    spec.ram = h.contains("ram") ? bytes_field(h, "ram") : 0.0;
+    spec.ram = util::bytes_field_or(h, "ram", 0.0);
     if (h.contains("memory")) {
       const util::Json& mem = h.at("memory");
       spec.mem_read_bw = mem.number_or("read_bw_MBps", 0.0) * util::MB;
       spec.mem_write_bw = mem.number_or("write_bw_MBps", 0.0) * util::MB;
     }
-    Host* host = platform->add_host(spec);
+    Host* host = add_host(spec);
     if (h.contains("disks")) {
       for (const util::Json& d : h.at("disks").as_array()) {
         DiskSpec disk;
         disk.name = d.at("name").as_string();
         disk.read_bw = d.at("read_bw_MBps").as_number() * util::MB;
         disk.write_bw = d.at("write_bw_MBps").as_number() * util::MB;
-        disk.capacity = d.contains("capacity") ? bytes_field(d, "capacity") : 0.0;
+        disk.capacity = util::bytes_field_or(d, "capacity", 0.0);
         disk.latency = d.number_or("latency_s", 0.0);
-        host->add_disk(engine, disk);
+        host->add_disk(engine_, disk);
       }
     }
   }
@@ -140,17 +137,80 @@ std::unique_ptr<Platform> Platform::from_json(sim::Engine& engine, const util::J
       spec.name = l.at("name").as_string();
       spec.bandwidth = l.at("bw_MBps").as_number() * util::MB;
       spec.latency = l.number_or("latency_s", 0.0);
-      platform->add_link(spec);
+      add_link(spec);
     }
   }
   if (doc.contains("routes")) {
     for (const util::Json& r : doc.at("routes").as_array()) {
       std::vector<std::string> names;
       for (const util::Json& l : r.at("links").as_array()) names.push_back(l.as_string());
-      platform->add_route(r.at("src").as_string(), r.at("dst").as_string(), names);
+      add_route(r.at("src").as_string(), r.at("dst").as_string(), names);
     }
   }
-  return platform;
+}
+
+util::Json Platform::to_json() const {
+  util::Json doc{util::JsonObject{}};
+  util::Json hosts{util::JsonArray{}};
+  for (const auto& [host_name, host] : hosts_) {
+    const HostSpec& spec = host->spec();
+    util::Json h{util::JsonObject{}};
+    h.set("name", spec.name);
+    h.set("speed_gflops", spec.speed / 1e9);
+    h.set("cores", spec.cores);
+    if (spec.ram > 0.0) h.set("ram", spec.ram);
+    if (spec.mem_read_bw > 0.0 || spec.mem_write_bw > 0.0) {
+      util::Json mem{util::JsonObject{}};
+      mem.set("read_bw_MBps", spec.mem_read_bw / util::MB);
+      mem.set("write_bw_MBps", spec.mem_write_bw / util::MB);
+      h.set("memory", std::move(mem));
+    }
+    if (!host->disks().empty()) {
+      util::Json disks{util::JsonArray{}};
+      for (const auto& disk : host->disks()) {
+        const DiskSpec& ds = disk->spec();
+        util::Json d{util::JsonObject{}};
+        d.set("name", ds.name);
+        d.set("read_bw_MBps", ds.read_bw / util::MB);
+        d.set("write_bw_MBps", ds.write_bw / util::MB);
+        if (ds.capacity > 0.0) d.set("capacity", ds.capacity);
+        if (ds.latency > 0.0) d.set("latency_s", ds.latency);
+        disks.push_back(std::move(d));
+      }
+      h.set("disks", std::move(disks));
+    }
+    hosts.push_back(std::move(h));
+  }
+  doc.set("hosts", std::move(hosts));
+
+  if (!links_.empty()) {
+    util::Json links{util::JsonArray{}};
+    for (const auto& [link_name, link] : links_) {
+      util::Json l{util::JsonObject{}};
+      l.set("name", link_name);
+      l.set("bw_MBps", link->spec().bandwidth / util::MB);
+      if (link->latency() > 0.0) l.set("latency_s", link->latency());
+      links.push_back(std::move(l));
+    }
+    doc.set("links", std::move(links));
+  }
+
+  if (!routes_.empty()) {
+    util::Json routes{util::JsonArray{}};
+    for (const auto& [endpoints, route] : routes_) {
+      // add_route stores both directions; emit each declared pair once.
+      if (endpoints.second < endpoints.first) continue;
+      util::Json r{util::JsonObject{}};
+      r.set("src", endpoints.first);
+      r.set("dst", endpoints.second);
+      util::Json names{util::JsonArray{}};
+      for (const Link* link : route.links) names.push_back(link->name());
+      r.set("links", std::move(names));
+      routes.push_back(std::move(r));
+    }
+    doc.set("routes", std::move(routes));
+  }
+  return doc;
 }
 
 std::unique_ptr<Platform> Platform::from_json_file(sim::Engine& engine, const std::string& path) {

@@ -123,6 +123,7 @@ class Link {
  public:
   Link(sim::Engine& engine, const LinkSpec& spec);
   [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] const LinkSpec& spec() const { return spec_; }
   [[nodiscard]] double latency() const { return spec_.latency; }
   [[nodiscard]] sim::Resource* channel() const { return channel_; }
 
@@ -164,6 +165,17 @@ class Platform {
   /// Build a platform from a JSON document (see README for the schema).
   static std::unique_ptr<Platform> from_json(sim::Engine& engine, const util::Json& doc);
   static std::unique_ptr<Platform> from_json_file(sim::Engine& engine, const std::string& path);
+
+  /// Add the hosts/links/routes a JSON document describes to *this*
+  /// platform (what from_json does, but usable on a platform someone else
+  /// owns, e.g. wf::Simulation's).
+  void load_json(const util::Json& doc);
+
+  /// Serialize to the same schema from_json accepts; round-trips
+  /// (to_json(from_json(doc)) == to_json of the original platform).  Hosts
+  /// and links are emitted in name order, each symmetric route once with
+  /// src <= dst.
+  [[nodiscard]] util::Json to_json() const;
 
  private:
   sim::Engine& engine_;

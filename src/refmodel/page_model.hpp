@@ -32,8 +32,8 @@
 #include "pagecache/memory_manager.hpp"  // for cache::CacheSnapshot
 #include "platform/platform.hpp"
 #include "simcore/engine.hpp"
-#include "storage/file_service.hpp"
 #include "storage/file_system.hpp"
+#include "storage/storage_service.hpp"
 #include "util/units.hpp"
 
 namespace pcs::ref {
@@ -125,8 +125,8 @@ class PageCacheKernel {
   std::set<std::string> open_writes_;
 };
 
-/// FileService over one local disk, backed by the reference kernel model.
-class RefStorage : public storage::FileService {
+/// StorageService over one local disk, backed by the reference kernel model.
+class RefStorage : public storage::StorageService {
  public:
   RefStorage(sim::Engine& engine, plat::Host& host, plat::Disk& disk, const RefParams& params,
              double mem_for_cache = -1.0);
@@ -148,6 +148,9 @@ class RefStorage : public storage::FileService {
   [[nodiscard]] const PageCacheKernel& kernel() const { return kernel_; }
   [[nodiscard]] storage::FileSystem& fs() { return fs_; }
   [[nodiscard]] cache::CacheSnapshot snapshot() const { return kernel_.snapshot(engine_.now()); }
+  [[nodiscard]] std::optional<cache::CacheSnapshot> state_snapshot() const override {
+    return snapshot();
+  }
 
  private:
   [[nodiscard]] sim::Task<> flusher_loop();

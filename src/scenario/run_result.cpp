@@ -1,0 +1,60 @@
+#include "scenario/run_result.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "workload/apps.hpp"
+
+namespace pcs::scenario {
+
+const wf::TaskResult& RunResult::task(const std::string& name) const {
+  for (const wf::TaskResult& r : tasks) {
+    if (r.name == name) return r;
+  }
+  throw std::runtime_error("RunResult: no task named '" + name + "'");
+}
+
+double RunResult::read_time(int instance, int step) const {
+  return task(workload::instance_prefix(instance) + "task" + std::to_string(step)).read_time();
+}
+
+double RunResult::write_time(int instance, int step) const {
+  return task(workload::instance_prefix(instance) + "task" + std::to_string(step)).write_time();
+}
+
+namespace {
+std::string instance_of(const std::string& task_name) {
+  auto pos = task_name.find(':');
+  return pos == std::string::npos ? std::string() : task_name.substr(0, pos);
+}
+}  // namespace
+
+double RunResult::mean_instance_read_time() const {
+  std::map<std::string, double> per_instance;
+  for (const wf::TaskResult& r : tasks) per_instance[instance_of(r.name)] += r.read_time();
+  if (per_instance.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [name, t] : per_instance) sum += t;
+  return sum / static_cast<double>(per_instance.size());
+}
+
+double RunResult::mean_instance_write_time() const {
+  std::map<std::string, double> per_instance;
+  for (const wf::TaskResult& r : tasks) per_instance[instance_of(r.name)] += r.write_time();
+  if (per_instance.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [name, t] : per_instance) sum += t;
+  return sum / static_cast<double>(per_instance.size());
+}
+
+const cache::CacheSnapshot& RunResult::snapshot_at(double t) const {
+  if (profile.empty()) throw std::runtime_error("RunResult: no memory profile recorded");
+  const cache::CacheSnapshot* best = &profile.front();
+  for (const cache::CacheSnapshot& s : profile) {
+    if (std::fabs(s.time - t) < std::fabs(best->time - t)) best = &s;
+  }
+  return *best;
+}
+
+}  // namespace pcs::scenario

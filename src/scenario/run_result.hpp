@@ -1,0 +1,36 @@
+// Result of one scenario (or legacy RunConfig) run: per-task timings,
+// sampled memory profile, final cache state — the raw material of every
+// figure in the paper and of the scenario smoke records.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pagecache/memory_manager.hpp"
+#include "workflow/compute_service.hpp"
+
+namespace pcs::scenario {
+
+struct RunResult {
+  std::vector<wf::TaskResult> tasks;
+  std::vector<cache::CacheSnapshot> profile;
+  double makespan = 0.0;
+  double wall_seconds = 0.0;  ///< host wall-clock spent simulating (Fig 8)
+  cache::CacheSnapshot final_state;  ///< cache state at the makespan (cached modes)
+  std::size_t final_inactive_blocks = 0;  ///< block counts (A3 ablation)
+  std::size_t final_active_blocks = 0;
+
+  [[nodiscard]] const wf::TaskResult& task(const std::string& name) const;
+  /// Phase time of instance `i` (prefix "a<i>:"), synthetic task index
+  /// 1-based.
+  [[nodiscard]] double read_time(int instance, int step) const;
+  [[nodiscard]] double write_time(int instance, int step) const;
+  /// Mean over instances of the per-instance summed read (write) phase
+  /// durations — the y axes of Fig 5 / Fig 7.
+  [[nodiscard]] double mean_instance_read_time() const;
+  [[nodiscard]] double mean_instance_write_time() const;
+  /// Cache snapshot closest to time `t` (requires probe_period > 0).
+  [[nodiscard]] const cache::CacheSnapshot& snapshot_at(double t) const;
+};
+
+}  // namespace pcs::scenario

@@ -1,0 +1,230 @@
+#include "scenario/runner.hpp"
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "proto/analytic.hpp"
+#include "simcore/trace.hpp"
+#include "storage/service_registry.hpp"
+#include "util/units.hpp"
+#include "workflow/simulation.hpp"
+#include "workload/apps.hpp"
+#include "workload/workload.hpp"
+
+namespace pcs::scenario {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double wall_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+/// The analytic pysim port: no discrete-event engine, one synthetic
+/// pipeline on a local disk (the paper's only prototype configuration).
+RunResult run_prototype(const ScenarioSpec& spec) {
+  const util::Json& w = spec.workload;
+  if (w.string_or("type", "synthetic") != "synthetic" ||
+      static_cast<int>(w.number_or("instances", 1)) != 1) {
+    throw ScenarioError(
+        "the analytic prototype only supports the single-instance synthetic workload on a "
+        "local disk (as in the paper)");
+  }
+  const auto wall_start = WallClock::now();
+
+  const util::Json* host_doc = nullptr;
+  for (const util::Json& h : spec.platform.at("hosts").as_array()) {
+    if (h.at("name").as_string() == spec.compute_host) host_doc = &h;
+  }
+  if (host_doc == nullptr) {
+    throw ScenarioError("prototype scenario: compute_host '" + spec.compute_host +
+                        "' is not in the platform");
+  }
+  const util::Json& host = *host_doc;
+  if (!host.contains("disks") || host.at("disks").size() == 0) {
+    throw ScenarioError("prototype scenario: host '" + spec.compute_host + "' needs a disk");
+  }
+  const util::Json& disk = host.at("disks").at(0);
+  proto::ProtoConfig config;
+  config.total_mem = util::bytes_field_or(host, "ram", 0.0);
+  if (host.contains("memory")) {
+    config.mem_read_bw = host.at("memory").number_or("read_bw_MBps", 0.0) * util::MB;
+    config.mem_write_bw = host.at("memory").number_or("write_bw_MBps", 0.0) * util::MB;
+  }
+  config.disk_read_bw = disk.at("read_bw_MBps").as_number() * util::MB;
+  config.disk_write_bw = disk.at("write_bw_MBps").as_number() * util::MB;
+  config.cache = spec.cache_params;
+
+  const double input_size = util::bytes_field_or(w, "input_size", 20.0 * util::GB);
+  const double cpu_seconds = w.contains("cpu_seconds")
+                                 ? w.at("cpu_seconds").as_number()
+                                 : workload::synthetic_cpu_seconds(input_size);
+
+  proto::AnalyticSim psim(config);
+  const std::string prefix = workload::instance_prefix(0);
+  psim.stage_file(prefix + "file1", input_size);
+
+  RunResult result;
+  for (int i = 1; i <= workload::kSyntheticTasks; ++i) {
+    wf::TaskResult r;
+    r.name = prefix + "task" + std::to_string(i);
+    r.start = psim.now();
+    r.read_start = psim.now();
+    psim.read_file(prefix + "file" + std::to_string(i), spec.chunk_size);
+    r.read_end = psim.now();
+    psim.compute(cpu_seconds);
+    r.compute_end = psim.now();
+    psim.write_file(prefix + "file" + std::to_string(i + 1), input_size, spec.chunk_size);
+    r.write_end = psim.now();
+    r.end = psim.now();
+    psim.release_anonymous(input_size);
+    result.tasks.push_back(r);
+  }
+  result.profile = psim.profile();
+  result.final_state = psim.snapshot();
+  result.makespan = psim.now();
+  result.wall_seconds = wall_since(wall_start);
+  return result;
+}
+
+sim::Task<> delayed_submit(sim::Engine& engine, wf::ComputeService* cs, wf::Workflow* workflow,
+                           double arrival, storage::StorageService* warm_service) {
+  co_await engine.sleep_until(arrival);
+  cs->submit(*workflow);
+  // Late arrivals stage their inputs at submit time, so warm staging (when
+  // configured) happens here rather than at t=0.
+  if (warm_service != nullptr) {
+    for (const wf::FileSpec& input : workflow->external_inputs()) {
+      warm_service->warm_file(input.name);
+    }
+  }
+}
+
+}  // namespace
+
+RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
+  if (spec.simulator == "prototype") return run_prototype(spec);
+
+  const auto wall_start = WallClock::now();
+  wf::Simulation sim;
+  if (options.tracer != nullptr) sim.engine().set_tracer(options.tracer);
+  sim.platform().load_json(spec.platform);
+
+  // Storage services, in declaration order (daemon spawn order matters for
+  // bit-identical replay of the legacy harness).
+  storage::ServiceContext ctx{sim, spec.cache_params};
+  std::map<std::string, storage::StorageService*> services;
+  for (const ServiceDecl& decl : spec.services) {
+    services[decl.name] =
+        storage::ServiceRegistry::instance().build(decl.type, ctx, decl.spec);
+  }
+  storage::StorageService* default_service = services.at(spec.default_service);
+
+  // Memory probe, attached before the compute service as in the legacy
+  // harness: block-model backends expose a MemoryManager, the reference
+  // model its own snapshots, cacheless backends nothing (no probe).
+  wf::MemoryProbe* probe = nullptr;
+  if (spec.probe_period > 0.0) {
+    storage::StorageService* watched = services.at(spec.probe_service);
+    if (cache::MemoryManager* mm = watched->memory_manager(); mm != nullptr) {
+      probe = sim.create_memory_probe(*mm, spec.probe_period);
+    } else if (watched->state_snapshot().has_value()) {
+      probe = sim.create_memory_probe([watched] { return *watched->state_snapshot(); },
+                                      spec.probe_period);
+    }
+  }
+
+  plat::Host* compute_host = sim.platform().host(spec.compute_host);
+  std::map<std::string, wf::ComputeService*> compute_by_service;
+  std::vector<wf::ComputeService*> compute_order;
+  auto compute_for = [&](const std::string& name) -> wf::ComputeService* {
+    auto it = compute_by_service.find(name);
+    if (it != compute_by_service.end()) return it->second;
+    auto svc = services.find(name);
+    if (svc == services.end()) {
+      throw ScenarioError("workload references unknown service '" + name + "'");
+    }
+    wf::ComputeService* cs =
+        sim.create_compute_service(*compute_host, *svc->second, spec.chunk_size);
+    compute_by_service[name] = cs;
+    compute_order.push_back(cs);
+    return cs;
+  };
+  compute_for(spec.default_service);
+
+  std::vector<workload::WorkloadInstance> instances =
+      workload::build_workload(sim, spec.workload, "", spec.base_dir);
+
+  // Everything the workload will stage or produce, for backends that wait
+  // on specific files (a burst buffer's drain set) to sanity-check their
+  // spec before the simulation starts.
+  std::set<std::string> workload_files;
+  for (const workload::WorkloadInstance& instance : instances) {
+    for (const wf::FileSpec& input : instance.workflow->external_inputs()) {
+      workload_files.insert(input.name);
+    }
+    for (const std::string& task_name : instance.workflow->task_order()) {
+      for (const wf::FileSpec& output : instance.workflow->task(task_name).outputs) {
+        workload_files.insert(output.name);
+      }
+    }
+  }
+  for (const auto& [name, service] : services) service->validate_workload_files(workload_files);
+
+  // (service, file) pairs to warm after every immediate submission.
+  std::vector<std::pair<storage::StorageService*, std::string>> warm_list;
+  for (const workload::WorkloadInstance& instance : instances) {
+    const std::string service_name =
+        instance.service.empty() ? spec.default_service : instance.service;
+    wf::ComputeService* cs = compute_for(service_name);
+    if (instance.arrival <= 0.0) {
+      if (spec.warm_inputs) {
+        storage::StorageService* svc = services.at(service_name);
+        for (const wf::FileSpec& input : instance.workflow->external_inputs()) {
+          warm_list.emplace_back(svc, input.name);
+        }
+      }
+      cs->submit(*instance.workflow);
+    } else {
+      sim.engine().spawn(
+          "submit:" + instance.label,
+          delayed_submit(sim.engine(), cs, instance.workflow, instance.arrival,
+                         spec.warm_inputs ? services.at(service_name) : nullptr));
+    }
+  }
+  // The staged inputs passed through the (server) cache on their way in —
+  // the paper's Exp 3 warm staging.
+  for (const auto& [svc, name] : warm_list) svc->warm_file(name);
+
+  sim.run();
+
+  RunResult result;
+  for (wf::ComputeService* cs : compute_order) {
+    for (const wf::TaskResult& r : cs->results()) result.tasks.push_back(r);
+  }
+  if (probe != nullptr) {
+    probe->sample_now();  // closing sample at the makespan
+    result.profile = probe->samples();
+  }
+  if (cache::MemoryManager* mm = default_service->memory_manager(); mm != nullptr) {
+    result.final_state = mm->snapshot();
+    std::tie(result.final_inactive_blocks, result.final_active_blocks) =
+        default_service->lru_block_counts();
+  } else if (auto snap = default_service->state_snapshot(); snap.has_value()) {
+    result.final_state = *snap;
+  }
+  result.makespan = sim.now();
+  result.wall_seconds = wall_since(wall_start);
+  return result;
+}
+
+RunResult run_scenario_file(const std::string& path, const RunOptions& options) {
+  return run_scenario(ScenarioSpec::from_file(path), options);
+}
+
+}  // namespace pcs::scenario

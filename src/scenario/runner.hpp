@@ -1,0 +1,33 @@
+// Executes a ScenarioSpec: builds a wf::Simulation — platform from the
+// spec's JSON, storage services through the backend registry, workflows
+// through the workload generators — runs it and returns a RunResult.
+// Construction order mirrors the legacy RunConfig harness exactly
+// (services, probe, compute service, per-instance submission, server-side
+// warm-up), which is what makes scenario-built runs bit-identical to the
+// pre-refactor paths (see tests/scenario_equivalence_test.cpp).
+#pragma once
+
+#include "scenario/run_result.hpp"
+#include "scenario/scenario.hpp"
+
+namespace pcs::sim {
+class Tracer;
+}
+
+namespace pcs::scenario {
+
+struct RunOptions {
+  /// Record every completed activity as a Chrome-trace span (engine-backed
+  /// simulators only; the analytic prototype has no engine).
+  sim::Tracer* tracer = nullptr;
+};
+
+/// Run a scenario to completion.  Throws ScenarioError (bad specs),
+/// plus whatever the platform/storage/workload layers throw.
+RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options = {});
+
+/// Parse `path` and run it (relative workload/platform refs resolve
+/// against the file's directory).
+RunResult run_scenario_file(const std::string& path, const RunOptions& options = {});
+
+}  // namespace pcs::scenario

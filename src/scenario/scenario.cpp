@@ -1,0 +1,164 @@
+#include "scenario/scenario.hpp"
+
+#include <filesystem>
+#include <set>
+
+#include "storage/service_registry.hpp"
+#include "util/paths.hpp"
+#include "util/units.hpp"
+
+namespace pcs::scenario {
+
+namespace {
+
+const std::set<std::string>& known_simulators() {
+  static const std::set<std::string> kinds = {"wrench_cache", "wrench", "reference",
+                                              "prototype"};
+  return kinds;
+}
+
+/// Rewrite relative "file" references (dag workloads, nested tenants) to
+/// absolute paths, so the effective spec (to_json) stays runnable from any
+/// working directory.
+void absolutize_file_refs(util::Json& workload, const std::string& base_dir) {
+  if (!workload.is_object()) return;
+  if (workload.contains("file")) {
+    const std::string resolved =
+        util::resolve_relative(base_dir, workload.at("file").as_string());
+    workload.set("file", std::filesystem::absolute(resolved).lexically_normal().string());
+  }
+  if (workload.contains("tenants") && workload.at("tenants").is_array()) {
+    for (util::Json& tenant : workload.as_object()["tenants"].as_array()) {
+      absolutize_file_refs(tenant, base_dir);
+    }
+  }
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::parse(const util::Json& doc, const std::string& base_dir) {
+  if (!doc.is_object()) throw ScenarioError("scenario must be a JSON object");
+  ScenarioSpec spec;
+  spec.base_dir = base_dir;
+  spec.name = doc.string_or("name", "scenario");
+  spec.simulator = doc.string_or("simulator", "wrench_cache");
+  if (known_simulators().count(spec.simulator) == 0) {
+    throw ScenarioError("unknown simulator '" + spec.simulator +
+                        "' (expected wrench_cache|wrench|reference|prototype)");
+  }
+
+  if (doc.contains("platform")) {
+    spec.platform = doc.at("platform");
+  } else if (doc.contains("platform_file")) {
+    spec.platform = util::Json::parse_file(
+        util::resolve_relative(base_dir, doc.at("platform_file").as_string()));
+  } else {
+    throw ScenarioError("scenario needs \"platform\" (inline) or \"platform_file\"");
+  }
+  if (!spec.platform.contains("hosts") || spec.platform.at("hosts").size() == 0) {
+    throw ScenarioError("scenario platform needs a non-empty \"hosts\" array");
+  }
+  spec.compute_host = doc.string_or(
+      "compute_host", spec.platform.at("hosts").at(0).at("name").as_string());
+
+  spec.chunk_size = util::bytes_field_or(doc, "chunk_size", 100.0 * util::MB);
+  if (spec.chunk_size <= 0.0) throw ScenarioError("chunk_size must be positive");
+  spec.probe_period = doc.number_or("probe_period", 0.0);
+  if (spec.probe_period < 0.0) throw ScenarioError("probe_period must be non-negative");
+  if (doc.contains("cache_params")) {
+    spec.cache_params =
+        storage::cache_params_from_json(doc.at("cache_params"), cache::CacheParams{});
+  }
+  if (doc.contains("workload")) {
+    spec.workload = doc.at("workload");
+    absolutize_file_refs(spec.workload, base_dir);
+  } else {
+    spec.workload = util::Json{util::JsonObject{}}.set("type", "synthetic");
+  }
+
+  if (doc.contains("services")) {
+    int index = 0;
+    for (const util::Json& svc : doc.at("services").as_array()) {
+      ServiceDecl decl;
+      decl.spec = svc;
+      decl.type = svc.string_or("type", "local");
+      decl.name = svc.string_or("name", "svc" + std::to_string(index));
+      decl.spec.set("type", decl.type);
+      decl.spec.set("name", decl.name);
+      if (!decl.spec.contains("host")) decl.spec.set("host", spec.compute_host);
+      spec.services.push_back(std::move(decl));
+      ++index;
+    }
+  } else if (spec.simulator != "prototype") {
+    // Derive the single paper-style service from the simulator kind.
+    ServiceDecl decl;
+    decl.name = "store";
+    decl.type = spec.simulator == "reference" ? "reference" : "local";
+    decl.spec = util::Json{util::JsonObject{}};
+    decl.spec.set("type", decl.type);
+    decl.spec.set("name", decl.name);
+    decl.spec.set("host", spec.compute_host);
+    if (decl.type == "local") {
+      decl.spec.set("cache", spec.simulator == "wrench" ? "none" : "writeback");
+    }
+    spec.services.push_back(std::move(decl));
+  }
+  if (spec.simulator != "prototype" && spec.services.empty()) {
+    throw ScenarioError("scenario needs at least one storage service");
+  }
+  std::set<std::string> names;
+  for (const ServiceDecl& decl : spec.services) {
+    if (!names.insert(decl.name).second) {
+      throw ScenarioError("duplicate service name '" + decl.name + "'");
+    }
+  }
+  auto check_service = [&](const std::string& name, const char* what) {
+    if (!spec.services.empty() && names.count(name) == 0) {
+      throw ScenarioError(std::string(what) + " '" + name + "' is not a declared service");
+    }
+  };
+  spec.default_service =
+      doc.string_or("default_service", spec.services.empty() ? "" : spec.services.front().name);
+  check_service(spec.default_service, "default_service");
+  spec.probe_service = doc.string_or("probe_service", spec.default_service);
+  check_service(spec.probe_service, "probe_service");
+
+  bool default_is_nfs = false;
+  for (const ServiceDecl& decl : spec.services) {
+    if (decl.name == spec.default_service) default_is_nfs = decl.type == "nfs";
+  }
+  spec.warm_inputs = doc.bool_or("warm_inputs", default_is_nfs);
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::from_file(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  ScenarioSpec spec = parse(util::Json::parse_file(path), dir);
+  if (spec.name == "scenario") {
+    spec.name = std::filesystem::path(path).stem().string();
+  }
+  return spec;
+}
+
+util::Json ScenarioSpec::to_json() const {
+  util::Json doc{util::JsonObject{}};
+  doc.set("name", name);
+  doc.set("simulator", simulator);
+  doc.set("platform", platform);
+  doc.set("compute_host", compute_host);
+  if (!services.empty()) {
+    util::Json svcs{util::JsonArray{}};
+    for (const ServiceDecl& decl : services) svcs.push_back(decl.spec);
+    doc.set("services", std::move(svcs));
+    doc.set("default_service", default_service);
+    doc.set("probe_service", probe_service);
+  }
+  doc.set("workload", workload);
+  doc.set("chunk_size", chunk_size);
+  doc.set("probe_period", probe_period);
+  doc.set("warm_inputs", warm_inputs);
+  doc.set("cache_params", storage::cache_params_to_json(cache_params));
+  return doc;
+}
+
+}  // namespace pcs::scenario

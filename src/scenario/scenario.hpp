@@ -1,0 +1,69 @@
+// Declarative scenarios: one JSON document describing a complete simulated
+// experiment — platform, storage services, simulator kind, cache
+// parameters and workload — parsed into a ScenarioSpec and executed by the
+// runner (runner.hpp).  Scenarios are data: every committed example is a
+// scenarios/*.json file runnable as `pcs_cli run <file>`.
+//
+// Schema (see README "Scenario files" for the full reference):
+//   {
+//     "name": "nfs_cluster",
+//     "simulator": "wrench_cache",        // wrench_cache|wrench|reference|prototype
+//     "platform": {...},                  // platform doc, or "platform_file": "p.json"
+//     "compute_host": "compute0",         // default: first host in the doc
+//     "services": [{"name": "store", "type": "nfs", ...}],  // default: derived
+//     "default_service": "store",         //   from the simulator kind
+//     "workload": {"type": "synthetic", "instances": 8, ...},
+//     "chunk_size": "100 MB",
+//     "probe_period": 5,                  // seconds; 0 = no memory probe
+//     "cache_params": {"dirty_ratio": 0.2, ...},
+//     "warm_inputs": true                 // Exp 3 server-side warm staging
+//   }
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pagecache/kernel_params.hpp"
+#include "util/json.hpp"
+
+namespace pcs::scenario {
+
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One storage service declaration, normalized (name and host/disk defaults
+/// resolved at parse time).
+struct ServiceDecl {
+  std::string name;
+  std::string type;
+  util::Json spec;  ///< the full backend spec handed to the registry builder
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::string simulator = "wrench_cache";
+  util::Json platform;  ///< inline platform document (files are resolved at parse)
+  std::string compute_host;
+  std::vector<ServiceDecl> services;  ///< built in declaration order
+  std::string default_service;        ///< what compute tasks use
+  std::string probe_service;          ///< what the memory probe watches
+  util::Json workload;
+  double chunk_size = 100.0e6;
+  double probe_period = 0.0;
+  bool warm_inputs = false;
+  cache::CacheParams cache_params;
+  std::string base_dir;  ///< resolves relative "file" refs in the workload
+
+  /// Parse and normalize; throws ScenarioError on malformed documents.
+  static ScenarioSpec parse(const util::Json& doc, const std::string& base_dir = "");
+  static ScenarioSpec from_file(const std::string& path);
+
+  /// The effective, fully-defaulted document (what `pcs_cli run
+  /// --dump-effective` prints); parses back to an equivalent spec.
+  [[nodiscard]] util::Json to_json() const;
+};
+
+}  // namespace pcs::scenario

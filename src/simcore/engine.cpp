@@ -125,9 +125,24 @@ void Engine::deregister_claims(Activity& activity) {
   }
 }
 
+Task<> Engine::root_guard(Task<> inner) {
+  // The guard is a frame local: it fires when the body finishes normally,
+  // when the inner task's exception unwinds through it, and when the frame
+  // is destroyed at a suspend point (engine teardown with pending actors).
+  struct Guard {
+    std::size_t* live;
+    ~Guard() { --*live; }
+  } guard{&live_roots_};
+  co_await inner;
+}
+
 void Engine::spawn(std::string name, Task<> task, bool daemon) {
+  if (!task.raw_handle()) throw SimulationError("spawn: empty task for actor '" + name + "'");
+  if (!daemon) {
+    ++live_roots_;
+    task = root_guard(std::move(task));
+  }
   std::coroutine_handle<> h = task.raw_handle();
-  if (!h) throw SimulationError("spawn: empty task for actor '" + name + "'");
   roots_.push_back(RootActor{std::move(name), std::move(task), daemon});
   schedule(h);
 }
@@ -140,8 +155,12 @@ void Engine::schedule_at(double t, std::coroutine_handle<> h) {
 }
 
 bool Engine::all_actors_done() const {
-  return std::all_of(roots_.begin(), roots_.end(),
-                     [](const RootActor& r) { return r.daemon || r.task.done(); });
+#ifdef PCS_DEBUG_INVARIANTS
+  const bool scan = std::all_of(roots_.begin(), roots_.end(),
+                                [](const RootActor& r) { return r.daemon || r.task.done(); });
+  assert(scan == (live_roots_ == 0) && "live-root counter diverged from the root scan");
+#endif
+  return live_roots_ == 0;
 }
 
 std::size_t Engine::drain_ready() {

@@ -118,8 +118,14 @@ class Engine {
   /// Run at most until virtual time `t` (useful for incremental probing).
   void run_until(double t);
 
-  /// True once every non-daemon root actor has completed.
+  /// True once every non-daemon root actor has completed.  O(1): spawn
+  /// wraps each non-daemon root in a completion guard that maintains a
+  /// live-root counter, so 10k-actor fleets don't rescan the root list at
+  /// every scheduling point.
   [[nodiscard]] bool all_actors_done() const;
+
+  /// Non-daemon root actors not yet finished.
+  [[nodiscard]] std::size_t live_root_count() const { return live_roots_; }
 
   // --- introspection -----------------------------------------------------
 
@@ -168,6 +174,9 @@ class Engine {
     bool daemon;
   };
 
+  /// Wraps a non-daemon root so its completion — normal, by exception, or
+  /// by frame teardown — decrements live_roots_ exactly once.
+  [[nodiscard]] Task<> root_guard(Task<> inner);
   void recompute_rates();
   /// Progressive filling restricted to `acts` (sorted by id) and the
   /// resources they claim; writes Activity::rate_.
@@ -198,6 +207,7 @@ class Engine {
   std::uint64_t next_id_ = 1;
   std::uint64_t scheduling_points_ = 0;
   std::uint64_t visit_mark_ = 0;
+  std::size_t live_roots_ = 0;
 
   Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Resource>> resources_;

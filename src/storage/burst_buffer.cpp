@@ -1,0 +1,82 @@
+#include "storage/burst_buffer.hpp"
+
+namespace pcs::storage {
+
+BurstBuffer::BurstBuffer(sim::Engine& engine, LocalStorage& buffer, StorageService& target,
+                         BurstBufferOptions options)
+    : engine_(engine),
+      buffer_(buffer),
+      target_(target),
+      options_(std::move(options)),
+      drain_targets_(options_.drain_files.begin(), options_.drain_files.end()) {
+  if (options_.drain_period <= 0.0) throw StorageError("burst buffer: drain_period must be > 0");
+  if (options_.drain_chunk <= 0.0) throw StorageError("burst buffer: drain_chunk must be > 0");
+}
+
+sim::Task<> BurstBuffer::read_file(const std::string& name, double chunk_size) {
+  // Prefer the local copy (usually still page-cached); fall back to the
+  // target for data that only exists durably.
+  if (buffer_.fs().exists(name)) {
+    co_await buffer_.read_file(name, chunk_size);
+  } else {
+    co_await target_.read_file(name, chunk_size);
+  }
+}
+
+sim::Task<> BurstBuffer::write_file(const std::string& name, double size, double chunk_size) {
+  co_await buffer_.write_file(name, size, chunk_size);
+}
+
+double BurstBuffer::file_size(const std::string& name) const {
+  if (buffer_.fs().exists(name)) return buffer_.fs().size_of(name);
+  return target_.file_size(name);
+}
+
+bool BurstBuffer::wants(const std::string& name) const {
+  const std::string& suffix = options_.drain_suffix;
+  if (suffix.empty()) return true;
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+sim::Task<> BurstBuffer::drainer_loop() {
+  const bool finite = !drain_targets_.empty();
+  while (true) {
+    std::vector<std::string> ready;
+    if (finite) {
+      for (const std::string& name : drain_targets_) {
+        if (drained_.count(name) == 0 && buffer_.fs().exists(name)) ready.push_back(name);
+      }
+    } else {
+      for (const auto& [name, size] : buffer_.fs().files()) {
+        if (drained_.count(name) == 0 && wants(name)) ready.push_back(name);
+      }
+    }
+    for (const std::string& name : ready) {
+      const double size = buffer_.fs().size_of(name);
+      co_await buffer_.read_file(name, options_.drain_chunk);
+      buffer_.release_anonymous(size);
+      co_await target_.write_file(name, size, options_.drain_chunk);
+      drained_.insert(name);
+    }
+    if (finite && drained_.size() >= drain_targets_.size()) co_return;
+    co_await engine_.sleep(options_.drain_period);
+  }
+}
+
+void BurstBuffer::validate_workload_files(const std::set<std::string>& files) const {
+  for (const std::string& name : drain_targets_) {
+    if (files.count(name) == 0) {
+      throw StorageError("burst buffer: drain file '" + name +
+                         "' is not produced or staged by any workflow in the scenario");
+    }
+  }
+}
+
+void BurstBuffer::start_drainer() {
+  // With a known drain set the drainer is a regular actor (it holds the
+  // simulation open until every result is durable); otherwise a daemon.
+  engine_.spawn("burst-buffer-drainer", drainer_loop(), /*daemon=*/drain_targets_.empty());
+}
+
+}  // namespace pcs::storage

@@ -16,12 +16,12 @@
 #include "pagecache/kernel_params.hpp"
 #include "pagecache/memory_manager.hpp"
 #include "platform/platform.hpp"
-#include "storage/file_service.hpp"
 #include "storage/file_system.hpp"
+#include "storage/storage_service.hpp"
 
 namespace pcs::storage {
 
-class LocalStorage : public cache::BackingStore, public FileService {
+class LocalStorage : public cache::BackingStore, public StorageService {
  public:
   /// `mem_for_cache` is the memory visible to the page cache + applications
   /// on this host; defaults to the host's RAM.  Ignored for CacheMode::None.
@@ -72,11 +72,23 @@ class LocalStorage : public cache::BackingStore, public FileService {
   [[nodiscard]] FileSystem& fs() { return fs_; }
   [[nodiscard]] const FileSystem& fs() const { return fs_; }
   [[nodiscard]] cache::CacheMode mode() const { return io_->mode(); }
-  [[nodiscard]] cache::MemoryManager* memory_manager() { return mm_ ? mm_.get() : nullptr; }
+  [[nodiscard]] cache::MemoryManager* memory_manager() override {
+    return mm_ ? mm_.get() : nullptr;
+  }
   [[nodiscard]] plat::Disk& disk() const { return disk_; }
 
   /// Probe for Fig 4b/4c; valid only in cached modes.
   [[nodiscard]] cache::CacheSnapshot snapshot() const;
+
+  // --- StorageService introspection --------------------------------------
+  [[nodiscard]] std::optional<cache::CacheSnapshot> state_snapshot() const override {
+    if (!mm_) return std::nullopt;
+    return snapshot();
+  }
+  [[nodiscard]] std::pair<std::size_t, std::size_t> lru_block_counts() const override {
+    if (!mm_) return {0, 0};
+    return {mm_->inactive_list().block_count(), mm_->active_list().block_count()};
+  }
 
  private:
   sim::Engine& engine_;

@@ -25,8 +25,8 @@
 #include "pagecache/kernel_params.hpp"
 #include "pagecache/memory_manager.hpp"
 #include "platform/platform.hpp"
-#include "storage/file_service.hpp"
 #include "storage/file_system.hpp"
+#include "storage/storage_service.hpp"
 
 namespace pcs::storage {
 
@@ -80,7 +80,7 @@ class NfsServer {
 
 /// One client host's view of an NFS export.  Implements BackingStore so the
 /// client-side page cache treats the remote server as its backing device.
-class NfsMount : public cache::BackingStore, public FileService {
+class NfsMount : public cache::BackingStore, public StorageService {
  public:
   /// `client_mode`: ReadCache (the paper's Exp 3), None (cacheless
   /// baseline), Writeback or Writethrough (extensions).
@@ -109,8 +109,18 @@ class NfsMount : public cache::BackingStore, public FileService {
   /// client and server caches.
   void remove_file(const std::string& name);
 
-  [[nodiscard]] cache::MemoryManager* memory_manager() { return mm_ ? mm_.get() : nullptr; }
+  [[nodiscard]] cache::MemoryManager* memory_manager() override {
+    return mm_ ? mm_.get() : nullptr;
+  }
   [[nodiscard]] NfsServer& server() const { return server_; }
+
+  // --- StorageService introspection --------------------------------------
+  [[nodiscard]] std::optional<cache::CacheSnapshot> state_snapshot() const override {
+    if (!mm_) return std::nullopt;
+    return mm_->snapshot();
+  }
+  /// Warms the *server* cache (the paper's Exp 3 staged inputs).
+  void warm_file(const std::string& name) override { server_.warm_file(name); }
 
   // --- BackingStore: "the remote device", used by the client cache -------
   [[nodiscard]] sim::Task<> read(const std::string& file, double bytes) override;

@@ -1,0 +1,72 @@
+// Spec-driven construction of storage backends: a registry mapping a type
+// string ("local", "nfs", "reference", "burst_buffer", "cgroup_local", or
+// anything registered at runtime) to a builder that reads a JSON service
+// spec and materializes the backend inside a wf::Simulation.  This is how
+// scenario files (and any future config surface) instantiate storage
+// without new C++ per topology.
+//
+// Built-in spec fields (all backends): "host", "disk" (names in the
+// platform), "cache" (mode string), "params" (cache-parameter overrides),
+// "memory_limit" (bytes visible to cache + applications; default host RAM).
+// See README "Scenario files" for the per-backend schema.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pagecache/kernel_params.hpp"
+#include "storage/file_system.hpp"  // StorageError
+#include "storage/storage_service.hpp"
+#include "util/json.hpp"
+
+namespace pcs::wf {
+class Simulation;
+}
+
+namespace pcs::storage {
+
+/// What every builder gets: the simulation to build into (platform, engine
+/// and ownership) plus the scenario-level cache parameter defaults that
+/// "params" objects override.
+struct ServiceContext {
+  wf::Simulation& sim;
+  cache::CacheParams default_params;
+};
+
+class ServiceRegistry {
+ public:
+  using Builder = std::function<StorageService*(ServiceContext&, const util::Json& spec)>;
+
+  /// Global registry, with the built-in backends pre-registered.
+  static ServiceRegistry& instance();
+
+  /// Throws StorageError on duplicate registration.
+  void register_backend(const std::string& type, Builder builder);
+  [[nodiscard]] bool has(const std::string& type) const { return builders_.count(type) != 0; }
+  [[nodiscard]] std::vector<std::string> types() const;
+
+  /// Throws StorageError for unknown types; builders throw on bad specs.
+  StorageService* build(const std::string& type, ServiceContext& ctx,
+                        const util::Json& spec) const;
+
+ private:
+  ServiceRegistry();
+  std::map<std::string, Builder> builders_;
+};
+
+// --- spec helpers shared by backends and the scenario layer ---------------
+
+/// "none" | "writeback" | "writethrough" | "read" (or "readcache").
+[[nodiscard]] cache::CacheMode cache_mode_from_string(const std::string& name);
+[[nodiscard]] std::string to_string(cache::CacheMode mode);
+
+/// Overlay the keys of `params` (dirty_ratio, dirty_expire,
+/// dirty_background_ratio, flush_period, max_active_ratio, lru_policy,
+/// merge_on_access) onto `base`.
+[[nodiscard]] cache::CacheParams cache_params_from_json(const util::Json& params,
+                                                        cache::CacheParams base);
+[[nodiscard]] util::Json cache_params_to_json(const cache::CacheParams& params);
+
+}  // namespace pcs::storage

@@ -1,0 +1,52 @@
+// StorageService: the uniform, scenario-facing contract over every storage
+// backend (local page-cached disk, NFS mount, the reference kernel model,
+// burst buffer...).  It extends the task-facing FileService with the hooks
+// the scenario runner needs — probe attachment, final-state capture and
+// server-side cache warming — so backends are interchangeable behind a
+// spec-driven factory (see service_registry.hpp).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "pagecache/memory_manager.hpp"
+#include "storage/file_service.hpp"
+
+namespace pcs::storage {
+
+class StorageService : public FileService {
+ public:
+  /// Block-level cache manager when the backend has one (memory probes
+  /// attach here); nullptr for cacheless or non-block-model backends.
+  [[nodiscard]] virtual cache::MemoryManager* memory_manager() { return nullptr; }
+
+  /// Point-in-time cache state for backends that keep their own accounting
+  /// instead of a MemoryManager (the reference kernel model).  Backends
+  /// with a MemoryManager may also implement it; nullopt means "nothing to
+  /// snapshot" (e.g. cacheless mode).
+  [[nodiscard]] virtual std::optional<cache::CacheSnapshot> state_snapshot() const {
+    return std::nullopt;
+  }
+
+  /// (inactive, active) LRU block counts for block-granular backends; {0,0}
+  /// otherwise.  Feeds the A3 ablation fields of RunResult.
+  [[nodiscard]] virtual std::pair<std::size_t, std::size_t> lru_block_counts() const {
+    return {0, 0};
+  }
+
+  /// Best-effort: mark a staged file resident in the backing (server-side)
+  /// cache.  Models the paper's Exp 3, where inputs staged through NFS
+  /// start out warm in the *server* cache.  Default: no-op.
+  virtual void warm_file(const std::string& /*name*/) {}
+
+  /// Called by the scenario runner with every file the workload will stage
+  /// or produce, before the simulation starts.  Backends that wait on
+  /// specific files (the burst buffer's drain set) throw here when a
+  /// configured file can never appear — turning a would-be infinite
+  /// simulation into a spec error.  Default: no-op.
+  virtual void validate_workload_files(const std::set<std::string>& /*files*/) const {}
+};
+
+}  // namespace pcs::storage

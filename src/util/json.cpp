@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/units.hpp"
+
 namespace pcs::util {
 
 namespace {
@@ -395,6 +397,12 @@ Json Json::parse_file(const std::string& path) {
   std::ostringstream oss;
   oss << in.rdbuf();
   return parse(oss.str());
+}
+
+double bytes_field_or(const Json& obj, const std::string& key, double fallback) {
+  if (!obj.contains(key)) return fallback;
+  const Json& v = obj.at(key);
+  return v.is_number() ? v.as_number() : parse_bytes(v.as_string());
 }
 
 }  // namespace pcs::util

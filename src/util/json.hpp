@@ -125,4 +125,8 @@ class Json {
   JsonObject obj_;
 };
 
+/// Byte-valued config field: raw number or unit string ("20 GB",
+/// "450 GiB" — see parse_bytes); `fallback` when absent.
+[[nodiscard]] double bytes_field_or(const Json& obj, const std::string& key, double fallback);
+
 }  // namespace pcs::util

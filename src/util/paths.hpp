@@ -1,0 +1,19 @@
+// Path helpers shared by the config-file layers (scenario, workload).
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace pcs::util {
+
+/// Resolve `path` against `base_dir` (typically the directory of the
+/// config file that referenced it); absolute paths and empty base dirs
+/// pass through.
+[[nodiscard]] inline std::string resolve_relative(const std::string& base_dir,
+                                                  const std::string& path) {
+  std::filesystem::path p(path);
+  if (base_dir.empty() || p.is_absolute()) return path;
+  return (std::filesystem::path(base_dir) / p).string();
+}
+
+}  // namespace pcs::util

@@ -62,6 +62,12 @@ ComputeService* Simulation::create_compute_service(plat::Host& host,
   return compute_services_.back().get();
 }
 
+storage::StorageService* Simulation::adopt_storage(
+    std::unique_ptr<storage::StorageService> service) {
+  adopted_storages_.push_back(std::move(service));
+  return adopted_storages_.back().get();
+}
+
 Workflow& Simulation::create_workflow() {
   workflows_.push_back(std::make_unique<Workflow>());
   return *workflows_.back();

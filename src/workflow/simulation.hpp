@@ -77,6 +77,10 @@ class Simulation {
   ComputeService* create_compute_service(plat::Host& host, storage::FileService& storage,
                                          double chunk_size);
 
+  /// Take ownership of a backend built outside the typed factories above
+  /// (reference model, burst buffer, future registry backends).
+  storage::StorageService* adopt_storage(std::unique_ptr<storage::StorageService> service);
+
   Workflow& create_workflow();
 
   /// Attach a sampling probe to a memory manager (or any snapshot source).
@@ -93,6 +97,7 @@ class Simulation {
   std::vector<std::unique_ptr<storage::LocalStorage>> local_storages_;
   std::vector<std::unique_ptr<storage::NfsServer>> nfs_servers_;
   std::vector<std::unique_ptr<storage::NfsMount>> nfs_mounts_;
+  std::vector<std::unique_ptr<storage::StorageService>> adopted_storages_;
   std::vector<std::unique_ptr<ComputeService>> compute_services_;
   std::vector<std::unique_ptr<Workflow>> workflows_;
   std::vector<std::unique_ptr<MemoryProbe>> probes_;

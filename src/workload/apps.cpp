@@ -1,11 +1,13 @@
-#include "exp/apps.hpp"
+#include "workload/apps.hpp"
 
 #include <stdexcept>
 
-namespace pcs::exp {
+namespace pcs::workload {
 
 using util::GB;
 using util::MB;
+
+std::string instance_prefix(int instance) { return "a" + std::to_string(instance) + ":"; }
 
 const std::vector<SyntheticParams>& synthetic_table() {
   static const std::vector<SyntheticParams> table = {
@@ -94,4 +96,4 @@ void build_nighres(wf::Workflow& workflow, const std::string& prefix) {
   workflow.add_dependency(s3, s4);
 }
 
-}  // namespace pcs::exp
+}  // namespace pcs::workload

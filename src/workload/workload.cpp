@@ -1,0 +1,119 @@
+#include "workload/workload.hpp"
+
+#include <utility>
+
+#include "util/paths.hpp"
+#include "util/units.hpp"
+#include "workflow/simulation.hpp"
+#include "workflow/workflow_json.hpp"
+#include "workload/apps.hpp"
+
+namespace pcs::workload {
+
+util::Json prefixed_workflow_doc(const util::Json& doc, const std::string& prefix) {
+  util::Json out = doc;
+  auto prefix_files = [&](util::Json& task, const char* key) {
+    if (!task.contains(key)) return;
+    for (util::Json& f : task.as_object()[key].as_array()) {
+      f.set("name", prefix + f.at("name").as_string());
+    }
+  };
+  for (util::Json& task : out.as_object()["tasks"].as_array()) {
+    task.set("name", prefix + task.at("name").as_string());
+    prefix_files(task, "inputs");
+    prefix_files(task, "outputs");
+  }
+  if (out.contains("dependencies")) {
+    for (util::Json& dep : out.as_object()["dependencies"].as_array()) {
+      dep.set("parent", prefix + dep.at("parent").as_string());
+      dep.set("child", prefix + dep.at("child").as_string());
+    }
+  }
+  return out;
+}
+
+std::vector<WorkloadInstance> build_workload(wf::Simulation& sim, const util::Json& spec,
+                                             const std::string& prefix,
+                                             const std::string& base_dir) {
+  if (!spec.is_object()) throw WorkloadError("workload spec must be a JSON object");
+  const std::string type = spec.string_or("type", "synthetic");
+  const int instances = static_cast<int>(spec.number_or("instances", 1));
+  if (instances < 1) throw WorkloadError("workload: instances must be >= 1");
+  const double arrival = spec.number_or("arrival", 0.0);
+  const double stagger = spec.number_or("stagger", 0.0);
+  if (arrival < 0.0 || stagger < 0.0) {
+    throw WorkloadError("workload: arrival/stagger must be non-negative");
+  }
+  const std::string service = spec.string_or("service", "");
+
+  std::vector<WorkloadInstance> out;
+  auto add = [&](wf::Workflow& workflow, int i) {
+    out.push_back(WorkloadInstance{&workflow, service, arrival + stagger * i,
+                                   prefix + "a" + std::to_string(i)});
+  };
+
+  if (type == "synthetic") {
+    const double input = util::bytes_field_or(spec, "input_size", 20.0 * util::GB);
+    if (input <= 0.0) throw WorkloadError("synthetic workload: input_size must be positive");
+    const double cpu = spec.contains("cpu_seconds") ? spec.at("cpu_seconds").as_number()
+                                                    : synthetic_cpu_seconds(input);
+    for (int i = 0; i < instances; ++i) {
+      wf::Workflow& workflow = sim.create_workflow();
+      build_synthetic(workflow, prefix + instance_prefix(i), input, cpu);
+      add(workflow, i);
+    }
+  } else if (type == "nighres") {
+    for (int i = 0; i < instances; ++i) {
+      wf::Workflow& workflow = sim.create_workflow();
+      build_nighres(workflow, prefix + instance_prefix(i));
+      add(workflow, i);
+    }
+  } else if (type == "dag") {
+    util::Json doc;
+    if (spec.contains("workflow")) {
+      doc = spec.at("workflow");
+    } else if (spec.contains("file")) {
+      doc = util::Json::parse_file(util::resolve_relative(base_dir, spec.at("file").as_string()));
+    } else {
+      throw WorkloadError("dag workload needs \"workflow\" (inline) or \"file\"");
+    }
+    for (int i = 0; i < instances; ++i) {
+      // A lone unprefixed DAG keeps its own task names (pcs_cli legacy
+      // behaviour); concurrent instances get the "a<i>:" namespace.
+      const std::string p =
+          prefix + (instances > 1 ? instance_prefix(i) : std::string());
+      wf::Workflow& workflow = sim.create_workflow();
+      workflow = wf::workflow_from_json(p.empty() ? doc : prefixed_workflow_doc(doc, p));
+      add(workflow, i);
+    }
+  } else if (type == "multi_tenant") {
+    if (!spec.contains("tenants") || spec.at("tenants").as_array().empty()) {
+      throw WorkloadError("multi_tenant workload needs a non-empty \"tenants\" array");
+    }
+    // Per-instance replication is a tenant-level concern; rejecting the
+    // outer fields loudly beats silently ignoring them.
+    if (instances != 1 || stagger != 0.0) {
+      throw WorkloadError(
+          "multi_tenant workload: set instances/stagger on the tenants, not the composition");
+    }
+    int k = 0;
+    for (const util::Json& tenant : spec.at("tenants").as_array()) {
+      const std::string tenant_name = tenant.string_or("name", "t" + std::to_string(k));
+      std::vector<WorkloadInstance> sub =
+          build_workload(sim, tenant, prefix + tenant_name + ":", base_dir);
+      for (WorkloadInstance& instance : sub) {
+        // The composition's own arrival/service apply as an offset and a
+        // fallback on top of what each tenant declared.
+        instance.arrival += arrival;
+        if (instance.service.empty()) instance.service = service;
+        out.push_back(std::move(instance));
+      }
+      ++k;
+    }
+  } else {
+    throw WorkloadError("unknown workload type '" + type + "'");
+  }
+  return out;
+}
+
+}  // namespace pcs::workload

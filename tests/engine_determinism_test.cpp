@@ -62,6 +62,75 @@ TEST(EngineDeterminism, SingleComponentTopologyCrossChecks) {
   EXPECT_EQ(a.final_vtime, b.final_vtime);
 }
 
+// The O(1) live-root counter that replaced the per-event root scan: it
+// must agree with the roots' actual completion state through dynamic
+// spawns, daemons, exceptions and teardown (the Debug build asserts the
+// counter against the scan inside all_actors_done()).
+TEST(EngineDeterminism, LiveRootCounterTracksDynamicSpawns) {
+  sim::Engine engine;
+  int finished = 0;
+  auto leaf = [](sim::Engine& e, int* count) -> sim::Task<> {
+    co_await e.sleep(1.0);
+    ++*count;
+  };
+  auto spawner = [&leaf](sim::Engine& e, int* count) -> sim::Task<> {
+    // Roots spawned mid-run must keep the simulation alive.
+    for (int i = 0; i < 5; ++i) {
+      e.spawn("leaf" + std::to_string(i), leaf(e, count));
+      co_await e.sleep(2.0);
+    }
+  };
+  engine.spawn("spawner", spawner(engine, &finished));
+  EXPECT_EQ(engine.live_root_count(), 1u);
+  EXPECT_FALSE(engine.all_actors_done());
+  engine.run();
+  EXPECT_EQ(finished, 5);
+  EXPECT_TRUE(engine.all_actors_done());
+  EXPECT_EQ(engine.live_root_count(), 0u);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(EngineDeterminism, DaemonsDoNotCountAsLiveRoots) {
+  sim::Engine engine;
+  auto daemon = [](sim::Engine& e) -> sim::Task<> {
+    while (true) co_await e.sleep(1.0);
+  };
+  auto worker = [](sim::Engine& e) -> sim::Task<> { co_await e.sleep(3.0); };
+  engine.spawn("flusher", daemon(engine), /*daemon=*/true);
+  engine.spawn("worker", worker(engine));
+  EXPECT_EQ(engine.live_root_count(), 1u);
+  engine.run();
+  EXPECT_TRUE(engine.all_actors_done());
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(EngineDeterminism, ThrowingRootCompletesAndRethrows) {
+  sim::Engine engine;
+  auto boomer = [](sim::Engine& e) -> sim::Task<> {
+    co_await e.sleep(1.0);
+    throw std::runtime_error("boom");
+  };
+  engine.spawn("boomer", boomer(engine));
+  EXPECT_THROW(engine.run(), std::runtime_error);
+  // The guard fired despite the exception: the root is accounted done.
+  EXPECT_TRUE(engine.all_actors_done());
+  EXPECT_EQ(engine.live_root_count(), 0u);
+}
+
+TEST(EngineDeterminism, ManyActorFleetStaysDeterministicWithCounter) {
+  // A larger fleet than the default configs, exercising exactly the path
+  // the counter optimizes (one termination check per scheduling point).
+  CoreScenarioConfig config;
+  config.actors = 1000;
+  config.groups = 100;
+  config.rounds = 3;
+  const CoreScenarioResult a = run_core_scenario(config);
+  const CoreScenarioResult b = run_core_scenario(config);
+  EXPECT_EQ(a.scheduling_points, b.scheduling_points);
+  EXPECT_EQ(a.final_vtime, b.final_vtime);
+  EXPECT_EQ(a.checksum_ns, b.checksum_ns);
+}
+
 TEST(EngineDeterminism, CrossCheckCatchesCapacityEdits) {
   // Capacity edits mid-run dirty the resource; the next scheduling point
   // re-solves its component.  With the cross-check on, a missed

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "test_helpers.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace pcs::plat {
@@ -148,6 +149,97 @@ TEST(PlatformJson, MalformedDocuments) {
     "routes": [{"src": "a", "dst": "zz", "links": ["l"]}]
   })json";
   EXPECT_THROW(Platform::from_json(engine, util::Json::parse(bad_route)), PlatformError);
+}
+
+TEST(PlatformJson, ToJsonRoundTripsTheClusterDocument) {
+  const char* doc_text = R"json({
+    "hosts": [
+      {"name": "compute0", "speed_gflops": 1, "cores": 32, "ram": "250 GB",
+       "memory": {"read_bw_MBps": 6860, "write_bw_MBps": 2764},
+       "disks": [{"name": "ssd0", "read_bw_MBps": 510, "write_bw_MBps": 420,
+                  "capacity": "450 GiB", "latency_s": 0.001}]},
+      {"name": "storage0", "speed_gflops": 2, "cores": 16,
+       "disks": [{"name": "nfs-ssd", "read_bw_MBps": 515, "write_bw_MBps": 375}]}
+    ],
+    "links": [{"name": "lan", "bw_MBps": 3000, "latency_s": 0.0001}],
+    "routes": [{"src": "compute0", "dst": "storage0", "links": ["lan"]}]
+  })json";
+  sim::Engine engine;
+  auto platform = Platform::from_json(engine, util::Json::parse(doc_text));
+  util::Json first = platform->to_json();
+
+  sim::Engine engine2;
+  auto reloaded = Platform::from_json(engine2, first);
+  util::Json second = reloaded->to_json();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.dump(2), second.dump(2));
+
+  // Spot-check that the serialization carries the loader's fields.
+  EXPECT_DOUBLE_EQ(reloaded->host("compute0")->spec().mem_read_bw, 6860.0 * util::MB);
+  EXPECT_DOUBLE_EQ(reloaded->host("compute0")->disk("ssd0")->spec().latency, 0.001);
+  EXPECT_TRUE(reloaded->has_route("storage0", "compute0"));
+}
+
+TEST(PlatformJson, RandomizedSaveLoadSaveEquality) {
+  util::Rng rng(20260727);
+  for (int round = 0; round < 25; ++round) {
+    sim::Engine engine;
+    Platform platform(engine);
+    const int host_count = 1 + static_cast<int>(rng.next_u64() % 4);
+    std::vector<std::string> host_names;
+    for (int h = 0; h < host_count; ++h) {
+      HostSpec spec;
+      spec.name = "h" + std::to_string(h);
+      spec.speed = static_cast<double>(1 + rng.next_u64() % 8) * 1e9;
+      spec.cores = 1 + static_cast<int>(rng.next_u64() % 64);
+      spec.ram = static_cast<double>(rng.next_u64() % 512) * util::GiB;
+      // Integer-MBps bandwidths, as the schema's fields are MBps-valued.
+      spec.mem_read_bw = static_cast<double>(1 + rng.next_u64() % 10000) * util::MB;
+      spec.mem_write_bw = static_cast<double>(1 + rng.next_u64() % 10000) * util::MB;
+      Host* host = platform.add_host(spec);
+      host_names.push_back(spec.name);
+      const int disk_count = static_cast<int>(rng.next_u64() % 3);
+      for (int d = 0; d < disk_count; ++d) {
+        DiskSpec disk;
+        disk.name = "d" + std::to_string(d);
+        disk.read_bw = static_cast<double>(1 + rng.next_u64() % 2000) * util::MB;
+        disk.write_bw = static_cast<double>(1 + rng.next_u64() % 2000) * util::MB;
+        disk.capacity = static_cast<double>(rng.next_u64() % 1000) * util::GiB;
+        disk.latency = static_cast<double>(rng.next_u64() % 10) * 1e-4;
+        host->add_disk(engine, disk);
+      }
+    }
+    const int link_count = static_cast<int>(rng.next_u64() % 3);
+    std::vector<std::string> link_names;
+    for (int l = 0; l < link_count; ++l) {
+      LinkSpec link;
+      link.name = "l" + std::to_string(l);
+      link.bandwidth = static_cast<double>(1 + rng.next_u64() % 5000) * util::MB;
+      link.latency = static_cast<double>(rng.next_u64() % 5) * 1e-5;
+      platform.add_link(link);
+      link_names.push_back(link.name);
+    }
+    if (!link_names.empty() && host_names.size() >= 2) {
+      platform.add_route(host_names[0], host_names[1], {link_names[0]});
+    }
+
+    util::Json saved = platform.to_json();
+    sim::Engine engine2;
+    auto loaded = Platform::from_json(engine2, saved);
+    util::Json saved_again = loaded->to_json();
+    EXPECT_EQ(saved, saved_again) << "round " << round << ":\n" << saved.dump(2);
+  }
+}
+
+TEST(PlatformJson, LoadJsonAddsIntoAnExistingPlatform) {
+  sim::Engine engine;
+  Platform platform(engine);
+  platform.load_json(util::Json::parse(R"json({"hosts": [{"name": "a"}]})json"));
+  platform.load_json(util::Json::parse(R"json({"hosts": [{"name": "b"}]})json"));
+  EXPECT_EQ(platform.host_count(), 2u);
+  // Colliding names still throw.
+  EXPECT_THROW(platform.load_json(util::Json::parse(R"json({"hosts": [{"name": "a"}]})json")),
+               PlatformError);
 }
 
 TEST(PlatformJson, CapacityChangePropagates) {

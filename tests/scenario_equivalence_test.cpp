@@ -1,0 +1,137 @@
+// The scenario subsystem's contract with the paper harness: compiling a
+// RunConfig into a declarative ScenarioSpec and executing it through the
+// generic runner must reproduce the hand-built legacy path BIT-IDENTICALLY
+// — same makespan, same per-task timings, same memory profile, same final
+// cache state — for all four SimulatorKinds, local and NFS.  Anything
+// weaker would silently change every figure of the paper.
+#include <gtest/gtest.h>
+
+#include "exp/runners.hpp"
+#include "scenario/runner.hpp"
+
+namespace pcs::exp {
+namespace {
+
+using util::GB;
+
+void expect_bit_identical(const RunResult& legacy, const RunResult& scenario_run) {
+  EXPECT_EQ(legacy.makespan, scenario_run.makespan);  // bitwise, not NEAR
+
+  ASSERT_EQ(legacy.tasks.size(), scenario_run.tasks.size());
+  for (std::size_t i = 0; i < legacy.tasks.size(); ++i) {
+    const wf::TaskResult& a = legacy.tasks[i];
+    const wf::TaskResult& b = scenario_run.tasks[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.start, b.start) << a.name;
+    EXPECT_EQ(a.read_start, b.read_start) << a.name;
+    EXPECT_EQ(a.read_end, b.read_end) << a.name;
+    EXPECT_EQ(a.compute_end, b.compute_end) << a.name;
+    EXPECT_EQ(a.write_end, b.write_end) << a.name;
+    EXPECT_EQ(a.end, b.end) << a.name;
+  }
+
+  ASSERT_EQ(legacy.profile.size(), scenario_run.profile.size());
+  for (std::size_t i = 0; i < legacy.profile.size(); ++i) {
+    const cache::CacheSnapshot& a = legacy.profile[i];
+    const cache::CacheSnapshot& b = scenario_run.profile[i];
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.cached, b.cached);
+    EXPECT_EQ(a.dirty, b.dirty);
+    EXPECT_EQ(a.anonymous, b.anonymous);
+    EXPECT_EQ(a.free, b.free);
+    EXPECT_EQ(a.per_file, b.per_file);
+  }
+
+  EXPECT_EQ(legacy.final_state.cached, scenario_run.final_state.cached);
+  EXPECT_EQ(legacy.final_state.dirty, scenario_run.final_state.dirty);
+  EXPECT_EQ(legacy.final_state.anonymous, scenario_run.final_state.anonymous);
+  EXPECT_EQ(legacy.final_inactive_blocks, scenario_run.final_inactive_blocks);
+  EXPECT_EQ(legacy.final_active_blocks, scenario_run.final_active_blocks);
+}
+
+void expect_paths_equivalent(const RunConfig& config) {
+  const RunResult legacy = run_experiment_legacy(config);
+  const RunResult via_scenario = scenario::run_scenario(scenario_from_run_config(config));
+  expect_bit_identical(legacy, via_scenario);
+  // run_experiment IS the scenario path; pin that too.
+  expect_bit_identical(legacy, run_experiment(config));
+}
+
+RunConfig small(SimulatorKind kind) {
+  RunConfig config;
+  config.kind = kind;
+  config.input_size = 3.0 * GB;
+  return config;
+}
+
+TEST(ScenarioEquivalence, WrenchCacheLocal) {
+  RunConfig config = small(SimulatorKind::WrenchCache);
+  config.instances = 2;
+  config.probe_period = 10.0;
+  expect_paths_equivalent(config);
+}
+
+TEST(ScenarioEquivalence, WrenchLocal) {
+  expect_paths_equivalent(small(SimulatorKind::Wrench));
+}
+
+TEST(ScenarioEquivalence, Reference) {
+  RunConfig config = small(SimulatorKind::Reference);
+  config.probe_period = 7.0;
+  expect_paths_equivalent(config);
+}
+
+TEST(ScenarioEquivalence, Prototype) {
+  expect_paths_equivalent(small(SimulatorKind::Prototype));
+}
+
+TEST(ScenarioEquivalence, WrenchCacheNfs) {
+  RunConfig config = small(SimulatorKind::WrenchCache);
+  config.nfs = true;
+  config.instances = 2;
+  config.probe_period = 10.0;
+  expect_paths_equivalent(config);
+}
+
+TEST(ScenarioEquivalence, WrenchNfs) {
+  RunConfig config = small(SimulatorKind::Wrench);
+  config.nfs = true;
+  expect_paths_equivalent(config);
+}
+
+TEST(ScenarioEquivalence, NighresWorkload) {
+  RunConfig config = small(SimulatorKind::WrenchCache);
+  config.app = AppKind::Nighres;
+  config.chunk_size = 50.0 * util::MB;
+  expect_paths_equivalent(config);
+}
+
+TEST(ScenarioEquivalence, AblationBandwidthOverride) {
+  RunConfig config = small(SimulatorKind::WrenchCache);
+  config.bandwidth_override = BandwidthMode::RealAsymmetric;
+  expect_paths_equivalent(config);
+}
+
+TEST(ScenarioEquivalence, ColdNfsInputs) {
+  RunConfig config = small(SimulatorKind::WrenchCache);
+  config.nfs = true;
+  config.nfs_warm_inputs = false;
+  expect_paths_equivalent(config);
+}
+
+// The generated spec must survive serialization: dump the effective JSON,
+// re-parse it, and still reproduce the legacy run bit-for-bit.  This is
+// what guarantees `pcs_cli run` over a dumped preset equals the committed
+// binary.
+TEST(ScenarioEquivalence, SurvivesJsonRoundTrip) {
+  RunConfig config = small(SimulatorKind::WrenchCache);
+  config.instances = 2;
+  const RunResult legacy = run_experiment_legacy(config);
+  const scenario::ScenarioSpec spec = scenario_from_run_config(config);
+  const util::Json dumped = util::Json::parse(spec.to_json().dump(2));
+  const RunResult reparsed = scenario::run_scenario(scenario::ScenarioSpec::parse(dumped));
+  expect_bit_identical(legacy, reparsed);
+}
+
+}  // namespace
+}  // namespace pcs::exp

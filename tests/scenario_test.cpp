@@ -1,0 +1,308 @@
+// The declarative scenario subsystem: spec parsing/validation/defaults,
+// the storage backend registry, the scenario runner on hand-written specs
+// (including the promoted burst-buffer and cgroup backends and the
+// multi-tenant workload), and the effective-spec dump.
+#include <gtest/gtest.h>
+
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "storage/service_registry.hpp"
+#include "util/units.hpp"
+
+namespace pcs::scenario {
+namespace {
+
+using util::GB;
+using util::MB;
+
+// A small single-node platform document shared by the local tests.
+util::Json node_platform() {
+  return util::Json::parse(R"json({
+    "hosts": [
+      {"name": "node0", "speed_gflops": 1, "cores": 8, "ram": "32 GB",
+       "memory": {"read_bw_MBps": 6860, "write_bw_MBps": 2764},
+       "disks": [{"name": "ssd0", "read_bw_MBps": 510, "write_bw_MBps": 420}]}
+    ]
+  })json");
+}
+
+// The paper's compute + storage pair with one link, for NFS-shaped tests.
+util::Json cluster_platform() {
+  return util::Json::parse(R"json({
+    "hosts": [
+      {"name": "compute0", "speed_gflops": 1, "cores": 32, "ram": "250 GB",
+       "memory": {"read_bw_MBps": 4812, "write_bw_MBps": 4812},
+       "disks": [{"name": "ssd0", "read_bw_MBps": 465, "write_bw_MBps": 465}]},
+      {"name": "storage0", "speed_gflops": 1, "cores": 32, "ram": "250 GB",
+       "memory": {"read_bw_MBps": 4812, "write_bw_MBps": 4812},
+       "disks": [{"name": "nfs-ssd", "read_bw_MBps": 445, "write_bw_MBps": 445}]}
+    ],
+    "links": [{"name": "lan", "bw_MBps": 3000}],
+    "routes": [{"src": "compute0", "dst": "storage0", "links": ["lan"]}]
+  })json");
+}
+
+util::Json scenario_doc(util::Json platform) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("platform", std::move(platform));
+  return doc;
+}
+
+TEST(ScenarioSpec, DefaultsDeriveFromSimulatorKind) {
+  util::Json doc = scenario_doc(node_platform());
+  ScenarioSpec spec = ScenarioSpec::parse(doc);
+  EXPECT_EQ(spec.simulator, "wrench_cache");
+  EXPECT_EQ(spec.compute_host, "node0");
+  ASSERT_EQ(spec.services.size(), 1u);
+  EXPECT_EQ(spec.services[0].type, "local");
+  EXPECT_EQ(spec.services[0].spec.at("cache").as_string(), "writeback");
+  EXPECT_EQ(spec.default_service, "store");
+  EXPECT_EQ(spec.probe_service, "store");
+  EXPECT_FALSE(spec.warm_inputs);
+
+  doc.set("simulator", "wrench");
+  EXPECT_EQ(ScenarioSpec::parse(doc).services[0].spec.at("cache").as_string(), "none");
+  doc.set("simulator", "reference");
+  EXPECT_EQ(ScenarioSpec::parse(doc).services[0].type, "reference");
+  doc.set("simulator", "prototype");
+  EXPECT_TRUE(ScenarioSpec::parse(doc).services.empty());
+}
+
+TEST(ScenarioSpec, RejectsMalformedDocuments) {
+  EXPECT_THROW(ScenarioSpec::parse(util::Json{util::JsonObject{}}), ScenarioError);
+  EXPECT_THROW(ScenarioSpec::parse(util::Json("nope")), ScenarioError);
+
+  util::Json doc = scenario_doc(node_platform());
+  doc.set("simulator", "magic");
+  EXPECT_THROW(ScenarioSpec::parse(doc), ScenarioError);
+
+  doc = scenario_doc(node_platform());
+  doc.set("chunk_size", -5.0);
+  EXPECT_THROW(ScenarioSpec::parse(doc), ScenarioError);
+
+  doc = scenario_doc(node_platform());
+  doc.set("default_service", "missing");
+  EXPECT_THROW(ScenarioSpec::parse(doc), ScenarioError);
+
+  doc = scenario_doc(node_platform());
+  util::Json services{util::JsonArray{}};
+  services.push_back(util::Json{util::JsonObject{}}.set("name", "dup").set("type", "local"));
+  services.push_back(util::Json{util::JsonObject{}}.set("name", "dup").set("type", "local"));
+  doc.set("services", std::move(services));
+  EXPECT_THROW(ScenarioSpec::parse(doc), ScenarioError);
+}
+
+TEST(ScenarioSpec, EffectiveDumpParsesBack) {
+  util::Json doc = scenario_doc(cluster_platform());
+  doc.set("name", "roundtrip");
+  doc.set("chunk_size", "50 MB");
+  doc.set("probe_period", 5.0);
+  ScenarioSpec spec = ScenarioSpec::parse(doc);
+  ScenarioSpec again = ScenarioSpec::parse(util::Json::parse(spec.to_json().dump(2)));
+  EXPECT_EQ(again.name, "roundtrip");
+  EXPECT_EQ(again.chunk_size, 50.0 * MB);
+  EXPECT_EQ(again.probe_period, 5.0);
+  EXPECT_EQ(again.services.size(), spec.services.size());
+  EXPECT_EQ(again.default_service, spec.default_service);
+}
+
+TEST(ServiceRegistry, KnowsBuiltInBackends) {
+  auto& registry = storage::ServiceRegistry::instance();
+  for (const char* type : {"local", "nfs", "reference", "burst_buffer", "cgroup_local"}) {
+    EXPECT_TRUE(registry.has(type)) << type;
+  }
+  EXPECT_FALSE(registry.has("tape_robot"));
+  EXPECT_GE(registry.types().size(), 5u);
+}
+
+TEST(ScenarioRunner, RunsMinimalLocalScenario) {
+  util::Json doc = scenario_doc(node_platform());
+  doc.set("workload", util::Json{util::JsonObject{}}
+                          .set("type", "synthetic")
+                          .set("input_size", "2 GB"));
+  RunResult result = run_scenario(ScenarioSpec::parse(doc));
+  EXPECT_EQ(result.tasks.size(), 3u);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GT(result.final_state.cached, 0.0);
+}
+
+TEST(ScenarioRunner, UnknownBackendAndServiceFail) {
+  util::Json doc = scenario_doc(node_platform());
+  util::Json services{util::JsonArray{}};
+  services.push_back(util::Json{util::JsonObject{}}.set("name", "s").set("type", "tape_robot"));
+  doc.set("services", std::move(services));
+  EXPECT_THROW(run_scenario(ScenarioSpec::parse(doc)), storage::StorageError);
+
+  doc = scenario_doc(node_platform());
+  doc.set("workload", util::Json{util::JsonObject{}}
+                          .set("type", "synthetic")
+                          .set("input_size", "1 GB")
+                          .set("service", "missing"));
+  EXPECT_THROW(run_scenario(ScenarioSpec::parse(doc)), ScenarioError);
+}
+
+TEST(ScenarioRunner, CgroupBackendRequiresAndHonorsMemoryLimit) {
+  util::Json doc = scenario_doc(node_platform());
+  util::Json services{util::JsonArray{}};
+  services.push_back(
+      util::Json{util::JsonObject{}}.set("name", "store").set("type", "cgroup_local"));
+  doc.set("services", services);
+  EXPECT_THROW(run_scenario(ScenarioSpec::parse(doc)), storage::StorageError);
+
+  auto makespan_with_limit = [&](const std::string& limit) {
+    util::Json limited = scenario_doc(node_platform());
+    util::Json svcs{util::JsonArray{}};
+    svcs.push_back(util::Json{util::JsonObject{}}
+                       .set("name", "store")
+                       .set("type", "cgroup_local")
+                       .set("memory_limit", limit));
+    limited.set("services", std::move(svcs));
+    limited.set("workload", util::Json{util::JsonObject{}}
+                                .set("type", "synthetic")
+                                .set("input_size", "4 GB"));
+    return run_scenario(ScenarioSpec::parse(limited)).makespan;
+  };
+  // Page-cache starvation: a tight cgroup limit costs I/O time.
+  EXPECT_GT(makespan_with_limit("6 GB"), makespan_with_limit("30 GB"));
+}
+
+TEST(ScenarioRunner, BurstBufferDrainsResultsToTheServer) {
+  util::Json doc = scenario_doc(cluster_platform());
+  doc.set("name", "bb");
+  util::Json target = util::Json{util::JsonObject{}}
+                          .set("server_host", "storage0")
+                          .set("server_disk", "nfs-ssd");
+  util::Json svcs{util::JsonArray{}};
+  svcs.push_back(util::Json{util::JsonObject{}}
+                     .set("name", "bb")
+                     .set("type", "burst_buffer")
+                     .set("host", "compute0")
+                     .set("disk", "ssd0")
+                     .set("target", std::move(target))
+                     .set("drain_files", util::Json{util::JsonArray{}}
+                                             .push_back("a0:file4")
+                                             .push_back("a1:file4")));
+  doc.set("services", std::move(svcs));
+  doc.set("workload", util::Json{util::JsonObject{}}
+                          .set("type", "synthetic")
+                          .set("input_size", "2 GB")
+                          .set("instances", 2));
+  RunResult result = run_scenario(ScenarioSpec::parse(doc));
+  EXPECT_EQ(result.tasks.size(), 6u);
+  // The drainer held the simulation open until both final outputs were
+  // durable, so the makespan covers the staging writes.
+  EXPECT_GT(result.makespan, result.tasks.back().end);
+}
+
+TEST(ScenarioRunner, BurstBufferToleratesDuplicateDrainEntries) {
+  // Regression: a duplicated drain_files entry used to make the drainer's
+  // termination count unreachable, hanging the simulation.
+  util::Json doc = scenario_doc(cluster_platform());
+  util::Json target = util::Json{util::JsonObject{}}
+                          .set("server_host", "storage0")
+                          .set("server_disk", "nfs-ssd");
+  util::Json svcs{util::JsonArray{}};
+  svcs.push_back(util::Json{util::JsonObject{}}
+                     .set("name", "bb")
+                     .set("type", "burst_buffer")
+                     .set("host", "compute0")
+                     .set("target", std::move(target))
+                     .set("drain_files", util::Json{util::JsonArray{}}
+                                             .push_back("a0:file4")
+                                             .push_back("a0:file4")));
+  doc.set("services", std::move(svcs));
+  doc.set("workload", util::Json{util::JsonObject{}}
+                          .set("type", "synthetic")
+                          .set("input_size", "1 GB"));
+  RunResult result = run_scenario(ScenarioSpec::parse(doc));
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(ScenarioRunner, MultiTenantStaggersArrivals) {
+  auto build = [&](double stagger) {
+    util::Json doc = scenario_doc(node_platform());
+    util::Json tenant_a = util::Json{util::JsonObject{}}
+                              .set("name", "alpha")
+                              .set("type", "synthetic")
+                              .set("input_size", "2 GB")
+                              .set("instances", 2)
+                              .set("stagger", stagger);
+    util::Json tenant_b = util::Json{util::JsonObject{}}
+                              .set("name", "beta")
+                              .set("type", "nighres")
+                              .set("arrival", stagger / 2.0);
+    doc.set("workload",
+            util::Json{util::JsonObject{}}
+                .set("type", "multi_tenant")
+                .set("tenants",
+                     util::Json{util::JsonArray{}}.push_back(tenant_a).push_back(tenant_b)));
+    return run_scenario(ScenarioSpec::parse(doc));
+  };
+  RunResult together = build(0.0);
+  EXPECT_EQ(together.tasks.size(), 2u * 3u + 4u);
+  EXPECT_TRUE(together.task("alpha:a1:task1").name == "alpha:a1:task1");
+  EXPECT_NO_THROW((void)together.task("beta:a0:skull_stripping"));
+
+  RunResult staggered = build(500.0);
+  EXPECT_EQ(staggered.tasks.size(), together.tasks.size());
+  // alpha's second instance could not start before its arrival.
+  EXPECT_GE(staggered.task("alpha:a1:task1").start, 500.0);
+  EXPECT_GE(staggered.task("beta:a0:skull_stripping").start, 250.0);
+  EXPECT_GT(staggered.makespan, together.makespan);
+}
+
+TEST(ScenarioRunner, PerTenantServicesGetTheirOwnCacheParams) {
+  util::Json doc = scenario_doc(node_platform());
+  util::Json svcs{util::JsonArray{}};
+  svcs.push_back(util::Json{util::JsonObject{}}.set("name", "cached").set("type", "local"));
+  svcs.push_back(util::Json{util::JsonObject{}}
+                     .set("name", "throttled")
+                     .set("type", "local")
+                     .set("params", util::Json{util::JsonObject{}}.set("dirty_ratio", 0.01)));
+  doc.set("services", std::move(svcs));
+  util::Json tenant_fast = util::Json{util::JsonObject{}}
+                               .set("name", "fast")
+                               .set("type", "synthetic")
+                               .set("input_size", "2 GB")
+                               .set("service", "cached");
+  util::Json tenant_slow = util::Json{util::JsonObject{}}
+                               .set("name", "slow")
+                               .set("type", "synthetic")
+                               .set("input_size", "2 GB")
+                               .set("service", "throttled");
+  doc.set("workload",
+          util::Json{util::JsonObject{}}
+              .set("type", "multi_tenant")
+              .set("tenants",
+                   util::Json{util::JsonArray{}}.push_back(tenant_fast).push_back(tenant_slow)));
+  RunResult result = run_scenario(ScenarioSpec::parse(doc));
+  // Same pipeline, but the 1% dirty budget forces synchronous flushing on
+  // the throttled tenant's writes.
+  EXPECT_GT(result.task("slow:a0:task1").write_time(),
+            result.task("fast:a0:task1").write_time());
+}
+
+TEST(ScenarioRunner, DagWorkloadRunsFromInlineDocument) {
+  util::Json doc = scenario_doc(node_platform());
+  util::Json wf_doc = util::Json::parse(R"json({
+    "tasks": [
+      {"name": "ingest", "cpu_seconds": 2,
+       "inputs":  [{"name": "raw", "size": "1 GB"}],
+       "outputs": [{"name": "clean", "size": "500 MB"}]},
+      {"name": "report", "cpu_seconds": 1,
+       "inputs":  [{"name": "clean", "size": "500 MB"}],
+       "outputs": [{"name": "summary", "size": "10 MB"}]}
+    ]
+  })json");
+  doc.set("workload", util::Json{util::JsonObject{}}
+                          .set("type", "dag")
+                          .set("workflow", wf_doc)
+                          .set("instances", 2));
+  RunResult result = run_scenario(ScenarioSpec::parse(doc));
+  EXPECT_EQ(result.tasks.size(), 4u);
+  EXPECT_NO_THROW((void)result.task("a0:ingest"));
+  EXPECT_NO_THROW((void)result.task("a1:report"));
+}
+
+}  // namespace
+}  // namespace pcs::scenario

@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "exp/apps.hpp"
+#include "workload/apps.hpp"
 #include "exp/presets.hpp"
 #include "exp/report.hpp"
 #include "exp/runners.hpp"

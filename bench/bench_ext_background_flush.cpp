@@ -12,6 +12,7 @@ namespace {
 
 using namespace pcs;
 using namespace pcs::exp;
+using namespace pcs::workload;
 
 // Time-averaged dirty data over the run (GB) — the quantity whose decay
 // the paper's Fig 4b panels compare by eye.

@@ -14,6 +14,7 @@ namespace {
 
 using namespace pcs;
 using namespace pcs::exp;
+using namespace pcs::workload;
 
 struct Point {
   double read_time;

@@ -12,6 +12,7 @@ namespace {
 
 using namespace pcs;
 using namespace pcs::exp;
+using namespace pcs::workload;
 
 void print_contents(const std::string& title, const RunResult& result) {
   print_banner(std::cout, title);

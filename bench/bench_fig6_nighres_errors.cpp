@@ -7,6 +7,7 @@
 int main() {
   using namespace pcs;
   using namespace pcs::exp;
+  using namespace pcs::workload;
 
   bench::print_header("Real application (Nighres) simulation errors (Exp 4)", "Figure 6");
 

@@ -160,6 +160,7 @@ util::Json run_recorded_scenario() {
   std::cout << "[scenario] 1000-actor concurrent core scenario\n"
             << "  wall_seconds       = " << r.wall_seconds << "\n"
             << "  scheduling_points  = " << r.scheduling_points << "\n"
+            << "  fair_share_solves  = " << r.fair_share_solves << "\n"
             << "  activities         = " << r.activities << "\n"
             << "  activities_per_sec = " << static_cast<double>(r.activities) / r.wall_seconds
             << "\n"
@@ -172,11 +173,57 @@ util::Json run_recorded_scenario() {
   j.set("rounds", config.rounds);
   j.set("wall_seconds", r.wall_seconds);
   j.set("scheduling_points", static_cast<unsigned long>(r.scheduling_points));
+  j.set("fair_share_solves", static_cast<unsigned long>(r.fair_share_solves));
   j.set("activities", static_cast<unsigned long>(r.activities));
   j.set("activities_per_sec", static_cast<double>(r.activities) / r.wall_seconds);
   j.set("final_vtime", r.final_vtime);
   j.set("completion_checksum", r.completion_checksum);
   j.set("checksum_ns", static_cast<unsigned long>(r.checksum_ns));
+  return j;
+}
+
+/// The batching A/B on the same 1000-actor scenario: timestamp-batched
+/// solving (the default) against the per-event reference mode.  Checksums
+/// must match bit-for-bit; the recorded win is the solve reduction and the
+/// wall-clock ratio ("solves_per_event" = fair-share solves / scheduling
+/// points).
+util::Json run_recorded_batching_ab() {
+  exp::CoreScenarioConfig config;
+  exp::CoreScenarioResult batched = exp::run_core_scenario(config);
+  config.solve_batching = false;
+  exp::CoreScenarioResult per_event = exp::run_core_scenario(config);
+
+  const bool identical = batched.checksum_ns == per_event.checksum_ns &&
+                         batched.final_vtime == per_event.final_vtime &&
+                         batched.completion_checksum == per_event.completion_checksum;
+  auto per_point = [](const exp::CoreScenarioResult& r) {
+    return r.scheduling_points == 0
+               ? 0.0
+               : static_cast<double>(r.fair_share_solves) /
+                     static_cast<double>(r.scheduling_points);
+  };
+  std::cout << "[batching] batched:   " << batched.fair_share_solves << " solves ("
+            << per_point(batched) << "/event), " << batched.wall_seconds << " s\n"
+            << "[batching] per-event: " << per_event.fair_share_solves << " solves ("
+            << per_point(per_event) << "/event), " << per_event.wall_seconds << " s\n"
+            << "[batching] bit-identical results: " << (identical ? "yes" : "NO — BUG")
+            << "\n";
+  auto record = [&per_point](const exp::CoreScenarioResult& r) {
+    util::Json j(util::JsonObject{});
+    j.set("wall_seconds", r.wall_seconds);
+    j.set("fair_share_solves", static_cast<unsigned long>(r.fair_share_solves));
+    j.set("solves_per_event", per_point(r));
+    j.set("checksum_ns", static_cast<unsigned long>(r.checksum_ns));
+    return j;
+  };
+  util::Json j(util::JsonObject{});
+  j.set("batched", record(batched));
+  j.set("per_event", record(per_event));
+  j.set("solve_reduction",
+        static_cast<double>(per_event.fair_share_solves) /
+            static_cast<double>(batched.fair_share_solves == 0 ? 1 : batched.fair_share_solves));
+  j.set("wall_speedup", per_event.wall_seconds / batched.wall_seconds);
+  j.set("bit_identical", identical);
   return j;
 }
 
@@ -265,7 +312,11 @@ int main(int argc, char** argv) {
 
   util::Json section(util::JsonObject{});
   section.set("concurrent_1000", run_recorded_scenario());
+  section.set("solve_batching", run_recorded_batching_ab());
+  const bool batching_identical = section.at("solve_batching").at("bit_identical").as_bool();
   section.set("lru_mixed", run_recorded_lru_workload());
   pcs::bench::write_bench_section("micro_core", std::move(section));
-  return 0;
+  // A batched-vs-per-event divergence is an engine bug, not a perf datum:
+  // fail the run so CI goes red instead of burying it in the artifact.
+  return batching_identical ? 0 : 1;
 }

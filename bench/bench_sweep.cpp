@@ -1,0 +1,125 @@
+// Sweep throughput: the Fig 8 instance ladder (scenarios/sweeps/
+// fig8_scaling.json, 18 scenarios) executed by scenario::run_sweep at
+// increasing thread-pool sizes.  Records wall-clock per job count, the
+// speedup over --jobs 1, and whether every report was byte-identical —
+// the sweep contract.  Speedup tracks the machine's core count: on a
+// single-core CI runner every job count costs about the same, which is
+// why hardware_concurrency is recorded next to the numbers.
+//
+// Usage: bench_sweep [sweep.json] [--jobs N,N,...]
+// Writes the "bench_sweep" section of BENCH_core.json (PCS_BENCH_JSON).
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "scenario/sweep.hpp"
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcs;
+
+  std::string sweep_path = "scenarios/sweeps/fig8_scaling.json";
+  bool have_path = false;
+  std::vector<int> job_counts = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      job_counts.clear();
+      std::string list = argv[++i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string token = list.substr(start, comma - start);
+        if (!token.empty()) {
+          int jobs = 0;
+          try {
+            std::size_t pos = 0;
+            jobs = std::stoi(token, &pos);
+            if (pos != token.size()) jobs = 0;
+          } catch (const std::exception&) {
+            jobs = 0;
+          }
+          if (jobs <= 0) {
+            std::cerr << "bench_sweep: --jobs '" << token
+                      << "' is not a positive integer\n";
+            return 2;
+          }
+          job_counts.push_back(jobs);
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bench_sweep: unknown flag '" << arg
+                << "'\nusage: bench_sweep [sweep.json] [--jobs N,N,...]\n";
+      return 2;
+    } else if (!have_path) {
+      sweep_path = arg;
+      have_path = true;
+    } else {
+      std::cerr << "bench_sweep: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (job_counts.empty()) job_counts = {1};
+
+  const scenario::SweepSpec spec = scenario::SweepSpec::from_file(sweep_path);
+  const std::size_t cases = spec.expand().size();
+  std::cout << "[sweep] " << spec.name << ": " << cases << " cases, hardware_concurrency="
+            << std::thread::hardware_concurrency() << "\n";
+
+  util::Json by_jobs(util::JsonObject{});
+  std::string reference_report;
+  bool all_identical = true;
+  // Speedups baseline against the first job count of the list (jobs=1 for
+  // the default), recorded as "baseline_jobs" so the numbers stay
+  // interpretable for custom --jobs lists.
+  const int baseline_jobs = job_counts.front();
+  double baseline_wall = 0.0;
+  for (int jobs : job_counts) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<scenario::SweepCaseResult> results =
+        scenario::run_sweep(spec, {.jobs = jobs});
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    std::size_t errors = 0;
+    for (const scenario::SweepCaseResult& r : results) {
+      if (!r.error.empty()) ++errors;
+    }
+    const std::string report = scenario::sweep_report_json(spec, results).dump();
+    if (reference_report.empty()) {
+      reference_report = report;
+      baseline_wall = wall;
+    }
+    const bool identical = report == reference_report;
+    all_identical = all_identical && identical;
+
+    std::cout << "  jobs=" << jobs << ": " << wall << " s ("
+              << static_cast<double>(cases) / wall << " scenarios/s, speedup "
+              << baseline_wall / wall << "x vs jobs=" << baseline_jobs << ")"
+              << (identical ? "" : "  REPORT DIVERGED")
+              << (errors != 0 ? "  ERRORS=" + std::to_string(errors) : "") << "\n";
+
+    util::Json entry(util::JsonObject{});
+    entry.set("wall_seconds", wall);
+    entry.set("scenarios_per_sec", static_cast<double>(cases) / wall);
+    entry.set("speedup_vs_baseline", baseline_wall / wall);
+    entry.set("errors", static_cast<unsigned long>(errors));
+    by_jobs.set("jobs_" + std::to_string(jobs), std::move(entry));
+  }
+
+  util::Json section(util::JsonObject{});
+  section.set("sweep", spec.name);
+  section.set("cases", static_cast<unsigned long>(cases));
+  section.set("hardware_concurrency",
+              static_cast<unsigned long>(std::thread::hardware_concurrency()));
+  section.set("baseline_jobs", static_cast<unsigned long>(baseline_jobs));
+  section.set("reports_byte_identical", all_identical);
+  section.set("by_jobs", std::move(by_jobs));
+  pcs::bench::write_bench_section("bench_sweep", std::move(section));
+  return all_identical ? 0 : 1;
+}

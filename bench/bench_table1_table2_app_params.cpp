@@ -6,6 +6,7 @@
 int main() {
   using namespace pcs;
   using namespace pcs::exp;
+  using namespace pcs::workload;
 
   bench::print_header("Synthetic and Nighres application parameters",
                       "Table I and Table II");

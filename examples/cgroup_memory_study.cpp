@@ -9,7 +9,7 @@
 // 20 GB) and report how its I/O times degrade as the page cache is starved.
 #include <iostream>
 
-#include "exp/apps.hpp"
+#include "workload/apps.hpp"
 #include "exp/presets.hpp"
 #include "exp/report.hpp"
 #include "pagecache/kernel_params.hpp"
@@ -19,6 +19,7 @@
 int main() {
   using namespace pcs;
   using namespace pcs::exp;
+  using namespace pcs::workload;
   using util::GB;
   using util::MB;
 

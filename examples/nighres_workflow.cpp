@@ -5,13 +5,14 @@
 // page-cache model.
 #include <iostream>
 
-#include "exp/apps.hpp"
+#include "workload/apps.hpp"
 #include "exp/report.hpp"
 #include "exp/runners.hpp"
 
 int main() {
   using namespace pcs;
   using namespace pcs::exp;
+  using namespace pcs::workload;
 
   std::cout << "Nighres cortical-reconstruction workflow (participant 0027430 parameters)\n";
 

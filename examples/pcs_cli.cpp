@@ -7,6 +7,12 @@
 //       Run one declarative scenario and print per-task timings (--json for
 //       machine-readable output; --dump-effective prints the fully-
 //       defaulted spec instead of running).
+//   pcs_cli sweep <sweep.json> [--jobs N] [--json|--csv] [--list]
+//       Expand a sweep file (base scenario × parameter grid/cases) and run
+//       every case on a thread pool.  Reports are in case order and contain
+//       only simulated quantities, so stdout is byte-identical for any
+//       --jobs value; wall-clock goes to stderr.  --list prints the
+//       expanded case labels without running.
 //   pcs_cli smoke <scenarios-dir> <record.json> [--update] [--tolerance R]
 //       Run every *.json scenario in the directory and compare makespans
 //       against the recorded baseline (BENCH_scenarios.json in CI); exits
@@ -23,7 +29,9 @@
 // scenario subsystem as well.  Unknown flags and commands print usage and
 // exit 2.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <filesystem>
@@ -35,6 +43,7 @@
 #include "exp/runners.hpp"
 #include "storage/service_registry.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
 #include "simcore/trace.hpp"
 #include "util/json.hpp"
 #include "util/units.hpp"
@@ -69,6 +78,7 @@ constexpr const char* kDemoWorkflow = R"json({
 void usage(std::ostream& out) {
   out << "usage: pcs_cli <command> [options]\n"
          "  run <scenario.json> [--trace FILE] [--json] [--dump-effective]\n"
+         "  sweep <sweep.json> [--jobs N] [--json|--csv] [--list]\n"
          "  smoke <scenarios-dir> <record.json> [--update] [--tolerance REL]\n"
          "  dump-preset <reference|wrench|wrench_cache|prototype> [--nfs] [--nighres]\n"
          "              [--instances N]\n"
@@ -195,6 +205,77 @@ int cmd_run(const std::vector<std::string>& args) {
         << " (open in chrome://tracing)\n";
   }
   return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& args) {
+  std::string sweep_path;
+  int jobs = 1;
+  bool as_json = false;
+  bool as_csv = false;
+  bool list_only = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--jobs") {
+      if (++i >= args.size()) return usage_error("--jobs needs an argument");
+      if (!parse_int(args[i], &jobs) || jobs < 0) {
+        return usage_error("--jobs: '" + args[i] + "' is not a non-negative integer");
+      }
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--csv") {
+      as_csv = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (sweep_path.empty()) {
+      sweep_path = arg;
+    } else {
+      return usage_error("unexpected argument '" + arg + "'");
+    }
+  }
+  if (sweep_path.empty()) return usage_error("sweep: missing sweep file");
+  if (as_json && as_csv) return usage_error("sweep: pick one of --json / --csv");
+
+  scenario::SweepSpec spec = scenario::SweepSpec::from_file(sweep_path);
+  if (list_only) {
+    for (const scenario::SweepCase& c : spec.expand()) std::cout << c.label << "\n";
+    return 0;
+  }
+
+  scenario::SweepOptions options;
+  options.jobs = jobs;
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<scenario::SweepCaseResult> results = scenario::run_sweep(spec, options);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  bool failed = false;
+  for (const scenario::SweepCaseResult& r : results) {
+    if (!r.error.empty()) failed = true;
+  }
+
+  if (as_json) {
+    std::cout << scenario::sweep_report_json(spec, results).dump(2) << "\n";
+  } else if (as_csv) {
+    std::cout << scenario::sweep_report_csv(results);
+  } else {
+    std::cout << "sweep '" << spec.name << "': " << results.size() << " cases\n\n";
+    std::printf("%-40s %12s %8s %10s\n", "case", "makespan(s)", "tasks", "solves");
+    for (const scenario::SweepCaseResult& r : results) {
+      if (!r.error.empty()) {
+        std::printf("%-40s FAIL %s\n", r.label.c_str(), r.error.c_str());
+      } else {
+        std::printf("%-40s %12.4f %8zu %10llu\n", r.label.c_str(), r.result.makespan,
+                    r.result.tasks.size(),
+                    static_cast<unsigned long long>(r.result.fair_share_solves));
+      }
+    }
+  }
+  // Wall-clock to stderr: stdout must stay byte-identical across --jobs.
+  std::cerr << "[sweep] " << results.size() << " cases in " << wall << " s (jobs="
+            << (jobs > 0 ? jobs : 0) << ")\n";
+  return failed ? 1 : 0;
 }
 
 int cmd_smoke(const std::vector<std::string>& args) {
@@ -445,6 +526,9 @@ int main(int argc, char** argv) {
   try {
     if (!args.empty() && args[0] == "run") {
       return cmd_run({args.begin() + 1, args.end()});
+    }
+    if (!args.empty() && args[0] == "sweep") {
+      return cmd_sweep({args.begin() + 1, args.end()});
     }
     if (!args.empty() && args[0] == "smoke") {
       return cmd_smoke({args.begin() + 1, args.end()});

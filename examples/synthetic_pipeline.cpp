@@ -8,7 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "exp/apps.hpp"
+#include "workload/apps.hpp"
 #include "exp/presets.hpp"
 #include "exp/report.hpp"
 #include "exp/runners.hpp"
@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace pcs;
   using namespace pcs::exp;
+  using namespace pcs::workload;
 
   double size_gb = 20.0;
   if (argc > 1) size_gb = std::atof(argv[1]);

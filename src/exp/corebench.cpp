@@ -40,6 +40,7 @@ sim::Task<> core_actor(sim::Engine& engine, const CoreScenarioConfig& config,
 CoreScenarioResult run_core_scenario(const CoreScenarioConfig& config) {
   sim::Engine engine;
   engine.set_solver_cross_check(config.solver_cross_check);
+  engine.set_solve_batching(config.solve_batching);
   std::vector<sim::Resource*> disks;
   std::vector<sim::Resource*> links;
   disks.reserve(static_cast<std::size_t>(config.groups));
@@ -69,6 +70,8 @@ CoreScenarioResult run_core_scenario(const CoreScenarioConfig& config) {
   result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   result.final_vtime = engine.now();
   result.scheduling_points = engine.scheduling_points();
+  result.fair_share_solves = engine.fair_share_solves();
+  result.same_time_points = engine.same_time_points();
   result.activities =
       static_cast<std::uint64_t>(config.actors) * static_cast<std::uint64_t>(config.rounds);
   for (double c : checksums) result.completion_checksum += c;

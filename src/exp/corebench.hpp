@@ -25,12 +25,17 @@ struct CoreScenarioConfig {
   /// Re-run the full fair-share solve after every incremental solve and
   /// fail on any rate divergence (slow; used by the determinism tests).
   bool solver_cross_check = false;
+  /// Timestamp-batched solving (Engine::set_solve_batching); false = the
+  /// per-event reference mode for the batching A/B.
+  bool solve_batching = true;
 };
 
 struct CoreScenarioResult {
   double wall_seconds = 0.0;       ///< host time spent inside Engine::run
   double final_vtime = 0.0;        ///< virtual time when the last actor ended
   std::uint64_t scheduling_points = 0;
+  std::uint64_t fair_share_solves = 0;  ///< the batching A/B metric
+  std::uint64_t same_time_points = 0;
   std::uint64_t activities = 0;    ///< total activities submitted
   /// Sum over actors of every post-await virtual timestamp, accumulated in
   /// actor-index order: any change in event ordering or simulated durations

@@ -1,14 +1,9 @@
 #include "exp/runners.hpp"
 
-#include <chrono>
-#include <memory>
 #include <stdexcept>
 
-#include "proto/analytic.hpp"
-#include "refmodel/page_model.hpp"
 #include "scenario/runner.hpp"
-#include "storage/service_registry.hpp"
-#include "workflow/simulation.hpp"
+#include "simcore/engine.hpp"
 
 namespace pcs::exp {
 
@@ -99,165 +94,6 @@ scenario::ScenarioSpec scenario_from_run_config(const RunConfig& config) {
 
 RunResult run_experiment(const RunConfig& config) {
   return scenario::run_scenario(scenario_from_run_config(config));
-}
-
-// ---------------------------------------------------------------------------
-// The pre-scenario construction path: kept verbatim as the oracle the
-// equivalence test pins the scenario runner against.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-RunResult run_prototype_legacy(const RunConfig& config) {
-  if (config.app != AppKind::Synthetic || config.nfs || config.instances != 1) {
-    throw std::runtime_error(
-        "the analytic prototype only supports the single-instance synthetic app on a local disk "
-        "(as in the paper)");
-  }
-  const auto wall_start = std::chrono::steady_clock::now();
-  proto::AnalyticSim psim(prototype_config(config.cache_params));
-  const std::string prefix = instance_prefix(0);
-  psim.stage_file(prefix + "file1", config.input_size);
-  const double cpu_seconds = synthetic_cpu_seconds(config.input_size);
-
-  RunResult result;
-  for (int i = 1; i <= kSyntheticTasks; ++i) {
-    wf::TaskResult r;
-    r.name = prefix + "task" + std::to_string(i);
-    r.start = psim.now();
-    r.read_start = psim.now();
-    psim.read_file(prefix + "file" + std::to_string(i), config.chunk_size);
-    r.read_end = psim.now();
-    psim.compute(cpu_seconds);
-    r.compute_end = psim.now();
-    psim.write_file(prefix + "file" + std::to_string(i + 1), config.input_size,
-                    config.chunk_size);
-    r.write_end = psim.now();
-    r.end = psim.now();
-    psim.release_anonymous(config.input_size);
-    result.tasks.push_back(r);
-  }
-  result.profile = psim.profile();
-  result.final_state = psim.snapshot();
-  result.makespan = psim.now();
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-  return result;
-}
-
-}  // namespace
-
-RunResult run_experiment_legacy(const RunConfig& config) {
-  if (config.kind == SimulatorKind::Prototype) return run_prototype_legacy(config);
-
-  const auto wall_start = std::chrono::steady_clock::now();
-  wf::Simulation sim;
-  const BandwidthMode mode = config.bandwidth_override.value_or(
-      config.kind == SimulatorKind::Reference ? BandwidthMode::RealAsymmetric
-                                              : BandwidthMode::SimulatorSymmetric);
-  ClusterPlatform cluster = make_cluster(sim.platform(), mode);
-
-  storage::FileService* files = nullptr;
-  std::unique_ptr<ref::RefStorage> ref_store;  // Reference model is not part of the facade
-  wf::MemoryProbe* probe = nullptr;
-
-  if (!config.nfs) {
-    switch (config.kind) {
-      case SimulatorKind::Reference: {
-        ref_store = std::make_unique<ref::RefStorage>(sim.engine(), *cluster.compute,
-                                                      *cluster.local_disk, reference_params());
-        ref_store->start_flusher();
-        files = ref_store.get();
-        if (config.probe_period > 0.0) {
-          ref::RefStorage* rs = ref_store.get();
-          probe = sim.create_memory_probe([rs] { return rs->snapshot(); }, config.probe_period);
-        }
-        break;
-      }
-      case SimulatorKind::Wrench: {
-        files = sim.create_local_storage(*cluster.compute, *cluster.local_disk,
-                                         cache::CacheMode::None);
-        break;
-      }
-      case SimulatorKind::WrenchCache: {
-        storage::LocalStorage* st =
-            sim.create_local_storage(*cluster.compute, *cluster.local_disk,
-                                     cache::CacheMode::Writeback, config.cache_params);
-        files = st;
-        if (config.probe_period > 0.0) {
-          probe = sim.create_memory_probe(*st->memory_manager(), config.probe_period);
-        }
-        break;
-      }
-      case SimulatorKind::Prototype: break;  // handled above
-    }
-  } else {
-    const cache::CacheMode server_mode = config.kind == SimulatorKind::Wrench
-                                             ? cache::CacheMode::None
-                                             : cache::CacheMode::Writethrough;
-    const cache::CacheMode client_mode = config.kind == SimulatorKind::Wrench
-                                             ? cache::CacheMode::None
-                                             : cache::CacheMode::ReadCache;
-    storage::NfsServer* server = sim.create_nfs_server(*cluster.storage, *cluster.remote_disk,
-                                                       server_mode, config.cache_params);
-    storage::NfsMount* mount =
-        sim.create_nfs_mount(*cluster.compute, *server, client_mode, config.cache_params);
-    files = mount;
-    if (config.probe_period > 0.0 && mount->memory_manager() != nullptr) {
-      probe = sim.create_memory_probe(*mount->memory_manager(), config.probe_period);
-    }
-  }
-
-  wf::ComputeService* cs = sim.create_compute_service(*cluster.compute, *files,
-                                                      config.chunk_size);
-  std::vector<std::string> external_inputs;
-  for (int i = 0; i < config.instances; ++i) {
-    wf::Workflow& workflow = sim.create_workflow();
-    const std::string prefix = instance_prefix(i);
-    if (config.app == AppKind::Synthetic) {
-      build_synthetic(workflow, prefix, config.input_size,
-                      synthetic_cpu_seconds(config.input_size));
-    } else {
-      build_nighres(workflow, prefix);
-    }
-    for (const wf::FileSpec& input : workflow.external_inputs()) {
-      external_inputs.push_back(input.name);
-    }
-    cs->submit(workflow);
-  }
-  if (config.nfs && config.nfs_warm_inputs) {
-    // The staged inputs passed through the server's page cache on their
-    // way in (see RunConfig::nfs_warm_inputs).
-    auto* mount = dynamic_cast<storage::NfsMount*>(files);
-    if (mount != nullptr) {
-      for (const std::string& name : external_inputs) mount->server().warm_file(name);
-    }
-  }
-
-  sim.run();
-
-  RunResult result;
-  result.tasks = cs->results();
-  if (probe != nullptr) {
-    probe->sample_now();  // closing sample at the makespan
-    result.profile = probe->samples();
-  }
-  if (ref_store != nullptr) {
-    result.final_state = ref_store->snapshot();
-  } else if (auto* local = dynamic_cast<storage::LocalStorage*>(files);
-             local != nullptr && local->memory_manager() != nullptr) {
-    cache::MemoryManager* mm = local->memory_manager();
-    result.final_state = mm->snapshot();
-    result.final_inactive_blocks = mm->inactive_list().block_count();
-    result.final_active_blocks = mm->active_list().block_count();
-  } else if (auto* mount = dynamic_cast<storage::NfsMount*>(files);
-             mount != nullptr && mount->memory_manager() != nullptr) {
-    result.final_state = mount->memory_manager()->snapshot();
-  }
-  result.makespan = sim.now();
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-  return result;
 }
 
 }  // namespace pcs::exp

@@ -9,16 +9,18 @@
 //
 // Since the scenario subsystem landed, RunConfig is a thin veneer: it is
 // compiled into a declarative ScenarioSpec (scenario_from_run_config) and
-// executed by scenario::run_scenario.  The hand-built construction path
-// survives as run_experiment_legacy, pinned bit-identical to the scenario
-// path by tests/scenario_equivalence_test.cpp.
+// executed by scenario::run_scenario.  The original hand-built
+// construction path is gone; its outputs live on as the committed golden
+// record tests/golden/scenario_equivalence.json, which
+// tests/scenario_equivalence_test.cpp pins the scenario path against
+// bit-for-bit.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "exp/apps.hpp"
+#include "workload/apps.hpp"
 #include "exp/presets.hpp"
 #include "pagecache/kernel_params.hpp"
 #include "pagecache/memory_manager.hpp"
@@ -60,8 +62,5 @@ using RunResult = scenario::RunResult;
 
 /// Runs through the scenario subsystem (the production path).
 RunResult run_experiment(const RunConfig& config);
-
-/// The pre-scenario hand-built path, kept as the equivalence oracle.
-RunResult run_experiment_legacy(const RunConfig& config);
 
 }  // namespace pcs::exp

@@ -3,6 +3,7 @@
 // figure in the paper and of the scenario smoke records.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,10 @@ struct RunResult {
   cache::CacheSnapshot final_state;  ///< cache state at the makespan (cached modes)
   std::size_t final_inactive_blocks = 0;  ///< block counts (A3 ablation)
   std::size_t final_active_blocks = 0;
+  // Engine statistics (0 for the engine-less analytic prototype).
+  std::uint64_t scheduling_points = 0;
+  std::uint64_t fair_share_solves = 0;  ///< batching metric: solves <= points
+  std::uint64_t same_time_points = 0;   ///< points sharing the previous timestamp
 
   [[nodiscard]] const wf::TaskResult& task(const std::string& name) const;
   /// Phase time of instance `i` (prefix "a<i>:"), synthetic task index

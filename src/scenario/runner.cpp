@@ -112,6 +112,7 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
 
   const auto wall_start = WallClock::now();
   wf::Simulation sim;
+  sim.engine().set_solve_batching(spec.solve_batching);
   if (options.tracer != nullptr) sim.engine().set_tracer(options.tracer);
   sim.platform().load_json(spec.platform);
 
@@ -220,6 +221,9 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   }
   result.makespan = sim.now();
   result.wall_seconds = wall_since(wall_start);
+  result.scheduling_points = sim.engine().scheduling_points();
+  result.fair_share_solves = sim.engine().fair_share_solves();
+  result.same_time_points = sim.engine().same_time_points();
   return result;
 }
 

@@ -128,6 +128,7 @@ ScenarioSpec ScenarioSpec::parse(const util::Json& doc, const std::string& base_
     if (decl.name == spec.default_service) default_is_nfs = decl.type == "nfs";
   }
   spec.warm_inputs = doc.bool_or("warm_inputs", default_is_nfs);
+  spec.solve_batching = doc.bool_or("solve_batching", true);
   return spec;
 }
 
@@ -157,6 +158,7 @@ util::Json ScenarioSpec::to_json() const {
   doc.set("chunk_size", chunk_size);
   doc.set("probe_period", probe_period);
   doc.set("warm_inputs", warm_inputs);
+  doc.set("solve_batching", solve_batching);
   doc.set("cache_params", storage::cache_params_to_json(cache_params));
   return doc;
 }

@@ -54,6 +54,9 @@ struct ScenarioSpec {
   double chunk_size = 100.0e6;
   double probe_period = 0.0;
   bool warm_inputs = false;
+  /// Engine knob (Engine::set_solve_batching): false selects the per-event
+  /// reference solver mode, for batching ablations driven from JSON sweeps.
+  bool solve_batching = true;
   cache::CacheParams cache_params;
   std::string base_dir;  ///< resolves relative "file" refs in the workload
 

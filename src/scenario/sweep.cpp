@@ -1,0 +1,322 @@
+#include "scenario/sweep.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <filesystem>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "scenario/runner.hpp"
+#include "util/paths.hpp"
+
+namespace pcs::scenario {
+
+namespace {
+
+/// Compact value rendering for auto-generated labels: strings bare, the
+/// rest as JSON.
+std::string value_label(const util::Json& value) {
+  if (value.is_string()) return value.as_string();
+  return value.dump();
+}
+
+/// Last path segment: "workload.instances" -> "instances".
+std::string leaf_key(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+bool parse_index(const std::string& segment, std::size_t* out) {
+  if (segment.empty()) return false;
+  std::size_t value = 0;
+  for (char c : segment) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+void apply_override(util::Json& doc, const std::string& path, const util::Json& value) {
+  if (path.empty()) throw ScenarioError("sweep: empty override path");
+  util::Json* node = &doc;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t dot = path.find('.', start);
+    const std::string segment = path.substr(start, dot - start);
+    const bool last = dot == std::string::npos;
+    if (segment.empty()) {
+      throw ScenarioError("sweep: override path '" + path + "' has an empty segment");
+    }
+    std::size_t index = 0;
+    if (node->is_array()) {
+      if (!parse_index(segment, &index)) {
+        throw ScenarioError("sweep: override path '" + path + "': '" + segment +
+                            "' indexes an array but is not a number");
+      }
+      if (index >= node->size()) {
+        throw ScenarioError("sweep: override path '" + path + "': index " + segment +
+                            " is out of range (array has " + std::to_string(node->size()) +
+                            " elements)");
+      }
+      node = &node->as_array()[index];
+    } else if (node->is_object() || node->is_null()) {
+      if (node->is_null()) *node = util::Json{util::JsonObject{}};
+      util::JsonObject& obj = node->as_object();
+      auto it = obj.find(segment);
+      if (it == obj.end()) {
+        // Create missing intermediate objects (and the leaf slot) so a
+        // sweep can introduce keys the base omitted ("probe_period",
+        // "solve_batching", ...).
+        it = obj.emplace(segment, util::Json{}).first;
+      }
+      node = &it->second;
+    } else {
+      throw ScenarioError("sweep: override path '" + path + "': segment '" + segment +
+                          "' descends into a non-container value");
+    }
+    if (last) break;
+    start = dot + 1;
+  }
+  *node = value;
+}
+
+SweepSpec SweepSpec::parse(const util::Json& doc, const std::string& base_dir) {
+  if (!doc.is_object()) throw ScenarioError("sweep must be a JSON object");
+  SweepSpec spec;
+  spec.name = doc.string_or("name", "sweep");
+  spec.base_dir = base_dir;
+
+  if (doc.contains("base")) {
+    spec.base = doc.at("base");
+  } else if (doc.contains("base_file")) {
+    const std::string path =
+        util::resolve_relative(base_dir, doc.at("base_file").as_string());
+    spec.base = util::Json::parse_file(path);
+    // Relative refs inside the base (platform_file, workload "file") must
+    // resolve against the *base* file's directory, not the sweep's.
+    spec.base_dir = std::filesystem::path(path).parent_path().string();
+  } else {
+    throw ScenarioError("sweep needs \"base\" (inline scenario) or \"base_file\"");
+  }
+  if (!spec.base.is_object()) throw ScenarioError("sweep base must be a scenario object");
+
+  if (doc.contains("grid")) {
+    for (const util::Json& axis_doc : doc.at("grid").as_array()) {
+      Axis axis;
+      axis.path = axis_doc.string_or("path", "");
+      if (!axis_doc.contains("values") || axis_doc.at("values").size() == 0) {
+        throw ScenarioError("sweep grid axis needs a non-empty \"values\" array");
+      }
+      for (const util::Json& value : axis_doc.at("values").as_array()) {
+        if (axis.path.empty() && !value.is_object()) {
+          throw ScenarioError(
+              "sweep grid axis without a \"path\" needs object values "
+              "(dotted path -> value)");
+        }
+        axis.values.push_back(value);
+      }
+      if (axis_doc.contains("labels")) {
+        for (const util::Json& label : axis_doc.at("labels").as_array()) {
+          axis.labels.push_back(label.as_string());
+        }
+        if (axis.labels.size() != axis.values.size()) {
+          throw ScenarioError("sweep grid axis: \"labels\" and \"values\" lengths differ");
+        }
+      }
+      spec.grid.push_back(std::move(axis));
+    }
+  }
+  if (doc.contains("cases")) {
+    for (const util::Json& case_doc : doc.at("cases").as_array()) {
+      if (!case_doc.is_object() || !case_doc.contains("overrides")) {
+        throw ScenarioError("sweep case needs an \"overrides\" object");
+      }
+      spec.cases.push_back(case_doc);
+    }
+  }
+  if (spec.grid.empty() && spec.cases.empty()) {
+    throw ScenarioError("sweep needs a \"grid\" and/or \"cases\"");
+  }
+  return spec;
+}
+
+SweepSpec SweepSpec::from_file(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  SweepSpec spec = parse(util::Json::parse_file(path), dir);
+  if (spec.name == "sweep") spec.name = std::filesystem::path(path).stem().string();
+  return spec;
+}
+
+std::vector<SweepCase> SweepSpec::expand() const {
+  std::vector<SweepCase> out;
+
+  // Row-major walk of the grid: the first axis varies slowest, so e.g. a
+  // (config, instances) grid groups each configuration's whole ladder
+  // together, in declaration order.
+  if (!grid.empty()) {
+    std::vector<std::size_t> cursor(grid.size(), 0);
+    for (;;) {
+      SweepCase result;
+      result.overrides = util::Json{util::JsonObject{}};
+      result.doc = base;
+      std::string label;
+      for (std::size_t a = 0; a < grid.size(); ++a) {
+        const Axis& axis = grid[a];
+        const util::Json& value = axis.values[cursor[a]];
+        std::string part;
+        if (!axis.labels.empty()) {
+          part = axis.labels[cursor[a]];
+        } else if (!axis.path.empty()) {
+          part = leaf_key(axis.path) + "=" + value_label(value);
+        } else {
+          part = "v" + std::to_string(cursor[a]);
+        }
+        if (!label.empty()) label += ",";
+        label += part;
+        if (!axis.path.empty()) {
+          result.overrides.set(axis.path, value);
+        } else {
+          for (const auto& [path, v] : value.as_object()) result.overrides.set(path, v);
+        }
+      }
+      for (const auto& [path, value] : result.overrides.as_object()) {
+        apply_override(result.doc, path, value);
+      }
+      result.label = label;
+      out.push_back(std::move(result));
+
+      bool wrapped = true;  // odometer increment, last axis fastest
+      for (std::size_t a = grid.size(); a-- > 0;) {
+        if (++cursor[a] < grid[a].values.size()) {
+          wrapped = false;
+          break;
+        }
+        cursor[a] = 0;
+      }
+      if (wrapped) break;
+    }
+  }
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const util::Json& case_doc = cases[i];
+    SweepCase result;
+    result.label = case_doc.string_or("label", "case" + std::to_string(i));
+    result.overrides = case_doc.at("overrides");
+    result.doc = base;
+    for (const auto& [path, value] : result.overrides.as_object()) {
+      apply_override(result.doc, path, value);
+    }
+    out.push_back(std::move(result));
+  }
+
+  std::set<std::string> labels;
+  for (SweepCase& c : out) {
+    if (!labels.insert(c.label).second) {
+      throw ScenarioError("sweep: duplicate case label '" + c.label +
+                          "' (add axis \"labels\" or case \"label\" fields)");
+    }
+    // The scenario inherits the case identity so per-case logs/results are
+    // attributable.
+    c.doc.set("name", name + ":" + c.label);
+  }
+  return out;
+}
+
+std::vector<SweepCaseResult> run_sweep(const SweepSpec& spec, const SweepOptions& options) {
+  const std::vector<SweepCase> cases = spec.expand();
+  std::vector<SweepCaseResult> results(cases.size());
+
+  std::size_t jobs = options.jobs > 0 ? static_cast<std::size_t>(options.jobs)
+                                      : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  if (jobs > cases.size()) jobs = cases.size();
+
+  // Work-stealing by atomic index: whichever worker is free takes the next
+  // case, but every result lands in its expansion-order slot, so the
+  // output is independent of scheduling.  Each case builds its own
+  // ScenarioSpec and wf::Simulation inside the worker thread (one Engine
+  // per thread).
+  std::atomic<std::size_t> next{0};
+  auto worker = [&cases, &results, &spec, &next] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cases.size()) return;
+      SweepCaseResult& out = results[i];
+      out.label = cases[i].label;
+      out.overrides = cases[i].overrides;
+      try {
+        out.result = run_scenario(ScenarioSpec::parse(cases[i].doc, spec.base_dir));
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return results;
+}
+
+util::Json sweep_report_json(const SweepSpec& spec,
+                             const std::vector<SweepCaseResult>& results) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("name", spec.name);
+  util::Json rows{util::JsonArray{}};
+  for (const SweepCaseResult& r : results) {
+    util::Json row{util::JsonObject{}};
+    row.set("label", r.label);
+    row.set("overrides", r.overrides);
+    if (!r.error.empty()) {
+      row.set("error", r.error);
+    } else {
+      row.set("makespan", r.result.makespan);
+      row.set("tasks", static_cast<unsigned long>(r.result.tasks.size()));
+      row.set("scheduling_points", static_cast<unsigned long>(r.result.scheduling_points));
+      row.set("fair_share_solves", static_cast<unsigned long>(r.result.fair_share_solves));
+    }
+    rows.push_back(std::move(row));
+  }
+  doc.set("cases", std::move(rows));
+  return doc;
+}
+
+std::string sweep_report_csv(const std::vector<SweepCaseResult>& results) {
+  std::string out = "label,makespan,tasks,scheduling_points,fair_share_solves,error\n";
+  for (const SweepCaseResult& r : results) {
+    // Labels are generated from paths/values; quote so "a,b" combos stay
+    // one field.
+    out += '"';
+    for (char c : r.label) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    if (!r.error.empty()) {
+      out += ",,,,,\"";
+      for (char c : r.error) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += "\"\n";
+      continue;
+    }
+    out += ',' + util::Json(r.result.makespan).dump();
+    out += ',' + std::to_string(r.result.tasks.size());
+    out += ',' + std::to_string(r.result.scheduling_points);
+    out += ',' + std::to_string(r.result.fair_share_solves);
+    out += ",\n";
+  }
+  return out;
+}
+
+}  // namespace pcs::scenario

@@ -1,0 +1,107 @@
+// Parameter sweeps: one JSON document describing a *family* of scenarios —
+// a base scenario plus a parameter grid and/or an explicit case list — that
+// expands into N concrete ScenarioSpecs and runs them on a fixed-size
+// thread pool.  This is the "hundreds of near-identical scenarios" path:
+// calibration ladders, figure reproduction (scenarios/sweeps/
+// fig8_scaling.json re-runs the Fig 8 instance ladder), and engine
+// ablations (any scenario key, including "solve_batching", is sweepable).
+//
+// Schema (see README "Sweep files" for the full reference):
+//   {
+//     "name": "fig8_scaling",
+//     "base": {...},                     // a scenario document, or
+//     "base_file": "fig8_base.json",    //   a path relative to this file
+//     "grid": [                          // cartesian product, first axis slowest
+//       {"path": "workload.instances", "values": [1, 4, 8]},
+//       {"values": [{"simulator": "wrench", "services.0.cache": "none"},
+//                   {"simulator": "wrench_cache", "services.0.cache": "writeback"}],
+//        "labels": ["wrench", "wrench_cache"]}
+//     ],
+//     "cases": [                         // appended after the grid
+//       {"label": "per_event", "overrides": {"solve_batching": false}}
+//     ]
+//   }
+//
+// Override paths are dotted: object keys and decimal array indices
+// ("services.0.cache").  Missing intermediate objects are created; array
+// indices must already exist.
+//
+// Concurrency: each worker owns a private wf::Simulation/Engine per case
+// ("one Engine per thread", simcore/engine.hpp), so results are
+// bit-identical for any --jobs value; they are collected in expansion
+// order regardless of which worker finished first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/run_result.hpp"
+#include "scenario/scenario.hpp"
+
+namespace pcs::scenario {
+
+/// One expanded sweep case: the fully-overridden scenario document plus
+/// the flat override set that produced it (for reports).
+struct SweepCase {
+  std::string label;     ///< unique within the sweep, deterministic
+  util::Json overrides;  ///< object: dotted path -> value
+  util::Json doc;        ///< base document with overrides applied
+};
+
+struct SweepSpec {
+  std::string name = "sweep";
+  util::Json base;       ///< base scenario document
+  std::string base_dir;  ///< resolves relative refs inside the base document
+
+  /// One grid axis.  Scalar values require `path`; object values are
+  /// multi-key override sets (and usually want explicit `labels`).
+  struct Axis {
+    std::string path;
+    std::vector<util::Json> values;
+    std::vector<std::string> labels;  ///< optional, same length as values
+  };
+  std::vector<Axis> grid;        ///< cartesian product, first axis slowest
+  std::vector<util::Json> cases; ///< explicit {"label"?, "overrides": {...}} entries
+
+  /// Parse and validate; throws ScenarioError on malformed documents.
+  static SweepSpec parse(const util::Json& doc, const std::string& base_dir = "");
+  static SweepSpec from_file(const std::string& path);
+
+  /// Expand grid × cases into concrete documents, in deterministic order
+  /// (grid combinations row-major in declaration order, then the explicit
+  /// cases).  Throws ScenarioError on unappliable override paths or
+  /// duplicate labels.
+  [[nodiscard]] std::vector<SweepCase> expand() const;
+};
+
+/// Apply `value` at dotted `path` inside `doc` (shared with expand();
+/// exposed for tests and programmatic sweep construction).
+void apply_override(util::Json& doc, const std::string& path, const util::Json& value);
+
+struct SweepCaseResult {
+  std::string label;
+  util::Json overrides;
+  RunResult result;   ///< valid when error is empty
+  std::string error;  ///< non-empty when the case threw
+};
+
+struct SweepOptions {
+  /// Worker threads; <= 0 uses std::thread::hardware_concurrency().  The
+  /// pool never exceeds the case count.
+  int jobs = 1;
+};
+
+/// Run every case of the sweep and return results in expansion order.
+/// A case that throws is captured in its SweepCaseResult::error — it never
+/// aborts the other cases or the pool.
+std::vector<SweepCaseResult> run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
+
+/// Machine-readable report.  Contains only simulated (deterministic)
+/// quantities — makespan, task counts, engine counters, errors — and no
+/// wall-clock, so the bytes are identical for any --jobs value.
+[[nodiscard]] util::Json sweep_report_json(const SweepSpec& spec,
+                                           const std::vector<SweepCaseResult>& results);
+/// CSV flavour of the same report (same determinism guarantee).
+[[nodiscard]] std::string sweep_report_csv(const std::vector<SweepCaseResult>& results);
+
+}  // namespace pcs::scenario

@@ -41,7 +41,10 @@ Engine::~Engine() {
 
 void Resource::set_capacity(double capacity) {
   capacity_ = capacity;
-  if (engine_ != nullptr) engine_->mark_resource_dirty(this);
+  if (engine_ != nullptr) {
+    engine_->mark_resource_dirty(this);
+    engine_->solve_if_per_event();
+  }
 }
 
 double Activity::remaining() const {
@@ -94,6 +97,7 @@ ActivityPtr Engine::submit_detached(std::string label, std::vector<Claim> claims
     update_completion(*activity);
   } else {
     register_claims(activity);
+    solve_if_per_event();
   }
   util::log_trace("engine", "start activity '", activity->label_, "' amount=", amount);
   return activity;
@@ -218,6 +222,7 @@ void Engine::recompute_rates() {
     bfs_stack_.push_back(r);
   }
   dirty_resources_.clear();
+  ++solves_;
   while (!bfs_stack_.empty()) {
     Resource* r = bfs_stack_.back();
     bfs_stack_.pop_back();
@@ -382,6 +387,11 @@ void Engine::complete_activity(Activity& activity) {
     schedule(activity.waiter_);
     activity.waiter_ = nullptr;
   }
+  // Per-event reference mode: this completion's freed capacity is re-shared
+  // before the next event is even looked at — one solve per event, the
+  // eager flow-level model.  Batched mode leaves the dirty set to
+  // accumulate until the whole timestamp has been drained.
+  solve_if_per_event();
 }
 
 void Engine::step(double time_limit) {
@@ -392,6 +402,11 @@ void Engine::step(double time_limit) {
       if (all_actors_done()) return;
       check_actors = false;  // can only change after a coroutine resumes
     }
+    // The timestamp batch closes here: every completion, timer and actor
+    // resumption at the current virtual time has run (and the submissions
+    // they made are registered), so one solve covers the whole batch.  In
+    // per-event mode the solves already happened eagerly and this is a
+    // no-op catch-all.
     if (!dirty_resources_.empty()) recompute_rates();
 
     double t_act = heap_top_time();
@@ -407,12 +422,14 @@ void Engine::step(double time_limit) {
 
     now_ = t_next;
     ++scheduling_points_;
+    const double tol = 1e-9 * (1.0 + std::fabs(t_next));
+    if (std::fabs(t_next - last_sp_time_) <= tol) ++same_time_points_;
+    last_sp_time_ = t_next;
 
     // Activities whose completion lands at this scheduling point (within
     // relative tolerance, so simultaneous finishes stay simultaneous),
     // completed in submission order — the same order the former full scan
     // over `running_` used.
-    const double tol = 1e-9 * (1.0 + std::fabs(t_next));
     completed_scratch_.clear();
     while (!completions_.empty()) {
       const CompletionEntry& e = completions_.top();

@@ -21,10 +21,28 @@
 // `set_solver_cross_check(true)` — default in PCS_DEBUG_INVARIANTS builds —
 // verifies exactly that after every solve.
 //
+// Scheduling points are *timestamp-batched*: all completions and timers
+// that share the current virtual time (within the engine tolerance) are
+// drained, their waiters resumed and their submissions collected, before a
+// single dirty-set BFS + incremental re-solve runs.  The classic per-event
+// model (one solve after every completion, submission and capacity change —
+// how eager flow-level simulators behave) is kept behind
+// `set_solve_batching(false)` as the A/B reference: both modes are
+// bit-identical in results (a solve is a pure function of the incumbency
+// graph, and no virtual time passes between the events of a batch), the
+// batched mode just performs fewer solves — see `fair_share_solves()` and
+// the `solve_batching` section of BENCH_core.json.
+//
 // Termination: the run loop ends when every non-daemon root actor has
 // finished.  Daemon actors (the Memory Manager's periodic-flush thread,
 // Algorithm 1 of the paper, is an infinite loop) are simply abandoned at
 // that point, mirroring SimGrid's daemonized actors.
+//
+// Threading: one Engine per thread.  An Engine and everything built on it
+// (resources, activities, actors) must be driven from a single thread, and
+// globals it touches (util::Logger's clock) are thread-local — so fully
+// independent simulations may run on concurrent threads (this is what
+// scenario::run_sweep does), but a single Engine must never be shared.
 #pragma once
 
 #include <coroutine>
@@ -132,6 +150,14 @@ class Engine {
   [[nodiscard]] std::size_t running_activity_count() const { return running_.size(); }
   [[nodiscard]] std::uint64_t scheduling_points() const { return scheduling_points_; }
 
+  /// Incremental fair-share solves performed so far (recompute_rates calls
+  /// with a non-empty dirty set).  The batching ablation metric: batched
+  /// runs perform one solve per *timestamp*, per-event runs one per event.
+  [[nodiscard]] std::uint64_t fair_share_solves() const { return solves_; }
+  /// Scheduling points that shared their virtual time with the previous one
+  /// (within the engine tolerance) — the batching opportunity.
+  [[nodiscard]] std::uint64_t same_time_points() const { return same_time_points_; }
+
   /// Attach a Tracer; every completed activity is recorded as a span.
   /// Pass nullptr to detach.  The tracer must outlive the engine's use.
   void set_tracer(class Tracer* tracer) { tracer_ = tracer; }
@@ -142,11 +168,22 @@ class Engine {
   void set_solver_cross_check(bool enabled) { cross_check_ = enabled; }
   [[nodiscard]] bool solver_cross_check() const { return cross_check_; }
 
+  /// Timestamp-batched solving (default on): all events sharing the current
+  /// virtual time dirty resources first, then one fair-share solve covers
+  /// them.  Off = the per-event reference mode: every submission,
+  /// completion and capacity change re-solves its component immediately.
+  /// Results are bit-identical either way (see engine_determinism_test);
+  /// only fair_share_solves() differs.  Toggle between runs, not mid-run.
+  void set_solve_batching(bool enabled) { solve_batching_ = enabled; }
+  [[nodiscard]] bool solve_batching() const { return solve_batching_; }
+
   /// Internal (called by Resource::set_capacity and activity lifecycle):
   /// mark a resource's fair-share component for re-solving.
   void mark_resource_dirty(Resource* resource);
 
  private:
+  friend class Resource;  // set_capacity triggers the per-event solve
+
   struct Timer {
     double time;
     std::uint64_t seq;
@@ -177,6 +214,11 @@ class Engine {
   /// Wraps a non-daemon root so its completion — normal, by exception, or
   /// by frame teardown — decrements live_roots_ exactly once.
   [[nodiscard]] Task<> root_guard(Task<> inner);
+  /// Per-event mode: solve immediately after an event dirtied resources.
+  /// A no-op in batched mode or when nothing is dirty.
+  void solve_if_per_event() {
+    if (!solve_batching_ && !dirty_resources_.empty()) recompute_rates();
+  }
   void recompute_rates();
   /// Progressive filling restricted to `acts` (sorted by id) and the
   /// resources they claim; writes Activity::rate_.
@@ -198,6 +240,7 @@ class Engine {
 
   double now_ = 0.0;
   bool running_loop_ = false;
+  bool solve_batching_ = true;
   bool cross_check_ =
 #ifdef PCS_DEBUG_INVARIANTS
       true;
@@ -206,6 +249,9 @@ class Engine {
 #endif
   std::uint64_t next_id_ = 1;
   std::uint64_t scheduling_points_ = 0;
+  std::uint64_t solves_ = 0;
+  std::uint64_t same_time_points_ = 0;
+  double last_sp_time_ = -std::numeric_limits<double>::infinity();
   std::uint64_t visit_mark_ = 0;
   std::size_t live_roots_ = 0;
 

@@ -1,6 +1,7 @@
 #include "storage/service_registry.hpp"
 
 #include <memory>
+#include <mutex>
 
 #include "refmodel/page_model.hpp"
 #include "storage/burst_buffer.hpp"
@@ -195,18 +196,33 @@ ServiceRegistry::ServiceRegistry() {
 }
 
 ServiceRegistry& ServiceRegistry::instance() {
-  static ServiceRegistry registry;
-  return registry;
+  // Built exactly once, even under concurrent first use from sweep worker
+  // threads; the built-in backends are registered inside the constructor,
+  // so no caller can observe a partially-populated registry.  The instance
+  // is deliberately never destroyed: storage objects (and the sweep
+  // workers driving them) may outlive any particular static-destruction
+  // order, so the registry must stay valid until process exit.
+  static ServiceRegistry* registry = nullptr;
+  static std::once_flag once;
+  std::call_once(once, [] { registry = new ServiceRegistry(); });
+  return *registry;
 }
 
 void ServiceRegistry::register_backend(const std::string& type, Builder builder) {
+  std::unique_lock lock(mutex_);
   if (builders_.count(type) != 0) {
     throw StorageError("storage backend '" + type + "' already registered");
   }
   builders_[type] = std::move(builder);
 }
 
+bool ServiceRegistry::has(const std::string& type) const {
+  std::shared_lock lock(mutex_);
+  return builders_.count(type) != 0;
+}
+
 std::vector<std::string> ServiceRegistry::types() const {
+  std::shared_lock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(builders_.size());
   for (const auto& [type, builder] : builders_) names.push_back(type);
@@ -215,16 +231,23 @@ std::vector<std::string> ServiceRegistry::types() const {
 
 StorageService* ServiceRegistry::build(const std::string& type, ServiceContext& ctx,
                                        const util::Json& spec) const {
-  auto it = builders_.find(type);
-  if (it == builders_.end()) {
-    std::string known;
-    for (const auto& [name, builder] : builders_) {
-      if (!known.empty()) known += ", ";
-      known += name;
+  Builder builder;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = builders_.find(type);
+    if (it == builders_.end()) {
+      std::string known;
+      for (const auto& [name, b] : builders_) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      throw StorageError("unknown storage backend '" + type + "' (registered: " + known + ")");
     }
-    throw StorageError("unknown storage backend '" + type + "' (registered: " + known + ")");
+    // Copy so a concurrent register_backend can't invalidate the functor
+    // mid-build; builders are cheap to copy and run outside the lock.
+    builder = it->second;
   }
-  return it->second(ctx, spec);
+  return builder(ctx, spec);
 }
 
 }  // namespace pcs::storage

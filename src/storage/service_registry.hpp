@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,12 @@ struct ServiceContext {
   cache::CacheParams default_params;
 };
 
+/// Thread safety: the singleton is constructed exactly once (std::call_once)
+/// with the built-in backends pre-registered, and the builder map is guarded
+/// by a shared mutex — concurrent `run_scenario`/`run_sweep` workers resolve
+/// backends under a shared lock while runtime `register_backend` calls take
+/// it exclusively.  Builders themselves construct into a caller-owned
+/// wf::Simulation, so they share no state across concurrent runs.
 class ServiceRegistry {
  public:
   using Builder = std::function<StorageService*(ServiceContext&, const util::Json& spec)>;
@@ -44,7 +51,7 @@ class ServiceRegistry {
 
   /// Throws StorageError on duplicate registration.
   void register_backend(const std::string& type, Builder builder);
-  [[nodiscard]] bool has(const std::string& type) const { return builders_.count(type) != 0; }
+  [[nodiscard]] bool has(const std::string& type) const;
   [[nodiscard]] std::vector<std::string> types() const;
 
   /// Throws StorageError for unknown types; builders throw on bad specs.
@@ -53,6 +60,7 @@ class ServiceRegistry {
 
  private:
   ServiceRegistry();
+  mutable std::shared_mutex mutex_;
   std::map<std::string, Builder> builders_;
 };
 

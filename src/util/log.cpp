@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace pcs::util {
 
@@ -30,16 +31,26 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-Logger::Logger() : level_(level_from_env()) {}
+Logger::Logger() : level_(static_cast<int>(level_from_env())) {}
 
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
+std::function<double()>& Logger::clock_slot() {
+  // One clock per thread: each sweep worker's engine stamps its own lines.
+  thread_local std::function<double()> clock;
+  return clock;
+}
+
 void Logger::write(LogLevel level, const std::string& category, const std::string& message) {
-  if (clock_) {
-    std::fprintf(stderr, "[%12.6f] [%s] [%s] %s\n", clock_(), level_name(level), category.c_str(),
+  // Serialize whole lines; concurrent runs interleave between lines only.
+  static std::mutex sink_mutex;
+  const std::function<double()>& clock = clock_slot();
+  std::lock_guard<std::mutex> lock(sink_mutex);
+  if (clock) {
+    std::fprintf(stderr, "[%12.6f] [%s] [%s] %s\n", clock(), level_name(level), category.c_str(),
                  message.c_str());
   } else {
     std::fprintf(stderr, "[   --wall-- ] [%s] [%s] %s\n", level_name(level), category.c_str(),

@@ -5,8 +5,16 @@
 // ("error", "warn", "info", "debug", "trace"); default is "warn" so library
 // users see nothing during normal operation.  Log lines carry the simulated
 // time when a clock provider is registered (the engine registers itself).
+//
+// Thread safety: the clock slot is thread-local — every thread's engine
+// stamps its own lines with its own virtual time, so concurrent
+// simulations (scenario::run_sweep workers, each owning one Engine) never
+// stomp each other's clock.  The sink itself serializes whole lines under
+// a mutex, and the level is atomic, so logging from concurrent runs is
+// safe (interleaved between lines, never within one).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -20,21 +28,26 @@ class Logger {
   /// Global singleton; cheap to call.
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return static_cast<int>(level) <= static_cast<int>(level_); }
+  void set_level(LogLevel level) { level_.store(static_cast<int>(level), std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) <= level_.load(std::memory_order_relaxed);
+  }
 
   /// The engine registers a simulated-clock provider so that log lines are
-  /// stamped with virtual time instead of wall time.
-  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
-  void clear_clock() { clock_ = nullptr; }
+  /// stamped with virtual time instead of wall time.  The slot is
+  /// thread-local: it binds the *calling thread's* lines to this clock.
+  void set_clock(std::function<double()> clock) { clock_slot() = std::move(clock); }
+  void clear_clock() { clock_slot() = nullptr; }
 
   void write(LogLevel level, const std::string& category, const std::string& message);
 
  private:
   Logger();
-  LogLevel level_;
-  std::function<double()> clock_;
+  static std::function<double()>& clock_slot();
+  std::atomic<int> level_;
 };
 
 namespace detail {

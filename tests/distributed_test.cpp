@@ -3,7 +3,7 @@
 // supports ... applications distributed on multiple hosts").
 #include <gtest/gtest.h>
 
-#include "exp/apps.hpp"
+#include "workload/apps.hpp"
 #include "storage/nfs.hpp"
 #include "test_helpers.hpp"
 #include "workflow/simulation.hpp"
@@ -111,9 +111,9 @@ TEST_F(DistributedTest, WorkflowsOnTwoComputeServices) {
   wf::ComputeService* cs1 = sim_.create_compute_service(*c1_, *mount1_, 50.0);
   wf::ComputeService* cs2 = sim_.create_compute_service(*c2_, *mount2_, 50.0);
   wf::Workflow& w1 = sim_.create_workflow();
-  exp::build_synthetic(w1, "h1:", 100.0, 1.0);
+  workload::build_synthetic(w1, "h1:", 100.0, 1.0);
   wf::Workflow& w2 = sim_.create_workflow();
-  exp::build_synthetic(w2, "h2:", 100.0, 1.0);
+  workload::build_synthetic(w2, "h2:", 100.0, 1.0);
   cs1->submit(w1);
   cs2->submit(w2);
   sim_.run();

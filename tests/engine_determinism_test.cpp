@@ -47,6 +47,49 @@ TEST(EngineDeterminism, IncrementalSolverMatchesFullSolve) {
   EXPECT_EQ(plain.checksum_ns, checked.checksum_ns);
 }
 
+// The batching A/B: the timestamp-batched solver (default) and the
+// per-event reference mode (one solve after every submission, completion
+// and capacity change) must produce bit-identical simulations — a solve is
+// a pure function of the incumbency graph, and no virtual time passes
+// between the events of a batch — while the batched run performs
+// measurably fewer solves.  Scheduling-point counts are recorded and
+// compared too.
+TEST(EngineDeterminism, BatchedAndPerEventSolvesAreBitIdentical) {
+  CoreScenarioConfig config = small_config();
+  const CoreScenarioResult batched = run_core_scenario(config);
+  config.solve_batching = false;
+  const CoreScenarioResult per_event = run_core_scenario(config);
+
+  EXPECT_EQ(batched.scheduling_points, per_event.scheduling_points);
+  EXPECT_EQ(batched.final_vtime, per_event.final_vtime);  // bitwise, not NEAR
+  EXPECT_EQ(batched.completion_checksum, per_event.completion_checksum);
+  EXPECT_EQ(batched.checksum_ns, per_event.checksum_ns);
+  EXPECT_EQ(batched.same_time_points, per_event.same_time_points);
+
+  // The point of batching: strictly fewer solves for the same simulation.
+  // Per-event solves at least twice per completed activity (the completion
+  // and the follow-up submission each trigger one).
+  EXPECT_LT(batched.fair_share_solves, per_event.fair_share_solves);
+  EXPECT_GE(per_event.fair_share_solves, 2 * batched.activities);
+  EXPECT_LE(batched.fair_share_solves, batched.scheduling_points);
+}
+
+TEST(EngineDeterminism, BatchedVsPerEventUnderCrossCheck) {
+  // Same A/B with the full-solve cross-check armed: every solve of either
+  // mode must match a from-scratch progressive filling, so a batched solve
+  // that merged its dirty set wrongly throws instead of passing.
+  CoreScenarioConfig config = small_config();
+  config.actors = 60;
+  config.rounds = 4;
+  config.solver_cross_check = true;
+  const CoreScenarioResult batched = run_core_scenario(config);
+  config.solve_batching = false;
+  const CoreScenarioResult per_event = run_core_scenario(config);
+  EXPECT_EQ(batched.checksum_ns, per_event.checksum_ns);
+  EXPECT_EQ(batched.final_vtime, per_event.final_vtime);
+  EXPECT_LT(batched.fair_share_solves, per_event.fair_share_solves);
+}
+
 TEST(EngineDeterminism, SingleComponentTopologyCrossChecks) {
   // groups=1 couples every actor into one fair-share component, so the
   // incremental solve degenerates to the full solve; the cross-check must

@@ -4,13 +4,15 @@
 
 #include <sstream>
 
-#include "exp/apps.hpp"
+#include "workload/apps.hpp"
 #include "exp/presets.hpp"
 #include "exp/report.hpp"
 #include "exp/runners.hpp"
 
 namespace pcs::exp {
 namespace {
+
+using namespace pcs::workload;
 
 using util::GB;
 using util::MB;

@@ -1,0 +1,64 @@
+// Golden-record encoding of a RunResult, shared by the scenario
+// equivalence test and the regeneration path.  Everything simulated (no
+// wall clock) and everything ordered, so records compare bitwise across
+// runs: doubles survive the JSON round-trip exactly (%.17g), and object
+// keys are sorted by util::Json.
+//
+// The committed record (tests/golden/scenario_equivalence.json) was
+// generated from `run_experiment_legacy` — the hand-built pre-scenario
+// harness — immediately before that code path was deleted, so matching it
+// bit-for-bit proves the scenario path still reproduces the original
+// WRENCH-style construction.  After an *intentional* model change,
+// regenerate with:
+//   PCS_UPDATE_GOLDEN=1 ./build/scenario_equivalence_test
+#pragma once
+
+#include "scenario/run_result.hpp"
+#include "util/json.hpp"
+
+namespace pcs::test {
+
+inline util::Json golden_of(const scenario::RunResult& result) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("makespan", result.makespan);
+
+  util::Json tasks{util::JsonArray{}};
+  for (const wf::TaskResult& t : result.tasks) {
+    util::Json task{util::JsonObject{}};
+    task.set("name", t.name);
+    task.set("start", t.start);
+    task.set("read_start", t.read_start);
+    task.set("read_end", t.read_end);
+    task.set("compute_end", t.compute_end);
+    task.set("write_end", t.write_end);
+    task.set("end", t.end);
+    tasks.push_back(std::move(task));
+  }
+  doc.set("tasks", std::move(tasks));
+
+  util::Json profile{util::JsonArray{}};
+  for (const cache::CacheSnapshot& s : result.profile) {
+    util::Json snap{util::JsonObject{}};
+    snap.set("time", s.time);
+    snap.set("cached", s.cached);
+    snap.set("dirty", s.dirty);
+    snap.set("anonymous", s.anonymous);
+    snap.set("free", s.free);
+    util::Json per_file{util::JsonObject{}};
+    for (const auto& [file, bytes] : s.per_file) per_file.set(file, bytes);
+    snap.set("per_file", std::move(per_file));
+    profile.push_back(std::move(snap));
+  }
+  doc.set("profile", std::move(profile));
+
+  util::Json final_state{util::JsonObject{}};
+  final_state.set("cached", result.final_state.cached);
+  final_state.set("dirty", result.final_state.dirty);
+  final_state.set("anonymous", result.final_state.anonymous);
+  final_state.set("inactive_blocks", static_cast<unsigned long>(result.final_inactive_blocks));
+  final_state.set("active_blocks", static_cast<unsigned long>(result.final_active_blocks));
+  doc.set("final_state", std::move(final_state));
+  return doc;
+}
+
+}  // namespace pcs::test

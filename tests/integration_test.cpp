@@ -2,7 +2,7 @@
 // suite can check cheaply (small scaled-down versions of Exp 1-3).
 #include <gtest/gtest.h>
 
-#include "exp/apps.hpp"
+#include "workload/apps.hpp"
 #include "exp/presets.hpp"
 #include "exp/runners.hpp"
 #include "util/stats.hpp"
@@ -10,6 +10,8 @@
 
 namespace pcs::exp {
 namespace {
+
+using namespace pcs::workload;
 
 using util::GB;
 

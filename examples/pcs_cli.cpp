@@ -17,6 +17,22 @@
 //       Run every *.json scenario in the directory and compare makespans
 //       against the recorded baseline (BENCH_scenarios.json in CI); exits
 //       nonzero on any failure or drift.  --update rewrites the record.
+//   pcs_cli record <scenario.json> --out run.jsonl [--json]
+//       Run a scenario with the task-log recorder attached, streaming the
+//       versioned JSONL log (workflow submissions, task executions, storage
+//       I/O ops) to --out.  Recording never changes simulated times.
+//   pcs_cli replay <log.jsonl> [--platform P] [--scale S] [--load N]
+//       [--json] [--check]
+//       Replay a recorded log as a "trace" workload, by default on the
+//       scenario embedded in the log's header (so no flags are needed for
+//       the closed loop).  --scale multiplies arrival times, --load clones
+//       the log N times, --platform substitutes another platform file.
+//       --check asserts the replayed makespan and per-task timings are
+//       bit-identical to the recorded events (exit 1 on any drift).
+//   pcs_cli trace-info <log.jsonl> [--json]
+//       Validate a log and print its summary (workflows, tasks, I/O bytes,
+//       makespan).  --json prints only simulated quantities, so the output
+//       is byte-stable across hosts (CI diffs it).
 //   pcs_cli dump-preset <reference|wrench|wrench_cache|prototype>
 //       [--nfs] [--nighres] [--instances N]
 //       Print the paper preset re-expressed as a generated scenario spec.
@@ -38,6 +54,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "exp/runners.hpp"
@@ -45,6 +62,7 @@
 #include "scenario/runner.hpp"
 #include "scenario/sweep.hpp"
 #include "simcore/trace.hpp"
+#include "tracelog/recorder.hpp"
 #include "util/json.hpp"
 #include "util/units.hpp"
 
@@ -78,6 +96,9 @@ constexpr const char* kDemoWorkflow = R"json({
 void usage(std::ostream& out) {
   out << "usage: pcs_cli <command> [options]\n"
          "  run <scenario.json> [--trace FILE] [--json] [--dump-effective]\n"
+         "  record <scenario.json> --out run.jsonl [--json]\n"
+         "  replay <log.jsonl> [--platform FILE] [--scale S] [--load N] [--json] [--check]\n"
+         "  trace-info <log.jsonl> [--json]\n"
          "  sweep <sweep.json> [--jobs N] [--json|--csv] [--list]\n"
          "  smoke <scenarios-dir> <record.json> [--update] [--tolerance REL]\n"
          "  dump-preset <reference|wrench|wrench_cache|prototype> [--nfs] [--nighres]\n"
@@ -204,6 +225,248 @@ int cmd_run(const std::vector<std::string>& args) {
         << "wrote " << tracer.span_count() << " trace spans to " << trace_path
         << " (open in chrome://tracing)\n";
   }
+  return 0;
+}
+
+int cmd_record(const std::vector<std::string>& args) {
+  std::string scenario_path;
+  std::string out_path;
+  bool as_json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--out") {
+      if (++i >= args.size()) return usage_error("--out needs an argument");
+      out_path = args[i];
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (scenario_path.empty()) {
+      scenario_path = arg;
+    } else {
+      return usage_error("unexpected argument '" + arg + "'");
+    }
+  }
+  if (scenario_path.empty()) return usage_error("record: missing scenario file");
+  if (out_path.empty()) return usage_error("record: missing --out log file");
+
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::from_file(scenario_path);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "record: cannot write '" << out_path << "'\n";
+    return 1;
+  }
+  // Stream-only: a million-task run never holds its log in memory.
+  tracelog::TaskLogRecorder recorder(&out, /*keep_in_memory=*/false);
+  scenario::RunOptions options;
+  options.recorder = &recorder;
+  scenario::RunResult result = scenario::run_scenario(spec, options);
+  out.flush();
+  if (!out) {
+    // A truncated log (ENOSPC, quota) must fail here, not at replay time.
+    std::cerr << "record: writing '" << out_path << "' failed; log is incomplete\n";
+    return 1;
+  }
+
+  if (as_json) {
+    std::cout << result_to_json(spec, result).dump(2) << "\n";
+  } else {
+    print_result_table(spec, result);
+  }
+  (as_json ? std::cerr : std::cout)
+      << "recorded " << recorder.workflow_count() << " workflows / " << recorder.task_count()
+      << " tasks to " << out_path << " (replay with `pcs_cli replay " << out_path << "`)\n";
+  return 0;
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  std::string log_path;
+  std::string platform_path;
+  double scale = 1.0;
+  int load = 1;
+  bool as_json = false;
+  bool check = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--platform") {
+      if (++i >= args.size()) return usage_error("--platform needs an argument");
+      platform_path = args[i];
+    } else if (arg == "--scale") {
+      if (++i >= args.size()) return usage_error("--scale needs an argument");
+      if (!parse_number(args[i], &scale) || scale <= 0.0) {
+        return usage_error("--scale: '" + args[i] + "' is not a positive number");
+      }
+    } else if (arg == "--load") {
+      if (++i >= args.size()) return usage_error("--load needs an argument");
+      if (!parse_int(args[i], &load) || load < 1) {
+        return usage_error("--load: '" + args[i] + "' is not a positive integer");
+      }
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (log_path.empty()) {
+      log_path = arg;
+    } else {
+      return usage_error("unexpected argument '" + arg + "'");
+    }
+  }
+  if (log_path.empty()) return usage_error("replay: missing task log");
+  if (check && (scale != 1.0 || load != 1 || !platform_path.empty())) {
+    return usage_error(
+        "--check needs a default replay (no --scale/--load/--platform): the oracle "
+        "compares against the log's own recorded run");
+  }
+
+  tracelog::TaskLog log = tracelog::TaskLog::from_file(log_path);
+  log.validate();
+
+  util::Json workload{util::JsonObject{}};
+  workload.set("type", "trace");
+  workload.set("file",
+               std::filesystem::absolute(log_path).lexically_normal().string());
+  if (scale != 1.0) workload.set("time_scale", scale);
+  if (load != 1) workload.set("load_factor", load);
+
+  util::Json doc;
+  if (!platform_path.empty()) {
+    // A substituted platform invalidates the recorded host bindings
+    // (compute_host, per-service "host"/"server_host"), so build a fresh
+    // scenario: the new platform, the simulator-derived default service,
+    // and every recorded workflow rebound onto it.  Timing-relevant scalars
+    // (chunk size, cache params) carry over from the embedded spec.
+    doc = util::Json{util::JsonObject{}};
+    if (!log.simulator.empty()) doc.set("simulator", log.simulator);
+    doc.set("platform", util::Json::parse_file(platform_path));
+    if (!log.source_scenario.is_null()) {
+      for (const char* key : {"chunk_size", "cache_params", "solve_batching", "warm_inputs"}) {
+        if (log.source_scenario.contains(key)) {
+          doc.set(key, log.source_scenario.at(key));
+        }
+      }
+    }
+    workload.set("service", "store");  // blanket rebind onto the derived default
+  } else if (!log.source_scenario.is_null()) {
+    doc = log.source_scenario;  // the recorded run's effective spec, verbatim
+  } else {
+    std::cerr << "replay: '" << log_path
+              << "' embeds no scenario (header lacks \"source_scenario\"); pass --platform\n";
+    return 1;
+  }
+  doc.set("name", (log.scenario.empty() ? std::string("trace") : log.scenario) + ":replay");
+  doc.set("workload", std::move(workload));
+
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse(doc);
+  scenario::RunResult result = scenario::run_scenario(spec);
+
+  if (as_json) {
+    std::cout << result_to_json(spec, result).dump(2) << "\n";
+  } else {
+    print_result_table(spec, result);
+  }
+  if (!check) return 0;
+
+  // The determinism oracle: the replayed run must reproduce the recorded
+  // one bit-for-bit — same makespan, same per-task phase boundaries.
+  bool failed = false;
+  auto mismatch = [&failed](const std::string& what, double got, double want) {
+    std::cout << "  DRIFT " << what << ": replayed " << got << ", recorded " << want << "\n";
+    failed = true;
+  };
+  if (result.makespan != log.recorded_makespan) {
+    mismatch("makespan", result.makespan, log.recorded_makespan);
+  }
+  if (result.tasks.size() != log.task_events.size()) {
+    std::cout << "  DRIFT task count: replayed " << result.tasks.size() << ", recorded "
+              << log.task_events.size() << "\n";
+    failed = true;
+  }
+  // Index once: the oracle must stay linear for million-task logs.
+  std::unordered_map<std::string, const wf::TaskResult*> by_name;
+  by_name.reserve(result.tasks.size());
+  for (const wf::TaskResult& r : result.tasks) by_name[r.name] = &r;
+  for (const tracelog::TraceTaskEvent& event : log.task_events) {
+    auto it = by_name.find(event.name);
+    const wf::TaskResult* replayed = it == by_name.end() ? nullptr : it->second;
+    if (replayed == nullptr) {
+      std::cout << "  DRIFT task '" << event.name << "': not replayed\n";
+      failed = true;
+      continue;
+    }
+    if (replayed->start != event.start) mismatch(event.name + ".start", replayed->start, event.start);
+    if (replayed->read_start != event.read_start) {
+      mismatch(event.name + ".read_start", replayed->read_start, event.read_start);
+    }
+    if (replayed->read_end != event.read_end) {
+      mismatch(event.name + ".read_end", replayed->read_end, event.read_end);
+    }
+    if (replayed->compute_end != event.compute_end) {
+      mismatch(event.name + ".compute_end", replayed->compute_end, event.compute_end);
+    }
+    if (replayed->write_end != event.write_end) {
+      mismatch(event.name + ".write_end", replayed->write_end, event.write_end);
+    }
+    if (replayed->end != event.end) mismatch(event.name + ".end", replayed->end, event.end);
+  }
+  if (failed) {
+    std::cerr << "replay check FAILED: replayed run diverges from the recorded log\n";
+    return 1;
+  }
+  std::cout << "replay check ok: " << log.task_events.size()
+            << " task timings and the makespan are bit-identical to the recording\n";
+  return 0;
+}
+
+int cmd_trace_info(const std::vector<std::string>& args) {
+  std::string log_path;
+  bool as_json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--json") {
+      as_json = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (log_path.empty()) {
+      log_path = arg;
+    } else {
+      return usage_error("unexpected argument '" + arg + "'");
+    }
+  }
+  if (log_path.empty()) return usage_error("trace-info: missing task log");
+
+  tracelog::TaskLog log = tracelog::TaskLog::from_file(log_path);
+  log.validate();
+
+  if (as_json) {
+    // Only simulated quantities: byte-stable across hosts, so CI can diff it.
+    util::Json doc{util::JsonObject{}};
+    doc.set("scenario", log.scenario);
+    doc.set("simulator", log.simulator);
+    doc.set("version", log.version);
+    doc.set("workflows", static_cast<unsigned long>(log.workflows.size()));
+    doc.set("tasks", static_cast<unsigned long>(log.task_count()));
+    doc.set("task_events", static_cast<unsigned long>(log.task_events.size()));
+    doc.set("io_events", static_cast<unsigned long>(log.io_events.size()));
+    doc.set("read_bytes", log.total_read_bytes());
+    doc.set("written_bytes", log.total_written_bytes());
+    doc.set("first_submit", log.first_submit());
+    doc.set("last_task_end", log.last_task_end());
+    doc.set("makespan", log.recorded_makespan);
+    std::cout << doc.dump(2) << "\n";
+    return 0;
+  }
+  std::cout << "task log '" << log_path << "' (schema v" << log.version << ")\n"
+            << "  scenario:  " << log.scenario << " (" << log.simulator << ")\n"
+            << "  workflows: " << log.workflows.size() << " (" << log.task_count()
+            << " tasks, " << log.task_events.size() << " executions recorded)\n"
+            << "  io ops:    " << log.io_events.size() << " ("
+            << util::format_bytes(log.total_read_bytes()) << " read, "
+            << util::format_bytes(log.total_written_bytes()) << " written)\n"
+            << "  window:    submits from " << util::format_seconds(log.first_submit())
+            << ", last task end " << util::format_seconds(log.last_task_end()) << "\n"
+            << "  makespan:  " << util::format_seconds(log.recorded_makespan) << "\n";
   return 0;
 }
 
@@ -526,6 +789,15 @@ int main(int argc, char** argv) {
   try {
     if (!args.empty() && args[0] == "run") {
       return cmd_run({args.begin() + 1, args.end()});
+    }
+    if (!args.empty() && args[0] == "record") {
+      return cmd_record({args.begin() + 1, args.end()});
+    }
+    if (!args.empty() && args[0] == "replay") {
+      return cmd_replay({args.begin() + 1, args.end()});
+    }
+    if (!args.empty() && args[0] == "trace-info") {
+      return cmd_trace_info({args.begin() + 1, args.end()});
     }
     if (!args.empty() && args[0] == "sweep") {
       return cmd_sweep({args.begin() + 1, args.end()});

@@ -10,6 +10,7 @@
 #include "proto/analytic.hpp"
 #include "simcore/trace.hpp"
 #include "storage/service_registry.hpp"
+#include "tracelog/recorder.hpp"
 #include "util/units.hpp"
 #include "workflow/simulation.hpp"
 #include "workload/apps.hpp"
@@ -93,14 +94,23 @@ RunResult run_prototype(const ScenarioSpec& spec) {
 }
 
 sim::Task<> delayed_submit(sim::Engine& engine, wf::ComputeService* cs, wf::Workflow* workflow,
-                           double arrival, storage::StorageService* warm_service) {
+                           double arrival, storage::StorageService* warm_service,
+                           tracelog::TaskLogRecorder* recorder, std::string label,
+                           std::string service_name) {
   co_await engine.sleep_until(arrival);
+  if (recorder != nullptr) {
+    recorder->record_workflow(*workflow, label, service_name, engine.now());
+  }
   cs->submit(*workflow);
   // Late arrivals stage their inputs at submit time, so warm staging (when
   // configured) happens here rather than at t=0.
   if (warm_service != nullptr) {
     for (const wf::FileSpec& input : workflow->external_inputs()) {
       warm_service->warm_file(input.name);
+      if (recorder != nullptr) {
+        recorder->record_io({"warm", input.name, warm_service->file_size(input.name),
+                             engine.now(), engine.now(), service_name, ""});
+      }
     }
   }
 }
@@ -108,7 +118,16 @@ sim::Task<> delayed_submit(sim::Engine& engine, wf::ComputeService* cs, wf::Work
 }  // namespace
 
 RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
-  if (spec.simulator == "prototype") return run_prototype(spec);
+  if (spec.simulator == "prototype") {
+    if (options.recorder != nullptr) {
+      throw ScenarioError(
+          "task-log recording needs an engine-backed simulator (the analytic prototype has "
+          "no workflows to record)");
+    }
+    return run_prototype(spec);
+  }
+  tracelog::TaskLogRecorder* recorder = options.recorder;
+  if (recorder != nullptr) recorder->begin(spec.name, spec.simulator, spec.to_json());
 
   const auto wall_start = WallClock::now();
   wf::Simulation sim;
@@ -152,6 +171,7 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     }
     wf::ComputeService* cs =
         sim.create_compute_service(*compute_host, *svc->second, spec.chunk_size);
+    if (recorder != nullptr) cs->set_recorder(recorder, name);
     compute_by_service[name] = cs;
     compute_order.push_back(cs);
     return cs;
@@ -177,8 +197,9 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   }
   for (const auto& [name, service] : services) service->validate_workload_files(workload_files);
 
-  // (service, file) pairs to warm after every immediate submission.
-  std::vector<std::pair<storage::StorageService*, std::string>> warm_list;
+  // (service, service name, file) entries to warm after every immediate
+  // submission.
+  std::vector<std::tuple<storage::StorageService*, std::string, std::string>> warm_list;
   for (const workload::WorkloadInstance& instance : instances) {
     const std::string service_name =
         instance.service.empty() ? spec.default_service : instance.service;
@@ -187,20 +208,29 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
       if (spec.warm_inputs) {
         storage::StorageService* svc = services.at(service_name);
         for (const wf::FileSpec& input : instance.workflow->external_inputs()) {
-          warm_list.emplace_back(svc, input.name);
+          warm_list.emplace_back(svc, service_name, input.name);
         }
+      }
+      if (recorder != nullptr) {
+        recorder->record_workflow(*instance.workflow, instance.label, service_name, 0.0);
       }
       cs->submit(*instance.workflow);
     } else {
       sim.engine().spawn(
           "submit:" + instance.label,
           delayed_submit(sim.engine(), cs, instance.workflow, instance.arrival,
-                         spec.warm_inputs ? services.at(service_name) : nullptr));
+                         spec.warm_inputs ? services.at(service_name) : nullptr, recorder,
+                         instance.label, service_name));
     }
   }
   // The staged inputs passed through the (server) cache on their way in —
   // the paper's Exp 3 warm staging.
-  for (const auto& [svc, name] : warm_list) svc->warm_file(name);
+  for (const auto& [svc, service_name, name] : warm_list) {
+    svc->warm_file(name);
+    if (recorder != nullptr) {
+      recorder->record_io({"warm", name, svc->file_size(name), 0.0, 0.0, service_name, ""});
+    }
+  }
 
   sim.run();
 
@@ -220,6 +250,7 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     result.final_state = *snap;
   }
   result.makespan = sim.now();
+  if (recorder != nullptr) recorder->finish(result.makespan);
   result.wall_seconds = wall_since(wall_start);
   result.scheduling_points = sim.engine().scheduling_points();
   result.fair_share_solves = sim.engine().fair_share_solves();

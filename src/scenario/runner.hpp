@@ -14,12 +14,21 @@ namespace pcs::sim {
 class Tracer;
 }
 
+namespace pcs::tracelog {
+class TaskLogRecorder;
+}
+
 namespace pcs::scenario {
 
 struct RunOptions {
   /// Record every completed activity as a Chrome-trace span (engine-backed
   /// simulators only; the analytic prototype has no engine).
   sim::Tracer* tracer = nullptr;
+  /// Record the run as a structured task log (workflow submissions, task
+  /// executions, storage I/O ops) replayable as a "trace" workload.
+  /// Engine-backed simulators only.  Recording is pure observation: a
+  /// recorded run's RunResult is bit-identical to an unrecorded one.
+  tracelog::TaskLogRecorder* recorder = nullptr;
 };
 
 /// Run a scenario to completion.  Throws ScenarioError (bad specs),

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstddef>
 #include <filesystem>
+#include <map>
 #include <set>
 #include <thread>
 #include <utility>
@@ -154,6 +155,24 @@ SweepSpec SweepSpec::from_file(const std::string& path) {
 std::vector<SweepCase> SweepSpec::expand() const {
   std::vector<SweepCase> out;
 
+  // A failed override names everything needed to find it: the sweep, the
+  // expanded case (index + label), the axis the path came from, and — via
+  // apply_override's own message — the full dotted path.
+  auto apply_case = [this](SweepCase& result, std::size_t case_index,
+                           const std::map<std::string, std::string>& axis_of) {
+    for (const auto& [path, value] : result.overrides.as_object()) {
+      try {
+        apply_override(result.doc, path, value);
+      } catch (const ScenarioError& e) {
+        auto axis = axis_of.find(path);
+        const std::string origin =
+            axis != axis_of.end() ? axis->second : std::string("case override");
+        throw ScenarioError("sweep '" + name + "': case " + std::to_string(case_index) +
+                            " '" + result.label + "', " + origin + ": " + e.what());
+      }
+    }
+  };
+
   // Row-major walk of the grid: the first axis varies slowest, so e.g. a
   // (config, instances) grid groups each configuration's whole ladder
   // together, in declaration order.
@@ -164,6 +183,7 @@ std::vector<SweepCase> SweepSpec::expand() const {
       result.overrides = util::Json{util::JsonObject{}};
       result.doc = base;
       std::string label;
+      std::map<std::string, std::string> axis_of;  // override path -> axis description
       for (std::size_t a = 0; a < grid.size(); ++a) {
         const Axis& axis = grid[a];
         const util::Json& value = axis.values[cursor[a]];
@@ -177,16 +197,21 @@ std::vector<SweepCase> SweepSpec::expand() const {
         }
         if (!label.empty()) label += ",";
         label += part;
+        const std::string axis_name =
+            "axis " + std::to_string(a) +
+            (axis.path.empty() ? std::string() : " ('" + axis.path + "')");
         if (!axis.path.empty()) {
           result.overrides.set(axis.path, value);
+          axis_of[axis.path] = axis_name;
         } else {
-          for (const auto& [path, v] : value.as_object()) result.overrides.set(path, v);
+          for (const auto& [path, v] : value.as_object()) {
+            result.overrides.set(path, v);
+            axis_of[path] = axis_name;
+          }
         }
       }
-      for (const auto& [path, value] : result.overrides.as_object()) {
-        apply_override(result.doc, path, value);
-      }
       result.label = label;
+      apply_case(result, out.size(), axis_of);
       out.push_back(std::move(result));
 
       bool wrapped = true;  // odometer increment, last axis fastest
@@ -207,9 +232,7 @@ std::vector<SweepCase> SweepSpec::expand() const {
     result.label = case_doc.string_or("label", "case" + std::to_string(i));
     result.overrides = case_doc.at("overrides");
     result.doc = base;
-    for (const auto& [path, value] : result.overrides.as_object()) {
-      apply_override(result.doc, path, value);
-    }
+    apply_case(result, out.size(), {});
     out.push_back(std::move(result));
   }
 

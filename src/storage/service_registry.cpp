@@ -7,6 +7,7 @@
 #include "storage/burst_buffer.hpp"
 #include "storage/local_storage.hpp"
 #include "storage/nfs.hpp"
+#include "storage/tiered.hpp"
 #include "util/units.hpp"
 #include "workflow/simulation.hpp"
 #include "util/json.hpp"
@@ -185,6 +186,30 @@ StorageService* build_burst_buffer_backend(ServiceContext& ctx, const util::Json
   return raw;
 }
 
+/// Tiered SSD+HDD storage (the ROADMAP follow-up): one cached namespace
+/// over a fast and a slow device with creation-time watermark spill.
+/// Spec: {"fast_disk": "...", "slow_disk": "...", "watermark": 0.9,
+/// "cache"/"params"/"memory_limit" as for "local"}.  Defaults: the host's
+/// first two disks, watermark 0.9.
+StorageService* build_tiered_backend(ServiceContext& ctx, const util::Json& spec) {
+  plat::Host& host = host_field(ctx, spec, "host");
+  if (host.disks().size() < 2) {
+    throw StorageError("tiered storage: host '" + host.name() + "' needs two disks");
+  }
+  plat::Disk& fast = spec.contains("fast_disk") ? *host.disk(spec.at("fast_disk").as_string())
+                                                : *host.disks()[0];
+  plat::Disk& slow = spec.contains("slow_disk") ? *host.disk(spec.at("slow_disk").as_string())
+                                                : *host.disks()[1];
+  const cache::CacheMode mode =
+      cache_mode_from_string(spec.string_or("cache", "writeback"));
+  auto tiered = std::make_unique<TieredStorage>(
+      ctx.sim.engine(), host, fast, slow, mode, spec.number_or("watermark", 0.9),
+      effective_params(ctx, spec), util::bytes_field_or(spec, "memory_limit", -1.0));
+  auto* raw = static_cast<TieredStorage*>(ctx.sim.adopt_storage(std::move(tiered)));
+  if (mode == cache::CacheMode::Writeback) raw->start_periodic_flush();
+  return raw;
+}
+
 }  // namespace
 
 ServiceRegistry::ServiceRegistry() {
@@ -193,6 +218,7 @@ ServiceRegistry::ServiceRegistry() {
   register_backend("nfs", build_nfs_backend);
   register_backend("reference", build_reference_backend);
   register_backend("burst_buffer", build_burst_buffer_backend);
+  register_backend("tiered", build_tiered_backend);
 }
 
 ServiceRegistry& ServiceRegistry::instance() {

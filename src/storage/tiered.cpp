@@ -1,0 +1,125 @@
+#include "storage/tiered.hpp"
+
+#include <algorithm>
+
+namespace pcs::storage {
+
+TieredStorage::TieredStorage(sim::Engine& engine, plat::Host& host, plat::Disk& fast,
+                             plat::Disk& slow, cache::CacheMode mode, double watermark,
+                             const cache::CacheParams& params, double mem_for_cache)
+    : engine_(engine),
+      fast_(fast),
+      slow_(slow),
+      watermark_(watermark),
+      // The namespace spans both partitions; 0 (unlimited) on either side
+      // disables the combined check, matching FileSystem semantics.
+      fs_(fast.capacity() > 0.0 && slow.capacity() > 0.0 ? fast.capacity() + slow.capacity()
+                                                         : 0.0) {
+  if (watermark <= 0.0 || watermark > 1.0) {
+    throw StorageError("tiered storage: watermark must be in (0, 1]");
+  }
+  if (fast.capacity() <= 0.0) {
+    throw StorageError("tiered storage: the fast disk needs a declared capacity "
+                       "(a boundless fast tier would never spill)");
+  }
+  if (&fast == &slow) {
+    throw StorageError("tiered storage: fast and slow must be different disks");
+  }
+  if (mode != cache::CacheMode::None) {
+    const double mem = mem_for_cache > 0.0 ? mem_for_cache : host.ram();
+    mm_ = std::make_unique<cache::MemoryManager>(engine, params, mem, host.mem_read_channel(),
+                                                 host.mem_write_channel(), *this);
+  }
+  io_ = std::make_unique<cache::IOController>(engine, mode, mm_.get(), *this);
+}
+
+plat::Disk& TieredStorage::place(const std::string& name, double size) {
+  const bool fits = fast_used_ + size <= watermark_ * fast_.capacity();
+  on_fast_[name] = fits;
+  if (fits) fast_used_ += size;
+  return fits ? fast_ : slow_;
+}
+
+plat::Disk& TieredStorage::device_of(const std::string& name) const {
+  auto it = on_fast_.find(name);
+  if (it == on_fast_.end()) {
+    throw StorageError("tiered storage: file '" + name + "' has no tier placement");
+  }
+  return it->second ? fast_ : slow_;
+}
+
+bool TieredStorage::on_fast_tier(const std::string& name) const {
+  auto it = on_fast_.find(name);
+  if (it == on_fast_.end()) {
+    throw StorageError("tiered storage: file '" + name + "' has no tier placement");
+  }
+  return it->second;
+}
+
+std::size_t TieredStorage::fast_file_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(on_fast_.begin(), on_fast_.end(), [](const auto& p) { return p.second; }));
+}
+
+std::size_t TieredStorage::slow_file_count() const {
+  return on_fast_.size() - fast_file_count();
+}
+
+sim::Task<> TieredStorage::read(const std::string& file, double bytes) {
+  if (bytes <= 0.0) co_return;
+  plat::Disk& disk = device_of(file);
+  if (disk.latency() > 0.0) co_await engine_.sleep(disk.latency());
+  co_await engine_.submit("disk-read:" + file, sim::one(disk.read_channel()), bytes);
+}
+
+sim::Task<> TieredStorage::write(const std::string& file, double bytes) {
+  if (bytes <= 0.0) co_return;
+  plat::Disk& disk = device_of(file);
+  if (disk.latency() > 0.0) co_await engine_.sleep(disk.latency());
+  co_await engine_.submit("disk-write:" + file, sim::one(disk.write_channel()), bytes);
+}
+
+sim::Task<> TieredStorage::read_file(const std::string& name, double chunk_size) {
+  const double size = fs_.size_of(name);  // throws if absent
+  co_await io_->read_file(name, size, chunk_size);
+}
+
+sim::Task<> TieredStorage::write_file(const std::string& name, double size,
+                                      double chunk_size) {
+  // Filesystem checks run before tier accounting mutates, so a rejected
+  // write never leaves phantom placement or occupancy behind.
+  if (auto it = on_fast_.find(name); it == on_fast_.end()) {
+    fs_.ensure_size(name, size);  // combined-capacity check may throw
+    place(name, size);
+  } else if (it->second) {
+    // An in-place grow on the fast tier updates its occupancy; the file
+    // stays home even past the watermark (placement is creation-time only)
+    // — but never past the device itself, which would simulate a
+    // physically impossible layout at SSD bandwidth.
+    const double grown = fast_used_ + std::max(0.0, size - fs_.size_of(name));
+    if (grown > fast_.capacity()) {
+      throw StorageError("tiered storage: growing '" + name +
+                         "' exceeds the fast disk's capacity");
+    }
+    fs_.ensure_size(name, size);
+    fast_used_ = grown;
+  } else {
+    fs_.ensure_size(name, size);
+  }
+  co_await io_->write_file(name, size, chunk_size);
+}
+
+void TieredStorage::stage_file(const std::string& name, double size) {
+  fs_.create(name, size);  // throws on duplicates before placement mutates
+  place(name, size);
+}
+
+void TieredStorage::release_anonymous(double bytes) {
+  if (mm_) mm_->release_anonymous(bytes);
+}
+
+void TieredStorage::start_periodic_flush() {
+  if (mm_) mm_->start_periodic_flush("periodic-flush:tiered-" + fast_.name());
+}
+
+}  // namespace pcs::storage

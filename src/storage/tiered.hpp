@@ -1,0 +1,96 @@
+// Tiered storage service: one page-cached filesystem over two devices —
+// a fast tier (SSD) and a slow tier (HDD) — with watermark-based spill.
+//
+// Placement is decided when a file is created: it lands on the fast device
+// while the fast tier's occupancy stays under `watermark × capacity`, and
+// spills to the slow device afterwards (new data goes cold-tier once the
+// SSD is nearly full, the usual burst-absorbing configuration).  Files
+// never migrate; a file's raw transfers always hit its home device.  Both
+// tiers sit behind a *single* page cache and a single file namespace, so
+// application code (and anonymous-memory accounting) is oblivious to the
+// tiering — only the device-level bandwidth differs.
+//
+// This is the ROADMAP's SSD+HDD follow-up to the service registry: spec
+// type "tiered" with {"fast_disk", "slow_disk", "watermark", "cache",
+// "params", "memory_limit"} (see service_registry.cpp).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "pagecache/backing_store.hpp"
+#include "pagecache/io_controller.hpp"
+#include "pagecache/kernel_params.hpp"
+#include "pagecache/memory_manager.hpp"
+#include "platform/platform.hpp"
+#include "storage/file_system.hpp"
+#include "storage/storage_service.hpp"
+
+namespace pcs::storage {
+
+class TieredStorage : public cache::BackingStore, public StorageService {
+ public:
+  /// `watermark` in (0, 1]: the fraction of the fast disk's capacity that
+  /// placement may fill before new files spill to `slow`.  The fast disk
+  /// must declare a capacity (a boundless fast tier never spills).
+  TieredStorage(sim::Engine& engine, plat::Host& host, plat::Disk& fast, plat::Disk& slow,
+                cache::CacheMode mode, double watermark,
+                const cache::CacheParams& params = {}, double mem_for_cache = -1.0);
+
+  // --- BackingStore: route each file's raw transfers to its home device --
+  [[nodiscard]] sim::Task<> read(const std::string& file, double bytes) override;
+  [[nodiscard]] sim::Task<> write(const std::string& file, double bytes) override;
+
+  // --- FileService --------------------------------------------------------
+  [[nodiscard]] sim::Task<> read_file(const std::string& name, double chunk_size) override;
+  [[nodiscard]] sim::Task<> write_file(const std::string& name, double size,
+                                       double chunk_size) override;
+  [[nodiscard]] double file_size(const std::string& name) const override {
+    return fs_.size_of(name);
+  }
+  void stage_file(const std::string& name, double size) override;
+  void release_anonymous(double bytes) override;
+
+  void start_periodic_flush();
+
+  // --- StorageService introspection --------------------------------------
+  [[nodiscard]] cache::MemoryManager* memory_manager() override {
+    return mm_ ? mm_.get() : nullptr;
+  }
+  [[nodiscard]] std::optional<cache::CacheSnapshot> state_snapshot() const override {
+    if (!mm_) return std::nullopt;
+    return mm_->snapshot();
+  }
+  [[nodiscard]] std::pair<std::size_t, std::size_t> lru_block_counts() const override {
+    if (!mm_) return {0, 0};
+    return {mm_->inactive_list().block_count(), mm_->active_list().block_count()};
+  }
+
+  // --- tier accounting (tests, trace-info) --------------------------------
+  [[nodiscard]] double fast_used() const { return fast_used_; }
+  [[nodiscard]] std::size_t fast_file_count() const;
+  [[nodiscard]] std::size_t slow_file_count() const;
+  /// True when `name` lives on the fast device (throws when absent).
+  [[nodiscard]] bool on_fast_tier(const std::string& name) const;
+  [[nodiscard]] FileSystem& fs() { return fs_; }
+
+ private:
+  /// Decide (and remember) the home device of a new file of `size` bytes.
+  plat::Disk& place(const std::string& name, double size);
+  [[nodiscard]] plat::Disk& device_of(const std::string& name) const;
+
+  sim::Engine& engine_;
+  plat::Disk& fast_;
+  plat::Disk& slow_;
+  double watermark_;
+  FileSystem fs_;
+  std::map<std::string, bool> on_fast_;  ///< placement: file -> lives on fast tier
+  double fast_used_ = 0.0;
+  std::unique_ptr<cache::MemoryManager> mm_;
+  std::unique_ptr<cache::IOController> io_;
+};
+
+}  // namespace pcs::storage

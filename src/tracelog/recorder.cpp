@@ -1,0 +1,77 @@
+#include "tracelog/recorder.hpp"
+
+#include <ostream>
+#include <utility>
+
+namespace pcs::tracelog {
+
+void TaskLogRecorder::emit(const util::Json& record) {
+  if (stream_ != nullptr) *stream_ << record.dump() << '\n';
+}
+
+void TaskLogRecorder::begin(const std::string& scenario, const std::string& simulator,
+                            util::Json source_scenario) {
+  if (begun_) throw TraceError("TaskLogRecorder::begin called twice");
+  begun_ = true;
+  log_.scenario = scenario;
+  log_.simulator = simulator;
+  log_.source_scenario = std::move(source_scenario);
+  emit(header_record(log_));
+}
+
+std::uint64_t TaskLogRecorder::record_workflow(const wf::Workflow& workflow,
+                                               const std::string& label,
+                                               const std::string& service,
+                                               double submit_time) {
+  if (!begun_) throw TraceError("TaskLogRecorder: record before begin()");
+  TraceWorkflow record;
+  record.id = next_workflow_id_++;
+  record.label = label;
+  record.service = service;
+  record.submit = submit_time;
+  for (const std::string& name : workflow.task_order()) {
+    const wf::WorkflowTask& task = workflow.task(name);
+    TraceTaskDecl decl;
+    decl.name = task.name;
+    decl.flops = task.flops;
+    decl.inputs = task.inputs;
+    decl.outputs = task.outputs;
+    auto deps = workflow.explicit_dependencies().find(name);
+    if (deps != workflow.explicit_dependencies().end()) {
+      decl.deps.assign(deps->second.begin(), deps->second.end());
+    }
+    record.tasks.push_back(std::move(decl));
+  }
+  tasks_recorded_ += record.tasks.size();
+  emit(workflow_record(record));
+  for (const TraceTaskDecl& decl : record.tasks) emit(task_record(record.id, decl));
+  if (keep_) log_.workflows.push_back(std::move(record));
+  return next_workflow_id_ - 1;
+}
+
+void TaskLogRecorder::record_task_event(const TraceTaskEvent& event) {
+  if (!begun_) throw TraceError("TaskLogRecorder: record before begin()");
+  emit(task_event_record(event));
+  if (keep_) log_.task_events.push_back(event);
+}
+
+void TaskLogRecorder::record_io(const TraceIoEvent& event) {
+  if (!begun_) throw TraceError("TaskLogRecorder: record before begin()");
+  emit(io_event_record(event));
+  if (keep_) log_.io_events.push_back(event);
+}
+
+void TaskLogRecorder::finish(double makespan) {
+  if (!begun_) throw TraceError("TaskLogRecorder: finish before begin()");
+  if (finished_) throw TraceError("TaskLogRecorder::finish called twice");
+  finished_ = true;
+  log_.recorded_makespan = makespan;
+  emit(summary_record(makespan, tasks_recorded_));
+}
+
+const TaskLog& TaskLogRecorder::log() const {
+  if (!keep_) throw TraceError("TaskLogRecorder built without keep_in_memory");
+  return log_;
+}
+
+}  // namespace pcs::tracelog

@@ -1,0 +1,67 @@
+// TaskLogRecorder: the write side of the record→replay loop.
+//
+// The scenario runner and the compute services call the record_* hooks as
+// the simulation executes; the recorder emits one JSONL line per record to
+// an optional stream *immediately* (so a million-task run never holds its
+// log in memory) and, when `keep_in_memory` is set, also accumulates the
+// full TaskLog for in-process use (the closed-loop tests replay straight
+// from it).
+//
+// The recorder is a pure observer: it never touches the engine, so a
+// recorded run is bit-identical to an unrecorded one.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "tracelog/task_log.hpp"
+
+namespace pcs::tracelog {
+
+class TaskLogRecorder {
+ public:
+  /// `stream` (may be null) receives records as JSONL lines as they are
+  /// produced; it must outlive the recorder's use.  `keep_in_memory`
+  /// additionally accumulates the TaskLog returned by log().
+  explicit TaskLogRecorder(std::ostream* stream = nullptr, bool keep_in_memory = true)
+      : stream_(stream), keep_(keep_in_memory) {}
+
+  /// Write the header.  Call once, before the simulation starts.
+  /// `source_scenario` should be the effective spec (ScenarioSpec::to_json)
+  /// so the log is self-contained for `pcs_cli replay`; pass a null Json
+  /// when there is none.
+  void begin(const std::string& scenario, const std::string& simulator,
+             util::Json source_scenario);
+
+  /// A workflow entered the system: capture its full structure (tasks in
+  /// insertion order, files, explicit dependencies) plus binding/label.
+  /// Returns the assigned workflow id.
+  std::uint64_t record_workflow(const wf::Workflow& workflow, const std::string& label,
+                                const std::string& service, double submit_time);
+
+  void record_task_event(const TraceTaskEvent& event);
+  void record_io(const TraceIoEvent& event);
+
+  /// Write the trailing summary.  Call once, after the simulation ends.
+  void finish(double makespan);
+
+  /// The accumulated log (requires keep_in_memory).
+  [[nodiscard]] const TaskLog& log() const;
+
+  [[nodiscard]] std::uint64_t workflow_count() const { return next_workflow_id_; }
+  [[nodiscard]] std::size_t task_count() const { return tasks_recorded_; }
+
+ private:
+  void emit(const util::Json& record);
+
+  std::ostream* stream_;
+  bool keep_;
+  bool begun_ = false;
+  bool finished_ = false;
+  std::uint64_t next_workflow_id_ = 0;
+  std::size_t tasks_recorded_ = 0;
+  TaskLog log_;
+};
+
+}  // namespace pcs::tracelog

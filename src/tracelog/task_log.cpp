@@ -1,0 +1,350 @@
+#include "tracelog/task_log.hpp"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace pcs::tracelog {
+
+namespace {
+
+util::Json files_to_json(const std::vector<wf::FileSpec>& files) {
+  util::Json out{util::JsonArray{}};
+  for (const wf::FileSpec& f : files) {
+    out.push_back(util::Json{util::JsonObject{}}.set("name", f.name).set("size", f.size));
+  }
+  return out;
+}
+
+std::vector<wf::FileSpec> files_from_json(const util::Json& doc) {
+  std::vector<wf::FileSpec> out;
+  for (const util::Json& f : doc.as_array()) {
+    out.push_back({f.at("name").as_string(), f.at("size").as_number()});
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Json header_record(const TaskLog& log) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("rec", "header");
+  doc.set("version", log.version);
+  doc.set("scenario", log.scenario);
+  doc.set("simulator", log.simulator);
+  if (!log.source_scenario.is_null()) doc.set("source_scenario", log.source_scenario);
+  return doc;
+}
+
+util::Json workflow_record(const TraceWorkflow& workflow) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("rec", "workflow");
+  doc.set("id", static_cast<unsigned long>(workflow.id));
+  doc.set("label", workflow.label);
+  doc.set("service", workflow.service);
+  doc.set("submit", workflow.submit);
+  return doc;
+}
+
+util::Json task_record(std::uint64_t workflow_id, const TraceTaskDecl& task) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("rec", "task");
+  doc.set("wf", static_cast<unsigned long>(workflow_id));
+  doc.set("name", task.name);
+  doc.set("flops", task.flops);
+  doc.set("inputs", files_to_json(task.inputs));
+  doc.set("outputs", files_to_json(task.outputs));
+  util::Json deps{util::JsonArray{}};
+  for (const std::string& d : task.deps) deps.push_back(d);
+  doc.set("deps", std::move(deps));
+  return doc;
+}
+
+util::Json task_event_record(const TraceTaskEvent& event) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("rec", "task_done");
+  doc.set("name", event.name);
+  doc.set("host", event.host);
+  doc.set("start", event.start);
+  doc.set("read_start", event.read_start);
+  doc.set("read_end", event.read_end);
+  doc.set("compute_end", event.compute_end);
+  doc.set("write_end", event.write_end);
+  doc.set("end", event.end);
+  return doc;
+}
+
+util::Json io_event_record(const TraceIoEvent& event) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("rec", "io");
+  doc.set("op", event.op);
+  doc.set("file", event.file);
+  doc.set("bytes", event.bytes);
+  doc.set("start", event.start);
+  doc.set("end", event.end);
+  doc.set("service", event.service);
+  if (!event.task.empty()) doc.set("task", event.task);
+  return doc;
+}
+
+util::Json summary_record(double makespan, std::size_t tasks) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("rec", "summary");
+  doc.set("makespan", makespan);
+  doc.set("tasks", static_cast<unsigned long>(tasks));
+  return doc;
+}
+
+TaskLog TaskLog::parse(std::istream& in) {
+  TaskLog log;
+  log.version = 0;  // until a header is seen
+  // Workflow records may interleave with events (delayed arrivals land
+  // between earlier workflows' completions), so index by id while reading.
+  std::map<std::uint64_t, std::size_t> wf_index;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Skip blank lines (a trailing newline is normal).
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    util::Json rec;
+    try {
+      rec = util::Json::parse(line);
+    } catch (const util::JsonError& e) {
+      throw TraceError("task log line " + std::to_string(line_no) + ": " + e.what());
+    }
+    const std::string kind = rec.string_or("rec", "");
+    try {
+      if (kind == "header") {
+        if (saw_header) throw TraceError("duplicate header record");
+        saw_header = true;
+        log.version = static_cast<int>(rec.at("version").as_number());
+        log.scenario = rec.string_or("scenario", "");
+        log.simulator = rec.string_or("simulator", "");
+        if (rec.contains("source_scenario")) log.source_scenario = rec.at("source_scenario");
+      } else if (kind == "workflow") {
+        TraceWorkflow workflow;
+        workflow.id = static_cast<std::uint64_t>(rec.at("id").as_number());
+        workflow.label = rec.string_or("label", "");
+        workflow.service = rec.string_or("service", "");
+        workflow.submit = rec.at("submit").as_number();
+        if (wf_index.count(workflow.id) != 0) {
+          throw TraceError("duplicate workflow id " + std::to_string(workflow.id));
+        }
+        wf_index[workflow.id] = log.workflows.size();
+        log.workflows.push_back(std::move(workflow));
+      } else if (kind == "task") {
+        const auto wf_id = static_cast<std::uint64_t>(rec.at("wf").as_number());
+        auto it = wf_index.find(wf_id);
+        if (it == wf_index.end()) {
+          throw TraceError("task references unknown workflow id " + std::to_string(wf_id));
+        }
+        TraceTaskDecl task;
+        task.name = rec.at("name").as_string();
+        task.flops = rec.at("flops").as_number();
+        if (rec.contains("inputs")) task.inputs = files_from_json(rec.at("inputs"));
+        if (rec.contains("outputs")) task.outputs = files_from_json(rec.at("outputs"));
+        if (rec.contains("deps")) {
+          for (const util::Json& d : rec.at("deps").as_array()) {
+            task.deps.push_back(d.as_string());
+          }
+        }
+        log.workflows[it->second].tasks.push_back(std::move(task));
+      } else if (kind == "task_done") {
+        TraceTaskEvent event;
+        event.name = rec.at("name").as_string();
+        event.host = rec.string_or("host", "");
+        event.start = rec.at("start").as_number();
+        event.read_start = rec.at("read_start").as_number();
+        event.read_end = rec.at("read_end").as_number();
+        event.compute_end = rec.at("compute_end").as_number();
+        event.write_end = rec.at("write_end").as_number();
+        event.end = rec.at("end").as_number();
+        log.task_events.push_back(std::move(event));
+      } else if (kind == "io") {
+        TraceIoEvent event;
+        event.op = rec.at("op").as_string();
+        event.file = rec.at("file").as_string();
+        event.bytes = rec.at("bytes").as_number();
+        event.start = rec.at("start").as_number();
+        event.end = rec.at("end").as_number();
+        event.service = rec.string_or("service", "");
+        event.task = rec.string_or("task", "");
+        log.io_events.push_back(std::move(event));
+      } else if (kind == "summary") {
+        log.recorded_makespan = rec.at("makespan").as_number();
+      } else {
+        throw TraceError("unknown record type '" + kind + "'");
+      }
+    } catch (const util::JsonError& e) {
+      throw TraceError("task log line " + std::to_string(line_no) + " (" +
+                       (kind.empty() ? "no \"rec\" field" : kind) + "): " + e.what());
+    } catch (const TraceError& e) {
+      throw TraceError("task log line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  if (!saw_header) throw TraceError("task log has no header record");
+  return log;
+}
+
+TaskLog TaskLog::parse_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+TaskLog TaskLog::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TraceError("cannot open task log '" + path + "'");
+  try {
+    return parse(in);
+  } catch (const TraceError& e) {
+    throw TraceError(path + ": " + e.what());
+  }
+}
+
+void TaskLog::validate() const {
+  if (version != kTaskLogVersion) {
+    throw TraceError("unsupported task log version " + std::to_string(version) +
+                     " (this build reads version " + std::to_string(kTaskLogVersion) + ")");
+  }
+  std::set<std::string> task_names;
+  for (const TraceWorkflow& workflow : workflows) {
+    if (workflow.submit < 0.0) {
+      throw TraceError("workflow '" + workflow.label + "': negative submit time");
+    }
+    std::set<std::string> local;
+    for (const TraceTaskDecl& task : workflow.tasks) {
+      if (!task_names.insert(task.name).second) {
+        throw TraceError("duplicate task name '" + task.name + "'");
+      }
+      local.insert(task.name);
+      if (task.flops < 0.0) throw TraceError("task '" + task.name + "': negative flops");
+      for (const wf::FileSpec& f : task.inputs) {
+        if (f.size < 0.0) throw TraceError("task '" + task.name + "': negative input size");
+      }
+      for (const wf::FileSpec& f : task.outputs) {
+        if (f.size < 0.0) throw TraceError("task '" + task.name + "': negative output size");
+      }
+    }
+    for (const TraceTaskDecl& task : workflow.tasks) {
+      for (const std::string& dep : task.deps) {
+        if (local.count(dep) == 0) {
+          throw TraceError("task '" + task.name + "': dependency '" + dep +
+                           "' is not a task of workflow '" + workflow.label + "'");
+        }
+      }
+    }
+  }
+  for (const TraceTaskEvent& event : task_events) {
+    if (task_names.count(event.name) == 0) {
+      throw TraceError("task_done event for undeclared task '" + event.name + "'");
+    }
+    if (event.end < event.start) {
+      throw TraceError("task_done '" + event.name + "': end precedes start");
+    }
+  }
+  for (const TraceIoEvent& event : io_events) {
+    if (event.bytes < 0.0) {
+      throw TraceError("io event on '" + event.file + "': negative byte count");
+    }
+    if (event.end < event.start) {
+      throw TraceError("io event on '" + event.file + "': end precedes start");
+    }
+    if (!event.task.empty() && task_names.count(event.task) == 0) {
+      throw TraceError("io event on '" + event.file + "' names undeclared task '" +
+                       event.task + "'");
+    }
+  }
+}
+
+void TaskLog::save(std::ostream& out) const {
+  out << header_record(*this).dump() << '\n';
+  for (const TraceWorkflow& workflow : workflows) {
+    out << workflow_record(workflow).dump() << '\n';
+    for (const TraceTaskDecl& task : workflow.tasks) {
+      out << task_record(workflow.id, task).dump() << '\n';
+    }
+  }
+  for (const TraceIoEvent& event : io_events) out << io_event_record(event).dump() << '\n';
+  for (const TraceTaskEvent& event : task_events) {
+    out << task_event_record(event).dump() << '\n';
+  }
+  out << summary_record(recorded_makespan, task_count()).dump() << '\n';
+}
+
+void TaskLog::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw TraceError("cannot write task log '" + path + "'");
+  save(out);
+}
+
+util::Json TaskLog::to_json() const {
+  util::Json doc{util::JsonObject{}};
+  doc.set("header", header_record(*this));
+  util::Json wfs{util::JsonArray{}};
+  for (const TraceWorkflow& workflow : workflows) {
+    util::Json w = workflow_record(workflow);
+    util::Json tasks{util::JsonArray{}};
+    for (const TraceTaskDecl& task : workflow.tasks) {
+      tasks.push_back(task_record(workflow.id, task));
+    }
+    w.set("tasks", std::move(tasks));
+    wfs.push_back(std::move(w));
+  }
+  doc.set("workflows", std::move(wfs));
+  util::Json ios{util::JsonArray{}};
+  for (const TraceIoEvent& event : io_events) ios.push_back(io_event_record(event));
+  doc.set("io_events", std::move(ios));
+  util::Json events{util::JsonArray{}};
+  for (const TraceTaskEvent& event : task_events) {
+    events.push_back(task_event_record(event));
+  }
+  doc.set("task_events", std::move(events));
+  doc.set("summary", summary_record(recorded_makespan, task_count()));
+  return doc;
+}
+
+std::size_t TaskLog::task_count() const {
+  std::size_t count = 0;
+  for (const TraceWorkflow& workflow : workflows) count += workflow.tasks.size();
+  return count;
+}
+
+double TaskLog::total_read_bytes() const {
+  double total = 0.0;
+  for (const TraceIoEvent& event : io_events) {
+    if (event.op == "read") total += event.bytes;
+  }
+  return total;
+}
+
+double TaskLog::total_written_bytes() const {
+  double total = 0.0;
+  for (const TraceIoEvent& event : io_events) {
+    if (event.op == "write") total += event.bytes;
+  }
+  return total;
+}
+
+double TaskLog::last_task_end() const {
+  double last = 0.0;
+  for (const TraceTaskEvent& event : task_events) {
+    if (event.end > last) last = event.end;
+  }
+  return last;
+}
+
+double TaskLog::first_submit() const {
+  if (workflows.empty()) return 0.0;
+  double first = workflows.front().submit;
+  for (const TraceWorkflow& workflow : workflows) {
+    if (workflow.submit < first) first = workflow.submit;
+  }
+  return first;
+}
+
+}  // namespace pcs::tracelog

@@ -1,7 +1,9 @@
 #include "workflow/compute_service.hpp"
 
 #include <cassert>
+#include <utility>
 
+#include "tracelog/recorder.hpp"
 #include "util/log.hpp"
 
 namespace pcs::wf {
@@ -16,12 +18,22 @@ ComputeService::ComputeService(sim::Engine& engine, plat::Host& host,
   if (chunk_size <= 0.0) throw WorkflowError("ComputeService: chunk size must be positive");
 }
 
+void ComputeService::set_recorder(tracelog::TaskLogRecorder* recorder,
+                                  std::string service_name) {
+  recorder_ = recorder;
+  recorder_service_ = std::move(service_name);
+}
+
 void ComputeService::submit(Workflow& workflow, const std::string& instance) {
   workflow.validate();
   // Stage external inputs: they exist on disk, uncached, when the
   // simulation starts (the paper clears the page cache before each run).
   for (const FileSpec& input : workflow.external_inputs()) {
     storage_.stage_file(input.name, input.size);
+    if (recorder_ != nullptr) {
+      recorder_->record_io({"stage", input.name, input.size, engine_.now(), engine_.now(),
+                            recorder_service_, ""});
+    }
   }
   engine_.spawn("executor:" + (instance.empty() ? std::string("wf") : instance),
                 executor(workflow, instance));
@@ -66,7 +78,14 @@ sim::Task<> ComputeService::run_task(Workflow& workflow, std::string task_name,
 
   r.read_start = engine_.now();
   for (const FileSpec& input : task.inputs) {
+    const double op_start = engine_.now();
     co_await storage_.read_file(input.name, chunk_size_);
+    if (recorder_ != nullptr) {
+      // The bytes actually transferred: the file's registered size, which a
+      // mismatched producer declaration can make differ from input.size.
+      recorder_->record_io({"read", input.name, storage_.file_size(input.name), op_start,
+                            engine_.now(), recorder_service_, r.name});
+    }
   }
   r.read_end = engine_.now();
 
@@ -78,7 +97,12 @@ sim::Task<> ComputeService::run_task(Workflow& workflow, std::string task_name,
   r.compute_end = engine_.now();
 
   for (const FileSpec& output : task.outputs) {
+    const double op_start = engine_.now();
     co_await storage_.write_file(output.name, output.size, chunk_size_);
+    if (recorder_ != nullptr) {
+      recorder_->record_io({"write", output.name, output.size, op_start, engine_.now(),
+                            recorder_service_, r.name});
+    }
   }
   r.write_end = engine_.now();
   r.end = engine_.now();
@@ -86,6 +110,10 @@ sim::Task<> ComputeService::run_task(Workflow& workflow, std::string task_name,
   // The paper's applications release their working set when the task ends.
   storage_.release_anonymous(task.input_bytes());
 
+  if (recorder_ != nullptr) {
+    recorder_->record_task_event({r.name, host_.name(), r.start, r.read_start, r.read_end,
+                                  r.compute_end, r.write_end, r.end});
+  }
   results_.push_back(r);
   completed->insert(task_name);
   cores_.release();

@@ -17,6 +17,10 @@
 #include "storage/file_service.hpp"
 #include "workflow/workflow.hpp"
 
+namespace pcs::tracelog {
+class TaskLogRecorder;
+}
+
 namespace pcs::wf {
 
 /// Per-task execution record; phase durations feed the paper's figures.
@@ -54,6 +58,12 @@ class ComputeService {
   [[nodiscard]] plat::Host& host() const { return host_; }
   [[nodiscard]] double chunk_size() const { return chunk_size_; }
 
+  /// Attach a task-log recorder (tracelog/recorder.hpp); every staged
+  /// input, per-file read/write and completed task is recorded with
+  /// `service_name` attribution.  Pure observation — attaching a recorder
+  /// never changes simulated times.  Pass nullptr to detach.
+  void set_recorder(tracelog::TaskLogRecorder* recorder, std::string service_name);
+
  private:
   [[nodiscard]] sim::Task<> executor(Workflow& workflow, std::string instance);
   [[nodiscard]] sim::Task<> run_task(Workflow& workflow, std::string task_name,
@@ -66,6 +76,8 @@ class ComputeService {
   double chunk_size_;
   sim::Semaphore cores_;
   std::vector<TaskResult> results_;
+  tracelog::TaskLogRecorder* recorder_ = nullptr;
+  std::string recorder_service_;  ///< service name stamped on recorded ops
 };
 
 }  // namespace pcs::wf

@@ -1,7 +1,9 @@
 #include "workload/workload.hpp"
 
+#include <limits>
 #include <utility>
 
+#include "tracelog/task_log.hpp"
 #include "util/paths.hpp"
 #include "util/units.hpp"
 #include "workflow/simulation.hpp"
@@ -9,6 +11,31 @@
 #include "workload/apps.hpp"
 
 namespace pcs::workload {
+
+namespace {
+
+/// Rebuild one recorded workflow under `prefix` (task, file and dependency
+/// names all namespaced — the same composition rule multi_tenant uses, so
+/// clones never collide).
+void build_from_trace(wf::Workflow& workflow, const tracelog::TraceWorkflow& recorded,
+                      const std::string& prefix) {
+  for (const tracelog::TraceTaskDecl& decl : recorded.tasks) {
+    workflow.add_task(prefix + decl.name, decl.flops);
+    for (const wf::FileSpec& f : decl.inputs) {
+      workflow.add_input(prefix + decl.name, prefix + f.name, f.size);
+    }
+    for (const wf::FileSpec& f : decl.outputs) {
+      workflow.add_output(prefix + decl.name, prefix + f.name, f.size);
+    }
+  }
+  for (const tracelog::TraceTaskDecl& decl : recorded.tasks) {
+    for (const std::string& dep : decl.deps) {
+      workflow.add_dependency(prefix + dep, prefix + decl.name);
+    }
+  }
+}
+
+}  // namespace
 
 util::Json prefixed_workflow_doc(const util::Json& doc, const std::string& prefix) {
   util::Json out = doc;
@@ -85,6 +112,66 @@ std::vector<WorkloadInstance> build_workload(wf::Simulation& sim, const util::Js
       wf::Workflow& workflow = sim.create_workflow();
       workflow = wf::workflow_from_json(p.empty() ? doc : prefixed_workflow_doc(doc, p));
       add(workflow, i);
+    }
+  } else if (type == "trace") {
+    if (!spec.contains("file")) {
+      throw WorkloadError("trace workload needs a \"file\" (a recorded .jsonl task log)");
+    }
+    // Replication is expressed as load_factor clones, not instances: a clone
+    // replays the *whole* log under a namespace, which is the meaningful
+    // unit ("what if twice this traffic hit the cluster").
+    if (instances != 1) {
+      throw WorkloadError("trace workload: use \"load_factor\", not \"instances\"");
+    }
+    const double time_scale = spec.number_or("time_scale", 1.0);
+    if (time_scale <= 0.0) throw WorkloadError("trace workload: time_scale must be positive");
+    const int load_factor = static_cast<int>(spec.number_or("load_factor", 1));
+    if (load_factor < 1) throw WorkloadError("trace workload: load_factor must be >= 1");
+    const double window_start = spec.number_or("start", 0.0);
+    const double window_end =
+        spec.number_or("end", std::numeric_limits<double>::infinity());
+    if (window_start < 0.0 || window_end <= window_start) {
+      throw WorkloadError("trace workload: need 0 <= start < end");
+    }
+
+    tracelog::TaskLog log;
+    try {
+      log = tracelog::TaskLog::from_file(
+          util::resolve_relative(base_dir, spec.at("file").as_string()));
+      log.validate();
+    } catch (const tracelog::TraceError& e) {
+      throw WorkloadError(std::string("trace workload: ") + e.what());
+    }
+    if (log.workflows.empty()) {
+      throw WorkloadError("trace workload: log contains no workflow records");
+    }
+
+    for (int k = 0; k < load_factor; ++k) {
+      // Clone namespaces follow the multi-tenant composition rule; a single
+      // clone keeps the recorded names so a default replay is bit-exact.
+      const std::string clone =
+          load_factor > 1 ? "c" + std::to_string(k) + ":" : std::string();
+      for (const tracelog::TraceWorkflow& recorded : log.workflows) {
+        if (recorded.submit < window_start || recorded.submit >= window_end) continue;
+        wf::Workflow& workflow = sim.create_workflow();
+        build_from_trace(workflow, recorded, prefix + clone);
+        std::string bound = recorded.service;
+        if (spec.contains("remap") && spec.at("remap").contains(bound)) {
+          bound = spec.at("remap").at(bound).as_string();
+        } else if (!service.empty()) {
+          bound = service;  // blanket rebinding for replays on other platforms
+        }
+        // The window is rebased to t=0 and stretched by time_scale; with
+        // the defaults (start 0, scale 1) this reproduces the recorded
+        // submission instants exactly.
+        out.push_back(WorkloadInstance{
+            &workflow, bound,
+            arrival + stagger * k + (recorded.submit - window_start) * time_scale,
+            prefix + clone + recorded.label});
+      }
+    }
+    if (out.empty()) {
+      throw WorkloadError("trace workload: the [start, end) window selects no workflows");
     }
   } else if (type == "multi_tenant") {
     if (!spec.contains("tenants") || spec.at("tenants").as_array().empty()) {

@@ -12,14 +12,27 @@
 //                    ("file": "wf.json");
 //   "multi_tenant" — composes named tenants, each itself a workload spec,
 //                    with staggered arrivals and per-tenant storage services
-//                    (and therefore per-tenant cache params).
+//                    (and therefore per-tenant cache params);
+//   "trace"        — replays a recorded task log ("file": "run.jsonl", see
+//                    tracelog/task_log.hpp): every recorded workflow is
+//                    rebuilt with its recorded structure, service binding
+//                    and submission time.  Knobs: "time_scale" (stretch or
+//                    compress arrivals), "load_factor" (N namespaced clones
+//                    of the whole log, "c<k>:"), "start"/"end" (replay only
+//                    the submit-time window, rebased to t=0) and "remap"
+//                    ({recorded service -> replacement}).  With the default
+//                    knobs a replay on the recorded platform reproduces the
+//                    original run bit-for-bit (tests/trace_replay_test.cpp).
 //
 // Common fields: "instances" (default 1), "arrival" (seconds, default 0),
 // "stagger" (seconds added per instance, default 0), "service" (storage
 // service name; empty = scenario default).  On a multi_tenant composition
 // itself, "arrival" offsets every tenant and "service" is the fallback for
 // tenants without one; "instances"/"stagger" belong on the tenants and are
-// rejected on the composition.  See README "Scenario files".
+// rejected on the composition.  On a trace workload, "instances" is
+// rejected (use "load_factor"), "stagger" staggers the clones, and
+// "service" rebinds every recorded workflow that "remap" doesn't cover.
+// See README "Scenario files".
 #pragma once
 
 #include <stdexcept>

@@ -108,6 +108,50 @@ TEST(SweepExpansion, OverridePathSemantics) {
   EXPECT_THROW(apply_override(doc, "", util::Json(1)), ScenarioError);
 }
 
+TEST(SweepExpansion, OverrideFailuresNameCaseAndAxis) {
+  // A bad dotted path inside a grid must say which expanded case failed
+  // (index + label), which axis supplied the path, and the path itself.
+  util::Json doc{util::JsonObject{}};
+  doc.set("name", "ladder");
+  doc.set("base", small_base());
+  util::Json good_axis{util::JsonObject{}};
+  good_axis.set("path", "workload.instances");
+  good_axis.set("values", util::Json{util::JsonArray{}}.push_back(1).push_back(2));
+  util::Json bad_axis{util::JsonObject{}};
+  bad_axis.set("path", "services.9.cache");  // out-of-range array index
+  bad_axis.set("values", util::Json{util::JsonArray{}}.push_back("none"));
+  doc.set("grid",
+          util::Json{util::JsonArray{}}.push_back(good_axis).push_back(bad_axis));
+  try {
+    (void)SweepSpec::parse(doc).expand();
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sweep 'ladder'"), std::string::npos) << what;
+    EXPECT_NE(what.find("case 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("instances=1"), std::string::npos) << what;       // case label
+    EXPECT_NE(what.find("axis 1 ('services.9.cache')"), std::string::npos) << what;
+    EXPECT_NE(what.find("services.9.cache"), std::string::npos) << what;  // full path
+  }
+
+  // Same for an explicit case: index and label, no axis.
+  util::Json case_doc{util::JsonObject{}};
+  doc.set("grid", util::Json{util::JsonArray{}});
+  case_doc.set("label", "broken");
+  case_doc.set("overrides",
+               util::Json{util::JsonObject{}}.set("chunk_size.nested", 1));
+  doc.set("cases", util::Json{util::JsonArray{}}.push_back(case_doc));
+  try {
+    (void)SweepSpec::parse(doc).expand();
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("case 0 'broken'"), std::string::npos) << what;
+    EXPECT_NE(what.find("case override"), std::string::npos) << what;
+    EXPECT_NE(what.find("chunk_size.nested"), std::string::npos) << what;
+  }
+}
+
 TEST(SweepExpansion, DuplicateLabelsAreRejected) {
   util::Json doc{util::JsonObject{}};
   doc.set("base", small_base());

@@ -1,0 +1,164 @@
+// The tiered SSD+HDD backend: creation-time watermark placement, raw
+// transfers routed to each file's home device, registry integration and
+// the committed scenario's spill behaviour.
+#include <gtest/gtest.h>
+
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "storage/service_registry.hpp"
+#include "storage/tiered.hpp"
+#include "util/units.hpp"
+#include "workflow/simulation.hpp"
+
+namespace pcs::storage {
+namespace {
+
+using util::GB;
+
+util::Json obj() { return util::Json{util::JsonObject{}}; }
+
+util::Json two_disk_platform(const std::string& fast_capacity = "10 GB") {
+  return util::Json::parse(R"json({
+    "hosts": [
+      {"name": "node0", "speed_gflops": 1, "cores": 8, "ram": "32 GB",
+       "memory": {"read_bw_MBps": 6860, "write_bw_MBps": 2764},
+       "disks": [
+         {"name": "ssd0", "read_bw_MBps": 510, "write_bw_MBps": 420,
+          "capacity": ")json" +
+                          fast_capacity + R"json("},
+         {"name": "hdd0", "read_bw_MBps": 150, "write_bw_MBps": 130,
+          "capacity": "4 TB"}
+       ]}
+    ]
+  })json");
+}
+
+TieredStorage* build_tiered(wf::Simulation& sim, double watermark) {
+  sim.platform().load_json(two_disk_platform());
+  ServiceContext ctx{sim, {}};
+  util::Json spec = obj()
+                        .set("type", "tiered")
+                        .set("host", "node0")
+                        .set("fast_disk", "ssd0")
+                        .set("slow_disk", "hdd0")
+                        .set("watermark", watermark);
+  return static_cast<TieredStorage*>(
+      ServiceRegistry::instance().build("tiered", ctx, spec));
+}
+
+TEST(TieredStorage, RegistryKnowsTheBackend) {
+  EXPECT_TRUE(ServiceRegistry::instance().has("tiered"));
+}
+
+TEST(TieredStorage, PlacementSpillsAtTheWatermark) {
+  wf::Simulation sim;
+  TieredStorage* st = build_tiered(sim, 0.5);  // watermark at 5 GB
+  st->stage_file("hot1", 2.0 * GB);
+  st->stage_file("hot2", 2.0 * GB);
+  EXPECT_TRUE(st->on_fast_tier("hot1"));
+  EXPECT_TRUE(st->on_fast_tier("hot2"));
+  EXPECT_EQ(st->fast_used(), 4.0 * GB);
+  // 4 + 2 > 5 GB: the next file spills, even though the SSD itself has room.
+  st->stage_file("cold1", 2.0 * GB);
+  EXPECT_FALSE(st->on_fast_tier("cold1"));
+  // Small files still fit under the watermark afterwards.
+  st->stage_file("hot3", 0.5 * GB);
+  EXPECT_TRUE(st->on_fast_tier("hot3"));
+  EXPECT_EQ(st->fast_file_count(), 3u);
+  EXPECT_EQ(st->slow_file_count(), 1u);
+  EXPECT_THROW((void)st->on_fast_tier("ghost"), StorageError);
+}
+
+TEST(TieredStorage, SlowTierReadsPayTheSlowDevice) {
+  auto read_time = [](bool spill) {
+    wf::Simulation sim;
+    // Watermark 1.0 with a 10 GB SSD: an 8 GB file fits; with 0.5 it spills.
+    TieredStorage* st = build_tiered(sim, spill ? 0.5 : 1.0);
+    st->stage_file("data", 8.0 * GB);
+    double start = 0.0, end = 0.0;
+    sim.engine().spawn("reader", [](wf::Simulation& s, TieredStorage* t, double* a,
+                                    double* b) -> sim::Task<> {
+      *a = s.engine().now();
+      co_await t->read_file("data", 100.0e6);
+      *b = s.engine().now();
+    }(sim, st, &start, &end));
+    sim.run();
+    return end - start;
+  };
+  const double fast = read_time(false);
+  const double slow = read_time(true);
+  EXPECT_GT(slow, fast);
+  // Cold 8 GB at 510 vs 150 MBps: the device gap must show through the
+  // (identical) cache behaviour.
+  EXPECT_GT(slow / fast, 2.0);
+}
+
+TEST(TieredStorage, FastTierGrowBeyondDeviceCapacityThrows) {
+  wf::Simulation sim;
+  TieredStorage* st = build_tiered(sim, 1.0);  // 10 GB fast device
+  st->stage_file("data", 8.0 * GB);
+  ASSERT_TRUE(st->on_fast_tier("data"));
+  // Rewriting it at 12 GB would put more bytes on the SSD than it holds.
+  sim.engine().spawn("grower", [](TieredStorage* t) -> sim::Task<> {
+    co_await t->write_file("data", 12.0 * GB, 100.0e6);
+  }(st));
+  EXPECT_THROW(sim.run(), StorageError);
+}
+
+TEST(TieredStorage, ConstructionRejectsBadSpecs) {
+  {
+    wf::Simulation sim;
+    sim.platform().load_json(two_disk_platform());
+    ServiceContext ctx{sim, {}};
+    EXPECT_THROW(ServiceRegistry::instance().build(
+                     "tiered", ctx,
+                     obj().set("type", "tiered").set("host", "node0").set("watermark", 1.5)),
+                 StorageError);
+    EXPECT_THROW(
+        ServiceRegistry::instance().build("tiered", ctx,
+                                          obj()
+                                              .set("type", "tiered")
+                                              .set("host", "node0")
+                                              .set("fast_disk", "ssd0")
+                                              .set("slow_disk", "ssd0")),
+        StorageError);
+  }
+  {
+    // A fast tier without a declared capacity can never spill: rejected.
+    wf::Simulation sim;
+    sim.platform().load_json(util::Json::parse(R"json({
+      "hosts": [{"name": "node0", "speed_gflops": 1, "cores": 1, "ram": "8 GB",
+                 "memory": {"read_bw_MBps": 6860, "write_bw_MBps": 2764},
+                 "disks": [{"name": "d0", "read_bw_MBps": 500, "write_bw_MBps": 400},
+                           {"name": "d1", "read_bw_MBps": 100, "write_bw_MBps": 100}]}]
+    })json"));
+    ServiceContext ctx{sim, {}};
+    EXPECT_THROW(ServiceRegistry::instance().build(
+                     "tiered", ctx, obj().set("type", "tiered").set("host", "node0")),
+                 StorageError);
+  }
+}
+
+TEST(TieredStorage, ScenarioSpillIsSlowerThanAnUnspilledRun) {
+  auto makespan = [](const std::string& fast_capacity) {
+    util::Json doc = obj();
+    doc.set("platform", two_disk_platform(fast_capacity));
+    util::Json svcs{util::JsonArray{}};
+    svcs.push_back(obj()
+                       .set("name", "store")
+                       .set("type", "tiered")
+                       .set("fast_disk", "ssd0")
+                       .set("slow_disk", "hdd0")
+                       .set("watermark", 0.9));
+    doc.set("services", std::move(svcs));
+    // 3×10 GB pipelines write 90 GB of files: a 40 GB SSD spills most of
+    // it, a 400 GB SSD absorbs everything.
+    doc.set("workload",
+            obj().set("type", "synthetic").set("input_size", "10 GB").set("instances", 3));
+    return scenario::run_scenario(scenario::ScenarioSpec::parse(doc)).makespan;
+  };
+  EXPECT_GT(makespan("40 GB"), makespan("400 GB"));
+}
+
+}  // namespace
+}  // namespace pcs::storage

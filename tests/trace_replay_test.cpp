@@ -1,0 +1,349 @@
+// The record→replay closed loop (tracelog/ + the "trace" workload
+// generator): recording a run is pure observation, replaying its task log
+// on the same platform reproduces the makespan and every per-task phase
+// boundary bit-for-bit, and the trace knobs (load_factor, time_scale,
+// start/end windowing, remap) open scenario families from one log —
+// including through the sweep subsystem.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "tracelog/recorder.hpp"
+#include "tracelog/task_log.hpp"
+#include "workload/workload.hpp"
+
+#ifndef PCS_SOURCE_DIR
+#define PCS_SOURCE_DIR "."
+#endif
+
+namespace pcs::scenario {
+namespace {
+
+util::Json obj() { return util::Json{util::JsonObject{}}; }
+
+util::Json node_platform() {
+  return util::Json::parse(R"json({
+    "hosts": [
+      {"name": "node0", "speed_gflops": 1, "cores": 8, "ram": "32 GB",
+       "memory": {"read_bw_MBps": 6860, "write_bw_MBps": 2764},
+       "disks": [{"name": "ssd0", "read_bw_MBps": 510, "write_bw_MBps": 420}]}
+    ]
+  })json");
+}
+
+/// A multi-tenant scenario with everything replay has to get right:
+/// staggered delayed arrivals, two storage services with different cache
+/// params, and heterogeneous workflows.
+util::Json multi_tenant_doc() {
+  util::Json doc = obj();
+  doc.set("name", "mt");
+  doc.set("platform", node_platform());
+  util::Json svcs{util::JsonArray{}};
+  svcs.push_back(obj().set("name", "batch_store").set("type", "local"));
+  svcs.push_back(obj()
+                     .set("name", "qos_store")
+                     .set("type", "local")
+                     .set("params", obj().set("dirty_ratio", 0.02)));
+  doc.set("services", std::move(svcs));
+  doc.set("default_service", "batch_store");
+  util::Json tenants{util::JsonArray{}};
+  tenants.push_back(obj()
+                        .set("name", "batch")
+                        .set("type", "synthetic")
+                        .set("input_size", "2 GB")
+                        .set("instances", 2)
+                        .set("stagger", 40.0)
+                        .set("service", "batch_store"));
+  tenants.push_back(obj()
+                        .set("name", "interactive")
+                        .set("type", "nighres")
+                        .set("arrival", 15.0)
+                        .set("service", "qos_store"));
+  doc.set("workload", obj().set("type", "multi_tenant").set("tenants", std::move(tenants)));
+  return doc;
+}
+
+util::Json nighres_doc() {
+  util::Json doc = obj();
+  doc.set("name", "nighres");
+  doc.set("platform", node_platform());
+  doc.set("workload", obj().set("type", "nighres").set("instances", 2).set("stagger", 30.0));
+  doc.set("chunk_size", "50 MB");
+  return doc;
+}
+
+/// Unique-ish temp path under the system temp dir (tests may run
+/// concurrently from several suites, but not within one binary).
+std::string temp_log_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() / ("pcs_trace_" + tag + ".jsonl")).string();
+}
+
+void expect_bit_identical(const RunResult& replayed, const RunResult& original) {
+  EXPECT_EQ(replayed.makespan, original.makespan);
+  ASSERT_EQ(replayed.tasks.size(), original.tasks.size());
+  for (const wf::TaskResult& want : original.tasks) {
+    const wf::TaskResult& got = replayed.task(want.name);
+    EXPECT_EQ(got.start, want.start) << want.name;
+    EXPECT_EQ(got.read_start, want.read_start) << want.name;
+    EXPECT_EQ(got.read_end, want.read_end) << want.name;
+    EXPECT_EQ(got.compute_end, want.compute_end) << want.name;
+    EXPECT_EQ(got.write_end, want.write_end) << want.name;
+    EXPECT_EQ(got.end, want.end) << want.name;
+  }
+}
+
+/// Record `doc`, round-trip the log through JSONL on disk, and return the
+/// replay scenario (same platform/services, workload swapped for the
+/// trace) plus the original's result.
+struct ClosedLoop {
+  RunResult original;
+  tracelog::TaskLog log;
+  util::Json replay_doc;
+  std::string log_path;
+};
+
+ClosedLoop record_to_file(const util::Json& doc, const std::string& tag) {
+  ClosedLoop loop;
+  ScenarioSpec spec = ScenarioSpec::parse(doc);
+  loop.log_path = temp_log_path(tag);
+  std::ofstream out(loop.log_path);
+  tracelog::TaskLogRecorder recorder(&out, /*keep_in_memory=*/true);
+  RunOptions options;
+  options.recorder = &recorder;
+  loop.original = run_scenario(spec, options);
+  out.close();
+  loop.log = tracelog::TaskLog::from_file(loop.log_path);
+  loop.log.validate();
+  // The header embeds the effective spec; swapping its workload for the
+  // trace is exactly what `pcs_cli replay` does.
+  loop.replay_doc = loop.log.source_scenario;
+  loop.replay_doc.set("workload", obj().set("type", "trace").set("file", loop.log_path));
+  return loop;
+}
+
+TEST(TraceReplay, NighresClosedLoopIsBitIdentical) {
+  ClosedLoop loop = record_to_file(nighres_doc(), "nighres");
+  EXPECT_EQ(loop.log.task_count(), 8u);
+  EXPECT_EQ(loop.log.workflows.size(), 2u);
+  RunResult replayed = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  expect_bit_identical(replayed, loop.original);
+  EXPECT_EQ(loop.log.recorded_makespan, loop.original.makespan);
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceReplay, MultiTenantClosedLoopIsBitIdentical) {
+  ClosedLoop loop = record_to_file(multi_tenant_doc(), "mt");
+  EXPECT_EQ(loop.log.workflows.size(), 3u);
+  // Delayed arrivals recorded at their actual submission instants.
+  bool saw_delayed = false;
+  for (const tracelog::TraceWorkflow& wf : loop.log.workflows) {
+    if (wf.label == "batch:a1") {
+      EXPECT_EQ(wf.submit, 40.0);
+      EXPECT_EQ(wf.service, "batch_store");
+      saw_delayed = true;
+    }
+  }
+  EXPECT_TRUE(saw_delayed);
+  RunResult replayed = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  expect_bit_identical(replayed, loop.original);
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceReplay, RecordingIsPureObservation) {
+  ScenarioSpec spec = ScenarioSpec::parse(multi_tenant_doc());
+  RunResult plain = run_scenario(spec);
+  tracelog::TaskLogRecorder recorder(nullptr, true);
+  RunOptions options;
+  options.recorder = &recorder;
+  RunResult recorded = run_scenario(spec, options);
+  expect_bit_identical(recorded, plain);
+  EXPECT_EQ(recorded.fair_share_solves, plain.fair_share_solves);
+  EXPECT_EQ(recorded.scheduling_points, plain.scheduling_points);
+}
+
+TEST(TraceReplay, LoadFactorClonesTheWholeLog) {
+  ClosedLoop loop = record_to_file(nighres_doc(), "load");
+  loop.replay_doc.set("workload", obj()
+                                      .set("type", "trace")
+                                      .set("file", loop.log_path)
+                                      .set("load_factor", 2)
+                                      .set("stagger", 10.0));
+  RunResult doubled = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  EXPECT_EQ(doubled.tasks.size(), 2 * loop.original.tasks.size());
+  // Clones are namespaced and staggered, never colliding with each other.
+  EXPECT_NO_THROW((void)doubled.task("c0:a0:skull_stripping"));
+  EXPECT_NO_THROW((void)doubled.task("c1:a1:skull_stripping"));
+  EXPECT_GE(doubled.task("c1:a0:skull_stripping").start, 10.0);
+  EXPECT_GE(doubled.makespan, loop.original.makespan);
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceReplay, TimeScaleStretchesArrivals) {
+  ClosedLoop loop = record_to_file(nighres_doc(), "scale");
+  loop.replay_doc.set("workload", obj()
+                                      .set("type", "trace")
+                                      .set("file", loop.log_path)
+                                      .set("time_scale", 3.0));
+  RunResult stretched = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  // The second instance arrived at 30 s in the recording; ×3 pushes its
+  // submission (and hence first task start) to at least 90 s.
+  EXPECT_GE(stretched.task("a1:skull_stripping").start, 90.0);
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceReplay, WindowSelectsSubmitTimeRange) {
+  ClosedLoop loop = record_to_file(nighres_doc(), "window");
+  // Only the delayed instance (submit 30 s) is inside [10, 100); its
+  // arrival is rebased to 20 s.
+  loop.replay_doc.set("workload", obj()
+                                      .set("type", "trace")
+                                      .set("file", loop.log_path)
+                                      .set("start", 10.0)
+                                      .set("end", 100.0));
+  RunResult windowed = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  EXPECT_EQ(windowed.tasks.size(), 4u);
+  EXPECT_GE(windowed.task("a1:skull_stripping").start, 20.0);
+  EXPECT_THROW((void)windowed.task("a0:skull_stripping"), std::runtime_error);
+
+  // An empty window is a spec error, not a silent no-op run.
+  loop.replay_doc.set("workload", obj()
+                                      .set("type", "trace")
+                                      .set("file", loop.log_path)
+                                      .set("start", 500.0)
+                                      .set("end", 600.0));
+  EXPECT_THROW(run_scenario(ScenarioSpec::parse(loop.replay_doc)),
+               workload::WorkloadError);
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceReplay, RemapRebindsRecordedServices) {
+  ClosedLoop loop = record_to_file(multi_tenant_doc(), "remap");
+  // Collapse the qos tenant onto the batch store; batch stays put.
+  loop.replay_doc.set("workload",
+                      obj()
+                          .set("type", "trace")
+                          .set("file", loop.log_path)
+                          .set("remap", obj().set("qos_store", "batch_store")));
+  RunResult remapped = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  EXPECT_EQ(remapped.tasks.size(), loop.original.tasks.size());
+  // Without the qos store's aggressive flushing, the interactive tenant's
+  // writes are absorbed by the default cache parameters.
+  EXPECT_LE(remapped.task("interactive:a0:tissue_classification").write_time(),
+            loop.original.task("interactive:a0:tissue_classification").write_time());
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceReplay, SweepDrivesTraceKnobsAsAxes) {
+  ClosedLoop loop = record_to_file(nighres_doc(), "sweep");
+  SweepSpec sweep;
+  sweep.name = "trace_knobs";
+  sweep.base = loop.replay_doc;
+  SweepSpec::Axis load_axis;
+  load_axis.path = "workload.load_factor";
+  load_axis.values = {util::Json(1), util::Json(2)};
+  SweepSpec::Axis scale_axis;
+  scale_axis.path = "workload.time_scale";
+  scale_axis.values = {util::Json(1.0), util::Json(0.5)};
+  sweep.grid = {load_axis, scale_axis};
+
+  std::vector<SweepCaseResult> results = run_sweep(sweep, {});
+  ASSERT_EQ(results.size(), 4u);
+  for (const SweepCaseResult& r : results) {
+    EXPECT_TRUE(r.error.empty()) << r.label << ": " << r.error;
+    EXPECT_GT(r.result.makespan, 0.0) << r.label;
+  }
+  // The identity case of the sweep is still the bit-exact replay.
+  EXPECT_EQ(results[0].result.makespan, loop.original.makespan);
+  EXPECT_EQ(results[2].result.tasks.size(), 2 * loop.original.tasks.size());
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceReplay, CommittedTraceScenarioMatchesItsSource) {
+  // The committed example log must stay in sync with the nighres scenario
+  // it was recorded from: replaying it reproduces the same makespan.
+  RunResult source =
+      run_scenario_file(PCS_SOURCE_DIR "/scenarios/nighres.json");
+  RunResult replayed =
+      run_scenario_file(PCS_SOURCE_DIR "/scenarios/trace_replay.json");
+  expect_bit_identical(replayed, source);
+}
+
+TEST(TraceReplay, JsonlRoundTripPreservesTheLog) {
+  ClosedLoop loop = record_to_file(multi_tenant_doc(), "roundtrip");
+  std::ostringstream rewritten;
+  loop.log.save(rewritten);
+  tracelog::TaskLog again = tracelog::TaskLog::parse_text(rewritten.str());
+  again.validate();
+  EXPECT_TRUE(again.to_json() == loop.log.to_json());
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceReplay, ParserAndValidatorRejectMalformedLogs) {
+  using tracelog::TaskLog;
+  using tracelog::TraceError;
+  // No header.
+  EXPECT_THROW(TaskLog::parse_text("{\"rec\":\"summary\",\"makespan\":1,\"tasks\":0}\n"),
+               TraceError);
+  // Task referencing an unknown workflow id.
+  EXPECT_THROW(
+      TaskLog::parse_text("{\"rec\":\"header\",\"version\":1}\n"
+                          "{\"rec\":\"task\",\"wf\":7,\"name\":\"t\",\"flops\":1}\n"),
+      TraceError);
+  // Unknown record type and malformed JSON carry the line number.
+  try {
+    (void)TaskLog::parse_text("{\"rec\":\"header\",\"version\":1}\n{\"rec\":\"blob\"}\n");
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+
+  // Unsupported version is a validate()-time error.
+  TaskLog future = TaskLog::parse_text("{\"rec\":\"header\",\"version\":99}\n");
+  EXPECT_THROW(future.validate(), TraceError);
+
+  // Duplicate task names across workflows.
+  TaskLog dup = TaskLog::parse_text(
+      "{\"rec\":\"header\",\"version\":1}\n"
+      "{\"rec\":\"workflow\",\"id\":0,\"label\":\"a\",\"service\":\"\",\"submit\":0}\n"
+      "{\"rec\":\"task\",\"wf\":0,\"name\":\"t\",\"flops\":1}\n"
+      "{\"rec\":\"task\",\"wf\":0,\"name\":\"t\",\"flops\":1}\n");
+  EXPECT_THROW(dup.validate(), TraceError);
+
+  // Dependency on a task outside the workflow.
+  TaskLog dep = TaskLog::parse_text(
+      "{\"rec\":\"header\",\"version\":1}\n"
+      "{\"rec\":\"workflow\",\"id\":0,\"label\":\"a\",\"service\":\"\",\"submit\":0}\n"
+      "{\"rec\":\"task\",\"wf\":0,\"name\":\"t\",\"flops\":1,\"deps\":[\"ghost\"]}\n");
+  EXPECT_THROW(dep.validate(), TraceError);
+}
+
+TEST(TraceReplay, RecorderGuardsItsLifecycle) {
+  tracelog::TaskLogRecorder recorder(nullptr, false);
+  EXPECT_THROW(recorder.finish(1.0), tracelog::TraceError);
+  recorder.begin("s", "wrench_cache", util::Json{});
+  EXPECT_THROW(recorder.begin("s", "wrench_cache", util::Json{}), tracelog::TraceError);
+  EXPECT_THROW((void)recorder.log(), tracelog::TraceError);  // stream-only
+  recorder.finish(1.0);
+  EXPECT_THROW(recorder.finish(1.0), tracelog::TraceError);
+}
+
+TEST(TraceReplay, PrototypeSimulatorCannotRecord) {
+  util::Json doc = obj();
+  doc.set("name", "proto");
+  doc.set("simulator", "prototype");
+  doc.set("platform", node_platform());
+  tracelog::TaskLogRecorder recorder(nullptr, true);
+  RunOptions options;
+  options.recorder = &recorder;
+  EXPECT_THROW(run_scenario(ScenarioSpec::parse(doc), options), ScenarioError);
+}
+
+}  // namespace
+}  // namespace pcs::scenario

@@ -1,0 +1,137 @@
+// Satellite coverage for the workload generators: every generator type
+// survives the ScenarioSpec::to_json → parse → run round trip with a
+// bit-identical RunResult.  A generator whose effective dump drops or
+// mangles a knob would diverge here.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef PCS_SOURCE_DIR
+#define PCS_SOURCE_DIR "."
+#endif
+
+namespace pcs::scenario {
+namespace {
+
+util::Json obj() { return util::Json{util::JsonObject{}}; }
+
+util::Json node_platform() {
+  return util::Json::parse(R"json({
+    "hosts": [
+      {"name": "node0", "speed_gflops": 1, "cores": 8, "ram": "32 GB",
+       "memory": {"read_bw_MBps": 6860, "write_bw_MBps": 2764},
+       "disks": [{"name": "ssd0", "read_bw_MBps": 510, "write_bw_MBps": 420}]}
+    ]
+  })json");
+}
+
+/// Run `doc` directly and through the effective-dump round trip; both runs
+/// must be bit-identical in every simulated quantity.
+void expect_roundtrip_identical(const util::Json& doc, const std::string& base_dir = "") {
+  ScenarioSpec spec = ScenarioSpec::parse(doc, base_dir);
+  RunResult direct = run_scenario(spec);
+
+  // Through serialized text, not just the Json tree: %.17g must carry every
+  // double (sizes, flops, arrivals) without loss.
+  ScenarioSpec again = ScenarioSpec::parse(util::Json::parse(spec.to_json().dump(2)));
+  RunResult redone = run_scenario(again);
+
+  EXPECT_EQ(redone.makespan, direct.makespan);
+  EXPECT_EQ(redone.scheduling_points, direct.scheduling_points);
+  EXPECT_EQ(redone.fair_share_solves, direct.fair_share_solves);
+  ASSERT_EQ(redone.tasks.size(), direct.tasks.size());
+  for (const wf::TaskResult& want : direct.tasks) {
+    const wf::TaskResult& got = redone.task(want.name);
+    EXPECT_EQ(got.start, want.start) << want.name;
+    EXPECT_EQ(got.read_end, want.read_end) << want.name;
+    EXPECT_EQ(got.compute_end, want.compute_end) << want.name;
+    EXPECT_EQ(got.write_end, want.write_end) << want.name;
+    EXPECT_EQ(got.end, want.end) << want.name;
+  }
+  EXPECT_EQ(redone.final_state.cached, direct.final_state.cached);
+  EXPECT_EQ(redone.final_state.dirty, direct.final_state.dirty);
+}
+
+TEST(WorkloadRoundTrip, Synthetic) {
+  util::Json doc = obj();
+  doc.set("platform", node_platform());
+  doc.set("workload", obj()
+                          .set("type", "synthetic")
+                          .set("input_size", "2 GB")
+                          .set("instances", 3)
+                          .set("stagger", 25.0));
+  expect_roundtrip_identical(doc);
+}
+
+TEST(WorkloadRoundTrip, Nighres) {
+  util::Json doc = obj();
+  doc.set("platform", node_platform());
+  doc.set("workload", obj().set("type", "nighres").set("instances", 2));
+  doc.set("chunk_size", "50 MB");
+  expect_roundtrip_identical(doc);
+}
+
+TEST(WorkloadRoundTrip, DagInline) {
+  util::Json doc = obj();
+  doc.set("platform", node_platform());
+  util::Json wf_doc = util::Json::parse(R"json({
+    "tasks": [
+      {"name": "ingest", "cpu_seconds": 2,
+       "inputs":  [{"name": "raw", "size": "1 GB"}],
+       "outputs": [{"name": "clean", "size": "500 MB"}]},
+      {"name": "report", "cpu_seconds": 1,
+       "inputs":  [{"name": "clean", "size": "500 MB"}],
+       "outputs": [{"name": "summary", "size": "10 MB"}]}
+    ]
+  })json");
+  doc.set("workload",
+          obj().set("type", "dag").set("workflow", wf_doc).set("instances", 2));
+  expect_roundtrip_identical(doc);
+}
+
+TEST(WorkloadRoundTrip, MultiTenant) {
+  util::Json doc = obj();
+  doc.set("platform", node_platform());
+  util::Json svcs{util::JsonArray{}};
+  svcs.push_back(obj().set("name", "fast").set("type", "local"));
+  svcs.push_back(obj()
+                     .set("name", "throttled")
+                     .set("type", "local")
+                     .set("params", obj().set("dirty_ratio", 0.05)));
+  doc.set("services", std::move(svcs));
+  util::Json tenants{util::JsonArray{}};
+  tenants.push_back(obj()
+                        .set("name", "alpha")
+                        .set("type", "synthetic")
+                        .set("input_size", "2 GB")
+                        .set("instances", 2)
+                        .set("stagger", 30.0)
+                        .set("service", "fast"));
+  tenants.push_back(obj()
+                        .set("name", "beta")
+                        .set("type", "nighres")
+                        .set("arrival", 10.0)
+                        .set("service", "throttled"));
+  doc.set("workload", obj().set("type", "multi_tenant").set("tenants", std::move(tenants)));
+  expect_roundtrip_identical(doc);
+}
+
+TEST(WorkloadRoundTrip, Trace) {
+  // The committed nighres recording; "file" is relative to the scenarios
+  // dir and must be absolutized by the parse so the dump runs from any cwd.
+  util::Json doc = obj();
+  doc.set("platform", node_platform());
+  doc.set("workload", obj()
+                          .set("type", "trace")
+                          .set("file", "traces/nighres_run.jsonl")
+                          .set("load_factor", 2)
+                          .set("stagger", 15.0));
+  doc.set("chunk_size", "50 MB");
+  expect_roundtrip_identical(doc, PCS_SOURCE_DIR "/scenarios");
+}
+
+}  // namespace
+}  // namespace pcs::scenario

@@ -95,6 +95,18 @@ TEST(Workload, RejectsMalformedSpecs) {
                WorkloadError);
   EXPECT_THROW(build_workload(sim, obj().set("type", "dag")), WorkloadError);
   EXPECT_THROW(build_workload(sim, obj().set("type", "multi_tenant")), WorkloadError);
+  // trace: needs a file, rejects instances (use load_factor), checks knobs.
+  EXPECT_THROW(build_workload(sim, obj().set("type", "trace")), WorkloadError);
+  EXPECT_THROW(build_workload(sim, obj().set("type", "trace").set("file", "/nonexistent.jsonl")),
+               WorkloadError);
+  util::Json trace = obj().set("type", "trace").set("file", "x.jsonl");
+  EXPECT_THROW(build_workload(sim, trace.set("instances", 2)), WorkloadError);
+  trace = obj().set("type", "trace").set("file", "x.jsonl");
+  EXPECT_THROW(build_workload(sim, trace.set("time_scale", 0.0)), WorkloadError);
+  trace = obj().set("type", "trace").set("file", "x.jsonl");
+  EXPECT_THROW(build_workload(sim, trace.set("load_factor", 0)), WorkloadError);
+  trace = obj().set("type", "trace").set("file", "x.jsonl");
+  EXPECT_THROW(build_workload(sim, trace.set("start", 10.0).set("end", 5.0)), WorkloadError);
 }
 
 TEST(Workload, BytesFieldAcceptsNumbersAndUnitStrings) {

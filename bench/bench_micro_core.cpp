@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_json.hpp"
+#include "metrics/bench_record.hpp"
 #include "exp/corebench.hpp"
 #include "pagecache/lru_list.hpp"
 #include "simcore/engine.hpp"
@@ -315,7 +315,7 @@ int main(int argc, char** argv) {
   section.set("solve_batching", run_recorded_batching_ab());
   const bool batching_identical = section.at("solve_batching").at("bit_identical").as_bool();
   section.set("lru_mixed", run_recorded_lru_workload());
-  pcs::bench::write_bench_section("micro_core", std::move(section));
+  pcs::metrics::write_bench_section("micro_core", std::move(section));
   // A batched-vs-per-event divergence is an engine bug, not a perf datum:
   // fail the run so CI goes red instead of burying it in the artifact.
   return batching_identical ? 0 : 1;

@@ -1,0 +1,152 @@
+// The generic wall-clock bench: layers host timing onto a declarative
+// experiment spec (experiments/*.json).  Experiment *reports* contain only
+// simulated quantities (so they are byte-identical for any --jobs); the two
+// or three figures that need real wall-clock measurement — Fig 8's
+// "simulation time vs concurrent applications" above all — run their spec
+// through this binary instead, which records per-case wall seconds and the
+// least-squares slopes into the shared BENCH document (PCS_BENCH_JSON).
+//
+// The spec's optional "timing" block names the x series and the grouping
+// axis:  "timing": {"x": "instances", "group_by": 0}
+//
+// Usage: bench_runner <experiment.json> [--jobs N] [--section NAME]
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/bench_record.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/result_json.hpp"
+#include "metrics/value_path.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcs;
+
+  std::string spec_path;
+  std::string section;
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      try {
+        jobs = std::stoi(argv[++i]);
+      } catch (const std::exception&) {
+        jobs = 0;
+      }
+      if (jobs < 1) {
+        std::cerr << "bench_runner: --jobs needs a positive integer\n";
+        return 2;
+      }
+    } else if (arg == "--section" && i + 1 < argc) {
+      section = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bench_runner: unknown flag '" << arg
+                << "'\nusage: bench_runner <experiment.json> [--jobs N] [--section NAME]\n";
+      return 2;
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      std::cerr << "bench_runner: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (spec_path.empty()) {
+    std::cerr << "usage: bench_runner <experiment.json> [--jobs N] [--section NAME]\n";
+    return 2;
+  }
+
+  try {
+    const metrics::ExperimentSpec spec = metrics::ExperimentSpec::from_file(spec_path);
+    if (section.empty()) {
+      section = spec.timing.is_object() ? spec.timing.string_or("section", spec.name + "_wall")
+                                        : spec.name + "_wall";
+    }
+    const std::string x_name =
+        spec.timing.is_object() ? spec.timing.string_or("x", "") : std::string();
+    const int group_axis =
+        spec.timing.is_object() ? static_cast<int>(spec.timing.number_or("group_by", -1.0))
+                                : -1;
+    // The x series' extraction path, looked up in the spec's series table.
+    std::string x_path;
+    std::string x_source = "result";
+    for (const metrics::SeriesSpec& s : spec.series) {
+      if (s.name == x_name) {
+        x_path = s.path;
+        x_source = s.source;
+      }
+    }
+
+    const std::vector<scenario::SweepCase> expanded = spec.sweep.expand();
+    std::cout << "[bench_runner] " << spec.name << ": " << expanded.size()
+              << " cases, jobs=" << jobs << "\n";
+    const std::vector<scenario::SweepCaseResult> results =
+        scenario::run_sweep(spec.sweep, {.jobs = jobs});
+
+    // Group label -> (x values, wall seconds), in case order.
+    std::vector<std::string> group_order;
+    std::map<std::string, std::vector<double>> xs;
+    std::map<std::string, std::vector<double>> walls;
+    bool failed = false;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const scenario::SweepCaseResult& r = results[i];
+      if (!r.error.empty()) {
+        std::cerr << "  FAIL " << r.label << ": " << r.error << "\n";
+        failed = true;
+        continue;
+      }
+      const std::string group = metrics::label_part(r.label, group_axis);
+      if (walls.find(group) == walls.end()) group_order.push_back(group);
+      walls[group].push_back(r.result.wall_seconds);
+      if (!x_path.empty()) {
+        const util::Json doc =
+            x_source == "case"
+                ? scenario::ScenarioSpec::parse(expanded[i].doc, spec.sweep.base_dir).to_json()
+                : metrics::result_to_json(r.result);
+        xs[group].push_back(metrics::extract_path(doc, x_path).as_number());
+      }
+      std::printf("  %-40s wall %.4f s\n", r.label.c_str(), r.result.wall_seconds);
+    }
+    if (failed) {
+      // A skipped case would misalign the shared x ladder against the
+      // other groups' wall arrays — never write a corrupt section.
+      std::cerr << "bench_runner: case failures; BENCH section not written\n";
+      return 1;
+    }
+
+    util::Json out{util::JsonObject{}};
+    out.set("experiment", spec.name);
+    out.set("jobs", static_cast<unsigned long>(jobs));
+    if (!group_order.empty() && !x_path.empty()) {
+      // The x ladder (simulated, e.g. the Fig 8 instance counts) — the same
+      // for every group by construction of the sweep grid.
+      util::Json ladder{util::JsonArray{}};
+      for (double x : xs.at(group_order.front())) ladder.push_back(x);
+      out.set(x_name.empty() ? "x" : x_name, std::move(ladder));
+    }
+    for (const std::string& group : group_order) {
+      util::Json entry{util::JsonObject{}};
+      util::Json wall{util::JsonArray{}};
+      for (double w : walls.at(group)) wall.push_back(w);
+      entry.set("wall_seconds", std::move(wall));
+      if (!x_path.empty() && xs.at(group).size() >= 2) {
+        const util::LinearFit fit = util::linear_fit(xs.at(group), walls.at(group));
+        entry.set("slope_s_per_app", fit.slope);
+        entry.set("intercept_s", fit.intercept);
+        entry.set("r2", fit.r2);
+        std::printf("  [fit] %-20s slope %.4f s/app, intercept %.4f s, r2 %.3f\n",
+                    group.c_str(), fit.slope, fit.intercept, fit.r2);
+      }
+      out.set(group, std::move(entry));
+    }
+    metrics::write_bench_section(section, std::move(out));
+    return failed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_runner: " << e.what() << "\n";
+    return 1;
+  }
+}

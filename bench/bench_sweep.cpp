@@ -14,7 +14,7 @@
 #include <thread>
 #include <vector>
 
-#include "bench_json.hpp"
+#include "metrics/bench_record.hpp"
 #include "scenario/sweep.hpp"
 #include "util/json.hpp"
 
@@ -120,6 +120,6 @@ int main(int argc, char** argv) {
   section.set("baseline_jobs", static_cast<unsigned long>(baseline_jobs));
   section.set("reports_byte_identical", all_identical);
   section.set("by_jobs", std::move(by_jobs));
-  pcs::bench::write_bench_section("bench_sweep", std::move(section));
+  pcs::metrics::write_bench_section("bench_sweep", std::move(section));
   return all_identical ? 0 : 1;
 }

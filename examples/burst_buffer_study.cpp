@@ -19,7 +19,7 @@
 #include <iostream>
 
 #include "exp/presets.hpp"
-#include "exp/report.hpp"
+#include "metrics/table.hpp"
 #include "scenario/runner.hpp"
 #include "util/json.hpp"
 
@@ -95,6 +95,7 @@ double run_burst_buffer() {
 
 int main() {
   using namespace pcs::exp;
+  using namespace pcs::metrics;
 
   std::cout << "Burst-buffer study: " << kInstances
             << " write-heavy pipelines whose outputs must reach the NFS server.\n"

@@ -11,7 +11,7 @@
 
 #include "workload/apps.hpp"
 #include "exp/presets.hpp"
-#include "exp/report.hpp"
+#include "metrics/table.hpp"
 #include "pagecache/kernel_params.hpp"
 #include "storage/local_storage.hpp"
 #include "workflow/simulation.hpp"
@@ -19,6 +19,7 @@
 int main() {
   using namespace pcs;
   using namespace pcs::exp;
+  using namespace pcs::metrics;
   using namespace pcs::workload;
   using util::GB;
   using util::MB;

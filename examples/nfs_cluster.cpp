@@ -7,12 +7,13 @@
 #include <iostream>
 
 #include "exp/presets.hpp"
-#include "exp/report.hpp"
+#include "metrics/table.hpp"
 #include "exp/runners.hpp"
 
 int main(int argc, char** argv) {
   using namespace pcs;
   using namespace pcs::exp;
+  using namespace pcs::metrics;
 
   int instances = 8;
   if (argc > 1) instances = std::atoi(argv[1]);

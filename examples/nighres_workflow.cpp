@@ -6,12 +6,13 @@
 #include <iostream>
 
 #include "workload/apps.hpp"
-#include "exp/report.hpp"
+#include "metrics/table.hpp"
 #include "exp/runners.hpp"
 
 int main() {
   using namespace pcs;
   using namespace pcs::exp;
+  using namespace pcs::metrics;
   using namespace pcs::workload;
 
   std::cout << "Nighres cortical-reconstruction workflow (participant 0027430 parameters)\n";

@@ -17,10 +17,21 @@
 //       Run every *.json scenario in the directory and compare makespans
 //       against the recorded baseline (BENCH_scenarios.json in CI); exits
 //       nonzero on any failure or drift.  --update rewrites the record.
-//   pcs_cli record <scenario.json> --out run.jsonl [--json]
+//   pcs_cli record <scenario.json> --out run.jsonl [--json] [--anonymize]
 //       Run a scenario with the task-log recorder attached, streaming the
 //       versioned JSONL log (workflow submissions, task executions, storage
-//       I/O ops) to --out.  Recording never changes simulated times.
+//       I/O ops — including service-attributed background flush/drain
+//       traffic) to --out.  Recording never changes simulated times.
+//       --anonymize strips workflow/file names and quantizes sizes so the
+//       log can be shared (see tracelog/anonymize.hpp).
+//   pcs_cli experiment <spec.json> [--jobs N] [--json|--csv|--gnuplot]
+//       [--list] [--check] [--update]
+//       Run a declarative experiment (experiments/*.json: a sweep plus
+//       series/aggregation/expectation definitions — the layer that
+//       replaced the per-figure bench binaries).  Reports contain only
+//       simulated quantities, so they are byte-identical for any --jobs;
+//       --check diffs against the committed <spec>.expected.json and
+//       --update regenerates it.  Exits 1 on failed embedded expectations.
 //   pcs_cli replay <log.jsonl> [--platform P] [--scale S] [--load N]
 //       [--json] [--check]
 //       Replay a recorded log as a "trace" workload, by default on the
@@ -53,15 +64,19 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "exp/runners.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/table.hpp"
 #include "storage/service_registry.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/sweep.hpp"
 #include "simcore/trace.hpp"
+#include "tracelog/anonymize.hpp"
 #include "tracelog/recorder.hpp"
 #include "util/json.hpp"
 #include "util/units.hpp"
@@ -96,10 +111,12 @@ constexpr const char* kDemoWorkflow = R"json({
 void usage(std::ostream& out) {
   out << "usage: pcs_cli <command> [options]\n"
          "  run <scenario.json> [--trace FILE] [--json] [--dump-effective]\n"
-         "  record <scenario.json> --out run.jsonl [--json]\n"
+         "  record <scenario.json> --out run.jsonl [--json] [--anonymize]\n"
          "  replay <log.jsonl> [--platform FILE] [--scale S] [--load N] [--json] [--check]\n"
          "  trace-info <log.jsonl> [--json]\n"
          "  sweep <sweep.json> [--jobs N] [--json|--csv] [--list]\n"
+         "  experiment <spec.json> [--jobs N] [--json|--csv|--gnuplot] [--list]\n"
+         "             [--check] [--update]\n"
          "  smoke <scenarios-dir> <record.json> [--update] [--tolerance REL]\n"
          "  dump-preset <reference|wrench|wrench_cache|prototype> [--nfs] [--nighres]\n"
          "              [--instances N]\n"
@@ -232,6 +249,7 @@ int cmd_record(const std::vector<std::string>& args) {
   std::string scenario_path;
   std::string out_path;
   bool as_json = false;
+  bool anonymize = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--out") {
@@ -239,6 +257,8 @@ int cmd_record(const std::vector<std::string>& args) {
       out_path = args[i];
     } else if (arg == "--json") {
       as_json = true;
+    } else if (arg == "--anonymize") {
+      anonymize = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage_error("unknown flag '" + arg + "'");
     } else if (scenario_path.empty()) {
@@ -257,10 +277,18 @@ int cmd_record(const std::vector<std::string>& args) {
     return 1;
   }
   // Stream-only: a million-task run never holds its log in memory.
-  tracelog::TaskLogRecorder recorder(&out, /*keep_in_memory=*/false);
+  // Anonymization needs the whole log (consistent renaming), so it records
+  // in memory instead and saves the scrubbed log afterwards.
+  tracelog::TaskLogRecorder recorder(anonymize ? nullptr : &out,
+                                     /*keep_in_memory=*/anonymize);
   scenario::RunOptions options;
   options.recorder = &recorder;
   scenario::RunResult result = scenario::run_scenario(spec, options);
+  if (anonymize) {
+    tracelog::TaskLog log = recorder.log();
+    tracelog::anonymize(log);
+    log.save(out);
+  }
   out.flush();
   if (!out) {
     // A truncated log (ENOSPC, quota) must fail here, not at replay time.
@@ -445,6 +473,7 @@ int cmd_trace_info(const std::vector<std::string>& args) {
     doc.set("scenario", log.scenario);
     doc.set("simulator", log.simulator);
     doc.set("version", log.version);
+    doc.set("anonymized", log.anonymized);
     doc.set("workflows", static_cast<unsigned long>(log.workflows.size()));
     doc.set("tasks", static_cast<unsigned long>(log.task_count()));
     doc.set("task_events", static_cast<unsigned long>(log.task_events.size()));
@@ -457,7 +486,8 @@ int cmd_trace_info(const std::vector<std::string>& args) {
     std::cout << doc.dump(2) << "\n";
     return 0;
   }
-  std::cout << "task log '" << log_path << "' (schema v" << log.version << ")\n"
+  std::cout << "task log '" << log_path << "' (schema v" << log.version
+            << (log.anonymized ? ", anonymized" : "") << ")\n"
             << "  scenario:  " << log.scenario << " (" << log.simulator << ")\n"
             << "  workflows: " << log.workflows.size() << " (" << log.task_count()
             << " tasks, " << log.task_events.size() << " executions recorded)\n"
@@ -539,6 +569,156 @@ int cmd_sweep(const std::vector<std::string>& args) {
   std::cerr << "[sweep] " << results.size() << " cases in " << wall << " s (jobs="
             << (jobs > 0 ? jobs : 0) << ")\n";
   return failed ? 1 : 0;
+}
+
+int cmd_experiment(const std::vector<std::string>& args) {
+  std::string spec_path;
+  int jobs = 1;
+  bool as_json = false;
+  bool as_csv = false;
+  bool as_gnuplot = false;
+  bool list_only = false;
+  bool check = false;
+  bool update = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--jobs") {
+      if (++i >= args.size()) return usage_error("--jobs needs an argument");
+      if (!parse_int(args[i], &jobs) || jobs < 0) {
+        return usage_error("--jobs: '" + args[i] + "' is not a non-negative integer");
+      }
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--csv") {
+      as_csv = true;
+    } else if (arg == "--gnuplot") {
+      as_gnuplot = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--update") {
+      update = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      return usage_error("unexpected argument '" + arg + "'");
+    }
+  }
+  if (spec_path.empty()) return usage_error("experiment: missing spec file");
+  if (static_cast<int>(as_json) + static_cast<int>(as_csv) + static_cast<int>(as_gnuplot) > 1) {
+    return usage_error("experiment: pick one of --json / --csv / --gnuplot");
+  }
+  if (check && update) return usage_error("experiment: pick one of --check / --update");
+
+  metrics::ExperimentSpec spec = metrics::ExperimentSpec::from_file(spec_path);
+  if (list_only) {
+    for (const scenario::SweepCase& c : spec.sweep.expand()) std::cout << c.label << "\n";
+    return 0;
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  metrics::ExperimentReport report = metrics::run_experiment(spec, {.jobs = jobs});
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  const std::string report_text = report.json.dump(2) + "\n";
+  const std::string expected_path = metrics::ExperimentSpec::expected_path_for(spec_path);
+
+  if (as_json) {
+    std::cout << report_text;
+  } else if (as_csv) {
+    std::cout << metrics::experiment_report_csv(report.json);
+  } else if (as_gnuplot) {
+    std::cout << metrics::experiment_report_gnuplot(report.json);
+  } else {
+    std::cout << "experiment '" << spec.name << "'";
+    if (!spec.title.empty()) std::cout << ": " << spec.title;
+    std::cout << "\n";
+    if (!spec.paper_ref.empty()) std::cout << "reproduces: " << spec.paper_ref << "\n";
+    std::cout << "\n";
+    // Cases x scalar columns; array-valued series stay in the machine
+    // formats (--json / --gnuplot).
+    std::vector<std::string> headers{"case"};
+    std::vector<std::string> scalar_columns;
+    const util::Json& cases = report.json.at("cases");
+    for (const util::Json& column : report.json.at("columns").as_array()) {
+      bool scalar = false;
+      for (const util::Json& row : cases.as_array()) {
+        if (row.contains("values") && row.at("values").at(column.as_string()).is_number()) {
+          scalar = true;
+        }
+      }
+      if (scalar) {
+        scalar_columns.push_back(column.as_string());
+        headers.push_back(column.as_string());
+      }
+    }
+    metrics::TablePrinter table(headers);
+    for (const util::Json& row : cases.as_array()) {
+      std::vector<std::string> cells{row.at("label").as_string()};
+      if (!row.contains("values")) {
+        cells[0] += "  FAIL " + row.at("error").as_string();
+        cells.resize(headers.size());
+        table.add_row(std::move(cells));
+        continue;
+      }
+      for (const std::string& column : scalar_columns) {
+        const util::Json& v = row.at("values").at(column);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v.is_number() ? v.as_number() : 0.0);
+        cells.push_back(v.is_number() ? buf : "-");
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(std::cout);
+    if (report.json.contains("aggregates")) {
+      metrics::print_banner(std::cout, "aggregates");
+      std::cout << report.json.at("aggregates").dump(2) << "\n";
+    }
+    if (report.json.contains("checks")) {
+      metrics::print_banner(std::cout, "checks");
+      for (const util::Json& c : report.json.at("checks").as_array()) {
+        std::cout << "  " << c.at("status").as_string() << "  " << c.at("check").as_string();
+        if (c.contains("why")) std::cout << " (" << c.at("why").as_string() << ")";
+        std::cout << "\n";
+      }
+    }
+    if (!spec.notes.empty()) metrics::print_note(std::cout, spec.notes);
+  }
+  // Wall-clock to stderr: stdout stays byte-identical across --jobs.
+  std::cerr << "[experiment] " << report.json.at("cases").size() << " cases in " << wall
+            << " s (jobs=" << jobs << ")\n";
+
+  if (update) {
+    if (!report.cases_ok || !report.checks_ok) {
+      std::cerr << "experiment FAILED; expected report not updated\n";
+      return 1;
+    }
+    std::ofstream out(expected_path);
+    out << report_text;
+    if (!out) {
+      std::cerr << "experiment: cannot write '" << expected_path << "'\n";
+      return 1;
+    }
+    std::cerr << "wrote " << expected_path << "\n";
+  } else if (check) {
+    std::ifstream in(expected_path);
+    if (!in) {
+      std::cerr << "experiment: no committed report '" << expected_path
+                << "' (generate with --update)\n";
+      return 1;
+    }
+    std::string expected((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    if (expected != report_text) {
+      std::cerr << "experiment CHECK FAILED: report drifted from " << expected_path
+                << " (regenerate with --update after intentional model changes)\n";
+      return 1;
+    }
+    std::cerr << "experiment check ok: report is byte-identical to " << expected_path << "\n";
+  }
+  return report.cases_ok && report.checks_ok ? 0 : 1;
 }
 
 int cmd_smoke(const std::vector<std::string>& args) {
@@ -801,6 +981,9 @@ int main(int argc, char** argv) {
     }
     if (!args.empty() && args[0] == "sweep") {
       return cmd_sweep({args.begin() + 1, args.end()});
+    }
+    if (!args.empty() && args[0] == "experiment") {
+      return cmd_experiment({args.begin() + 1, args.end()});
     }
     if (!args.empty() && args[0] == "smoke") {
       return cmd_smoke({args.begin() + 1, args.end()});

@@ -10,12 +10,13 @@
 
 #include "workload/apps.hpp"
 #include "exp/presets.hpp"
-#include "exp/report.hpp"
+#include "metrics/table.hpp"
 #include "exp/runners.hpp"
 
 int main(int argc, char** argv) {
   using namespace pcs;
   using namespace pcs::exp;
+  using namespace pcs::metrics;
   using namespace pcs::workload;
 
   double size_gb = 20.0;

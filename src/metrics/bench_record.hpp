@@ -4,7 +4,8 @@
 // JSON document (default ./BENCH_core.json, overridable with the
 // PCS_BENCH_JSON environment variable) so successive PRs can track the perf
 // trajectory: each run overwrites only its own section and preserves the
-// others.
+// others.  (Folded in from the former bench/bench_json.hpp when the
+// metrics layer replaced the per-figure bench binaries.)
 #pragma once
 
 #include <cstdlib>
@@ -14,7 +15,7 @@
 
 #include "util/json.hpp"
 
-namespace pcs::bench {
+namespace pcs::metrics {
 
 inline std::string bench_json_path() {
   const char* env = std::getenv("PCS_BENCH_JSON");
@@ -43,4 +44,4 @@ inline void write_bench_section(const std::string& section, util::Json value) {
   }
 }
 
-}  // namespace pcs::bench
+}  // namespace pcs::metrics

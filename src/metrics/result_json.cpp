@@ -1,0 +1,58 @@
+#include "metrics/result_json.hpp"
+
+namespace pcs::metrics {
+
+util::Json snapshot_to_json(const cache::CacheSnapshot& snapshot) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("time", snapshot.time);
+  doc.set("total", snapshot.total);
+  doc.set("free", snapshot.free);
+  doc.set("used", snapshot.used());
+  doc.set("cached", snapshot.cached);
+  doc.set("dirty", snapshot.dirty);
+  doc.set("anonymous", snapshot.anonymous);
+  doc.set("inactive", snapshot.inactive);
+  doc.set("active", snapshot.active);
+  util::Json per_file{util::JsonObject{}};
+  for (const auto& [name, bytes] : snapshot.per_file) per_file.set(name, bytes);
+  doc.set("per_file", std::move(per_file));
+  return doc;
+}
+
+util::Json result_to_json(const scenario::RunResult& result) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("makespan", result.makespan);
+  doc.set("scheduling_points", static_cast<unsigned long>(result.scheduling_points));
+  doc.set("fair_share_solves", static_cast<unsigned long>(result.fair_share_solves));
+  doc.set("same_time_points", static_cast<unsigned long>(result.same_time_points));
+  doc.set("task_count", static_cast<unsigned long>(result.tasks.size()));
+  doc.set("mean_instance_read_time", result.mean_instance_read_time());
+  doc.set("mean_instance_write_time", result.mean_instance_write_time());
+  doc.set("final_active_blocks", static_cast<unsigned long>(result.final_active_blocks));
+  doc.set("final_inactive_blocks", static_cast<unsigned long>(result.final_inactive_blocks));
+
+  util::Json tasks{util::JsonObject{}};
+  for (const wf::TaskResult& r : result.tasks) {
+    util::Json t{util::JsonObject{}};
+    t.set("start", r.start);
+    t.set("read_start", r.read_start);
+    t.set("read_end", r.read_end);
+    t.set("compute_end", r.compute_end);
+    t.set("write_end", r.write_end);
+    t.set("end", r.end);
+    t.set("read_time", r.read_time());
+    t.set("compute_time", r.compute_time());
+    t.set("write_time", r.write_time());
+    t.set("makespan", r.makespan());
+    tasks.set(r.name, std::move(t));
+  }
+  doc.set("tasks", std::move(tasks));
+
+  doc.set("final_state", snapshot_to_json(result.final_state));
+  util::Json profile{util::JsonArray{}};
+  for (const cache::CacheSnapshot& s : result.profile) profile.push_back(snapshot_to_json(s));
+  doc.set("profile", std::move(profile));
+  return doc;
+}
+
+}  // namespace pcs::metrics

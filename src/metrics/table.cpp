@@ -1,4 +1,4 @@
-#include "exp/report.hpp"
+#include "metrics/table.hpp"
 
 #include <algorithm>
 #include <cstdio>
@@ -7,7 +7,7 @@
 
 #include "util/units.hpp"
 
-namespace pcs::exp {
+namespace pcs::metrics {
 
 TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
   if (headers_.empty()) throw std::invalid_argument("TablePrinter: need at least one column");
@@ -68,4 +68,4 @@ void print_banner(std::ostream& out, const std::string& title) {
 
 void print_note(std::ostream& out, const std::string& text) { out << "  note: " << text << "\n"; }
 
-}  // namespace pcs::exp
+}  // namespace pcs::metrics

@@ -1,13 +1,14 @@
-// Plain-text reporting helpers for the benchmark binaries: aligned tables,
-// section banners and number formatting, plus optional CSV emission so the
-// series behind each figure can be re-plotted.
+// Plain-text reporting helpers shared by the CLI and the example studies:
+// aligned tables, section banners and number formatting, plus CSV emission.
+// (Folded in from the former exp/report.* when the metrics layer replaced
+// the per-figure bench binaries.)
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
-namespace pcs::exp {
+namespace pcs::metrics {
 
 class TablePrinter {
  public:
@@ -33,4 +34,4 @@ class TablePrinter {
 void print_banner(std::ostream& out, const std::string& title);
 void print_note(std::ostream& out, const std::string& text);
 
-}  // namespace pcs::exp
+}  // namespace pcs::metrics

@@ -1,0 +1,75 @@
+#include "metrics/value_path.hpp"
+
+namespace pcs::metrics {
+
+namespace {
+
+bool parse_index(const std::string& segment, std::size_t* out) {
+  if (segment.empty()) return false;
+  std::size_t value = 0;
+  for (char c : segment) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+util::Json extract_from(const util::Json& node, const std::string& path, std::size_t start) {
+  if (start >= path.size()) return node;
+  const std::size_t dot = path.find('.', start);
+  const std::string segment =
+      path.substr(start, dot == std::string::npos ? std::string::npos : dot - start);
+  const std::size_t next = dot == std::string::npos ? path.size() : dot + 1;
+  if (segment.empty()) {
+    throw MetricsError("path '" + path + "' has an empty segment");
+  }
+  if (segment == "*") {
+    if (!node.is_array()) {
+      throw MetricsError("path '" + path + "': '*' needs an array, found " +
+                         (node.is_object() ? "an object" : "a scalar"));
+    }
+    util::Json out{util::JsonArray{}};
+    for (const util::Json& element : node.as_array()) {
+      out.push_back(extract_from(element, path, next));
+    }
+    return out;
+  }
+  if (node.is_array()) {
+    std::size_t index = 0;
+    if (!parse_index(segment, &index)) {
+      throw MetricsError("path '" + path + "': '" + segment +
+                         "' indexes an array but is not a number (or '*')");
+    }
+    if (index >= node.size()) {
+      throw MetricsError("path '" + path + "': index " + segment + " out of range (array has " +
+                         std::to_string(node.size()) + " elements)");
+    }
+    return extract_from(node.at(index), path, next);
+  }
+  if (node.is_object()) {
+    if (!node.contains(segment)) {
+      throw MetricsError("path '" + path + "': no member '" + segment + "'");
+    }
+    return extract_from(node.at(segment), path, next);
+  }
+  throw MetricsError("path '" + path + "': segment '" + segment +
+                     "' descends into a non-container value");
+}
+
+}  // namespace
+
+util::Json extract_path(const util::Json& doc, const std::string& path) {
+  if (path.empty()) throw MetricsError("empty extraction path");
+  return extract_from(doc, path, 0);
+}
+
+util::Json extract_path_or_null(const util::Json& doc, const std::string& path) {
+  try {
+    return extract_path(doc, path);
+  } catch (const MetricsError&) {
+    return util::Json{};
+  }
+}
+
+}  // namespace pcs::metrics

@@ -1,0 +1,33 @@
+// Dotted-path extraction over JSON documents — the addressing scheme of the
+// metrics layer.  An ExperimentSpec series names a quantity inside a run's
+// JSON projection ("makespan", "tasks.a0:task1.read_time",
+// "profile.*.dirty") or inside the expanded case's scenario document
+// ("workload.instances", "platform.hosts.0.disks.0.read_bw_MBps").
+//
+// Segments are separated by '.': object keys, decimal array indices, or the
+// wildcard "*" which maps the remaining path over every element of an array
+// (the result is an array — how a memory profile becomes a column).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace pcs::metrics {
+
+class MetricsError : public std::runtime_error {
+ public:
+  explicit MetricsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Extract `path` from `doc`.  Throws MetricsError naming the first segment
+/// that does not resolve (callers prepend the series/case context).
+[[nodiscard]] util::Json extract_path(const util::Json& doc, const std::string& path);
+
+/// Non-throwing variant: returns a null Json when the path does not
+/// resolve (optional series on cases that lack the quantity, e.g. a memory
+/// profile on a cacheless run).
+[[nodiscard]] util::Json extract_path_or_null(const util::Json& doc, const std::string& path);
+
+}  // namespace pcs::metrics

@@ -33,6 +33,12 @@ double MemoryManager::evictable(const std::string& exclude_file) const {
   return inactive_.clean_excluding(exclude_file);
 }
 
+sim::Task<> MemoryManager::write_back(std::string file, double bytes) {
+  const double start = engine_.now();
+  co_await store_.write(file, bytes);
+  if (io_observer_) io_observer_("flush", file, bytes, start, engine_.now());
+}
+
 sim::Task<> MemoryManager::flush(double amount, std::string exclude_file) {
   // "When called with negative arguments, [flush and evict] simply return."
   if (amount <= kEps) co_return;
@@ -60,7 +66,7 @@ sim::Task<> MemoryManager::flush(double amount, std::string exclude_file) {
     const std::string file = it->file;
     const double bytes = it->size;
     flushed += bytes;
-    co_await store_.write(file, bytes);
+    co_await write_back(file, bytes);
   }
 }
 
@@ -88,7 +94,7 @@ sim::Task<double> MemoryManager::flush_expired_blocks() {
     list->set_dirty(it, false);
     const std::string file = it->file;
     const double bytes = it->size;
-    co_await store_.write(file, bytes);
+    co_await write_back(file, bytes);
   }
   co_return engine_.now() - start;
 }
@@ -104,7 +110,7 @@ sim::Task<> MemoryManager::fsync(std::string file) {
     }
     list->set_dirty(it, false);
     const double bytes = it->size;
-    co_await store_.write(file, bytes);
+    co_await write_back(file, bytes);
   }
 }
 

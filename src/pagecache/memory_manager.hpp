@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -41,6 +42,15 @@ struct CacheSnapshot {
 
   [[nodiscard]] double used() const { return total - free; }
 };
+
+/// Observer for service-generated background I/O (writebacks the flusher or
+/// a drain daemon issues, as opposed to task-issued reads/writes).  Called
+/// with the op kind ("flush", "drain"), the file, the bytes moved and the
+/// simulated [start, end] interval.  Pure observation: observers must not
+/// touch the engine, so an observed run stays bit-identical (the task-log
+/// recorder attaches here to emit service-attributed "io" records).
+using IoObserver = std::function<void(const std::string& op, const std::string& file,
+                                      double bytes, double start, double end)>;
 
 class MemoryManager {
  public:
@@ -135,6 +145,10 @@ class MemoryManager {
   /// Spawn the periodical-flush daemon actor on the engine.
   void start_periodic_flush(const std::string& actor_name = "periodic-flush");
 
+  /// Observe every writeback this manager issues (demand flushing, the
+  /// periodic flusher, fsync) as an "flush" background-I/O event.
+  void set_io_observer(IoObserver observer) { io_observer_ = std::move(observer); }
+
   // --- maintenance ----------------------------------------------------------
 
   /// Invalidate every cached block of `file` (file deletion/truncation).
@@ -154,8 +168,12 @@ class MemoryManager {
   void balance_lists();
   [[nodiscard]] std::uint64_t next_block_id() { return block_seq_++; }
 
+  /// store_.write wrapped with the observer notification.
+  [[nodiscard]] sim::Task<> write_back(std::string file, double bytes);
+
   sim::Engine& engine_;
   CacheParams params_;
+  IoObserver io_observer_;
   double total_mem_;
   sim::Resource* mem_read_;
   sim::Resource* mem_write_;

@@ -142,6 +142,16 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   for (const ServiceDecl& decl : spec.services) {
     services[decl.name] =
         storage::ServiceRegistry::instance().build(decl.type, ctx, decl.spec);
+    if (recorder != nullptr) {
+      // Background traffic (flusher writebacks, burst-buffer drains) lands
+      // in the log as service-attributed io records with no issuing task.
+      const std::string service_name = decl.name;
+      services[decl.name]->set_background_io_observer(
+          [recorder, service_name](const std::string& op, const std::string& file,
+                                   double bytes, double start, double end) {
+            recorder->record_io({op, file, bytes, start, end, service_name, ""});
+          });
+    }
   }
   storage::StorageService* default_service = services.at(spec.default_service);
 

@@ -54,10 +54,12 @@ sim::Task<> BurstBuffer::drainer_loop() {
     }
     for (const std::string& name : ready) {
       const double size = buffer_.fs().size_of(name);
+      const double drain_start = engine_.now();
       co_await buffer_.read_file(name, options_.drain_chunk);
       buffer_.release_anonymous(size);
       co_await target_.write_file(name, size, options_.drain_chunk);
       drained_.insert(name);
+      if (io_observer_) io_observer_("drain", name, size, drain_start, engine_.now());
     }
     if (finite && drained_.size() >= drain_targets_.size()) co_return;
     co_await engine_.sleep(options_.drain_period);
@@ -71,6 +73,12 @@ void BurstBuffer::validate_workload_files(const std::set<std::string>& files) co
                          "' is not produced or staged by any workflow in the scenario");
     }
   }
+}
+
+void BurstBuffer::set_background_io_observer(cache::IoObserver observer) {
+  io_observer_ = observer;
+  buffer_.set_background_io_observer(observer);
+  target_.set_background_io_observer(std::move(observer));
 }
 
 void BurstBuffer::start_drainer() {

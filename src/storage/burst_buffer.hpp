@@ -63,6 +63,11 @@ class BurstBuffer : public StorageService {
   /// daemon) drainer polling forever; reject it up front.
   void validate_workload_files(const std::set<std::string>& files) const override;
 
+  /// Background traffic of a burst buffer: the drainer's staging transfers
+  /// ("drain", one event per file, spanning buffer read + target write)
+  /// plus the buffer's and the target's own flusher writebacks ("flush").
+  void set_background_io_observer(cache::IoObserver observer) override;
+
   [[nodiscard]] LocalStorage& buffer() { return buffer_; }
   [[nodiscard]] StorageService& target() { return target_; }
   [[nodiscard]] std::size_t drained_count() const { return drained_.size(); }
@@ -77,6 +82,7 @@ class BurstBuffer : public StorageService {
   BurstBufferOptions options_;
   std::set<std::string> drain_targets_;  ///< deduplicated drain_files
   std::set<std::string> drained_;
+  cache::IoObserver io_observer_;
 };
 
 }  // namespace pcs::storage

@@ -122,6 +122,15 @@ class NfsMount : public cache::BackingStore, public StorageService {
   /// Warms the *server* cache (the paper's Exp 3 staged inputs).
   void warm_file(const std::string& name) override { server_.warm_file(name); }
 
+  /// Flusher traffic on either side of the mount: the client's writeback
+  /// cache (async-NFS extension) and the server's cache both report.
+  void set_background_io_observer(cache::IoObserver observer) override {
+    if (mm_) mm_->set_io_observer(observer);
+    if (cache::MemoryManager* server_mm = server_.memory_manager(); server_mm != nullptr) {
+      server_mm->set_io_observer(std::move(observer));
+    }
+  }
+
   // --- BackingStore: "the remote device", used by the client cache -------
   [[nodiscard]] sim::Task<> read(const std::string& file, double bytes) override;
   [[nodiscard]] sim::Task<> write(const std::string& file, double bytes) override;

@@ -47,6 +47,18 @@ class StorageService : public FileService {
   /// configured file can never appear — turning a would-be infinite
   /// simulation into a spec error.  Default: no-op.
   virtual void validate_workload_files(const std::set<std::string>& /*files*/) const {}
+
+  /// Observe the service's *background* traffic — writebacks the page-cache
+  /// flusher issues ("flush"), staging transfers a drain daemon performs
+  /// ("drain") — as service-attributed I/O events.  The task-log recorder
+  /// attaches here so recorded logs account for I/O no task issued.  Pure
+  /// observation.  Default: forward to the block-model cache manager when
+  /// the backend has one; backends with their own daemons also override.
+  virtual void set_background_io_observer(cache::IoObserver observer) {
+    if (cache::MemoryManager* mm = memory_manager(); mm != nullptr) {
+      mm->set_io_observer(std::move(observer));
+    }
+  }
 };
 
 }  // namespace pcs::storage

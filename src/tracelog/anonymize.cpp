@@ -1,0 +1,112 @@
+#include "tracelog/anonymize.hpp"
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace pcs::tracelog {
+
+double quantize_size(double bytes) {
+  if (bytes <= 0.0) return 0.0;
+  return std::exp2(std::ceil(std::log2(bytes)));
+}
+
+void anonymize(TaskLog& log, const AnonymizeOptions& options) {
+  std::map<std::string, std::string> task_names;
+  std::map<std::string, std::string> file_names;
+  auto file_token = [&](const std::string& name) -> const std::string& {
+    auto it = file_names.find(name);
+    if (it == file_names.end()) {
+      it = file_names.emplace(name, "f" + std::to_string(file_names.size())).first;
+    }
+    return it->second;
+  };
+
+  // Rewrite any string inside a service spec that exactly names a workload
+  // file (a burst buffer's "drain_files", say) through the same rename
+  // table, so the embedded spec neither leaks the names nor breaks replay
+  // (run_scenario validates drain targets against the workload's files).
+  std::function<void(util::Json&)> scrub_service_strings = [&](util::Json& node) {
+    if (node.is_array()) {
+      for (util::Json& element : node.as_array()) {
+        if (element.is_string() && file_names.count(element.as_string()) != 0) {
+          element = file_token(element.as_string());
+        } else {
+          scrub_service_strings(element);
+        }
+      }
+    } else if (node.is_object()) {
+      // A suffix filter cannot be renamed (tokens share no suffix with the
+      // originals); drop it so the drainer falls back to "stage whatever
+      // appears" rather than silently draining nothing.
+      node.as_object().erase("drain_suffix");
+      for (auto& [key, value] : node.as_object()) {
+        if (value.is_string() && file_names.count(value.as_string()) != 0) {
+          value = file_token(value.as_string());
+        } else {
+          scrub_service_strings(value);
+        }
+      }
+    }
+  };
+
+  if (options.strip_names) {
+    log.scenario = "anonymized";
+    for (TraceWorkflow& workflow : log.workflows) {
+      const std::string wf_token = "w" + std::to_string(workflow.id);
+      workflow.label = wf_token;
+      std::size_t j = 0;
+      for (TraceTaskDecl& task : workflow.tasks) {
+        task_names[task.name] = wf_token + ":t" + std::to_string(j++);
+      }
+    }
+    for (TraceWorkflow& workflow : log.workflows) {
+      for (TraceTaskDecl& task : workflow.tasks) {
+        task.name = task_names.at(task.name);
+        for (std::string& dep : task.deps) dep = task_names.at(dep);
+        for (wf::FileSpec& f : task.inputs) f.name = file_token(f.name);
+        for (wf::FileSpec& f : task.outputs) f.name = file_token(f.name);
+      }
+    }
+    for (TraceTaskEvent& event : log.task_events) {
+      auto it = task_names.find(event.name);
+      if (it != task_names.end()) event.name = it->second;
+    }
+    for (TraceIoEvent& event : log.io_events) {
+      // Background records ("flush", "drain") may name files no task
+      // declared (partial blocks keep the file name); map them through the
+      // same table so one file keeps one token everywhere.
+      event.file = file_token(event.file);
+      if (!event.task.empty()) {
+        auto it = task_names.find(event.task);
+        if (it != task_names.end()) event.task = it->second;
+      }
+    }
+    // The embedded workload can carry original file/workflow names (dag
+    // documents, trace file paths); everything else in the effective spec
+    // is infrastructure — except service specs that name workload files,
+    // which go through the rename table (the table is complete here).
+    if (log.source_scenario.is_object()) {
+      log.source_scenario.as_object().erase("workload");
+      log.source_scenario.set("name", "anonymized");
+      if (log.source_scenario.contains("services")) {
+        scrub_service_strings(log.source_scenario.as_object()["services"]);
+      }
+    }
+  }
+
+  if (options.quantize_sizes) {
+    for (TraceWorkflow& workflow : log.workflows) {
+      for (TraceTaskDecl& task : workflow.tasks) {
+        for (wf::FileSpec& f : task.inputs) f.size = quantize_size(f.size);
+        for (wf::FileSpec& f : task.outputs) f.size = quantize_size(f.size);
+      }
+    }
+    for (TraceIoEvent& event : log.io_events) event.bytes = quantize_size(event.bytes);
+  }
+
+  log.anonymized = true;
+}
+
+}  // namespace pcs::tracelog

@@ -1,0 +1,36 @@
+// Trace anonymization: make a recorded task log shareable by stripping the
+// identifying content while preserving everything replay needs — the DAG
+// shape, the service bindings, the timings, and the (quantized) data
+// volumes.
+//
+//   * Workflow labels become "w<id>", task names "w<id>:t<j>", file names
+//     "f<k>" (first-appearance order).  Renaming is consistent across task
+//     declarations, dependency edges, task_done events and io records, so
+//     file-derived dependencies re-derive identically on replay.
+//   * Sizes (file sizes, io byte counts) are rounded up to the next power
+//     of two, hiding exact data volumes while keeping their magnitude.
+//   * The embedded source scenario keeps its platform/services/simulator
+//     parameters (infrastructure, not workload identity) but drops the
+//     workload document, which can embed original file names; `pcs_cli
+//     replay` substitutes its own "trace" workload anyway.
+//   * The header gains "anonymized": true (surfaced by trace-info).
+//
+// `pcs_cli record --anonymize` runs this before saving.
+#pragma once
+
+#include "tracelog/task_log.hpp"
+
+namespace pcs::tracelog {
+
+struct AnonymizeOptions {
+  bool strip_names = true;
+  bool quantize_sizes = true;
+};
+
+/// Smallest power of two >= bytes (0 for non-positive inputs).
+[[nodiscard]] double quantize_size(double bytes);
+
+/// Anonymize `log` in place.
+void anonymize(TaskLog& log, const AnonymizeOptions& options = {});
+
+}  // namespace pcs::tracelog

@@ -34,6 +34,7 @@ std::uint64_t TaskLogRecorder::record_workflow(const wf::Workflow& workflow,
     TraceTaskDecl decl;
     decl.name = task.name;
     decl.flops = task.flops;
+    decl.chunk_size = task.chunk_size;
     decl.inputs = task.inputs;
     decl.outputs = task.outputs;
     auto deps = workflow.explicit_dependencies().find(name);

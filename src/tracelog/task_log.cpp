@@ -34,6 +34,7 @@ util::Json header_record(const TaskLog& log) {
   doc.set("version", log.version);
   doc.set("scenario", log.scenario);
   doc.set("simulator", log.simulator);
+  if (log.anonymized) doc.set("anonymized", true);
   if (!log.source_scenario.is_null()) doc.set("source_scenario", log.source_scenario);
   return doc;
 }
@@ -54,6 +55,7 @@ util::Json task_record(std::uint64_t workflow_id, const TraceTaskDecl& task) {
   doc.set("wf", static_cast<unsigned long>(workflow_id));
   doc.set("name", task.name);
   doc.set("flops", task.flops);
+  if (task.chunk_size > 0.0) doc.set("chunk_size", task.chunk_size);
   doc.set("inputs", files_to_json(task.inputs));
   doc.set("outputs", files_to_json(task.outputs));
   util::Json deps{util::JsonArray{}};
@@ -125,6 +127,7 @@ TaskLog TaskLog::parse(std::istream& in) {
         log.version = static_cast<int>(rec.at("version").as_number());
         log.scenario = rec.string_or("scenario", "");
         log.simulator = rec.string_or("simulator", "");
+        log.anonymized = rec.bool_or("anonymized", false);
         if (rec.contains("source_scenario")) log.source_scenario = rec.at("source_scenario");
       } else if (kind == "workflow") {
         TraceWorkflow workflow;
@@ -146,6 +149,7 @@ TaskLog TaskLog::parse(std::istream& in) {
         TraceTaskDecl task;
         task.name = rec.at("name").as_string();
         task.flops = rec.at("flops").as_number();
+        task.chunk_size = rec.number_or("chunk_size", 0.0);
         if (rec.contains("inputs")) task.inputs = files_from_json(rec.at("inputs"));
         if (rec.contains("outputs")) task.outputs = files_from_json(rec.at("outputs"));
         if (rec.contains("deps")) {

@@ -54,6 +54,7 @@ inline constexpr int kTaskLogVersion = 1;
 struct TraceTaskDecl {
   std::string name;
   double flops = 0.0;
+  double chunk_size = 0.0;  ///< per-task I/O granularity override (0 = scenario default)
   std::vector<wf::FileSpec> inputs;
   std::vector<wf::FileSpec> outputs;
   std::vector<std::string> deps;
@@ -82,17 +83,18 @@ struct TraceTaskEvent {
   double end = 0.0;
 };
 
-/// One storage-service operation issued by the workload: a chunked file
-/// read/write by a task, an instantaneous input staging, or a server-side
-/// cache warm.
+/// One storage-service operation: a chunked file read/write by a task, an
+/// instantaneous input staging, a server-side cache warm, or — with no
+/// issuing task — background traffic the service generated itself (the
+/// page-cache flusher's writebacks, a burst buffer's drain transfers).
 struct TraceIoEvent {
-  std::string op;    ///< "stage" | "read" | "write" | "warm"
+  std::string op;    ///< "stage" | "read" | "write" | "warm" | "flush" | "drain"
   std::string file;
   double bytes = 0.0;
   double start = 0.0;
   double end = 0.0;
   std::string service;
-  std::string task;  ///< issuing task name ("" for stage/warm)
+  std::string task;  ///< issuing task name ("" for stage/warm/flush/drain)
 };
 
 /// A complete parsed task log.
@@ -100,6 +102,9 @@ struct TaskLog {
   int version = kTaskLogVersion;
   std::string scenario;
   std::string simulator;
+  /// Set by tracelog::anonymize: names stripped, sizes quantized.  Purely
+  /// informational (replay works either way); trace-info surfaces it.
+  bool anonymized = false;
   /// Effective spec of the recorded scenario (ScenarioSpec::to_json), when
   /// the recorder knew it; lets `pcs_cli replay` rebuild platform/services
   /// without any extra flags.  Null when absent.

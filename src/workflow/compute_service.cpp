@@ -70,6 +70,7 @@ sim::Task<> ComputeService::run_task(Workflow& workflow, std::string task_name,
                                      std::string instance, std::set<std::string>* completed,
                                      sim::ConditionVariable* done_cv) {
   const WorkflowTask& task = workflow.task(task_name);
+  const double chunk = task.chunk_size > 0.0 ? task.chunk_size : chunk_size_;
   co_await cores_.acquire();
 
   TaskResult r;
@@ -79,7 +80,7 @@ sim::Task<> ComputeService::run_task(Workflow& workflow, std::string task_name,
   r.read_start = engine_.now();
   for (const FileSpec& input : task.inputs) {
     const double op_start = engine_.now();
-    co_await storage_.read_file(input.name, chunk_size_);
+    co_await storage_.read_file(input.name, chunk);
     if (recorder_ != nullptr) {
       // The bytes actually transferred: the file's registered size, which a
       // mismatched producer declaration can make differ from input.size.
@@ -98,7 +99,7 @@ sim::Task<> ComputeService::run_task(Workflow& workflow, std::string task_name,
 
   for (const FileSpec& output : task.outputs) {
     const double op_start = engine_.now();
-    co_await storage_.write_file(output.name, output.size, chunk_size_);
+    co_await storage_.write_file(output.name, output.size, chunk);
     if (recorder_ != nullptr) {
       recorder_->record_io({"write", output.name, output.size, op_start, engine_.now(),
                             recorder_service_, r.name});

@@ -25,6 +25,11 @@ struct FileSpec {
 struct WorkflowTask {
   std::string name;
   double flops = 0.0;
+  /// I/O granularity override for this task's reads/writes; 0 uses the
+  /// compute service's scenario-wide chunk size.  Lets one workflow mix
+  /// granularities (the block-merge ablation's fine cold read vs coarse
+  /// re-reads).
+  double chunk_size = 0.0;
   std::vector<FileSpec> inputs;
   std::vector<FileSpec> outputs;
 

@@ -25,7 +25,13 @@ Workflow workflow_from_json(const util::Json& doc) {
     } else {
       throw WorkflowError("task '" + name + "': needs 'flops' or 'cpu_seconds'");
     }
-    workflow.add_task(name, flops);
+    WorkflowTask& task = workflow.add_task(name, flops);
+    if (t.contains("chunk_size")) {
+      task.chunk_size = size_field(t, "chunk_size");
+      if (task.chunk_size <= 0.0) {
+        throw WorkflowError("task '" + name + "': chunk_size must be positive");
+      }
+    }
     if (t.contains("inputs")) {
       for (const util::Json& f : t.at("inputs").as_array()) {
         workflow.add_input(name, f.at("name").as_string(), size_field(f, "size"));
@@ -57,6 +63,7 @@ util::Json workflow_to_json(const Workflow& workflow) {
     util::JsonObject t;
     t["name"] = task.name;
     t["flops"] = task.flops;
+    if (task.chunk_size > 0.0) t["chunk_size"] = task.chunk_size;
     util::JsonArray inputs;
     for (const FileSpec& f : task.inputs) {
       util::JsonObject file;

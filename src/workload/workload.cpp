@@ -20,7 +20,8 @@ namespace {
 void build_from_trace(wf::Workflow& workflow, const tracelog::TraceWorkflow& recorded,
                       const std::string& prefix) {
   for (const tracelog::TraceTaskDecl& decl : recorded.tasks) {
-    workflow.add_task(prefix + decl.name, decl.flops);
+    wf::WorkflowTask& task = workflow.add_task(prefix + decl.name, decl.flops);
+    task.chunk_size = decl.chunk_size;
     for (const wf::FileSpec& f : decl.inputs) {
       workflow.add_input(prefix + decl.name, prefix + f.name, f.size);
     }

@@ -1,0 +1,63 @@
+// pcs_cli exit-code and usage conventions, exercised against the real
+// binary (CMake injects its path as PCS_CLI_PATH): unknown flags and
+// commands print usage and exit 2, spec errors exit 1, success exits 0 —
+// uniformly across subcommands, including the experiment runner.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#ifndef PCS_SOURCE_DIR
+#define PCS_SOURCE_DIR "."
+#endif
+#ifndef PCS_CLI_PATH
+#define PCS_CLI_PATH "./pcs_cli"
+#endif
+
+namespace {
+
+int run_cli(const std::string& args) {
+  const std::string cmd =
+      std::string(PCS_CLI_PATH) + " " + args + " > /dev/null 2> /dev/null";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string experiments_dir() { return std::string(PCS_SOURCE_DIR) + "/experiments"; }
+
+TEST(Cli, UnknownCommandAndFlagsExitTwo) {
+  EXPECT_EQ(run_cli("frobnicate"), 2);
+  EXPECT_EQ(run_cli("--bogus-flag"), 2);
+  EXPECT_EQ(run_cli("run --bogus scenario.json"), 2);
+  EXPECT_EQ(run_cli("sweep --bogus sweep.json"), 2);
+}
+
+TEST(Cli, ExperimentFollowsTheUsageConvention) {
+  // Unknown flags, missing arguments, contradictory flags: usage + exit 2.
+  EXPECT_EQ(run_cli("experiment --bogus"), 2);
+  EXPECT_EQ(run_cli("experiment"), 2);
+  EXPECT_EQ(run_cli("experiment spec.json --jobs"), 2);
+  EXPECT_EQ(run_cli("experiment spec.json --jobs nope"), 2);
+  EXPECT_EQ(run_cli("experiment spec.json --json --csv"), 2);
+  EXPECT_EQ(run_cli("experiment spec.json --check --update"), 2);
+  EXPECT_EQ(run_cli("experiment a.json b.json"), 2);
+}
+
+TEST(Cli, ExperimentRunsCommittedSpecs) {
+  // --list expands without running; a real (tiny) spec runs to exit 0 and
+  // --check agrees with the committed expected report.
+  EXPECT_EQ(run_cli("experiment " + experiments_dir() + "/table1.json --list"), 0);
+  EXPECT_EQ(run_cli("experiment " + experiments_dir() + "/table3.json"), 0);
+  EXPECT_EQ(run_cli("experiment " + experiments_dir() + "/table3.json --check --jobs 2"), 0);
+}
+
+TEST(Cli, ExperimentSpecErrorsExitOne) {
+  EXPECT_EQ(run_cli("experiment /nonexistent/spec.json"), 1);
+}
+
+TEST(Cli, RecordRejectsUnknownFlags) {
+  EXPECT_EQ(run_cli("record --bogus"), 2);
+  EXPECT_EQ(run_cli("record"), 2);  // missing scenario + --out
+}
+
+}  // namespace

@@ -6,8 +6,8 @@
 
 #include "workload/apps.hpp"
 #include "exp/presets.hpp"
-#include "exp/report.hpp"
 #include "exp/runners.hpp"
+#include "metrics/table.hpp"
 
 namespace pcs::exp {
 namespace {
@@ -135,7 +135,7 @@ TEST(Runners, CachelessRunHasNoProfile) {
 }
 
 TEST(Report, TablePrinterAlignsAndCsv) {
-  TablePrinter table({"col", "value"});
+  metrics::TablePrinter table({"col", "value"});
   table.add_row({"a", "1"});
   table.add_row({"longer-name", "2.5"});
   std::ostringstream out;
@@ -145,13 +145,13 @@ TEST(Report, TablePrinterAlignsAndCsv) {
   EXPECT_NE(text.find("---"), std::string::npos);
   EXPECT_EQ(table.to_csv(), "col,value\na,1\nlonger-name,2.5\n");
   EXPECT_THROW(table.add_row({"only-one-cell"}), std::invalid_argument);
-  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+  EXPECT_THROW(metrics::TablePrinter({}), std::invalid_argument);
 }
 
 TEST(Report, Formatting) {
-  EXPECT_EQ(fmt(3.14159, 2), "3.14");
-  EXPECT_EQ(fmt(3.0, 0), "3");
-  EXPECT_EQ(fmt_bytes(20.0 * GB), "20.00 GB");
+  EXPECT_EQ(metrics::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(metrics::fmt(3.0, 0), "3");
+  EXPECT_EQ(metrics::fmt_bytes(20.0 * GB), "20.00 GB");
 }
 
 }  // namespace

@@ -1,0 +1,290 @@
+// The metrics/experiment layer: dotted-path extraction, per-case derived
+// ops and cross-case aggregations against hand-computed values, embedded
+// expectation checks, emitters, and the determinism contract (reports are
+// byte-identical for any --jobs and pinned by the committed
+// experiments/*.expected.json files).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/experiment.hpp"
+#include "metrics/result_json.hpp"
+#include "metrics/value_path.hpp"
+#include "util/json.hpp"
+
+#ifndef PCS_SOURCE_DIR
+#define PCS_SOURCE_DIR "."
+#endif
+
+namespace pcs::metrics {
+namespace {
+
+util::Json obj() { return util::Json{util::JsonObject{}}; }
+
+// --- value paths -----------------------------------------------------------
+
+TEST(ValuePath, ExtractsScalarsObjectsAndIndices) {
+  util::Json doc = util::Json::parse(R"json({
+    "makespan": 12.5,
+    "tasks": {"a0:task1": {"read_time": 3.0}},
+    "profile": [{"dirty": 1.0}, {"dirty": 2.0}, {"dirty": 4.0}]
+  })json");
+  EXPECT_EQ(extract_path(doc, "makespan").as_number(), 12.5);
+  EXPECT_EQ(extract_path(doc, "tasks.a0:task1.read_time").as_number(), 3.0);
+  EXPECT_EQ(extract_path(doc, "profile.1.dirty").as_number(), 2.0);
+}
+
+TEST(ValuePath, WildcardMapsOverArrays) {
+  util::Json doc = util::Json::parse(R"json({"profile": [{"d": 1}, {"d": 2}, {"d": 3}]})json");
+  util::Json column = extract_path(doc, "profile.*.d");
+  ASSERT_TRUE(column.is_array());
+  ASSERT_EQ(column.size(), 3u);
+  EXPECT_EQ(column.at(2).as_number(), 3.0);
+}
+
+TEST(ValuePath, NamesTheFailingSegment) {
+  util::Json doc = util::Json::parse(R"json({"tasks": {"t": {"x": 1}}, "arr": [1]})json");
+  EXPECT_THROW((void)extract_path(doc, "tasks.missing.x"), MetricsError);
+  EXPECT_THROW((void)extract_path(doc, "arr.7"), MetricsError);
+  EXPECT_THROW((void)extract_path(doc, "tasks.t.x.deeper"), MetricsError);
+  EXPECT_THROW((void)extract_path(doc, "makespan.*"), MetricsError);
+  EXPECT_TRUE(extract_path_or_null(doc, "tasks.missing.x").is_null());
+  try {
+    (void)extract_path(doc, "tasks.missing.x");
+    FAIL();
+  } catch (const MetricsError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+  }
+}
+
+// --- a tiny compute-only experiment with hand-computable outputs -----------
+//
+// Tasks with no files on a 1 Gflops host: makespan == cpu_seconds exactly,
+// so every derived value and aggregation can be checked by hand.
+
+util::Json compute_only_experiment() {
+  return util::Json::parse(R"json({
+    "name": "unit",
+    "sweep": {
+      "base": {
+        "name": "unit",
+        "platform": {"hosts": [
+          {"name": "n0", "speed_gflops": 1, "cores": 4, "ram": "8 GB",
+           "memory": {"read_bw_MBps": 1000, "write_bw_MBps": 1000},
+           "disks": [{"name": "d0", "read_bw_MBps": 100, "write_bw_MBps": 100}]}
+        ]},
+        "workload": {"type": "dag", "workflow": {
+          "tasks": [{"name": "t", "cpu_seconds": 1}]}}
+      },
+      "grid": [
+        {"labels": ["ref", "double"],
+         "values": [{"simulator": "wrench_cache"}, {"simulator": "wrench_cache"}]},
+        {"path": "workload.workflow.tasks.0.cpu_seconds",
+         "values": [10, 20, 30, 40, 100],
+         "labels": ["c10", "c20", "c30", "c40", "c100"]}
+      ]
+    },
+    "series": [
+      {"name": "cpu_s", "source": "case",
+       "path": "workload.workflow.tasks.0.cpu_seconds"},
+      {"name": "makespan", "path": "makespan"},
+      {"name": "missing", "path": "profile.17.dirty", "required": false}
+    ],
+    "derived": [
+      {"name": "twice", "op": "sum", "of": ["makespan", "makespan"]},
+      {"name": "err_vs_ref", "op": "rel_error_pct", "of": "makespan",
+       "reference": {"axis": 0, "label": "ref"}}
+    ],
+    "aggregations": [
+      {"name": "mean_makespan", "op": "mean", "of": ["makespan"], "group_by": 0},
+      {"name": "p50_makespan", "op": "percentile", "p": 50, "of": ["makespan"], "group_by": 0},
+      {"name": "max_makespan", "op": "max", "of": ["makespan"]},
+      {"name": "count", "op": "count", "of": ["makespan"]},
+      {"name": "fit", "op": "linear_fit", "x": "cpu_s", "y": "makespan", "group_by": 0},
+      {"name": "mean_err", "op": "mean", "of": ["err_vs_ref"], "group_by": 0}
+    ],
+    "expect": [
+      {"case": "ref,c10", "of": "makespan", "equals": 10, "tol": 1e-9},
+      {"aggregate": "fit", "group": "ref", "field": "slope", "equals": 1, "tol": 1e-9},
+      {"equal_cases": ["ref,c10", "double,c10"], "of": "makespan"}
+    ]
+  })json");
+}
+
+TEST(Experiment, HandComputedSeriesDerivedAndAggregations) {
+  ExperimentSpec spec = ExperimentSpec::parse(compute_only_experiment());
+  ExperimentReport report = run_experiment(spec);
+  EXPECT_TRUE(report.cases_ok);
+  EXPECT_TRUE(report.checks_ok);
+  const util::Json& doc = report.json;
+
+  // 2 x 5 grid in row-major order; values extracted per case.
+  ASSERT_EQ(doc.at("cases").size(), 10u);
+  const util::Json& first = doc.at("cases").at(0);
+  EXPECT_EQ(first.at("label").as_string(), "ref,c10");
+  EXPECT_EQ(first.at("values").at("makespan").as_number(), 10.0);
+  EXPECT_EQ(first.at("values").at("cpu_s").as_number(), 10.0);
+  EXPECT_TRUE(first.at("values").at("missing").is_null());
+  EXPECT_EQ(first.at("values").at("twice").as_number(), 20.0);
+  // Both grid rows run identical scenarios, so the error vs ref is 0.
+  EXPECT_EQ(doc.at("cases").at(5).at("label").as_string(), "double,c10");
+  EXPECT_EQ(doc.at("cases").at(5).at("values").at("err_vs_ref").as_number(), 0.0);
+
+  // Aggregations over {10, 20, 30, 40, 100} per group, hand-computed.
+  const util::Json& agg = doc.at("aggregates");
+  EXPECT_DOUBLE_EQ(agg.at("mean_makespan").at("ref").as_number(), 40.0);
+  EXPECT_DOUBLE_EQ(agg.at("p50_makespan").at("ref").as_number(), 30.0);
+  EXPECT_DOUBLE_EQ(agg.at("max_makespan").as_number(), 100.0);  // ungrouped pool
+  EXPECT_EQ(agg.at("count").as_number(), 10.0);
+  // makespan == cpu_seconds: a perfect y = x fit.
+  EXPECT_NEAR(agg.at("fit").at("ref").at("slope").as_number(), 1.0, 1e-12);
+  EXPECT_NEAR(agg.at("fit").at("ref").at("intercept").as_number(), 0.0, 1e-9);
+  EXPECT_NEAR(agg.at("fit").at("ref").at("r2").as_number(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(agg.at("mean_err").at("double").as_number(), 0.0);
+
+  // Every embedded expectation held.
+  for (const util::Json& check : doc.at("checks").as_array()) {
+    EXPECT_EQ(check.at("status").as_string(), "ok") << check.dump();
+  }
+}
+
+TEST(Experiment, RelativeErrorAggregationAgainstHandComputedValues) {
+  // Distinct cpu_seconds per grid row: errors are |sim - ref| / ref * 100.
+  util::Json spec_doc = util::Json::parse(R"json({
+    "name": "relerr",
+    "sweep": {
+      "base": {
+        "platform": {"hosts": [
+          {"name": "n0", "speed_gflops": 1, "cores": 4, "ram": "8 GB",
+           "memory": {"read_bw_MBps": 1000, "write_bw_MBps": 1000},
+           "disks": [{"name": "d0", "read_bw_MBps": 100, "write_bw_MBps": 100}]}
+        ]},
+        "workload": {"type": "dag", "workflow": {
+          "tasks": [{"name": "t", "cpu_seconds": 1}]}}
+      },
+      "grid": [
+        {"labels": ["ref", "sim"],
+         "values": [{"workload.workflow.tasks.0.cpu_seconds": 10},
+                    {"workload.workflow.tasks.0.cpu_seconds": 25}]}
+      ]
+    },
+    "series": [{"name": "makespan", "path": "makespan"}],
+    "derived": [{"name": "err", "op": "rel_error_pct", "of": "makespan",
+                 "reference": {"axis": 0, "label": "ref"}}],
+    "aggregations": [{"name": "mean_err", "op": "mean", "of": ["err"], "group_by": 0}]
+  })json");
+  ExperimentReport report = run_experiment(ExperimentSpec::parse(spec_doc));
+  ASSERT_TRUE(report.cases_ok);
+  // |25 - 10| / 10 * 100 = 150%.
+  EXPECT_DOUBLE_EQ(
+      report.json.at("aggregates").at("mean_err").at("sim").as_number(), 150.0);
+  EXPECT_DOUBLE_EQ(
+      report.json.at("aggregates").at("mean_err").at("ref").as_number(), 0.0);
+}
+
+TEST(Experiment, FailedExpectationsFlagTheReport) {
+  util::Json doc = compute_only_experiment();
+  util::Json bad = obj();
+  bad.set("case", "ref,c10").set("of", "makespan").set("equals", 11.0);
+  doc.as_object()["expect"] = util::Json{util::JsonArray{}}.push_back(bad);
+  ExperimentReport report = run_experiment(ExperimentSpec::parse(doc));
+  EXPECT_TRUE(report.cases_ok);
+  EXPECT_FALSE(report.checks_ok);
+  EXPECT_EQ(report.json.at("checks").at(0).at("status").as_string(), "FAIL");
+}
+
+TEST(Experiment, CaseErrorsAreCapturedNotFatal) {
+  util::Json doc = compute_only_experiment();
+  // Sabotage one case with an unknown simulator; the other cases survive.
+  util::Json& axis0 = doc.as_object()["sweep"].as_object()["grid"].as_array()[0];
+  axis0.as_object()["values"].as_array()[1] =
+      util::Json::parse(R"json({"simulator": "not_a_simulator"})json");
+  doc.as_object()["expect"] = util::Json{util::JsonArray{}};
+  // err_vs_ref (and the aggregations over it) would need the sabotaged row.
+  doc.as_object()["derived"] = util::Json{util::JsonArray{}};
+  doc.as_object()["aggregations"] = util::Json{util::JsonArray{}};
+  ExperimentReport report = run_experiment(ExperimentSpec::parse(doc));
+  EXPECT_FALSE(report.cases_ok);
+  const util::Json& cases = report.json.at("cases");
+  EXPECT_FALSE(cases.at(0).contains("error"));
+  EXPECT_TRUE(cases.at(5).contains("error"));
+  EXPECT_FALSE(cases.at(5).contains("values"));
+}
+
+TEST(Experiment, ParserRejectsMalformedSpecs) {
+  EXPECT_THROW((void)ExperimentSpec::parse(util::Json::parse(R"json({"name": "x"})json")),
+               MetricsError);  // no sweep
+  EXPECT_THROW((void)ExperimentSpec::parse(util::Json::parse(
+                   R"json({"sweep": {"base": {}, "cases": [{"overrides": {}}]}})json")),
+               MetricsError);  // no series
+  util::Json dup = compute_only_experiment();
+  dup.as_object()["series"].as_array()[1].set("name", "cpu_s");  // duplicate name
+  EXPECT_THROW((void)ExperimentSpec::parse(dup), MetricsError);
+}
+
+TEST(Experiment, ReportsAreByteIdenticalForAnyJobs) {
+  // The full determinism contract on a committed spec: jobs 1/4/8 produce
+  // the same bytes, and those bytes match the committed expected report.
+  ExperimentSpec spec = ExperimentSpec::from_file(std::string(PCS_SOURCE_DIR) +
+                                                  "/experiments/table1.json");
+  const std::string r1 = run_experiment(spec, {.jobs = 1}).json.dump(2);
+  const std::string r4 = run_experiment(spec, {.jobs = 4}).json.dump(2);
+  const std::string r8 = run_experiment(spec, {.jobs = 8}).json.dump(2);
+  EXPECT_EQ(r1, r4);
+  EXPECT_EQ(r1, r8);
+  const util::Json committed = util::Json::parse_file(std::string(PCS_SOURCE_DIR) +
+                                                      "/experiments/table1.expected.json");
+  EXPECT_EQ(r1, committed.dump(2));
+}
+
+TEST(Experiment, EmittersCoverScalarsAndArrays) {
+  ExperimentSpec spec = ExperimentSpec::parse(compute_only_experiment());
+  ExperimentReport report = run_experiment(spec);
+  const std::string csv = experiment_report_csv(report.json);
+  EXPECT_EQ(csv.substr(0, 5), "label");
+  EXPECT_NE(csv.find("\"ref,c10\",10,10"), std::string::npos);
+
+  // Gnuplot: array series become columns; build one from a profile run.
+  util::Json rep = obj();
+  rep.set("columns", util::Json::parse(R"json(["t", "dirty", "peak"])json"));
+  util::Json row = obj();
+  row.set("label", "case0");
+  row.set("values", util::Json::parse(R"json({"t": [0, 1], "dirty": [5, 6], "peak": 6})json"));
+  rep.set("cases", util::Json{util::JsonArray{}}.push_back(std::move(row)));
+  const std::string gp = experiment_report_gnuplot(rep);
+  EXPECT_NE(gp.find("# case: case0"), std::string::npos);
+  EXPECT_NE(gp.find("# peak = 6"), std::string::npos);
+  EXPECT_NE(gp.find("# columns: t dirty"), std::string::npos);
+  EXPECT_NE(gp.find("0 5"), std::string::npos);
+  EXPECT_NE(gp.find("1 6"), std::string::npos);
+}
+
+TEST(Experiment, ResultJsonProjectsAllSimulatedQuantities) {
+  scenario::RunResult result;
+  wf::TaskResult task;
+  task.name = "a0:task1";
+  task.start = 1.0;
+  task.read_start = 1.0;
+  task.read_end = 2.5;
+  task.compute_end = 4.0;
+  task.write_end = 6.0;
+  task.end = 6.0;
+  result.tasks.push_back(task);
+  result.makespan = 6.0;
+  result.wall_seconds = 123.0;  // host-dependent: must NOT appear
+  result.fair_share_solves = 7;
+  cache::CacheSnapshot snap;
+  snap.time = 2.0;
+  snap.per_file["a0:file1"] = 42.0;
+  result.profile.push_back(snap);
+
+  util::Json doc = result_to_json(result);
+  EXPECT_FALSE(doc.contains("wall_seconds"));
+  EXPECT_EQ(extract_path(doc, "tasks.a0:task1.read_time").as_number(), 1.5);
+  EXPECT_EQ(extract_path(doc, "tasks.a0:task1.write_time").as_number(), 2.0);
+  EXPECT_EQ(extract_path(doc, "fair_share_solves").as_number(), 7.0);
+  EXPECT_EQ(extract_path(doc, "profile.0.per_file.a0:file1").as_number(), 42.0);
+}
+
+}  // namespace
+}  // namespace pcs::metrics

@@ -6,6 +6,7 @@
 // including through the sweep subsystem.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -15,6 +16,7 @@
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
+#include "tracelog/anonymize.hpp"
 #include "tracelog/recorder.hpp"
 #include "tracelog/task_log.hpp"
 #include "workload/workload.hpp"
@@ -322,6 +324,171 @@ TEST(TraceReplay, ParserAndValidatorRejectMalformedLogs) {
       "{\"rec\":\"workflow\",\"id\":0,\"label\":\"a\",\"service\":\"\",\"submit\":0}\n"
       "{\"rec\":\"task\",\"wf\":0,\"name\":\"t\",\"flops\":1,\"deps\":[\"ghost\"]}\n");
   EXPECT_THROW(dep.validate(), TraceError);
+}
+
+TEST(TraceReplay, BackgroundFlushTrafficIsRecordedAsServiceIo) {
+  // A write-heavy cached pipeline: the page-cache flusher must appear in
+  // the log as service-attributed "flush" io records with no issuing task —
+  // and observing it must not change the simulation (the closed loop stays
+  // bit-identical).
+  util::Json doc = obj();
+  doc.set("name", "flushy");
+  doc.set("platform", node_platform());
+  doc.set("workload",
+          obj().set("type", "synthetic").set("input_size", "8 GB").set("instances", 1));
+  ClosedLoop loop = record_to_file(doc, "flush");
+
+  std::size_t flush_records = 0;
+  for (const tracelog::TraceIoEvent& event : loop.log.io_events) {
+    if (event.op != "flush") continue;
+    ++flush_records;
+    EXPECT_EQ(event.service, "store");
+    EXPECT_TRUE(event.task.empty()) << "flush traffic is service-attributed, not task-issued";
+    EXPECT_GT(event.bytes, 0.0);
+    EXPECT_GE(event.end, event.start);
+  }
+  // 8 GB of dirty data against a 32 GB node (dirty_ratio 20% = 6.4 GB)
+  // forces demand flushing during the writes.
+  EXPECT_GT(flush_records, 0u);
+
+  RunResult replayed = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  expect_bit_identical(replayed, loop.original);
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceReplay, BurstBufferDrainTrafficIsRecordedAsServiceIo) {
+  ScenarioSpec spec = ScenarioSpec::from_file(std::string(PCS_SOURCE_DIR) +
+                                              "/scenarios/burst_buffer.json");
+  tracelog::TaskLogRecorder recorder(nullptr, /*keep_in_memory=*/true);
+  RunOptions options;
+  options.recorder = &recorder;
+  RunResult recorded = run_scenario(spec, options);
+  RunResult unrecorded = run_scenario(spec);
+  expect_bit_identical(recorded, unrecorded);
+
+  std::size_t drains = 0;
+  for (const tracelog::TraceIoEvent& event : recorder.log().io_events) {
+    if (event.op != "drain") continue;
+    ++drains;
+    EXPECT_EQ(event.service, "bb");
+    EXPECT_TRUE(event.task.empty());
+    EXPECT_GT(event.bytes, 0.0);
+  }
+  // One drain record per configured drain file.
+  EXPECT_EQ(drains, 8u);
+}
+
+TEST(TraceReplay, PerTaskChunkSizeSurvivesTheClosedLoop) {
+  // A DAG mixing I/O granularities (the block-merge ablation's pattern):
+  // the per-task chunk_size must be recorded and replayed bit-identically.
+  util::Json doc = obj();
+  doc.set("name", "chunky");
+  doc.set("platform", node_platform());
+  doc.set("workload", obj().set("type", "dag").set("workflow", util::Json::parse(R"json({
+    "tasks": [
+      {"name": "cold", "cpu_seconds": 1, "chunk_size": "16 MB",
+       "inputs": [{"name": "data", "size": "2 GB"}]},
+      {"name": "warm", "cpu_seconds": 1, "chunk_size": "160 MB",
+       "inputs": [{"name": "data", "size": "2 GB"}]}
+    ],
+    "dependencies": [{"parent": "cold", "child": "warm"}]
+  })json")));
+  ClosedLoop loop = record_to_file(doc, "chunk");
+  ASSERT_EQ(loop.log.workflows.size(), 1u);
+  EXPECT_EQ(loop.log.workflows[0].tasks[0].chunk_size, 16.0e6);
+  EXPECT_EQ(loop.log.workflows[0].tasks[1].chunk_size, 160.0e6);
+  RunResult replayed = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  expect_bit_identical(replayed, loop.original);
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceReplay, AnonymizeStripsNamesAndQuantizesSizes) {
+  ClosedLoop loop = record_to_file(nighres_doc(), "anon");
+  tracelog::TaskLog anon = loop.log;
+  tracelog::anonymize(anon);
+  anon.validate();
+  EXPECT_TRUE(anon.anonymized);
+  EXPECT_EQ(anon.scenario, "anonymized");
+
+  // Same shape, no original names, quantized sizes.
+  ASSERT_EQ(anon.workflows.size(), loop.log.workflows.size());
+  EXPECT_EQ(anon.task_count(), loop.log.task_count());
+  auto is_power_of_two = [](double v) {
+    return v > 0.0 && std::exp2(std::round(std::log2(v))) == v;
+  };
+  for (const tracelog::TraceWorkflow& wf : anon.workflows) {
+    EXPECT_EQ(wf.label, "w" + std::to_string(wf.id));
+    for (const tracelog::TraceTaskDecl& task : wf.tasks) {
+      EXPECT_EQ(task.name.find("skull"), std::string::npos);
+      EXPECT_EQ(task.name.rfind(wf.label + ":t", 0), 0u) << task.name;
+      for (const wf::FileSpec& f : task.inputs) {
+        EXPECT_EQ(f.name[0], 'f') << f.name;
+        EXPECT_TRUE(is_power_of_two(f.size)) << f.size;
+      }
+    }
+  }
+  // Timings and structure are untouched: the DAG still replays, and the
+  // replay is run-to-run deterministic (bit-identical twice).
+  EXPECT_EQ(anon.recorded_makespan, loop.log.recorded_makespan);
+  const std::string anon_path = temp_log_path("anon_out");
+  anon.save_file(anon_path);
+  util::Json replay_doc = anon.source_scenario;
+  EXPECT_FALSE(replay_doc.contains("workload"));  // original names scrubbed
+  replay_doc.set("workload", obj().set("type", "trace").set("file", anon_path));
+  RunResult first = run_scenario(ScenarioSpec::parse(replay_doc));
+  RunResult second = run_scenario(ScenarioSpec::parse(replay_doc));
+  expect_bit_identical(second, first);
+  EXPECT_GT(first.makespan, 0.0);
+  // File-derived dependencies survive renaming: the chained pipeline still
+  // executes sequentially per instance, so task count matches.
+  EXPECT_EQ(first.tasks.size(), loop.original.tasks.size());
+  std::remove(loop.log_path.c_str());
+  std::remove(anon_path.c_str());
+}
+
+TEST(TraceReplay, AnonymizeScrubsFileNamesInsideServiceSpecs) {
+  // A burst buffer's drain set names workload files inside the *service*
+  // spec; anonymization must route those through the same rename table —
+  // otherwise the embedded scenario leaks the names it just stripped, and
+  // replay dies in validate_workload_files (no drain target would match
+  // the renamed workload).
+  ScenarioSpec spec = ScenarioSpec::from_file(std::string(PCS_SOURCE_DIR) +
+                                              "/scenarios/burst_buffer.json");
+  tracelog::TaskLogRecorder recorder(nullptr, /*keep_in_memory=*/true);
+  RunOptions options;
+  options.recorder = &recorder;
+  run_scenario(spec, options);
+  tracelog::TaskLog anon = recorder.log();
+  tracelog::anonymize(anon);
+  anon.validate();
+
+  const util::Json& drain_files =
+      anon.source_scenario.at("services").at(0).at("drain_files");
+  ASSERT_EQ(drain_files.size(), 8u);
+  for (const util::Json& name : drain_files.as_array()) {
+    EXPECT_EQ(name.as_string().find("file4"), std::string::npos) << name.as_string();
+    EXPECT_EQ(name.as_string()[0], 'f');
+  }
+  // The anonymized log replays: drain targets resolve against the renamed
+  // workload files and the burst-buffer run completes.
+  const std::string anon_path = temp_log_path("anon_bb");
+  anon.save_file(anon_path);
+  util::Json replay_doc = anon.source_scenario;
+  replay_doc.set("workload", obj().set("type", "trace").set("file", anon_path));
+  RunResult replayed = run_scenario(ScenarioSpec::parse(replay_doc));
+  EXPECT_GT(replayed.makespan, 0.0);
+  EXPECT_EQ(replayed.tasks.size(), 24u);  // 8 instances x 3 tasks
+  std::remove(anon_path.c_str());
+}
+
+TEST(TraceReplay, QuantizeSizeRoundsUpToPowersOfTwo) {
+  EXPECT_EQ(tracelog::quantize_size(0.0), 0.0);
+  EXPECT_EQ(tracelog::quantize_size(-5.0), 0.0);
+  EXPECT_EQ(tracelog::quantize_size(1.0), 1.0);
+  EXPECT_EQ(tracelog::quantize_size(3.0), 4.0);
+  EXPECT_EQ(tracelog::quantize_size(1024.0), 1024.0);
+  EXPECT_EQ(tracelog::quantize_size(1025.0), 2048.0);
+  EXPECT_EQ(tracelog::quantize_size(2.0e9), std::exp2(31.0));
 }
 
 TEST(TraceReplay, RecorderGuardsItsLifecycle) {

@@ -24,14 +24,17 @@
 //       traffic) to --out.  Recording never changes simulated times.
 //       --anonymize strips workflow/file names and quantizes sizes so the
 //       log can be shared (see tracelog/anonymize.hpp).
-//   pcs_cli experiment <spec.json> [--jobs N] [--json|--csv|--gnuplot]
-//       [--list] [--check] [--update]
+//   pcs_cli experiment <spec.json> [--jobs N] [--filter LABEL]
+//       [--json|--csv|--gnuplot] [--list] [--check] [--update]
 //       Run a declarative experiment (experiments/*.json: a sweep plus
 //       series/aggregation/expectation definitions — the layer that
 //       replaced the per-figure bench binaries).  Reports contain only
 //       simulated quantities, so they are byte-identical for any --jobs;
 //       --check diffs against the committed <spec>.expected.json and
 //       --update regenerates it.  Exits 1 on failed embedded expectations.
+//       --filter LABEL runs only the cases whose label contains LABEL
+//       (checks naming filtered-out cases are skipped; incompatible with
+//       --check/--update, which need the full report).
 //   pcs_cli replay <log.jsonl> [--platform P] [--scale S] [--load N]
 //       [--json] [--check]
 //       Replay a recorded log as a "trace" workload, by default on the
@@ -115,8 +118,8 @@ void usage(std::ostream& out) {
          "  replay <log.jsonl> [--platform FILE] [--scale S] [--load N] [--json] [--check]\n"
          "  trace-info <log.jsonl> [--json]\n"
          "  sweep <sweep.json> [--jobs N] [--json|--csv] [--list]\n"
-         "  experiment <spec.json> [--jobs N] [--json|--csv|--gnuplot] [--list]\n"
-         "             [--check] [--update]\n"
+         "  experiment <spec.json> [--jobs N] [--filter LABEL] [--json|--csv|--gnuplot]\n"
+         "             [--list] [--check] [--update]\n"
          "  smoke <scenarios-dir> <record.json> [--update] [--tolerance REL]\n"
          "  dump-preset <reference|wrench|wrench_cache|prototype> [--nfs] [--nighres]\n"
          "              [--instances N]\n"
@@ -580,6 +583,7 @@ int cmd_experiment(const std::vector<std::string>& args) {
   bool list_only = false;
   bool check = false;
   bool update = false;
+  std::string filter;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--jobs") {
@@ -587,6 +591,10 @@ int cmd_experiment(const std::vector<std::string>& args) {
       if (!parse_int(args[i], &jobs) || jobs < 0) {
         return usage_error("--jobs: '" + args[i] + "' is not a non-negative integer");
       }
+    } else if (arg == "--filter") {
+      if (++i >= args.size()) return usage_error("--filter needs an argument");
+      filter = args[i];
+      if (filter.empty()) return usage_error("--filter needs a non-empty label substring");
     } else if (arg == "--json") {
       as_json = true;
     } else if (arg == "--csv") {
@@ -612,15 +620,25 @@ int cmd_experiment(const std::vector<std::string>& args) {
     return usage_error("experiment: pick one of --json / --csv / --gnuplot");
   }
   if (check && update) return usage_error("experiment: pick one of --check / --update");
+  if (!filter.empty() && (check || update)) {
+    // A filtered report covers a slice of the cases; it can never match the
+    // full committed report and must never overwrite it.
+    return usage_error("experiment: --filter cannot be combined with --check / --update");
+  }
 
   metrics::ExperimentSpec spec = metrics::ExperimentSpec::from_file(spec_path);
   if (list_only) {
-    for (const scenario::SweepCase& c : spec.sweep.expand()) std::cout << c.label << "\n";
+    for (const scenario::SweepCase& c : spec.sweep.expand()) {
+      if (filter.empty() || c.label.find(filter) != std::string::npos) {
+        std::cout << c.label << "\n";
+      }
+    }
     return 0;
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
-  metrics::ExperimentReport report = metrics::run_experiment(spec, {.jobs = jobs});
+  metrics::ExperimentReport report =
+      metrics::run_experiment(spec, {.jobs = jobs, .filter = filter});
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   const std::string report_text = report.json.dump(2) + "\n";

@@ -300,7 +300,10 @@ util::Json evaluate_check(const util::Json& check, const std::vector<CaseData>& 
       what = "equal_cases of '" + series + "'";
       row.set("check", what);
       double first = 0.0;
+      // Absolute tolerance plus an optional percentage of the first value:
+      // "tol_pct": 0.5 allows 0.5% drift between cases.
       const double tol = check.number_or("tol", 1e-9);
+      const double tol_pct = check.number_or("tol_pct", 0.0);
       util::Json values{util::JsonArray{}};
       for (std::size_t i = 0; i < labels.size(); ++i) {
         const std::string& label = labels.at(i).as_string();
@@ -312,7 +315,7 @@ util::Json evaluate_check(const util::Json& check, const std::vector<CaseData>& 
         values.push_back(v);
         if (i == 0) {
           first = v;
-        } else if (std::fabs(v - first) > tol) {
+        } else if (std::fabs(v - first) > tol + std::fabs(first) * tol_pct / 100.0) {
           fail("case '" + label + "' diverges");
         }
       }
@@ -355,10 +358,13 @@ util::Json evaluate_check(const util::Json& check, const std::vector<CaseData>& 
     row.set("got", got);
     const double v = as_scalar(got, what);
     const double tol = check.number_or("tol", 1e-6);
+    const double tol_pct = check.number_or("tol_pct", 0.0);
     if (check.contains("equals")) {
       const double want = check.at("equals").as_number();
       row.set("want", want);
-      if (std::fabs(v - want) > tol) fail("expected " + util::Json(want).dump());
+      if (std::fabs(v - want) > tol + std::fabs(want) * tol_pct / 100.0) {
+        fail("expected " + util::Json(want).dump());
+      }
     }
     if (check.contains("min")) {
       const double want = check.at("min").as_number();
@@ -503,9 +509,16 @@ std::string ExperimentSpec::expected_path_for(const std::string& spec_path) {
 }
 
 ExperimentReport run_experiment(const ExperimentSpec& spec, const ExperimentOptions& options) {
-  const std::vector<scenario::SweepCase> expanded = spec.sweep.expand();
+  std::vector<scenario::SweepCase> expanded = spec.sweep.expand();
+  if (!options.filter.empty()) {
+    // Mirror run_sweep's slice so `expanded` stays index-parallel with the
+    // results below.
+    std::erase_if(expanded, [&](const scenario::SweepCase& c) {
+      return c.label.find(options.filter) == std::string::npos;
+    });
+  }
   const std::vector<scenario::SweepCaseResult> results =
-      scenario::run_sweep(spec.sweep, {.jobs = options.jobs});
+      scenario::run_sweep(spec.sweep, {.jobs = options.jobs, .filter = options.filter});
 
   ExperimentReport report;
   std::vector<CaseData> cases(expanded.size());
@@ -555,8 +568,31 @@ ExperimentReport run_experiment(const ExperimentSpec& spec, const ExperimentOpti
   if (!spec.aggregations.empty()) doc.set("aggregates", aggregates);
 
   if (!spec.expect.empty()) {
+    // Under --filter, a check naming a case outside the slice is skipped
+    // (not failed): the slice is for iterating on a subset, and the full
+    // expect table still gates unfiltered runs.
+    auto filtered_out = [&](const util::Json& check) {
+      if (options.filter.empty()) return false;
+      if (check.contains("case")) {
+        return case_by_label.count(check.at("case").as_string()) == 0;
+      }
+      if (check.contains("equal_cases")) {
+        for (const util::Json& label : check.at("equal_cases").as_array()) {
+          if (case_by_label.count(label.as_string()) == 0) return true;
+        }
+      }
+      return false;
+    };
     util::Json checks{util::JsonArray{}};
     for (const util::Json& check : spec.expect) {
+      if (filtered_out(check)) {
+        util::Json row{util::JsonObject{}};
+        row.set("check", check.dump());
+        row.set("status", "skipped");
+        row.set("why", "references a case outside --filter '" + options.filter + "'");
+        checks.push_back(std::move(row));
+        continue;
+      }
       checks.push_back(
           evaluate_check(check, cases, case_by_label, aggregates, &report.checks_ok));
     }

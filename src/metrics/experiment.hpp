@@ -111,6 +111,10 @@ struct ExperimentReport {
 
 struct ExperimentOptions {
   int jobs = 1;  ///< sweep thread pool size (report bytes are jobs-invariant)
+  /// Non-empty: run only the sweep cases whose label contains this
+  /// substring.  Expect entries that reference a filtered-out case are
+  /// reported as "skipped", not failed; aggregates cover the slice only.
+  std::string filter;
 };
 
 /// Run every case of the spec's sweep, evaluate series/derived/aggregations

@@ -26,6 +26,10 @@ util::Json result_to_json(const scenario::RunResult& result) {
   doc.set("fair_share_solves", static_cast<unsigned long>(result.fair_share_solves));
   doc.set("same_time_points", static_cast<unsigned long>(result.same_time_points));
   doc.set("task_count", static_cast<unsigned long>(result.tasks.size()));
+  doc.set("completed_tasks", static_cast<unsigned long>(result.tasks.size()));
+  doc.set("failed_tasks", static_cast<unsigned long>(result.failed.size()));
+  doc.set("retried_tasks", static_cast<unsigned long>(result.retried_tasks));
+  doc.set("disruptions_fired", static_cast<unsigned long>(result.disruptions_fired));
   doc.set("mean_instance_read_time", result.mean_instance_read_time());
   doc.set("mean_instance_write_time", result.mean_instance_write_time());
   doc.set("final_active_blocks", static_cast<unsigned long>(result.final_active_blocks));

@@ -284,7 +284,7 @@ sim::Task<> MemoryManager::periodic_flush_loop() {
   // dirty_background_ratio extension enabled, the loop additionally writes
   // back down to the background threshold (kernel behaviour the paper's
   // model omits).
-  while (true) {
+  while (!stop_flush_) {
     const double start = engine_.now();
     co_await flush_expired_blocks();
     if (params_.dirty_background_ratio > 0.0) {
@@ -309,6 +309,14 @@ void MemoryManager::drop_file(const std::string& file) {
       }
     }
   }
+  PCS_CHECK_INVARIANTS(check_invariants());
+}
+
+void MemoryManager::drop_cache() {
+  for (LruList* list : {&inactive_, &active_}) {
+    while (!list->empty()) list->erase(list->begin());
+  }
+  anonymous_ = 0.0;
   PCS_CHECK_INVARIANTS(check_invariants());
 }
 

@@ -145,6 +145,11 @@ class MemoryManager {
   /// Spawn the periodical-flush daemon actor on the engine.
   void start_periodic_flush(const std::string& actor_name = "periodic-flush");
 
+  /// Ask the periodic flusher to exit at its next wakeup (service_remove
+  /// drains the service: the in-flight writeback finishes, then the daemon
+  /// stops).  Irreversible for this manager.
+  void stop_periodic_flush() { stop_flush_ = true; }
+
   /// Observe every writeback this manager issues (demand flushing, the
   /// periodic flusher, fsync) as an "flush" background-I/O event.
   void set_io_observer(IoObserver observer) { io_observer_ = std::move(observer); }
@@ -154,6 +159,13 @@ class MemoryManager {
   /// Invalidate every cached block of `file` (file deletion/truncation).
   /// Dirty bytes are discarded without writeback, like a removed file.
   void drop_file(const std::string& file);
+
+  /// Model a host crash: both LRU lists are emptied (dirty blocks discarded
+  /// without writeback — the data that was only in memory is lost) and all
+  /// anonymous memory is released (the applications holding it died with
+  /// the host; cancelled tasks never reach release_anonymous).  A restarted
+  /// host starts with a stone-cold cache.
+  void drop_cache();
 
   [[nodiscard]] CacheSnapshot snapshot() const;
 
@@ -185,6 +197,7 @@ class MemoryManager {
   LruList inactive_;
   LruList active_;
   std::uint64_t block_seq_ = 1;
+  bool stop_flush_ = false;
 };
 
 }  // namespace pcs::cache

@@ -13,8 +13,14 @@
 namespace pcs::scenario {
 
 struct RunResult {
-  std::vector<wf::TaskResult> tasks;
+  std::vector<wf::TaskResult> tasks;  ///< completed tasks only
   std::vector<cache::CacheSnapshot> profile;
+  /// Tasks that permanently failed (out of attempts, resubmission disabled,
+  /// or unreachable behind a failed ancestor).  Non-empty only for
+  /// on_task_failure: "continue" runs — "fail" turns these into an error.
+  std::vector<wf::FailedTask> failed;
+  std::size_t retried_tasks = 0;     ///< tasks that consumed > 1 attempt
+  std::size_t disruptions_fired = 0; ///< timeline entries the driver fired
   double makespan = 0.0;
   double wall_seconds = 0.0;  ///< host wall-clock spent simulating (Fig 8)
   cache::CacheSnapshot final_state;  ///< cache state at the makespan (cached modes)

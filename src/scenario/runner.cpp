@@ -1,6 +1,8 @@
 #include "scenario/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <functional>
 #include <map>
 #include <set>
 #include <tuple>
@@ -93,6 +95,28 @@ RunResult run_prototype(const ScenarioSpec& spec) {
   return result;
 }
 
+/// One entry of the expanded disruption timeline: "events" in firing order,
+/// with host_crash restart_at unfolded into its own host_restart entry.
+struct TimelineEntry {
+  double time = 0.0;
+  std::string action;  ///< event type, or "host_restart"
+  const DisruptionEvent* event = nullptr;
+};
+
+/// Everything the disruption driver needs, borrowed from run_scenario's
+/// frame (which outlives the simulation it runs).
+struct DriverContext {
+  const ScenarioSpec* spec = nullptr;
+  wf::Simulation* sim = nullptr;
+  storage::ServiceContext* service_ctx = nullptr;
+  std::map<std::string, storage::StorageService*>* services = nullptr;
+  std::vector<wf::ComputeService*>* compute_order = nullptr;
+  const std::function<wf::ComputeService*(const std::string&)>* compute_for = nullptr;
+  tracelog::TaskLogRecorder* recorder = nullptr;
+  std::vector<TimelineEntry> timeline;  ///< sorted by (time, declaration order)
+  std::size_t fired = 0;
+};
+
 sim::Task<> delayed_submit(sim::Engine& engine, wf::ComputeService* cs, wf::Workflow* workflow,
                            double arrival, storage::StorageService* warm_service,
                            tracelog::TaskLogRecorder* recorder, std::string label,
@@ -115,6 +139,122 @@ sim::Task<> delayed_submit(sim::Engine& engine, wf::ComputeService* cs, wf::Work
   }
 }
 
+/// Execute one timeline entry.  Synchronous: every action completes before
+/// the driver suspends again, and cancelled actors are destroyed by the
+/// engine right after the driver yields (deferred group cancellation), so
+/// crash bookkeeping always sees the pre-destruction state.
+void fire_event(DriverContext& d, const TimelineEntry& entry) {
+  sim::Engine& engine = d.sim->engine();
+  const DisruptionEvent& ev = *entry.event;
+  ++d.fired;
+  if (d.recorder != nullptr) {
+    tracelog::TraceDisruption rec;
+    rec.type = entry.action;
+    rec.time = engine.now();
+    if (entry.action == "host_crash" || entry.action == "host_restart") {
+      rec.target = ev.host;
+    } else if (entry.action == "tenant_arrival") {
+      rec.target = ev.prefix;
+    } else {
+      rec.target = ev.service;
+    }
+    if (entry.action == "service_degrade") rec.factor = ev.factor;
+    d.recorder->record_disruption(rec);
+  }
+
+  if (entry.action == "host_crash") {
+    // Mark every actor of the host for destruction (effective once we
+    // suspend), then let the services account for the damage: compute
+    // services turn in-flight work into aborted attempts, storage services
+    // on the host lose their page cache.
+    engine.cancel_group("host:" + ev.host);
+    for (wf::ComputeService* cs : *d.compute_order) {
+      if (cs->host().name() == ev.host) cs->crash();
+    }
+    for (auto& [name, service] : *d.services) service->on_host_crash(ev.host);
+  } else if (entry.action == "host_restart") {
+    for (wf::ComputeService* cs : *d.compute_order) {
+      if (cs->host().name() == ev.host) cs->restart();
+    }
+  } else if (entry.action == "service_degrade" || entry.action == "service_restore") {
+    const double factor = entry.action == "service_degrade" ? ev.factor : 1.0;
+    auto it = d.services->find(ev.service);
+    if (it == d.services->end()) {
+      throw ScenarioError(entry.action + ": service '" + ev.service + "' was removed");
+    }
+    if (!it->second->degrade_bandwidth(factor)) {
+      throw ScenarioError(entry.action + ": service '" + ev.service +
+                          "' does not support bandwidth degradation");
+    }
+  } else if (entry.action == "service_add") {
+    storage::StorageService* service = storage::ServiceRegistry::instance().build(
+        ev.service_spec.at("type").as_string(), *d.service_ctx, ev.service_spec);
+    (*d.services)[ev.service] = service;
+    if (d.recorder != nullptr) {
+      tracelog::TaskLogRecorder* recorder = d.recorder;
+      const std::string service_name = ev.service;
+      service->set_background_io_observer(
+          [recorder, service_name](const std::string& op, const std::string& file,
+                                   double bytes, double start, double end) {
+            recorder->record_io({op, file, bytes, start, end, service_name, ""});
+          });
+    }
+  } else if (entry.action == "service_remove") {
+    auto it = d.services->find(ev.service);
+    if (it == d.services->end()) {
+      throw ScenarioError("service_remove: service '" + ev.service + "' was already removed");
+    }
+    // Drain, don't destroy: the object stays owned by the Simulation (live
+    // probes or in-flight transfers stay valid), but its background daemons
+    // stop and the name disappears from the service map.
+    it->second->quiesce();
+    d.services->erase(it);
+  } else if (entry.action == "tenant_arrival") {
+    std::vector<workload::WorkloadInstance> instances =
+        workload::build_workload(*d.sim, ev.workload, ev.prefix, d.spec->base_dir);
+    for (const workload::WorkloadInstance& instance : instances) {
+      const std::string service_name =
+          instance.service.empty() ? d.spec->default_service : instance.service;
+      wf::ComputeService* cs = (*d.compute_for)(service_name);
+      storage::StorageService* warm =
+          d.spec->warm_inputs ? d.services->at(service_name) : nullptr;
+      if (instance.arrival <= 0.0) {
+        if (d.recorder != nullptr) {
+          d.recorder->record_workflow(*instance.workflow, instance.label, service_name,
+                                      engine.now());
+        }
+        cs->submit(*instance.workflow);
+        if (warm != nullptr) {
+          for (const wf::FileSpec& input : instance.workflow->external_inputs()) {
+            warm->warm_file(input.name);
+            if (d.recorder != nullptr) {
+              d.recorder->record_io({"warm", input.name, warm->file_size(input.name),
+                                     engine.now(), engine.now(), service_name, ""});
+            }
+          }
+        }
+      } else {
+        // The instance's arrival is relative to the tenant's arrival event.
+        engine.spawn("submit:" + instance.label,
+                     delayed_submit(engine, cs, instance.workflow,
+                                    engine.now() + instance.arrival, warm, d.recorder,
+                                    instance.label, service_name));
+      }
+    }
+  }
+}
+
+/// The driver actor: sleeps to each timeline entry's virtual time and fires
+/// it.  A non-daemon root — a scenario's disruption timeline is part of the
+/// workload, so the simulation stays open until the last event (e.g. a
+/// restart that revives stranded work).
+sim::Task<> disruption_driver(DriverContext* d) {
+  for (const TimelineEntry& entry : d->timeline) {
+    co_await d->sim->engine().sleep_until(entry.time);
+    fire_event(*d, entry);
+  }
+}
+
 }  // namespace
 
 RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
@@ -127,7 +267,10 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     return run_prototype(spec);
   }
   tracelog::TaskLogRecorder* recorder = options.recorder;
-  if (recorder != nullptr) recorder->begin(spec.name, spec.simulator, spec.to_json());
+  // begin() is deferred until setup (service builders, workload generators)
+  // has succeeded: a spec that throws mid-setup must not leave the recorder
+  // half-begun or its stream with a stray header (the sweep runner reuses
+  // the process for the next case).
 
   const auto wall_start = WallClock::now();
   wf::Simulation sim;
@@ -172,7 +315,8 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   plat::Host* compute_host = sim.platform().host(spec.compute_host);
   std::map<std::string, wf::ComputeService*> compute_by_service;
   std::vector<wf::ComputeService*> compute_order;
-  auto compute_for = [&](const std::string& name) -> wf::ComputeService* {
+  const std::function<wf::ComputeService*(const std::string&)> compute_for =
+      [&](const std::string& name) -> wf::ComputeService* {
     auto it = compute_by_service.find(name);
     if (it != compute_by_service.end()) return it->second;
     auto svc = services.find(name);
@@ -182,6 +326,8 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     wf::ComputeService* cs =
         sim.create_compute_service(*compute_host, *svc->second, spec.chunk_size);
     if (recorder != nullptr) cs->set_recorder(recorder, name);
+    cs->set_retry_policy(spec.retry);
+    cs->set_fail_fast(spec.on_task_failure == "fail");
     compute_by_service[name] = cs;
     compute_order.push_back(cs);
     return cs;
@@ -206,6 +352,11 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     }
   }
   for (const auto& [name, service] : services) service->validate_workload_files(workload_files);
+
+  // Setup succeeded — only now does the recorder learn about the run
+  // (error-path hygiene: a throw above leaves it pristine for the next
+  // case).  Nothing records before the submissions below.
+  if (recorder != nullptr) recorder->begin(spec.name, spec.simulator, spec.to_json());
 
   // (service, service name, file) entries to warm after every immediate
   // submission.
@@ -242,11 +393,52 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     }
   }
 
+  // Disruption timeline: expand host_crash restart_at into host_restart
+  // entries, order by (time, declaration order), and spawn the driver as
+  // the last root actor (fixed spawn order keeps runs bit-identical).
+  DriverContext driver;
+  driver.spec = &spec;
+  driver.sim = &sim;
+  driver.service_ctx = &ctx;
+  driver.services = &services;
+  driver.compute_order = &compute_order;
+  driver.compute_for = &compute_for;
+  driver.recorder = recorder;
+  for (const DisruptionEvent& event : spec.events) {
+    driver.timeline.push_back({event.time, event.type, &event});
+    if (event.type == "host_crash" && event.restart_at >= 0.0) {
+      driver.timeline.push_back({event.restart_at, "host_restart", &event});
+    }
+  }
+  std::stable_sort(driver.timeline.begin(), driver.timeline.end(),
+                   [](const TimelineEntry& a, const TimelineEntry& b) { return a.time < b.time; });
+  if (!driver.timeline.empty()) {
+    sim.engine().spawn("disruption-driver", disruption_driver(&driver));
+  }
+
   sim.run();
 
   RunResult result;
   for (wf::ComputeService* cs : compute_order) {
     for (const wf::TaskResult& r : cs->results()) result.tasks.push_back(r);
+    for (wf::FailedTask& f : cs->failed_tasks()) result.failed.push_back(std::move(f));
+    result.retried_tasks += cs->retried_task_count();
+  }
+  result.disruptions_fired = driver.fired;
+  if (spec.on_task_failure == "fail" && !result.failed.empty()) {
+    // Normally the executor already threw; this covers tasks that failed
+    // while their host was down with no restart to detect it.  Prefer a
+    // root cause (a task that actually ran) over cascaded descendants.
+    const wf::FailedTask* culprit = &result.failed.front();
+    for (const wf::FailedTask& f : result.failed) {
+      if (f.attempts > 0) {
+        culprit = &f;
+        break;
+      }
+    }
+    throw ScenarioError("task '" + culprit->name + "' failed permanently after " +
+                        std::to_string(culprit->attempts) +
+                        " attempt(s) (on_task_failure: fail)");
   }
   if (probe != nullptr) {
     probe->sample_now();  // closing sample at the makespan

@@ -129,6 +129,98 @@ ScenarioSpec ScenarioSpec::parse(const util::Json& doc, const std::string& base_
   }
   spec.warm_inputs = doc.bool_or("warm_inputs", default_is_nfs);
   spec.solve_batching = doc.bool_or("solve_batching", true);
+
+  if (doc.contains("retry")) {
+    const util::Json& r = doc.at("retry");
+    spec.has_retry = true;
+    spec.retry.max_attempts = static_cast<int>(r.number_or("max_attempts", 1.0));
+    spec.retry.backoff = r.number_or("backoff", 0.0);
+    spec.retry.backoff_factor = r.number_or("backoff_factor", 2.0);
+    spec.retry.resubmit_on_crash = r.bool_or("resubmit_on_crash", true);
+    if (spec.retry.max_attempts < 1) throw ScenarioError("retry.max_attempts must be >= 1");
+    if (spec.retry.backoff < 0.0 || spec.retry.backoff_factor <= 0.0) {
+      throw ScenarioError("retry backoff values must be non-negative");
+    }
+  }
+  spec.on_task_failure = doc.string_or("on_task_failure", "fail");
+  if (spec.on_task_failure != "fail" && spec.on_task_failure != "continue") {
+    throw ScenarioError("on_task_failure must be \"fail\" or \"continue\"");
+  }
+
+  if (doc.contains("events")) {
+    std::set<std::string> hosts;
+    for (const util::Json& h : spec.platform.at("hosts").as_array()) {
+      hosts.insert(h.at("name").as_string());
+    }
+    // Service names the timeline knows at each point: declared ones plus
+    // earlier service_add events, minus earlier removals.  Events are
+    // validated in declaration order; the runner fires them sorted by time
+    // (declaration order breaking ties), so declaring them time-sorted is
+    // the readable convention.
+    std::set<std::string> live_services = names;
+    for (const util::Json& e : doc.at("events").as_array()) {
+      DisruptionEvent event;
+      event.type = e.at("type").as_string();
+      event.time = e.number_or("time", 0.0);
+      if (event.time < 0.0) {
+        throw ScenarioError("event '" + event.type + "': time must be non-negative");
+      }
+      if (event.type == "host_crash") {
+        event.host = e.at("host").as_string();
+        if (hosts.count(event.host) == 0) {
+          throw ScenarioError("host_crash: host '" + event.host + "' is not in the platform");
+        }
+        event.restart_at = e.number_or("restart_at", -1.0);
+        if (event.restart_at >= 0.0 && event.restart_at <= event.time) {
+          throw ScenarioError("host_crash: restart_at must be after the crash time");
+        }
+      } else if (event.type == "service_degrade" || event.type == "service_restore" ||
+                 event.type == "service_remove") {
+        event.service = e.at("service").as_string();
+        if (live_services.count(event.service) == 0) {
+          throw ScenarioError(event.type + ": '" + event.service +
+                              "' is not a service live at that point of the timeline");
+        }
+        if (event.type == "service_degrade") {
+          event.factor = e.at("factor").as_number();
+          if (event.factor <= 0.0 || event.factor > 1.0) {
+            throw ScenarioError("service_degrade: factor must be in (0, 1]");
+          }
+        }
+        if (event.type == "service_remove") {
+          if (event.service == spec.default_service) {
+            throw ScenarioError("service_remove: cannot remove the default service");
+          }
+          live_services.erase(event.service);
+        }
+      } else if (event.type == "service_add") {
+        const util::Json& svc = e.at("service");
+        if (!svc.is_object() || !svc.contains("name")) {
+          throw ScenarioError("service_add: \"service\" must be a declaration with a name");
+        }
+        event.service_spec = svc;
+        event.service = svc.at("name").as_string();
+        event.service_spec.set("type", svc.string_or("type", "local"));
+        if (!event.service_spec.contains("host")) {
+          event.service_spec.set("host", spec.compute_host);
+        }
+        if (!live_services.insert(event.service).second) {
+          throw ScenarioError("service_add: duplicate service name '" + event.service + "'");
+        }
+      } else if (event.type == "tenant_arrival") {
+        event.workload = e.at("workload");
+        absolutize_file_refs(event.workload, base_dir);
+        event.prefix = e.string_or("prefix", "");
+        if (event.prefix.empty()) {
+          throw ScenarioError(
+              "tenant_arrival: needs a \"prefix\" namespacing the tenant's files/tasks");
+        }
+      } else {
+        throw ScenarioError("unknown event type '" + event.type + "'");
+      }
+      spec.events.push_back(std::move(event));
+    }
+  }
   return spec;
 }
 
@@ -160,6 +252,39 @@ util::Json ScenarioSpec::to_json() const {
   doc.set("warm_inputs", warm_inputs);
   doc.set("solve_batching", solve_batching);
   doc.set("cache_params", storage::cache_params_to_json(cache_params));
+  // Fault-injection keys are emitted only when used: committed v1 recorded
+  // logs embed this document (source_scenario) and must stay byte-stable.
+  if (has_retry) {
+    util::Json r{util::JsonObject{}};
+    r.set("max_attempts", retry.max_attempts);
+    r.set("backoff", retry.backoff);
+    r.set("backoff_factor", retry.backoff_factor);
+    r.set("resubmit_on_crash", retry.resubmit_on_crash);
+    doc.set("retry", std::move(r));
+  }
+  if (on_task_failure != "fail") doc.set("on_task_failure", on_task_failure);
+  if (!events.empty()) {
+    util::Json out{util::JsonArray{}};
+    for (const DisruptionEvent& event : events) {
+      util::Json e{util::JsonObject{}};
+      e.set("type", event.type);
+      e.set("time", event.time);
+      if (event.type == "host_crash") {
+        e.set("host", event.host);
+        if (event.restart_at >= 0.0) e.set("restart_at", event.restart_at);
+      } else if (event.type == "service_add") {
+        e.set("service", event.service_spec);
+      } else if (event.type == "tenant_arrival") {
+        e.set("prefix", event.prefix);
+        e.set("workload", event.workload);
+      } else {
+        e.set("service", event.service);
+        if (event.type == "service_degrade") e.set("factor", event.factor);
+      }
+      out.push_back(std::move(e));
+    }
+    doc.set("events", std::move(out));
+  }
   return doc;
 }
 

@@ -16,7 +16,17 @@
 //     "chunk_size": "100 MB",
 //     "probe_period": 5,                  // seconds; 0 = no memory probe
 //     "cache_params": {"dirty_ratio": 0.2, ...},
-//     "warm_inputs": true                 // Exp 3 server-side warm staging
+//     "warm_inputs": true,                // Exp 3 server-side warm staging
+//     "retry": {"max_attempts": 2, "backoff": 5, ...},  // crash recovery policy
+//     "on_task_failure": "fail",          // or "continue" (partial completion)
+//     "events": [                         // virtual-time disruption timeline
+//       {"type": "host_crash", "time": 40, "host": "node0", "restart_at": 60},
+//       {"type": "service_degrade", "time": 10, "service": "store", "factor": 0.5},
+//       {"type": "service_restore", "time": 30, "service": "store"},
+//       {"type": "service_add", "time": 20, "service": {"name": "s2", ...}},
+//       {"type": "service_remove", "time": 80, "service": "s2"},
+//       {"type": "tenant_arrival", "time": 50, "prefix": "t1:", "workload": {...}}
+//     ]
 //   }
 #pragma once
 
@@ -26,6 +36,7 @@
 
 #include "pagecache/kernel_params.hpp"
 #include "util/json.hpp"
+#include "workflow/workflow.hpp"
 
 namespace pcs::scenario {
 
@@ -40,6 +51,22 @@ struct ServiceDecl {
   std::string name;
   std::string type;
   util::Json spec;  ///< the full backend spec handed to the registry builder
+};
+
+/// One entry of the scenario's "events" array: a disruption the driver
+/// actor fires at an exact virtual time.  Which fields apply depends on
+/// `type` (see the schema comment above); parse() validates per type.
+struct DisruptionEvent {
+  std::string type;  ///< host_crash | service_degrade | service_restore |
+                     ///< service_add | service_remove | tenant_arrival
+  double time = 0.0;
+  std::string host;          ///< host_crash
+  double restart_at = -1.0;  ///< host_crash: optional cold-cache restart (< 0 = none)
+  std::string service;       ///< degrade/restore/remove target
+  double factor = 1.0;       ///< service_degrade bandwidth factor, in (0, 1]
+  util::Json service_spec;   ///< service_add: a full service declaration
+  util::Json workload;       ///< tenant_arrival: a workload document
+  std::string prefix;        ///< tenant_arrival: namespace for the new tenant
 };
 
 struct ScenarioSpec {
@@ -59,6 +86,12 @@ struct ScenarioSpec {
   bool solve_batching = true;
   cache::CacheParams cache_params;
   std::string base_dir;  ///< resolves relative "file" refs in the workload
+  /// Fault injection (all optional; to_json emits these keys only when
+  /// used, so pre-fault scenario documents round-trip byte-identically).
+  std::vector<DisruptionEvent> events;
+  wf::RetryPolicy retry;     ///< scenario-wide crash recovery policy
+  bool has_retry = false;    ///< "retry" was present in the document
+  std::string on_task_failure = "fail";  ///< "fail" | "continue"
 
   /// Parse and normalize; throws ScenarioError on malformed documents.
   static ScenarioSpec parse(const util::Json& doc, const std::string& base_dir = "");

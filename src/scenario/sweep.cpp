@@ -250,7 +250,15 @@ std::vector<SweepCase> SweepSpec::expand() const {
 }
 
 std::vector<SweepCaseResult> run_sweep(const SweepSpec& spec, const SweepOptions& options) {
-  const std::vector<SweepCase> cases = spec.expand();
+  std::vector<SweepCase> cases = spec.expand();
+  if (!options.filter.empty()) {
+    std::erase_if(cases, [&](const SweepCase& c) {
+      return c.label.find(options.filter) == std::string::npos;
+    });
+    if (cases.empty()) {
+      throw ScenarioError("filter '" + options.filter + "' matches no case labels");
+    }
+  }
   std::vector<SweepCaseResult> results(cases.size());
 
   std::size_t jobs = options.jobs > 0 ? static_cast<std::size_t>(options.jobs)

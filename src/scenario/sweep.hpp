@@ -89,6 +89,10 @@ struct SweepOptions {
   /// Worker threads; <= 0 uses std::thread::hardware_concurrency().  The
   /// pool never exceeds the case count.
   int jobs = 1;
+  /// Non-empty: run only cases whose label contains this substring
+  /// (results keep expansion order).  Throws ScenarioError when nothing
+  /// matches, so a typo doesn't silently run zero cases.
+  std::string filter;
 };
 
 /// Run every case of the sweep and return results in expansion order.

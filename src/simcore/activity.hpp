@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "simcore/resource.hpp"
+#include "simcore/task.hpp"
 
 namespace pcs::sim {
 
@@ -67,7 +68,10 @@ class Activity {
   std::size_t run_index_ = 0;    ///< position in Engine::running_
   std::uint64_t visit_mark_ = 0; ///< component-BFS visit stamp
   bool done_ = false;
-  std::coroutine_handle<> waiter_{};
+  /// The awaiting actor, with the generation of its frame at suspension.
+  /// A dead ref (frame destroyed by group cancellation) marks the activity
+  /// orphaned; the engine retires it at the next cancellation sweep.
+  FrameRef waiter_{};
 
   // Scratch for the fair-share solver and its full-solve cross-check.
   bool scratch_assigned_ = false;
@@ -83,7 +87,9 @@ class ActivityAwaiter {
   explicit ActivityAwaiter(ActivityPtr activity) : activity_(std::move(activity)) {}
 
   [[nodiscard]] bool await_ready() const noexcept { return !activity_ || activity_->done(); }
-  void await_suspend(std::coroutine_handle<> h) noexcept { activity_->waiter_ = h; }
+  void await_suspend(std::coroutine_handle<> h) noexcept {
+    activity_->waiter_ = FrameRef::capture(h);
+  }
   void await_resume() const noexcept {}
 
   [[nodiscard]] const ActivityPtr& activity() const { return activity_; }

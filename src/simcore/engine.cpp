@@ -140,22 +140,60 @@ Task<> Engine::root_guard(Task<> inner) {
   co_await inner;
 }
 
-void Engine::spawn(std::string name, Task<> task, bool daemon) {
+void Engine::spawn(std::string name, Task<> task, bool daemon, std::string group) {
   if (!task.raw_handle()) throw SimulationError("spawn: empty task for actor '" + name + "'");
   if (!daemon) {
     ++live_roots_;
     task = root_guard(std::move(task));
   }
   std::coroutine_handle<> h = task.raw_handle();
-  roots_.push_back(RootActor{std::move(name), std::move(task), daemon});
+  roots_.push_back(RootActor{std::move(name), std::move(task), daemon, std::move(group)});
   schedule(h);
 }
 
-void Engine::schedule(std::coroutine_handle<> h) { ready_.push_back(h); }
+std::size_t Engine::cancel_group(const std::string& group) {
+  if (group.empty()) throw SimulationError("cancel_group: empty group name");
+  std::size_t marked = 0;
+  for (RootActor& root : roots_) {
+    if (root.group != group || !root.task.valid() || root.task.done()) continue;
+    root.cancel_pending = true;
+    ++marked;
+  }
+  if (marked > 0) cancellations_pending_ = true;
+  return marked;
+}
+
+void Engine::process_pending_cancellations() {
+  if (!cancellations_pending_) return;
+  cancellations_pending_ = false;
+  // Reverse spawn order: actors spawned by other actors of the same group
+  // (executor -> per-task workers) die before their spawners, so frame
+  // locals a later actor borrowed from an earlier one are still alive while
+  // its destructors run — the same inside-out order structured teardown
+  // would use.
+  for (auto it = roots_.rbegin(); it != roots_.rend(); ++it) {
+    RootActor& root = *it;
+    if (!root.cancel_pending) continue;
+    root.cancel_pending = false;
+    if (!root.task.valid() || root.task.done()) continue;
+    util::log_trace("engine", "cancel actor '", root.name, "'");
+    root.task = Task<>{};  // destroys the suspended frame chain
+  }
+  // Activities whose awaiting actor died have nobody left to resume: retire
+  // them so the crashed host's in-flight IO and compute stop consuming
+  // resource shares.  Ascending id keeps the sweep deterministic.
+  std::vector<Activity*> orphans;
+  for (const ActivityPtr& act : running_) {
+    if (act->waiter_.handle && !act->waiter_.alive()) orphans.push_back(act.get());
+  }
+  std::sort(orphans.begin(), orphans.end(),
+            [](const Activity* a, const Activity* b) { return a->id_ < b->id_; });
+  for (Activity* act : orphans) cancel_activity(*act);
+}
 
 void Engine::schedule_at(double t, std::coroutine_handle<> h) {
   if (t < now_) t = now_;
-  timers_.push(Timer{t, next_id_++, h});
+  timers_.push(Timer{t, next_id_++, FrameRef::capture(h)});
 }
 
 bool Engine::all_actors_done() const {
@@ -169,11 +207,17 @@ bool Engine::all_actors_done() const {
 
 std::size_t Engine::drain_ready() {
   std::size_t resumed = 0;
+  // Cancellations are processed only here, between resumptions, when no
+  // coroutine is mid-execution — destroying a frame that is on the native
+  // call stack would be undefined behaviour.
+  process_pending_cancellations();
   while (!ready_.empty()) {
-    std::coroutine_handle<> h = ready_.front();
+    const FrameRef ref = ready_.front();
     ready_.pop_front();
+    if (!ref.alive()) continue;  // frame destroyed by cancellation
     ++resumed;
-    if (!h.done()) h.resume();
+    if (!ref.handle.done()) ref.handle.resume();
+    process_pending_cancellations();
   }
   return resumed;
 }
@@ -363,6 +407,31 @@ void Engine::verify_full_solve() {
   }
 }
 
+void Engine::cancel_activity(Activity& activity) {
+  // Unlike completion, the work is abandoned part-way: materialize progress
+  // (remaining() keeps reporting how much was left), stop the clock, free
+  // the resource shares, wake nobody.
+  sync_remaining(activity);
+  activity.done_ = true;
+  activity.end_time_ = now_;
+  activity.rate_ = 0.0;
+  ++activity.version_;  // drop any still-queued completion entry
+  deregister_claims(activity);
+
+  const std::size_t idx = activity.run_index_;
+  assert(idx < running_.size() && running_[idx].get() == &activity);
+  if (idx + 1 != running_.size()) {
+    running_[idx] = std::move(running_.back());
+    running_[idx]->run_index_ = idx;
+  }
+  running_.pop_back();
+
+  activity.waiter_ = FrameRef{};
+  ++cancelled_activities_;
+  util::log_trace("engine", "cancel activity '", activity.label_, "'");
+  solve_if_per_event();
+}
+
 void Engine::complete_activity(Activity& activity) {
   activity.remaining_ = 0.0;
   activity.last_update_ = now_;
@@ -383,9 +452,9 @@ void Engine::complete_activity(Activity& activity) {
 
   if (tracer_ != nullptr) tracer_->record(activity.label_, activity.start_time_, now_);
   util::log_trace("engine", "complete activity '", activity.label_, "'");
-  if (activity.waiter_) {
+  if (activity.waiter_.handle) {
     schedule(activity.waiter_);
-    activity.waiter_ = nullptr;
+    activity.waiter_ = FrameRef{};
   }
   // Per-event reference mode: this completion's freed capacity is re-shared
   // before the next event is even looked at — one solve per event, the
@@ -447,7 +516,10 @@ void Engine::step(double time_limit) {
     completed_scratch_.clear();
 
     while (!timers_.empty() && timers_.top().time <= now_ + tol) {
-      schedule(timers_.top().handle);
+      // The stored FrameRef (not a re-capture): a timer armed by a frame
+      // that has since been cancelled must not fire into whatever coroutine
+      // now occupies the recycled address.
+      schedule(timers_.top().ref);
       timers_.pop();
     }
   }

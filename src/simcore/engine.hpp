@@ -112,12 +112,32 @@ class Engine {
   // --- actors ------------------------------------------------------------
 
   /// Register a root actor; it starts when run() reaches the current time.
-  /// Daemon actors do not keep the simulation alive.
-  void spawn(std::string name, Task<> task, bool daemon = false);
+  /// Daemon actors do not keep the simulation alive.  `group` tags the root
+  /// for cancel_group (empty = not cancellable as a group).
+  void spawn(std::string name, Task<> task, bool daemon = false, std::string group = {});
+
+  /// Cancel every live root actor tagged with `group` (fault injection:
+  /// a host crash kills all actors of that host).  Cancellation is
+  /// *deferred*: the roots are marked here, and their coroutine frames are
+  /// destroyed at the next point where no actor is mid-execution (the ready
+  /// queue's drain loop), so an actor may safely cancel its own group.
+  /// Destroying a suspended frame unwinds the whole coroutine chain via
+  /// normal C++ destruction — child Task locals destroy their frames
+  /// recursively, LockGuards release mutexes, root_guard retires the root —
+  /// and activities whose waiter died are retired from their resources.
+  /// Returns the number of roots marked.
+  std::size_t cancel_group(const std::string& group);
+
+  /// Activities retired because their awaiting actor was cancelled.
+  [[nodiscard]] std::uint64_t cancelled_activities() const { return cancelled_activities_; }
 
   /// Resume `h` at the current time, after already-queued resumptions.
   /// Used by synchronization primitives; not part of the typical user API.
-  void schedule(std::coroutine_handle<> h);
+  /// The FrameRef overload preserves a generation captured at suspension
+  /// time (wake paths must not re-capture: a recycled frame address would
+  /// alias a different live coroutine).
+  void schedule(std::coroutine_handle<> h) { schedule(FrameRef::capture(h)); }
+  void schedule(FrameRef ref) { ready_.push_back(ref); }
   /// Resume `h` at absolute virtual time `t` (>= now).
   void schedule_at(double t, std::coroutine_handle<> h);
 
@@ -187,7 +207,7 @@ class Engine {
   struct Timer {
     double time;
     std::uint64_t seq;
-    std::coroutine_handle<> handle;
+    FrameRef ref;  ///< generation captured at arming; dead frames don't fire
     bool operator>(const Timer& other) const {
       if (time != other.time) return time > other.time;
       return seq > other.seq;
@@ -209,6 +229,8 @@ class Engine {
     std::string name;
     Task<> task;
     bool daemon;
+    std::string group;           ///< cancel_group tag; empty = uncancellable
+    bool cancel_pending = false; ///< marked by cancel_group, cleared at sweep
   };
 
   /// Wraps a non-daemon root so its completion — normal, by exception, or
@@ -235,6 +257,13 @@ class Engine {
   void verify_full_solve();
   /// Runs every ready coroutine; returns number resumed.
   std::size_t drain_ready();
+  /// Destroy the frames of roots marked by cancel_group, then retire
+  /// activities orphaned by the teardown.  Only called from drain_ready,
+  /// where no coroutine is mid-execution.
+  void process_pending_cancellations();
+  /// Retire a running activity whose waiter died: deregister claims, free
+  /// its share of every resource, wake nobody.
+  void cancel_activity(Activity& activity);
   void complete_activity(Activity& activity);
   void step(double time_limit);
 
@@ -254,6 +283,8 @@ class Engine {
   double last_sp_time_ = -std::numeric_limits<double>::infinity();
   std::uint64_t visit_mark_ = 0;
   std::size_t live_roots_ = 0;
+  bool cancellations_pending_ = false;
+  std::uint64_t cancelled_activities_ = 0;
 
   Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Resource>> resources_;
@@ -262,7 +293,7 @@ class Engine {
   std::vector<Resource*> dirty_resources_;
   std::priority_queue<CompletionEntry, std::vector<CompletionEntry>, std::greater<>>
       completions_;
-  std::deque<std::coroutine_handle<>> ready_;
+  std::deque<FrameRef> ready_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::vector<RootActor> roots_;
 

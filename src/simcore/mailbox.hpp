@@ -23,9 +23,15 @@ class Mailbox {
 
   void put(T message) {
     queue_.push_back(std::move(message));
-    if (!receivers_.empty()) {
-      engine_.schedule(receivers_.front());
+    // Receivers cancelled while blocked in get() leave dead FrameRefs in
+    // the queue; skip them so the message reaches a live receiver (or
+    // waits for the next get).
+    while (!receivers_.empty()) {
+      const FrameRef next = receivers_.front();
       receivers_.pop_front();
+      if (!next.alive()) continue;
+      engine_.schedule(next);
+      break;
     }
   }
 
@@ -33,7 +39,9 @@ class Mailbox {
    public:
     explicit GetAwaiter(Mailbox& box) : box_(box) {}
     [[nodiscard]] bool await_ready() const noexcept { return !box_.queue_.empty(); }
-    void await_suspend(std::coroutine_handle<> h) { box_.receivers_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      box_.receivers_.push_back(FrameRef::capture(h));
+    }
     T await_resume() {
       // A competing receiver resumed earlier at the same timestamp may have
       // consumed the message; in that case we would need to re-wait, which
@@ -58,7 +66,7 @@ class Mailbox {
  private:
   Engine& engine_;
   std::deque<T> queue_;
-  std::deque<std::coroutine_handle<>> receivers_;
+  std::deque<FrameRef> receivers_;
 };
 
 }  // namespace pcs::sim

@@ -4,17 +4,21 @@ namespace pcs::sim {
 
 void Mutex::unlock() {
   locked_ = false;
-  if (!waiters_.empty()) {
-    std::coroutine_handle<> next = waiters_.front();
+  // The woken actor re-marks the mutex as locked in await_resume; until it
+  // actually runs, try_lock from other actors could steal it — schedule
+  // preserves FIFO fairness at the same timestamp, and within one
+  // timestamp actors run to their next suspension atomically, so the
+  // hand-off is race-free in virtual time.  To rule out barging entirely
+  // we re-mark the mutex held on behalf of the woken waiter.  Waiters whose
+  // frame was destroyed by cancellation are skipped: handing a ghost the
+  // mutex would lock out every live waiter behind it.
+  while (!waiters_.empty()) {
+    const FrameRef next = waiters_.front();
     waiters_.pop_front();
-    // The woken actor re-marks the mutex as locked in await_resume; until it
-    // actually runs, try_lock from other actors could steal it — schedule
-    // preserves FIFO fairness at the same timestamp, and within one
-    // timestamp actors run to their next suspension atomically, so the
-    // hand-off is race-free in virtual time.  To rule out barging entirely
-    // we re-mark the mutex held on behalf of the woken waiter.
+    if (!next.alive()) continue;
     locked_ = true;
     engine_.schedule(next);
+    break;
   }
 }
 
@@ -25,26 +29,39 @@ Task<> ConditionVariable::wait(Mutex& mutex) {
 }
 
 void ConditionVariable::notify_one() {
-  if (waiters_.empty()) return;
-  engine_.schedule(waiters_.front());
-  waiters_.pop_front();
+  while (!waiters_.empty()) {
+    const FrameRef next = waiters_.front();
+    waiters_.pop_front();
+    if (!next.alive()) continue;  // cancelled waiter: the notify moves on
+    engine_.schedule(next);
+    return;
+  }
 }
 
 void ConditionVariable::notify_all() {
   while (!waiters_.empty()) {
-    engine_.schedule(waiters_.front());
+    const FrameRef next = waiters_.front();
     waiters_.pop_front();
+    if (next.alive()) engine_.schedule(next);
   }
 }
 
 void Semaphore::release() {
-  if (!waiters_.empty()) {
-    // Hand the permit directly to the first waiter.
-    engine_.schedule(waiters_.front());
+  // Hand the permit directly to the first live waiter; permits must not
+  // stick to cancelled frames.
+  while (!waiters_.empty()) {
+    const FrameRef next = waiters_.front();
     waiters_.pop_front();
-  } else {
-    ++count_;
+    if (!next.alive()) continue;
+    engine_.schedule(next);
+    return;
   }
+  ++count_;
+}
+
+void Semaphore::reset(std::size_t count) {
+  count_ = count;
+  waiters_.clear();
 }
 
 }  // namespace pcs::sim

@@ -8,6 +8,14 @@
 //
 // Everything here runs in virtual time on one OS thread, so these are
 // scheduling constructs, not memory-safety constructs.
+//
+// Cancellation (Engine::cancel_group) can destroy a suspended waiter's
+// frame while its entry still sits in a waiter queue.  Queues therefore
+// hold FrameRefs, and every wake path skips refs whose frame died — a
+// ghost handed a mutex or a semaphore permit would deadlock everyone
+// behind it.  A primitive must not be shared across cancellation groups
+// in a way that lets a cancelled holder keep it locked; in this codebase
+// each primitive's users all belong to the same group (or to none).
 #pragma once
 
 #include <coroutine>
@@ -28,7 +36,9 @@ class Mutex {
    public:
     explicit LockAwaiter(Mutex& mutex) : mutex_(mutex) {}
     [[nodiscard]] bool await_ready() const noexcept { return !mutex_.locked_; }
-    void await_suspend(std::coroutine_handle<> h) { mutex_.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      mutex_.waiters_.push_back(FrameRef::capture(h));
+    }
     void await_resume() const noexcept { mutex_.locked_ = true; }
 
    private:
@@ -55,7 +65,7 @@ class Mutex {
   friend class ConditionVariable;
   Engine& engine_;
   bool locked_ = false;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<FrameRef> waiters_;
 };
 
 /// RAII guard for coroutine scope; acquire with `co_await Mutex::lock()`
@@ -95,12 +105,14 @@ class ConditionVariable {
   struct WaitAwaiter {
     ConditionVariable& cv;
     [[nodiscard]] bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { cv.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      cv.waiters_.push_back(FrameRef::capture(h));
+    }
     void await_resume() const noexcept {}
   };
 
   Engine& engine_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<FrameRef> waiters_;
 };
 
 /// Counting semaphore; used e.g. to model a bounded number of NFS server
@@ -121,7 +133,9 @@ class Semaphore {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { sem_.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      sem_.waiters_.push_back(FrameRef::capture(h));
+    }
     void await_resume() const noexcept {}
 
    private:
@@ -130,12 +144,19 @@ class Semaphore {
 
   [[nodiscard]] AcquireAwaiter acquire() { return AcquireAwaiter{*this}; }
   void release();
+
+  /// Reinitialize to `count` permits and forget all queued waiters.  For
+  /// post-crash recovery only: permits held by cancelled actors are never
+  /// released, so a host restart resets its core semaphore.  The caller
+  /// must have cancelled every acquirer first (live waiters would be lost).
+  void reset(std::size_t count);
+
   [[nodiscard]] std::size_t available() const { return count_; }
 
  private:
   Engine& engine_;
   std::size_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<FrameRef> waiters_;
 };
 
 }  // namespace pcs::sim

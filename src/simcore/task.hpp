@@ -15,8 +15,10 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstdint>
 #include <exception>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
 namespace pcs::sim {
@@ -26,9 +28,36 @@ class Task;
 
 namespace detail {
 
+/// Liveness registry for Task coroutine frames (thread-local, like the
+/// Engine itself).  Group cancellation destroys suspended frames outright,
+/// but handles to them may still sit in the engine's ready queue, the timer
+/// heap and the waiter deques of sync primitives; every wake path consults
+/// this registry (frame address -> generation) before resuming.  The
+/// generation counter makes a recycled frame address distinguishable from
+/// the frame that died there.
+struct FrameRegistry {
+  std::unordered_map<void*, std::uint64_t> live;
+  std::uint64_t next_gen = 1;
+  static FrameRegistry& instance() {
+    thread_local FrameRegistry registry;
+    return registry;
+  }
+};
+
 struct PromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
+  void* registered_frame_ = nullptr;
+
+  void register_frame(void* address) {
+    registered_frame_ = address;
+    FrameRegistry& registry = FrameRegistry::instance();
+    registry.live[address] = registry.next_gen++;
+  }
+
+  ~PromiseBase() {
+    if (registered_frame_ != nullptr) FrameRegistry::instance().live.erase(registered_frame_);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -48,13 +77,38 @@ struct PromiseBase {
 
 }  // namespace detail
 
+/// Generation stamp of a live Task frame; 0 when the frame has been
+/// destroyed (or was never a sim::Task frame).
+[[nodiscard]] inline std::uint64_t frame_generation(std::coroutine_handle<> h) {
+  const auto& live = detail::FrameRegistry::instance().live;
+  const auto it = live.find(h.address());
+  return it == live.end() ? 0 : it->second;
+}
+
+/// A coroutine handle plus the generation of the frame it pointed to when
+/// captured.  Queues that may outlive their coroutines (ready queue, timer
+/// heap, mutex/CV/semaphore/mailbox waiter deques, activity waiters) store
+/// FrameRefs and skip entries whose frame died — that is how cancellation
+/// composes with every existing suspension point.
+struct FrameRef {
+  std::coroutine_handle<> handle{};
+  std::uint64_t gen = 0;
+
+  [[nodiscard]] static FrameRef capture(std::coroutine_handle<> h) {
+    return FrameRef{h, frame_generation(h)};
+  }
+  [[nodiscard]] bool alive() const { return handle && frame_generation(handle) == gen; }
+};
+
 template <typename T = void>
 class [[nodiscard]] Task {
  public:
   struct promise_type : detail::PromiseBase {
     std::optional<T> value;
     Task get_return_object() {
-      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+      auto h = std::coroutine_handle<promise_type>::from_promise(*this);
+      this->register_frame(h.address());
+      return Task{h};
     }
     void return_value(T v) { value = std::move(v); }
   };
@@ -111,7 +165,9 @@ class [[nodiscard]] Task<void> {
  public:
   struct promise_type : detail::PromiseBase {
     Task get_return_object() {
-      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+      auto h = std::coroutine_handle<promise_type>::from_promise(*this);
+      this->register_frame(h.address());
+      return Task{h};
     }
     void return_void() noexcept {}
   };

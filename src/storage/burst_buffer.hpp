@@ -72,6 +72,21 @@ class BurstBuffer : public StorageService {
   [[nodiscard]] StorageService& target() { return target_; }
   [[nodiscard]] std::size_t drained_count() const { return drained_.size(); }
 
+  // --- disruption-event hooks: forward to both halves ---------------------
+  void on_host_crash(const std::string& host) override {
+    buffer_.on_host_crash(host);
+    target_.on_host_crash(host);
+  }
+  /// Degrades the buffer device (the node-local burst media); the target's
+  /// own service entry takes degrade events for the backing store.
+  bool degrade_bandwidth(double factor) override {
+    return buffer_.degrade_bandwidth(factor);
+  }
+  void quiesce() override {
+    buffer_.quiesce();
+    target_.quiesce();
+  }
+
  private:
   [[nodiscard]] bool wants(const std::string& name) const;
   [[nodiscard]] sim::Task<> drainer_loop();

@@ -90,6 +90,19 @@ class LocalStorage : public cache::BackingStore, public StorageService {
     return {mm_->inactive_list().block_count(), mm_->active_list().block_count()};
   }
 
+  // --- disruption-event hooks --------------------------------------------
+  void on_host_crash(const std::string& host) override {
+    if (mm_ && disk_.host().name() == host) mm_->drop_cache();
+  }
+  bool degrade_bandwidth(double factor) override {
+    disk_.read_channel()->set_capacity(disk_.spec().read_bw * factor);
+    disk_.write_channel()->set_capacity(disk_.spec().write_bw * factor);
+    return true;
+  }
+  void quiesce() override {
+    if (mm_) mm_->stop_periodic_flush();
+  }
+
  private:
   sim::Engine& engine_;
   plat::Disk& disk_;

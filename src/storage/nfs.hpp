@@ -131,6 +131,29 @@ class NfsMount : public cache::BackingStore, public StorageService {
     }
   }
 
+  // --- disruption-event hooks --------------------------------------------
+  /// A crash of the client host drops the client cache; a crash of the
+  /// server host drops the server cache (every mount of that server sees
+  /// cold server reads afterwards).
+  void on_host_crash(const std::string& host) override {
+    if (mm_ && client_.name() == host) mm_->drop_cache();
+    if (cache::MemoryManager* server_mm = server_.memory_manager();
+        server_mm != nullptr && server_.host().name() == host) {
+      server_mm->drop_cache();
+    }
+  }
+  /// Degrades the exported device (the server disk) — the shared-storage
+  /// straggler every client of this mount's server observes.
+  bool degrade_bandwidth(double factor) override {
+    const plat::DiskSpec& spec = server_.disk().spec();
+    server_.disk().read_channel()->set_capacity(spec.read_bw * factor);
+    server_.disk().write_channel()->set_capacity(spec.write_bw * factor);
+    return true;
+  }
+  void quiesce() override {
+    if (mm_) mm_->stop_periodic_flush();
+  }
+
   // --- BackingStore: "the remote device", used by the client cache -------
   [[nodiscard]] sim::Task<> read(const std::string& file, double bytes) override;
   [[nodiscard]] sim::Task<> write(const std::string& file, double bytes) override;

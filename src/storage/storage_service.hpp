@@ -59,6 +59,25 @@ class StorageService : public FileService {
       mm->set_io_observer(std::move(observer));
     }
   }
+
+  // --- disruption-event hooks (scenario "events", see README) -------------
+
+  /// The host named `host` crashed: backends with cache state on that host
+  /// drop it (page cache emptied, dirty data discarded, anonymous memory
+  /// released — everything that only lived in the host's RAM is gone).
+  /// Files on disk survive.  Default: no-op (stateless elsewhere).
+  virtual void on_host_crash(const std::string& /*host*/) {}
+
+  /// Scale the backend device's read/write bandwidth to `factor` x nominal
+  /// (service_degrade; a later factor of 1.0 is service_restore).  Returns
+  /// false when the backend has no degradable device — the scenario driver
+  /// reports that as a spec error rather than silently ignoring the event.
+  virtual bool degrade_bandwidth(double /*factor*/) { return false; }
+
+  /// Drain hook for service_remove: stop background daemons so the service
+  /// goes quiet (in-flight writebacks finish; no new ones start).
+  /// Default: no-op.
+  virtual void quiesce() {}
 };
 
 }  // namespace pcs::storage

@@ -69,6 +69,23 @@ class TieredStorage : public cache::BackingStore, public StorageService {
     return {mm_->inactive_list().block_count(), mm_->active_list().block_count()};
   }
 
+  // --- disruption-event hooks --------------------------------------------
+  void on_host_crash(const std::string& host) override {
+    if (mm_ && fast_.host().name() == host) mm_->drop_cache();
+  }
+  /// Both tiers degrade together (a controller/bus fault, not a single
+  /// spindle): per-device degradation would need per-tier events.
+  bool degrade_bandwidth(double factor) override {
+    fast_.read_channel()->set_capacity(fast_.spec().read_bw * factor);
+    fast_.write_channel()->set_capacity(fast_.spec().write_bw * factor);
+    slow_.read_channel()->set_capacity(slow_.spec().read_bw * factor);
+    slow_.write_channel()->set_capacity(slow_.spec().write_bw * factor);
+    return true;
+  }
+  void quiesce() override {
+    if (mm_) mm_->stop_periodic_flush();
+  }
+
   // --- tier accounting (tests, trace-info) --------------------------------
   [[nodiscard]] double fast_used() const { return fast_used_; }
   [[nodiscard]] std::size_t fast_file_count() const;

@@ -56,6 +56,18 @@ void TaskLogRecorder::record_task_event(const TraceTaskEvent& event) {
   if (keep_) log_.task_events.push_back(event);
 }
 
+void TaskLogRecorder::record_task_attempt(const TraceTaskAttempt& attempt) {
+  if (!begun_) throw TraceError("TaskLogRecorder: record before begin()");
+  emit(task_attempt_record(attempt));
+  if (keep_) log_.task_attempts.push_back(attempt);
+}
+
+void TaskLogRecorder::record_disruption(const TraceDisruption& disruption) {
+  if (!begun_) throw TraceError("TaskLogRecorder: record before begin()");
+  emit(disruption_record(disruption));
+  if (keep_) log_.disruptions.push_back(disruption);
+}
+
 void TaskLogRecorder::record_io(const TraceIoEvent& event) {
   if (!begun_) throw TraceError("TaskLogRecorder: record before begin()");
   emit(io_event_record(event));

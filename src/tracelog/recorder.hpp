@@ -42,6 +42,10 @@ class TaskLogRecorder {
 
   void record_task_event(const TraceTaskEvent& event);
   void record_io(const TraceIoEvent& event);
+  /// v2: a crash-killed task attempt (emitted by ComputeService::crash).
+  void record_task_attempt(const TraceTaskAttempt& attempt);
+  /// v2: a disruption the scenario driver fired.
+  void record_disruption(const TraceDisruption& disruption);
 
   /// Write the trailing summary.  Call once, after the simulation ends.
   void finish(double makespan);

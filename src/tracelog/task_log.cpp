@@ -75,6 +75,31 @@ util::Json task_event_record(const TraceTaskEvent& event) {
   doc.set("compute_end", event.compute_end);
   doc.set("write_end", event.write_end);
   doc.set("end", event.end);
+  // Emitted only for retried tasks: v1 logs (no retries) re-save
+  // byte-identically.
+  if (event.attempts > 1) doc.set("attempts", event.attempts);
+  return doc;
+}
+
+util::Json task_attempt_record(const TraceTaskAttempt& attempt) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("rec", "task_attempt");
+  doc.set("name", attempt.name);
+  doc.set("host", attempt.host);
+  doc.set("attempt", attempt.attempt);
+  doc.set("start", attempt.start);
+  doc.set("end", attempt.end);
+  doc.set("outcome", attempt.outcome);
+  return doc;
+}
+
+util::Json disruption_record(const TraceDisruption& disruption) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("rec", "disruption");
+  doc.set("type", disruption.type);
+  doc.set("time", disruption.time);
+  doc.set("target", disruption.target);
+  if (disruption.factor != 0.0) doc.set("factor", disruption.factor);
   return doc;
 }
 
@@ -168,7 +193,24 @@ TaskLog TaskLog::parse(std::istream& in) {
         event.compute_end = rec.at("compute_end").as_number();
         event.write_end = rec.at("write_end").as_number();
         event.end = rec.at("end").as_number();
+        event.attempts = static_cast<int>(rec.number_or("attempts", 1.0));
         log.task_events.push_back(std::move(event));
+      } else if (kind == "task_attempt") {
+        TraceTaskAttempt attempt;
+        attempt.name = rec.at("name").as_string();
+        attempt.host = rec.string_or("host", "");
+        attempt.attempt = static_cast<int>(rec.at("attempt").as_number());
+        attempt.start = rec.at("start").as_number();
+        attempt.end = rec.at("end").as_number();
+        attempt.outcome = rec.string_or("outcome", "crashed");
+        log.task_attempts.push_back(std::move(attempt));
+      } else if (kind == "disruption") {
+        TraceDisruption disruption;
+        disruption.type = rec.at("type").as_string();
+        disruption.time = rec.at("time").as_number();
+        disruption.target = rec.string_or("target", "");
+        disruption.factor = rec.number_or("factor", 0.0);
+        log.disruptions.push_back(std::move(disruption));
       } else if (kind == "io") {
         TraceIoEvent event;
         event.op = rec.at("op").as_string();
@@ -211,9 +253,10 @@ TaskLog TaskLog::from_file(const std::string& path) {
 }
 
 void TaskLog::validate() const {
-  if (version != kTaskLogVersion) {
+  if (version < kMinTaskLogVersion || version > kTaskLogVersion) {
     throw TraceError("unsupported task log version " + std::to_string(version) +
-                     " (this build reads version " + std::to_string(kTaskLogVersion) + ")");
+                     " (this build reads versions " + std::to_string(kMinTaskLogVersion) +
+                     ".." + std::to_string(kTaskLogVersion) + ")");
   }
   std::set<std::string> task_names;
   for (const TraceWorkflow& workflow : workflows) {
@@ -263,6 +306,23 @@ void TaskLog::validate() const {
                        event.task + "'");
     }
   }
+  for (const TraceTaskAttempt& attempt : task_attempts) {
+    if (task_names.count(attempt.name) == 0) {
+      throw TraceError("task_attempt for undeclared task '" + attempt.name + "'");
+    }
+    if (attempt.attempt < 1) {
+      throw TraceError("task_attempt '" + attempt.name + "': attempt must be >= 1");
+    }
+    if (attempt.end < attempt.start) {
+      throw TraceError("task_attempt '" + attempt.name + "': end precedes start");
+    }
+  }
+  for (const TraceDisruption& disruption : disruptions) {
+    if (disruption.type.empty()) throw TraceError("disruption record with empty type");
+    if (disruption.time < 0.0) {
+      throw TraceError("disruption '" + disruption.type + "': negative time");
+    }
+  }
 }
 
 void TaskLog::save(std::ostream& out) const {
@@ -274,6 +334,13 @@ void TaskLog::save(std::ostream& out) const {
     }
   }
   for (const TraceIoEvent& event : io_events) out << io_event_record(event).dump() << '\n';
+  // v2 records; a v1 log has none and re-saves byte-identically.
+  for (const TraceDisruption& disruption : disruptions) {
+    out << disruption_record(disruption).dump() << '\n';
+  }
+  for (const TraceTaskAttempt& attempt : task_attempts) {
+    out << task_attempt_record(attempt).dump() << '\n';
+  }
   for (const TraceTaskEvent& event : task_events) {
     out << task_event_record(event).dump() << '\n';
   }
@@ -303,6 +370,22 @@ util::Json TaskLog::to_json() const {
   util::Json ios{util::JsonArray{}};
   for (const TraceIoEvent& event : io_events) ios.push_back(io_event_record(event));
   doc.set("io_events", std::move(ios));
+  // v2 arrays emitted only when present, keeping v1 trace-info output
+  // byte-stable.
+  if (!disruptions.empty()) {
+    util::Json out{util::JsonArray{}};
+    for (const TraceDisruption& disruption : disruptions) {
+      out.push_back(disruption_record(disruption));
+    }
+    doc.set("disruptions", std::move(out));
+  }
+  if (!task_attempts.empty()) {
+    util::Json out{util::JsonArray{}};
+    for (const TraceTaskAttempt& attempt : task_attempts) {
+      out.push_back(task_attempt_record(attempt));
+    }
+    doc.set("task_attempts", std::move(out));
+  }
   util::Json events{util::JsonArray{}};
   for (const TraceTaskEvent& event : task_events) {
     events.push_back(task_event_record(event));

@@ -23,6 +23,15 @@
 //    "read_start":0,"read_end":12.5,"compute_end":40.5,"write_end":55,"end":55}
 //   {"rec":"summary","makespan":172.4,"tasks":3}
 //
+// Schema v2 (this build) adds the fault-injection records — v1 logs parse
+// unchanged and re-save byte-identically (a parsed log keeps its own
+// version):
+//
+//   {"rec":"disruption","type":"host_crash","time":40,"target":"node0"}
+//   {"rec":"task_attempt","name":"a0:task1","host":"node0","attempt":1,
+//    "start":0,"end":40,"outcome":"crashed"}      // a crash-killed attempt
+//   task_done records gain an optional "attempts" field (emitted when > 1)
+//
 // Numbers are serialized with %.17g, so every virtual time, size and flops
 // value round-trips bit-exactly — the property the replay determinism
 // oracle (tests/trace_replay_test.cpp, `pcs_cli replay --check`) rests on.
@@ -44,8 +53,11 @@ class TraceError : public std::runtime_error {
   explicit TraceError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// The schema version this build reads and writes.
-inline constexpr int kTaskLogVersion = 1;
+/// The schema version this build writes.  Readers accept every version in
+/// [kMinTaskLogVersion, kTaskLogVersion]; v1 is v2 minus the
+/// disruption/task_attempt records.
+inline constexpr int kTaskLogVersion = 2;
+inline constexpr int kMinTaskLogVersion = 1;
 
 /// One task of a recorded workflow: enough DAG structure to rebuild it.
 /// `deps` holds the *explicit* ordering constraints only; file-derived
@@ -81,6 +93,31 @@ struct TraceTaskEvent {
   double compute_end = 0.0;
   double write_end = 0.0;
   double end = 0.0;
+  /// Attempts the task consumed incl. the successful one (v2; serialized
+  /// only when > 1, so v1 logs re-save byte-identically).
+  int attempts = 1;
+};
+
+/// A crash-killed task attempt (v2): the execution that did NOT complete.
+/// The matching successful run, if any, appears as its own task_done.
+struct TraceTaskAttempt {
+  std::string name;
+  std::string host;
+  int attempt = 1;      ///< 1-based attempt number
+  double start = 0.0;   ///< when the attempt began running
+  double end = 0.0;     ///< when it was killed
+  std::string outcome;  ///< "crashed"
+};
+
+/// A disruption the scenario driver fired (v2).  Replay does not inject
+/// from these records — it re-runs the embedded source_scenario, whose
+/// "events" array re-fires the same disruptions — they make the injected
+/// timeline auditable in the log itself.
+struct TraceDisruption {
+  std::string type;     ///< "host_crash" | "host_restart" | "service_degrade" | ...
+  double time = 0.0;    ///< virtual time the driver fired it
+  std::string target;   ///< host or service name
+  double factor = 0.0;  ///< bandwidth factor (service_degrade; 0 when n/a)
 };
 
 /// One storage-service operation: a chunked file read/write by a task, an
@@ -112,6 +149,8 @@ struct TaskLog {
   std::vector<TraceWorkflow> workflows;  ///< in submission order
   std::vector<TraceTaskEvent> task_events;
   std::vector<TraceIoEvent> io_events;
+  std::vector<TraceTaskAttempt> task_attempts;  ///< v2: crash-killed attempts
+  std::vector<TraceDisruption> disruptions;     ///< v2: injected disruptions
   double recorded_makespan = 0.0;  ///< from the summary record (0 if none)
 
   /// Parse a JSONL document (text or file).  Parsing validates structurally
@@ -154,6 +193,8 @@ struct TaskLog {
 [[nodiscard]] util::Json task_record(std::uint64_t workflow_id, const TraceTaskDecl& task);
 [[nodiscard]] util::Json task_event_record(const TraceTaskEvent& event);
 [[nodiscard]] util::Json io_event_record(const TraceIoEvent& event);
+[[nodiscard]] util::Json task_attempt_record(const TraceTaskAttempt& attempt);
+[[nodiscard]] util::Json disruption_record(const TraceDisruption& disruption);
 [[nodiscard]] util::Json summary_record(double makespan, std::size_t tasks);
 
 }  // namespace pcs::tracelog

@@ -5,8 +5,20 @@
 // outputs, then releases the anonymous memory holding its input data — the
 // behaviour of the paper's synthetic application ("the anonymous memory
 // used by the application was released after each task").
+//
+// Fault tolerance: all actors of a service are spawned into the engine
+// cancellation group "host:<host name>".  A host_crash disruption cancels
+// that group (killing executors and in-flight tasks mid-coroutine) and then
+// calls crash(), which turns the service-owned bookkeeping into aborted
+// attempt records and decides — per the effective RetryPolicy — which
+// killed tasks are resubmitted on restart() and which fail permanently.
+// Execution state (completed/failed sets, attempt counters) lives in
+// service-owned WorkflowRun records, never in actor frames, so cancelling
+// the actors loses no accounting.
 #pragma once
 
+#include <deque>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -23,6 +35,14 @@ class TaskLogRecorder;
 
 namespace pcs::wf {
 
+/// One attempt of a task that was killed before completing (host crash).
+struct TaskAttempt {
+  int attempt = 1;      ///< 1-based attempt number
+  double start = 0.0;   ///< when the attempt began running (core acquired)
+  double end = 0.0;     ///< when the host died
+  std::string outcome;  ///< "crashed"
+};
+
 /// Per-task execution record; phase durations feed the paper's figures.
 struct TaskResult {
   std::string name;
@@ -32,11 +52,22 @@ struct TaskResult {
   double compute_end = 0.0;
   double write_end = 0.0;
   double end = 0.0;
+  int attempts = 1;                  ///< attempts consumed, incl. the successful one
+  std::vector<TaskAttempt> retries;  ///< crash-aborted prior attempts, oldest first
 
   [[nodiscard]] double read_time() const { return read_end - read_start; }
   [[nodiscard]] double compute_time() const { return compute_end - read_end; }
   [[nodiscard]] double write_time() const { return write_end - compute_end; }
   [[nodiscard]] double makespan() const { return end - start; }
+};
+
+/// A task that will never complete: it exhausted its attempts (or its
+/// policy forbids resubmission), or a permanently failed ancestor makes it
+/// unreachable (attempts == 0, no aborted attempts).
+struct FailedTask {
+  std::string name;  ///< instance-prefixed, like TaskResult::name
+  int attempts = 0;  ///< attempts consumed before giving up
+  std::vector<TaskAttempt> aborted;
 };
 
 class ComputeService {
@@ -48,7 +79,8 @@ class ComputeService {
 
   /// Stage external inputs and spawn the executor actor.  May be called for
   /// several workflows (they run concurrently, e.g. the paper's concurrent
-  /// application instances).  `instance` tags results.
+  /// application instances).  `instance` tags results.  While the host is
+  /// crashed the run is queued and its executor starts at restart().
   void submit(Workflow& workflow, const std::string& instance = "");
 
   /// Results are complete once Engine::run() returns.
@@ -64,17 +96,85 @@ class ComputeService {
   /// never changes simulated times.  Pass nullptr to detach.
   void set_recorder(tracelog::TaskLogRecorder* recorder, std::string service_name);
 
+  // --- fault tolerance -----------------------------------------------------
+
+  /// Engine cancellation group of every actor this service spawns.
+  [[nodiscard]] const std::string& group() const { return group_; }
+
+  /// Scenario-wide retry policy; per-task workflow overrides win.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// on_task_failure == "fail": a permanently failed task aborts the run
+  /// (the executor throws WorkflowError).  "continue" (false) records the
+  /// failure, skips unreachable descendants and completes the rest.
+  void set_fail_fast(bool fail_fast) { fail_fast_ = fail_fast; }
+
+  /// Host-crash bookkeeping.  Call right after Engine::cancel_group(group())
+  /// marked this service's actors: every in-flight attempt becomes an
+  /// aborted TaskAttempt, tasks out of attempts (or with resubmission
+  /// disabled) fail permanently — dragging unreachable descendants with
+  /// them — and the core semaphore is reset (permits held by cancelled
+  /// actors are never released).  New submits queue until restart().
+  void crash();
+
+  /// Host comes back: respawn executors for every unfinished run.  Killed
+  /// tasks that kept attempts re-run (after their retry backoff); the page
+  /// cache coldness is the storage service's affair (on_host_crash).
+  void restart();
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// Tasks that will never complete, in deterministic (submission, then
+  /// name) order.  Stable once Engine::run() returned.
+  [[nodiscard]] std::vector<FailedTask> failed_tasks() const;
+
+  /// Tasks that consumed more than one attempt (completed or failed).
+  [[nodiscard]] std::size_t retried_task_count() const;
+
  private:
-  [[nodiscard]] sim::Task<> executor(Workflow& workflow, std::string instance);
-  [[nodiscard]] sim::Task<> run_task(Workflow& workflow, std::string task_name,
-                                     std::string instance, std::set<std::string>* completed,
+  /// Service-owned execution state of one submitted workflow.  Lives in a
+  /// deque (stable addresses) so actor frames only borrow pointers; a
+  /// cancelled actor loses no bookkeeping.
+  struct WorkflowRun {
+    Workflow* workflow = nullptr;
+    std::string instance;
+    std::set<std::string> completed;
+    std::set<std::string> failed;   ///< permanently failed (incl. cascaded)
+    std::set<std::string> started;  ///< spawned and not crash-killed
+    std::map<std::string, int> attempts;          ///< attempts consumed so far
+    std::map<std::string, double> inflight;       ///< running attempt -> start time
+    std::map<std::string, std::vector<TaskAttempt>> aborted;
+
+    [[nodiscard]] bool done() const {
+      return completed.size() + failed.size() >= workflow->task_count();
+    }
+  };
+
+  [[nodiscard]] sim::Task<> executor(WorkflowRun* run);
+  [[nodiscard]] sim::Task<> run_task(WorkflowRun* run, std::string task_name,
                                      sim::ConditionVariable* done_cv);
+  void spawn_executor(WorkflowRun* run);
+  [[nodiscard]] const RetryPolicy& policy_for(const WorkflowTask& task) const {
+    return task.retry ? *task.retry : retry_;
+  }
+  [[nodiscard]] std::string qualified(const WorkflowRun& run, const std::string& task) const {
+    return run.instance.empty() ? task : run.instance + ":" + task;
+  }
+  /// failed-parent closure: tasks depending (transitively) on a failed task
+  /// can never run; mark them failed so done() terminates.
+  static void propagate_failures(WorkflowRun& run);
 
   sim::Engine& engine_;
   plat::Host& host_;
   storage::FileService& storage_;
   double chunk_size_;
   sim::Semaphore cores_;
+  std::string group_;  ///< "host:<name>" — cancellation group of our actors
+  RetryPolicy retry_;
+  bool fail_fast_ = true;
+  bool crashed_ = false;
+  std::deque<WorkflowRun> runs_;
   std::vector<TaskResult> results_;
   tracelog::TaskLogRecorder* recorder_ = nullptr;
   std::string recorder_service_;  ///< service name stamped on recorded ops

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -22,6 +23,22 @@ struct FileSpec {
   double size = 0.0;  // bytes
 };
 
+/// Recovery policy for tasks killed by a host crash (scenario-level
+/// "retry", overridable per task in workflow JSON).  An attempt is
+/// consumed each time the task actually starts running (a task queued for
+/// a core when the host dies is respawned without burning an attempt).
+/// After a crash the task is resubmitted while resubmit_on_crash holds and
+/// fewer than max_attempts attempts are spent; attempt N waits
+/// backoff * backoff_factor^(N-2) virtual seconds before requesting a
+/// core.  The default (one attempt) means a crashed task fails
+/// permanently.
+struct RetryPolicy {
+  int max_attempts = 1;
+  double backoff = 0.0;
+  double backoff_factor = 2.0;
+  bool resubmit_on_crash = true;
+};
+
 struct WorkflowTask {
   std::string name;
   double flops = 0.0;
@@ -30,6 +47,9 @@ struct WorkflowTask {
   /// granularities (the block-merge ablation's fine cold read vs coarse
   /// re-reads).
   double chunk_size = 0.0;
+  /// Per-task override of the compute service's retry policy (workflow
+  /// JSON "retry" object); unset inherits the scenario-wide policy.
+  std::optional<RetryPolicy> retry;
   std::vector<FileSpec> inputs;
   std::vector<FileSpec> outputs;
 

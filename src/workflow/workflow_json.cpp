@@ -32,6 +32,21 @@ Workflow workflow_from_json(const util::Json& doc) {
         throw WorkflowError("task '" + name + "': chunk_size must be positive");
       }
     }
+    if (t.contains("retry")) {
+      const util::Json& r = t.at("retry");
+      RetryPolicy policy;
+      policy.max_attempts = static_cast<int>(r.number_or("max_attempts", 1.0));
+      policy.backoff = r.number_or("backoff", 0.0);
+      policy.backoff_factor = r.number_or("backoff_factor", 2.0);
+      policy.resubmit_on_crash = r.bool_or("resubmit_on_crash", true);
+      if (policy.max_attempts < 1) {
+        throw WorkflowError("task '" + name + "': retry.max_attempts must be >= 1");
+      }
+      if (policy.backoff < 0.0 || policy.backoff_factor <= 0.0) {
+        throw WorkflowError("task '" + name + "': retry backoff must be non-negative");
+      }
+      task.retry = policy;
+    }
     if (t.contains("inputs")) {
       for (const util::Json& f : t.at("inputs").as_array()) {
         workflow.add_input(name, f.at("name").as_string(), size_field(f, "size"));
@@ -64,6 +79,14 @@ util::Json workflow_to_json(const Workflow& workflow) {
     t["name"] = task.name;
     t["flops"] = task.flops;
     if (task.chunk_size > 0.0) t["chunk_size"] = task.chunk_size;
+    if (task.retry) {
+      util::JsonObject r;
+      r["max_attempts"] = static_cast<double>(task.retry->max_attempts);
+      r["backoff"] = task.retry->backoff;
+      r["backoff_factor"] = task.retry->backoff_factor;
+      r["resubmit_on_crash"] = task.retry->resubmit_on_crash;
+      t["retry"] = util::Json(std::move(r));
+    }
     util::JsonArray inputs;
     for (const FileSpec& f : task.inputs) {
       util::JsonObject file;

@@ -43,6 +43,22 @@ TEST(Cli, ExperimentFollowsTheUsageConvention) {
   EXPECT_EQ(run_cli("experiment a.json b.json"), 2);
 }
 
+TEST(Cli, ExperimentFilterFollowsTheUsageConvention) {
+  // --filter needs an argument and is incompatible with the byte-exact
+  // report modes (a slice can never match the full committed report).
+  EXPECT_EQ(run_cli("experiment spec.json --filter"), 2);
+  EXPECT_EQ(run_cli("experiment spec.json --filter wrench --check"), 2);
+  EXPECT_EQ(run_cli("experiment spec.json --filter wrench --update"), 2);
+}
+
+TEST(Cli, ExperimentFilterRunsASlice) {
+  // A matching substring runs just those cases (exit 0, checks naming
+  // filtered-out cases are skipped); a non-matching one is a run error.
+  EXPECT_EQ(run_cli("experiment " + experiments_dir() + "/table3.json --list --filter real"), 0);
+  EXPECT_EQ(run_cli("experiment " + experiments_dir() + "/table3.json --filter real"), 0);
+  EXPECT_EQ(run_cli("experiment " + experiments_dir() + "/table3.json --filter no_such"), 1);
+}
+
 TEST(Cli, ExperimentRunsCommittedSpecs) {
   // --list expands without running; a real (tiny) spec runs to exit 0 and
   // --check agrees with the committed expected report.

@@ -126,6 +126,164 @@ TEST_F(ComputeServiceTest, InvalidChunkSizeRejected) {
   EXPECT_THROW(ComputeService(engine_, *host_, *storage_, -5.0), WorkflowError);
 }
 
+// --- Crash / retry semantics ----------------------------------------------
+
+TEST_F(ComputeServiceTest, CrashRespawnsInflightTaskWithBackoff) {
+  ComputeService cs(engine_, *host_, *storage_, 50.0);
+  cs.set_retry_policy({.max_attempts = 2, .backoff = 3.0});
+  Workflow wf;
+  wf.add_task("t", 10e9);  // 10 s of compute, no I/O
+  cs.submit(wf);
+  auto driver = [&](sim::Engine& e) -> sim::Task<> {
+    co_await e.sleep(5.0);
+    e.cancel_group(cs.group());
+    cs.crash();
+    EXPECT_TRUE(cs.crashed());
+    co_await e.sleep(2.0);
+    cs.restart();
+  };
+  engine_.spawn("driver", driver(engine_));
+  engine_.run();
+  // Attempt 1: 0-5 (killed).  Restart at 7, 3 s backoff, attempt 2 runs
+  // 10-20 from scratch (no partial progress survives a crash).
+  const TaskResult& r = cs.result("t");
+  EXPECT_EQ(r.attempts, 2);
+  ASSERT_EQ(r.retries.size(), 1u);
+  EXPECT_EQ(r.retries[0].attempt, 1);
+  EXPECT_DOUBLE_EQ(r.retries[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(r.retries[0].end, 5.0);
+  EXPECT_EQ(r.retries[0].outcome, "crashed");
+  EXPECT_DOUBLE_EQ(r.start, 10.0);
+  EXPECT_DOUBLE_EQ(engine_.now(), 20.0);
+  EXPECT_EQ(cs.retried_task_count(), 1u);
+  EXPECT_TRUE(cs.failed_tasks().empty());
+}
+
+TEST_F(ComputeServiceTest, CrashWithoutRetryFailsTaskAndDescendants) {
+  ComputeService cs(engine_, *host_, *storage_, 50.0);
+  cs.set_fail_fast(false);  // on_task_failure: continue
+  Workflow wf;
+  wf.add_task("t1", 10e9);
+  wf.add_output("t1", "f", 100.0);
+  wf.add_task("t2", 1e9);
+  wf.add_input("t2", "f", 100.0);
+  cs.submit(wf);
+  auto driver = [&](sim::Engine& e) -> sim::Task<> {
+    co_await e.sleep(5.0);
+    e.cancel_group(cs.group());
+    cs.crash();  // default policy: max_attempts = 1 -> permanent failure
+    cs.restart();
+  };
+  engine_.spawn("driver", driver(engine_));
+  engine_.run();  // terminates with zero completions: failure cascaded to t2
+  EXPECT_TRUE(cs.results().empty());
+  const std::vector<FailedTask> failed = cs.failed_tasks();
+  ASSERT_EQ(failed.size(), 2u);
+  EXPECT_EQ(failed[0].name, "t1");
+  EXPECT_EQ(failed[0].attempts, 1);
+  ASSERT_EQ(failed[0].aborted.size(), 1u);
+  EXPECT_EQ(failed[0].aborted[0].outcome, "crashed");
+  EXPECT_EQ(failed[1].name, "t2");
+  EXPECT_EQ(failed[1].attempts, 0);  // never started: unreachable, not killed
+  EXPECT_EQ(cs.retried_task_count(), 0u);
+}
+
+TEST_F(ComputeServiceTest, FailFastThrowsNamingTheRootCause) {
+  ComputeService cs(engine_, *host_, *storage_, 50.0);
+  Workflow wf;
+  wf.add_task("t1", 10e9);
+  wf.add_output("t1", "f", 100.0);
+  wf.add_task("t2", 1e9);
+  wf.add_input("t2", "f", 100.0);
+  cs.submit(wf);
+  auto driver = [&](sim::Engine& e) -> sim::Task<> {
+    co_await e.sleep(5.0);
+    e.cancel_group(cs.group());
+    cs.crash();
+    cs.restart();
+  };
+  engine_.spawn("driver", driver(engine_));
+  try {
+    engine_.run();
+    FAIL() << "expected WorkflowError";
+  } catch (const WorkflowError& e) {
+    // The root cause (the task that ran out of attempts), not the
+    // alphabetically-first cascaded descendant.
+    EXPECT_NE(std::string(e.what()).find("'t1'"), std::string::npos);
+  }
+}
+
+TEST_F(ComputeServiceTest, QueuedTaskDoesNotConsumeAnAttempt) {
+  ComputeService cs(engine_, *host_, *storage_, 50.0);
+  cs.set_retry_policy({.max_attempts = 2});
+  Workflow wf;
+  // 5 independent 10 s tasks on 4 cores: t4 queues behind the first wave.
+  for (int i = 0; i < 5; ++i) wf.add_task("t" + std::to_string(i), 10e9);
+  cs.submit(wf);
+  auto driver = [&](sim::Engine& e) -> sim::Task<> {
+    co_await e.sleep(5.0);
+    e.cancel_group(cs.group());
+    cs.crash();
+    co_await e.sleep(1.0);
+    cs.restart();
+  };
+  engine_.spawn("driver", driver(engine_));
+  engine_.run();
+  EXPECT_EQ(cs.results().size(), 5u);
+  int first_attempt = 0;
+  int second_attempt = 0;
+  for (const TaskResult& r : cs.results()) {
+    (r.attempts == 1 ? first_attempt : second_attempt) += 1;
+  }
+  // The four in-flight tasks burned attempt 1; the queued one did not.
+  EXPECT_EQ(second_attempt, 4);
+  EXPECT_EQ(first_attempt, 1);
+  EXPECT_EQ(cs.retried_task_count(), 4u);
+}
+
+TEST_F(ComputeServiceTest, PerTaskRetryOverridesServicePolicy) {
+  ComputeService cs(engine_, *host_, *storage_, 50.0);
+  cs.set_retry_policy({.max_attempts = 3});
+  cs.set_fail_fast(false);
+  Workflow wf;
+  wf.add_task("sticky", 10e9);
+  wf.add_task("one_shot", 10e9);
+  wf.task("one_shot").retry = RetryPolicy{.max_attempts = 3, .resubmit_on_crash = false};
+  cs.submit(wf);
+  auto driver = [&](sim::Engine& e) -> sim::Task<> {
+    co_await e.sleep(5.0);
+    e.cancel_group(cs.group());
+    cs.crash();
+    cs.restart();
+  };
+  engine_.spawn("driver", driver(engine_));
+  engine_.run();
+  // The service-level policy retries "sticky"; the per-task override marks
+  // "one_shot" non-resubmittable, so the crash fails it permanently.
+  EXPECT_NO_THROW((void)cs.result("sticky"));
+  const std::vector<FailedTask> failed = cs.failed_tasks();
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0].name, "one_shot");
+}
+
+TEST_F(ComputeServiceTest, SubmitWhileCrashedQueuesUntilRestart) {
+  ComputeService cs(engine_, *host_, *storage_, 50.0);
+  Workflow wf;
+  wf.add_task("t", 2e9);
+  auto driver = [&](sim::Engine& e) -> sim::Task<> {
+    co_await e.sleep(1.0);
+    e.cancel_group(cs.group());
+    cs.crash();
+    cs.submit(wf);  // lands in the queue, does not spawn an executor
+    co_await e.sleep(4.0);
+    cs.restart();
+  };
+  engine_.spawn("driver", driver(engine_));
+  engine_.run();
+  EXPECT_DOUBLE_EQ(cs.result("t").start, 5.0);
+  EXPECT_EQ(cs.result("t").attempts, 1);
+}
+
 TEST_F(ComputeServiceTest, SimulationFacadeEndToEnd) {
   Simulation sim;
   plat::Host* host = sim.platform().add_host(test::small_host("node", 1000.0, 100.0));

@@ -8,8 +8,12 @@
 // not merely approximately right.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "exp/corebench.hpp"
 #include "simcore/engine.hpp"
+#include "simcore/mailbox.hpp"
 #include "simcore/task.hpp"
 
 namespace pcs::exp {
@@ -194,6 +198,148 @@ TEST(EngineDeterminism, CrossCheckCatchesCapacityEdits) {
   engine.run();
   // 0-2 s at 100/s = 200 done; remaining 800 at ~50/s = 16 s -> ~18 s.
   EXPECT_NEAR(engine.now(), 18.0, 0.05);
+}
+
+// --- Cancellation edges ---------------------------------------------------
+//
+// Fault injection (scenario "events") is built on Engine::cancel_group;
+// these tests pin its edge semantics directly: cancelling an actor blocked
+// in a mailbox receive, cancelling in the middle of a same-timestamp batch,
+// double-cancellation, and — the determinism contract — bit-identical logs
+// when the same faulty run is repeated.
+
+/// Formats times with full precision so string equality is bit equality.
+std::string stamp(const std::string& what, double t) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s@%.17g", what.c_str(), t);
+  return buf;
+}
+
+/// An actor parked in Mailbox::get() is cancelled; a later put() must skip
+/// the dead receiver and the run must still terminate.
+std::string mailbox_cancel_log() {
+  sim::Engine engine;
+  sim::Mailbox<int> box(engine);
+  std::string log;
+  auto event = [&](const std::string& what, double t) { log += stamp(what, t) + "\n"; };
+  auto service = [&](sim::Engine& e) -> sim::Task<> {
+    for (;;) {
+      const int msg = co_await box.get();
+      event("got" + std::to_string(msg), e.now());
+    }
+  };
+  auto driver = [&](sim::Engine& e) -> sim::Task<> {
+    box.put(1);
+    co_await e.sleep(5.0);
+    event("cancelled=" + std::to_string(e.cancel_group("svc")), e.now());
+    co_await e.sleep(5.0);
+    box.put(2);  // receiver is dead: the message must park, not deadlock
+    event("put2", e.now());
+  };
+  engine.spawn("service", service(engine), /*daemon=*/false, "svc");
+  engine.spawn("driver", driver(engine));
+  engine.run();
+  event("end live=" + std::to_string(engine.live_root_count()) +
+            " parked=" + std::to_string(box.size()),
+        engine.now());
+  return log;
+}
+
+TEST(EngineDeterminism, CancelWhileBlockedInMailboxReceive) {
+  const std::string log = mailbox_cancel_log();
+  EXPECT_NE(log.find("got1@0\n"), std::string::npos);
+  EXPECT_NE(log.find("cancelled=1@5\n"), std::string::npos);
+  EXPECT_EQ(log.find("got2"), std::string::npos);  // receiver died before put2
+  EXPECT_NE(log.find("end live=0 parked=1@10\n"), std::string::npos);
+  EXPECT_EQ(log, mailbox_cancel_log());  // bit-identical on a second run
+}
+
+/// Four group workers and one bystander all complete activities at t = 10,
+/// the same timestamp at which the driver's cancel timer fires — the
+/// cancellation lands inside a same-timestamp batch.  The outcome must be
+/// deterministic and identical in batched and per-event solve modes.
+std::string batch_cancel_log(bool solve_batching) {
+  sim::Engine engine;
+  engine.set_solve_batching(solve_batching);
+  sim::Resource* cpu = engine.new_resource("cpu", 8.0);
+  std::string log;
+  auto event = [&](const std::string& what, double t) { log += stamp(what, t) + "\n"; };
+  auto worker = [&](sim::Engine& e, int id) -> sim::Task<> {
+    co_await e.submit("w" + std::to_string(id), sim::one(cpu), 10.0, 1.0);
+    event("done" + std::to_string(id), e.now());
+    co_await e.sleep(1.0);
+    event("after" + std::to_string(id), e.now());
+  };
+  auto driver = [&](sim::Engine& e) -> sim::Task<> {
+    co_await e.sleep(10.0);
+    event("cancelled=" + std::to_string(e.cancel_group("g")), e.now());
+  };
+  for (int i = 0; i < 4; ++i) {
+    engine.spawn("w" + std::to_string(i), worker(engine, i), /*daemon=*/false, "g");
+  }
+  engine.spawn("bystander", worker(engine, 9));  // no group: must survive
+  engine.spawn("driver", driver(engine));
+  engine.run();
+  event("end live=" + std::to_string(engine.live_root_count()) +
+            " cancelled_acts=" + std::to_string(engine.cancelled_activities()),
+        engine.now());
+  return log;
+}
+
+TEST(EngineDeterminism, CancelDuringSameTimestampBatch) {
+  const std::string batched = batch_cancel_log(true);
+  // The bystander always survives to t = 11; no group worker does.
+  EXPECT_NE(batched.find("after9@11\n"), std::string::npos);
+  EXPECT_EQ(batched.find("after0"), std::string::npos);
+  EXPECT_EQ(batched.find("after1"), std::string::npos);
+  EXPECT_NE(batched.find("cancelled=4@10\n"), std::string::npos);
+  // Determinism: repeat runs and the per-event reference mode agree bitwise.
+  EXPECT_EQ(batched, batch_cancel_log(true));
+  EXPECT_EQ(batched, batch_cancel_log(false));
+}
+
+/// Double cancellation: re-marking in the same turn is harmless, cancelling
+/// an already-swept group (or an unknown one) marks nothing, and the group
+/// tag is reusable — a post-cancel respawn (the crash-restart pattern) runs
+/// to completion.
+std::string double_cancel_log() {
+  sim::Engine engine;
+  std::string log;
+  auto event = [&](const std::string& what, double t) { log += stamp(what, t) + "\n"; };
+  auto worker = [&](sim::Engine& e, int id) -> sim::Task<> {
+    co_await e.sleep(100.0);
+    event("done" + std::to_string(id), e.now());
+  };
+  auto driver = [&](sim::Engine& e) -> sim::Task<> {
+    co_await e.sleep(1.0);
+    const std::size_t first = e.cancel_group("g");
+    const std::size_t again = e.cancel_group("g");  // same turn: still pending
+    event("first=" + std::to_string(first) + " again=" + std::to_string(again), e.now());
+    co_await e.sleep(1.0);  // sweep ran: the frames are gone
+    event("swept=" + std::to_string(e.cancel_group("g")) +
+              " unknown=" + std::to_string(e.cancel_group("nope")),
+          e.now());
+    // The tag is reusable after the sweep: restart into the same group.
+    e.spawn("w2", worker(e, 2), /*daemon=*/false, "g");
+  };
+  engine.spawn("w1", worker(engine, 1), /*daemon=*/false, "g");
+  engine.spawn("driver", driver(engine));
+  engine.run();
+  event("end live=" + std::to_string(engine.live_root_count()), engine.now());
+  return log;
+}
+
+TEST(EngineDeterminism, DoubleCancelIsIdempotent) {
+  const std::string log = double_cancel_log();
+  EXPECT_NE(log.find("first=1 again=1@1\n"), std::string::npos);
+  EXPECT_NE(log.find("swept=0 unknown=0@2\n"), std::string::npos);
+  EXPECT_EQ(log.find("done1"), std::string::npos);   // w1 never completes
+  EXPECT_NE(log.find("done2@102\n"), std::string::npos);  // respawn does
+  EXPECT_NE(log.find("end live=0@102\n"), std::string::npos);
+  EXPECT_EQ(log, double_cancel_log());
+  // An empty group name is a caller bug, not a no-op.
+  sim::Engine engine;
+  EXPECT_THROW(engine.cancel_group(""), sim::SimulationError);
 }
 
 }  // namespace

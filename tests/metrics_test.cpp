@@ -193,6 +193,29 @@ TEST(Experiment, FailedExpectationsFlagTheReport) {
   EXPECT_EQ(report.json.at("checks").at(0).at("status").as_string(), "FAIL");
 }
 
+TEST(Experiment, PercentageTolerancesWidenEqualsAndEqualCases) {
+  util::Json doc = compute_only_experiment();
+  // makespan of ref,c10 is exactly 10: 10.4 is outside any absolute tol we
+  // pass, but inside 5%; 11 is outside 5% — and the same for equal_cases,
+  // where c10 and c20 differ by 100% of the first value.
+  doc.as_object()["expect"] = util::Json::parse(R"json([
+    {"case": "ref,c10", "of": "makespan", "equals": 10.4, "tol_pct": 5},
+    {"equal_cases": ["ref,c10", "double,c10"], "of": "makespan", "tol_pct": 5},
+    {"equal_cases": ["ref,c10", "ref,c20"], "of": "makespan", "tol_pct": 150}
+  ])json");
+  ExperimentReport wide = run_experiment(ExperimentSpec::parse(doc));
+  EXPECT_TRUE(wide.checks_ok) << wide.json.at("checks").dump(2);
+
+  doc.as_object()["expect"] = util::Json::parse(R"json([
+    {"case": "ref,c10", "of": "makespan", "equals": 11, "tol_pct": 5}
+  ])json");
+  EXPECT_FALSE(run_experiment(ExperimentSpec::parse(doc)).checks_ok);
+  doc.as_object()["expect"] = util::Json::parse(R"json([
+    {"equal_cases": ["ref,c10", "ref,c20"], "of": "makespan", "tol_pct": 5}
+  ])json");
+  EXPECT_FALSE(run_experiment(ExperimentSpec::parse(doc)).checks_ok);
+}
+
 TEST(Experiment, CaseErrorsAreCapturedNotFatal) {
   util::Json doc = compute_only_experiment();
   // Sabotage one case with an unknown simulator; the other cases survive.

@@ -304,5 +304,182 @@ TEST(ScenarioRunner, DagWorkloadRunsFromInlineDocument) {
   EXPECT_NO_THROW((void)result.task("a1:report"));
 }
 
+// --- Fault injection: events, retry, failure policy -----------------------
+
+/// A one-node scenario with a single long task, for crash tests.
+util::Json crash_doc(double cpu_seconds) {
+  util::Json doc = scenario_doc(node_platform());
+  util::Json wf_doc{util::JsonObject{}};
+  util::Json tasks{util::JsonArray{}};
+  util::Json t{util::JsonObject{}};
+  t.set("name", "slow");
+  t.set("cpu_seconds", cpu_seconds);
+  tasks.push_back(std::move(t));
+  wf_doc.set("tasks", std::move(tasks));
+  doc.set("workload", util::Json{util::JsonObject{}}
+                          .set("type", "dag")
+                          .set("workflow", std::move(wf_doc))
+                          .set("instances", 1));
+  return doc;
+}
+
+TEST(ScenarioSpec, ParsesAndRoundTripsFaultKeys) {
+  util::Json doc = scenario_doc(cluster_platform());
+  doc.set("services", util::Json::parse(R"json([
+    {"type": "local", "name": "store"},
+    {"type": "nfs", "name": "share", "host": "compute0", "server_host": "storage0",
+     "server_disk": "nfs-ssd"}
+  ])json"));
+  doc.set("retry", util::Json::parse(R"json({"max_attempts": 3, "backoff": 5})json"));
+  doc.set("on_task_failure", "continue");
+  doc.set("events", util::Json::parse(R"json([
+    {"type": "service_degrade", "time": 10, "service": "share", "factor": 0.5},
+    {"type": "host_crash", "time": 20, "host": "compute0", "restart_at": 30},
+    {"type": "service_restore", "time": 40, "service": "share"},
+    {"type": "service_add", "time": 50, "service": {"name": "extra", "type": "local"}},
+    {"type": "tenant_arrival", "time": 60, "prefix": "late:",
+     "workload": {"type": "synthetic", "instances": 1}},
+    {"type": "service_remove", "time": 70, "service": "extra"}
+  ])json"));
+  const ScenarioSpec spec = ScenarioSpec::parse(doc);
+  EXPECT_TRUE(spec.has_retry);
+  EXPECT_EQ(spec.retry.max_attempts, 3);
+  EXPECT_DOUBLE_EQ(spec.retry.backoff, 5.0);
+  EXPECT_EQ(spec.on_task_failure, "continue");
+  ASSERT_EQ(spec.events.size(), 6u);
+  EXPECT_EQ(spec.events[1].type, "host_crash");
+  EXPECT_DOUBLE_EQ(spec.events[1].restart_at, 30.0);
+  EXPECT_EQ(spec.events[3].service, "extra");
+  EXPECT_EQ(spec.events[4].prefix, "late:");
+  // The effective dump parses back to the same effective dump (the
+  // stability that keeps recorded logs replayable from their header).
+  const util::Json dump = spec.to_json();
+  EXPECT_EQ(ScenarioSpec::parse(dump).to_json().dump(), dump.dump());
+}
+
+TEST(ScenarioSpec, OmitsFaultKeysWhenUnused) {
+  // v1 recorded logs embed the effective spec; a fault-free scenario must
+  // not grow new keys.
+  const util::Json dump = ScenarioSpec::parse(scenario_doc(node_platform())).to_json();
+  EXPECT_FALSE(dump.contains("retry"));
+  EXPECT_FALSE(dump.contains("on_task_failure"));
+  EXPECT_FALSE(dump.contains("events"));
+}
+
+TEST(ScenarioSpec, RejectsMalformedFaultKeys) {
+  auto with = [](const char* key, const std::string& json) {
+    util::Json doc{util::JsonObject{}};
+    doc.set("platform", util::Json::parse(R"json({"hosts": [
+      {"name": "node0", "speed_gflops": 1, "cores": 8, "ram": "32 GB",
+       "memory": {"read_bw_MBps": 100, "write_bw_MBps": 100},
+       "disks": [{"name": "d", "read_bw_MBps": 10, "write_bw_MBps": 10}]}
+    ]})json"));
+    doc.set(key, util::Json::parse(json));
+    return doc;
+  };
+  EXPECT_THROW(ScenarioSpec::parse(with("retry", R"({"max_attempts": 0})")), ScenarioError);
+  EXPECT_THROW(ScenarioSpec::parse(with("retry", R"({"backoff": -1})")), ScenarioError);
+  EXPECT_THROW(ScenarioSpec::parse(with("on_task_failure", R"("retry")")), ScenarioError);
+  EXPECT_THROW(ScenarioSpec::parse(with("events", R"([{"type": "meteor", "time": 1}])")),
+               ScenarioError);
+  EXPECT_THROW(ScenarioSpec::parse(
+                   with("events", R"([{"type": "host_crash", "time": 1, "host": "nope"}])")),
+               ScenarioError);
+  EXPECT_THROW(
+      ScenarioSpec::parse(with("events", R"([{"type": "host_crash", "time": 5,
+                                              "host": "node0", "restart_at": 5}])")),
+      ScenarioError);
+  EXPECT_THROW(ScenarioSpec::parse(with("events", R"([{"type": "service_degrade", "time": 1,
+                                                       "service": "store", "factor": 1.5}])")),
+               ScenarioError);
+  EXPECT_THROW(ScenarioSpec::parse(with("events", R"([{"type": "service_degrade", "time": 1,
+                                                       "service": "ghost", "factor": 0.5}])")),
+               ScenarioError);
+  // The default service cannot be removed; unknown prefix-less tenants fail.
+  EXPECT_THROW(ScenarioSpec::parse(with("events", R"([{"type": "service_remove", "time": 1,
+                                                       "service": "store"}])")),
+               ScenarioError);
+  EXPECT_THROW(ScenarioSpec::parse(
+                   with("events", R"([{"type": "tenant_arrival", "time": 1,
+                                       "workload": {"type": "synthetic"}}])")),
+               ScenarioError);
+}
+
+TEST(ScenarioRunner, HostCrashWithRetryRecovers) {
+  util::Json doc = crash_doc(100.0);
+  doc.set("retry", util::Json::parse(R"json({"max_attempts": 2, "backoff": 0})json"));
+  doc.set("events", util::Json::parse(R"json([
+    {"type": "host_crash", "time": 50, "host": "node0", "restart_at": 60}
+  ])json"));
+  const ScenarioSpec spec = ScenarioSpec::parse(doc);
+  const RunResult result = run_scenario(spec);
+  // Attempt 1 dies at 50; attempt 2 restarts from scratch at 60.
+  ASSERT_EQ(result.tasks.size(), 1u);
+  EXPECT_EQ(result.tasks[0].attempts, 2);
+  ASSERT_EQ(result.tasks[0].retries.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.tasks[0].retries[0].end, 50.0);
+  EXPECT_EQ(result.retried_tasks, 1u);
+  EXPECT_EQ(result.disruptions_fired, 2u);  // crash + restart
+  EXPECT_TRUE(result.failed.empty());
+  EXPECT_GT(result.makespan, 155.0);  // > restart + full rerun
+  // Determinism under failure: a second run is bit-identical.
+  EXPECT_EQ(run_scenario(spec).makespan, result.makespan);
+}
+
+TEST(ScenarioRunner, OnTaskFailureFailRaisesWithRootCause) {
+  util::Json doc = crash_doc(100.0);  // default retry: one attempt
+  doc.set("events", util::Json::parse(R"json([
+    {"type": "host_crash", "time": 50, "host": "node0", "restart_at": 60}
+  ])json"));
+  try {
+    run_scenario(ScenarioSpec::parse(doc));
+    FAIL() << "expected a permanent-failure error";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("'slow'"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ScenarioRunner, OnTaskFailureContinueYieldsPartialResult) {
+  util::Json doc = scenario_doc(node_platform());
+  doc.set("workload", util::Json::parse(R"json({
+    "type": "dag", "instances": 1,
+    "workflow": {"tasks": [
+      {"name": "quick", "cpu_seconds": 5},
+      {"name": "slow", "cpu_seconds": 100}
+    ]}
+  })json"));
+  doc.set("on_task_failure", "continue");
+  doc.set("events", util::Json::parse(R"json([
+    {"type": "host_crash", "time": 50, "host": "node0"}
+  ])json"));
+  const RunResult result = run_scenario(ScenarioSpec::parse(doc));
+  // "quick" finished before the crash; "slow" died with no attempts left
+  // and no restart ever came.
+  ASSERT_EQ(result.tasks.size(), 1u);
+  EXPECT_EQ(result.tasks[0].name, "quick");
+  ASSERT_EQ(result.failed.size(), 1u);
+  EXPECT_EQ(result.failed[0].name, "slow");
+  EXPECT_EQ(result.failed[0].attempts, 1);
+  EXPECT_EQ(result.disruptions_fired, 1u);
+}
+
+TEST(ScenarioRunner, FailedRunLeavesTheProcessReusable) {
+  // Error-path hygiene: a run that throws (fail-fast crash with no retry)
+  // must not wedge the process — the next scenario runs normally.
+  util::Json bad = crash_doc(100.0);
+  bad.set("events", util::Json::parse(R"json([
+    {"type": "host_crash", "time": 50, "host": "node0", "restart_at": 60}
+  ])json"));
+  EXPECT_THROW(run_scenario(ScenarioSpec::parse(bad)), std::exception);
+  // A spec that fails during *setup* (unknown backend) as well.
+  util::Json worse = scenario_doc(node_platform());
+  worse.set("services",
+            util::Json::parse(R"json([{"type": "antigravity", "name": "s"}])json"));
+  EXPECT_THROW(run_scenario(ScenarioSpec::parse(worse)), std::exception);
+  const RunResult ok = run_scenario(ScenarioSpec::parse(crash_doc(10.0)));
+  EXPECT_EQ(ok.tasks.size(), 1u);
+  EXPECT_TRUE(ok.failed.empty());
+}
+
 }  // namespace
 }  // namespace pcs::scenario

@@ -326,6 +326,119 @@ TEST(TraceReplay, ParserAndValidatorRejectMalformedLogs) {
   EXPECT_THROW(dep.validate(), TraceError);
 }
 
+// --- Schema v2: disruptions and task attempts ------------------------------
+
+/// A crash-and-retry scenario: one long task killed mid-flight at t = 50,
+/// host restarts at 60, second attempt succeeds.
+util::Json crash_doc() {
+  util::Json doc = obj();
+  doc.set("name", "crashy");
+  doc.set("platform", node_platform());
+  doc.set("workload", util::Json::parse(R"json({
+    "type": "dag", "instances": 1,
+    "workflow": {"tasks": [{"name": "slow", "cpu_seconds": 100}]}
+  })json"));
+  doc.set("retry", util::Json::parse(R"json({"max_attempts": 2, "backoff": 0})json"));
+  doc.set("events", util::Json::parse(R"json([
+    {"type": "host_crash", "time": 50, "host": "node0", "restart_at": 60}
+  ])json"));
+  return doc;
+}
+
+TEST(TraceReplay, FaultyRunRecordsV2AndReplaysBitIdentical) {
+  ClosedLoop loop = record_to_file(crash_doc(), "crashy");
+  // The log is schema v2: the crash and restart are disruption records, the
+  // killed first attempt a task_attempt record, and the completed task
+  // carries its attempt count.
+  EXPECT_EQ(loop.log.version, 2);
+  ASSERT_EQ(loop.log.disruptions.size(), 2u);
+  EXPECT_EQ(loop.log.disruptions[0].type, "host_crash");
+  EXPECT_DOUBLE_EQ(loop.log.disruptions[0].time, 50.0);
+  EXPECT_EQ(loop.log.disruptions[1].type, "host_restart");
+  ASSERT_EQ(loop.log.task_attempts.size(), 1u);
+  EXPECT_EQ(loop.log.task_attempts[0].name, "slow");
+  EXPECT_EQ(loop.log.task_attempts[0].attempt, 1);
+  EXPECT_EQ(loop.log.task_attempts[0].outcome, "crashed");
+  ASSERT_EQ(loop.log.task_events.size(), 1u);
+  EXPECT_EQ(loop.log.task_events[0].attempts, 2);
+  // The closed loop holds under failure: the header's scenario re-fires the
+  // same events on replay, so the replayed timeline is bit-identical.
+  const RunResult replayed = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  expect_bit_identical(replayed, loop.original);
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceReplay, VersionOneLogsStillParseAndResaveAsVersionOne) {
+  // Logs recorded before the fault-injection schema keep parsing, validate
+  // clean, and re-save with their original version header — so committed
+  // v1 artifacts stay byte-stable.
+  tracelog::TaskLog v1 = tracelog::TaskLog::parse_text(
+      "{\"rec\":\"header\",\"version\":1}\n"
+      "{\"rec\":\"workflow\",\"id\":0,\"label\":\"a\",\"service\":\"\",\"submit\":0}\n"
+      "{\"rec\":\"task\",\"wf\":0,\"name\":\"t\",\"flops\":1}\n");
+  v1.validate();
+  EXPECT_EQ(v1.version, 1);
+  std::ostringstream resaved;
+  v1.save(resaved);
+  EXPECT_NE(resaved.str().find("\"version\":1"), std::string::npos);
+  EXPECT_EQ(resaved.str().find("\"version\":2"), std::string::npos);
+
+  const std::string committed =
+      std::string(PCS_SOURCE_DIR) + "/scenarios/traces/nighres_run.jsonl";
+  tracelog::TaskLog log = tracelog::TaskLog::from_file(committed);
+  log.validate();
+  EXPECT_EQ(log.version, 1);
+  EXPECT_TRUE(log.disruptions.empty());
+  EXPECT_TRUE(log.task_attempts.empty());
+  // Resaving a v1 log must not promote it: parse(save(log)) is the same
+  // log, still version 1, with no v2 sections materializing.
+  std::ostringstream bytes;
+  log.save(bytes);
+  tracelog::TaskLog again = tracelog::TaskLog::parse_text(bytes.str());
+  EXPECT_EQ(again.version, 1);
+  EXPECT_TRUE(again.to_json() == log.to_json());
+}
+
+TEST(TraceReplay, ValidatorRejectsMalformedV2Records) {
+  using tracelog::TaskLog;
+  using tracelog::TraceError;
+  const std::string prologue =
+      "{\"rec\":\"header\",\"version\":2}\n"
+      "{\"rec\":\"workflow\",\"id\":0,\"label\":\"a\",\"service\":\"\",\"submit\":0}\n"
+      "{\"rec\":\"task\",\"wf\":0,\"name\":\"t\",\"flops\":1}\n";
+  // An attempt for a task the log never declared.
+  TaskLog ghost = TaskLog::parse_text(
+      prologue +
+      "{\"rec\":\"task_attempt\",\"name\":\"ghost\",\"host\":\"h\",\"attempt\":1,"
+      "\"start\":0,\"end\":1,\"outcome\":\"crashed\"}\n");
+  EXPECT_THROW(ghost.validate(), TraceError);
+  // Attempt numbers are 1-based; attempt windows cannot run backwards.
+  TaskLog zero = TaskLog::parse_text(
+      prologue +
+      "{\"rec\":\"task_attempt\",\"name\":\"t\",\"host\":\"h\",\"attempt\":0,"
+      "\"start\":0,\"end\":1,\"outcome\":\"crashed\"}\n");
+  EXPECT_THROW(zero.validate(), TraceError);
+  TaskLog backwards = TaskLog::parse_text(
+      prologue +
+      "{\"rec\":\"task_attempt\",\"name\":\"t\",\"host\":\"h\",\"attempt\":1,"
+      "\"start\":5,\"end\":1,\"outcome\":\"crashed\"}\n");
+  EXPECT_THROW(backwards.validate(), TraceError);
+  // Disruptions need a type and a non-negative time.
+  TaskLog untyped =
+      TaskLog::parse_text(prologue + "{\"rec\":\"disruption\",\"type\":\"\",\"time\":1}\n");
+  EXPECT_THROW(untyped.validate(), TraceError);
+  TaskLog early = TaskLog::parse_text(
+      prologue + "{\"rec\":\"disruption\",\"type\":\"host_crash\",\"time\":-1}\n");
+  EXPECT_THROW(early.validate(), TraceError);
+  // And the well-formed variants pass.
+  TaskLog good = TaskLog::parse_text(
+      prologue +
+      "{\"rec\":\"disruption\",\"type\":\"host_crash\",\"time\":1,\"target\":\"h\"}\n"
+      "{\"rec\":\"task_attempt\",\"name\":\"t\",\"host\":\"h\",\"attempt\":1,"
+      "\"start\":0,\"end\":1,\"outcome\":\"crashed\"}\n");
+  EXPECT_NO_THROW(good.validate());
+}
+
 TEST(TraceReplay, BackgroundFlushTrafficIsRecordedAsServiceIo) {
   // A write-heavy cached pipeline: the page-cache flusher must appear in
   // the log as service-attributed "flush" io records with no issuing task —

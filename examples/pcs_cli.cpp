@@ -9,7 +9,8 @@
 //       defaulted spec instead of running).
 //   pcs_cli sweep <sweep.json> [--jobs N] [--json|--csv] [--list]
 //       Expand a sweep file (base scenario × parameter grid/cases) and run
-//       every case on a thread pool.  Reports are in case order and contain
+//       every case on a thread pool.  --jobs 0 (the default) means auto =
+//       hardware_concurrency.  Reports are in case order and contain
 //       only simulated quantities, so stdout is byte-identical for any
 //       --jobs value; wall-clock goes to stderr.  --list prints the
 //       expanded case labels without running.
@@ -28,7 +29,8 @@
 //       [--json|--csv|--gnuplot] [--list] [--check] [--update]
 //       Run a declarative experiment (experiments/*.json: a sweep plus
 //       series/aggregation/expectation definitions — the layer that
-//       replaced the per-figure bench binaries).  Reports contain only
+//       replaced the per-figure bench binaries).  --jobs 0 (the default)
+//       means auto = hardware_concurrency.  Reports contain only
 //       simulated quantities, so they are byte-identical for any --jobs;
 //       --check diffs against the committed <spec>.expected.json and
 //       --update regenerates it.  Exits 1 on failed embedded expectations.
@@ -69,6 +71,7 @@
 #include <iostream>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -117,8 +120,9 @@ void usage(std::ostream& out) {
          "  record <scenario.json> --out run.jsonl [--json] [--anonymize]\n"
          "  replay <log.jsonl> [--platform FILE] [--scale S] [--load N] [--json] [--check]\n"
          "  trace-info <log.jsonl> [--json]\n"
-         "  sweep <sweep.json> [--jobs N] [--json|--csv] [--list]\n"
+         "  sweep <sweep.json> [--jobs N] [--json|--csv] [--list]   (N=0: auto)\n"
          "  experiment <spec.json> [--jobs N] [--filter LABEL] [--json|--csv|--gnuplot]\n"
+         "             (N=0: auto = hardware_concurrency, the default)\n"
          "             [--list] [--check] [--update]\n"
          "  smoke <scenarios-dir> <record.json> [--update] [--tolerance REL]\n"
          "  dump-preset <reference|wrench|wrench_cache|prototype> [--nfs] [--nighres]\n"
@@ -372,7 +376,8 @@ int cmd_replay(const std::vector<std::string>& args) {
     if (!log.simulator.empty()) doc.set("simulator", log.simulator);
     doc.set("platform", util::Json::parse_file(platform_path));
     if (!log.source_scenario.is_null()) {
-      for (const char* key : {"chunk_size", "cache_params", "solve_batching", "warm_inputs"}) {
+      for (const char* key :
+           {"chunk_size", "cache_params", "solve_batching", "solver_threads", "warm_inputs"}) {
         if (log.source_scenario.contains(key)) {
           doc.set(key, log.source_scenario.at(key));
         }
@@ -503,9 +508,16 @@ int cmd_trace_info(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// --jobs 0 means auto: one worker per hardware thread (min 1).
+int resolved_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 int cmd_sweep(const std::vector<std::string>& args) {
   std::string sweep_path;
-  int jobs = 1;
+  int jobs = 0;  // 0 = auto (hardware_concurrency); report bytes are jobs-invariant
   bool as_json = false;
   bool as_csv = false;
   bool list_only = false;
@@ -570,13 +582,13 @@ int cmd_sweep(const std::vector<std::string>& args) {
   }
   // Wall-clock to stderr: stdout must stay byte-identical across --jobs.
   std::cerr << "[sweep] " << results.size() << " cases in " << wall << " s (jobs="
-            << (jobs > 0 ? jobs : 0) << ")\n";
+            << resolved_jobs(jobs) << ")\n";
   return failed ? 1 : 0;
 }
 
 int cmd_experiment(const std::vector<std::string>& args) {
   std::string spec_path;
-  int jobs = 1;
+  int jobs = 0;  // 0 = auto (hardware_concurrency); report bytes are jobs-invariant
   bool as_json = false;
   bool as_csv = false;
   bool as_gnuplot = false;
@@ -707,7 +719,7 @@ int cmd_experiment(const std::vector<std::string>& args) {
   }
   // Wall-clock to stderr: stdout stays byte-identical across --jobs.
   std::cerr << "[experiment] " << report.json.at("cases").size() << " cases in " << wall
-            << " s (jobs=" << jobs << ")\n";
+            << " s (jobs=" << resolved_jobs(jobs) << ")\n";
 
   if (update) {
     if (!report.cases_ok || !report.checks_ok) {

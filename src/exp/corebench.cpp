@@ -35,31 +35,65 @@ sim::Task<> core_actor(sim::Engine& engine, const CoreScenarioConfig& config,
   }
 }
 
+sim::Task<> crash_driver(sim::Engine& engine, double crash_time, std::string group) {
+  co_await engine.sleep_until(crash_time);
+  engine.cancel_group(group);
+}
+
 }  // namespace
 
 CoreScenarioResult run_core_scenario(const CoreScenarioConfig& config) {
   sim::Engine engine;
   engine.set_solver_cross_check(config.solver_cross_check);
   engine.set_solve_batching(config.solve_batching);
+  engine.set_solver_threads(static_cast<unsigned>(config.solver_threads < 0 ? 0 : config.solver_threads));
+  const int tenants = config.tenants > 0 ? config.tenants : 1;
+
+  // Resources tenant-major; tenant 0 keeps the historical bare names so the
+  // single-tenant scenario stays byte-identical to every committed
+  // fingerprint.  Tenants never share a resource, so each tenant's groups
+  // are connected components of their own.
   std::vector<sim::Resource*> disks;
   std::vector<sim::Resource*> links;
-  disks.reserve(static_cast<std::size_t>(config.groups));
-  links.reserve(static_cast<std::size_t>(config.groups));
-  for (int g = 0; g < config.groups; ++g) {
-    disks.push_back(engine.new_resource("disk" + std::to_string(g), config.disk_bw));
-    links.push_back(engine.new_resource("link" + std::to_string(g), config.link_bw));
+  disks.reserve(static_cast<std::size_t>(config.groups) * static_cast<std::size_t>(tenants));
+  links.reserve(static_cast<std::size_t>(config.groups) * static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    const std::string prefix = t == 0 ? std::string{} : "t" + std::to_string(t) + ":";
+    for (int g = 0; g < config.groups; ++g) {
+      disks.push_back(engine.new_resource(prefix + "disk" + std::to_string(g), config.disk_bw));
+      links.push_back(engine.new_resource(prefix + "link" + std::to_string(g), config.link_bw));
+    }
   }
 
-  std::vector<double> checksums(static_cast<std::size_t>(config.actors), 0.0);
-  std::vector<std::uint64_t> ns_checksums(static_cast<std::size_t>(config.actors), 0);
-  for (int a = 0; a < config.actors; ++a) {
-    const int g = a % config.groups;
-    engine.spawn("actor" + std::to_string(a),
-                 core_actor(engine, config, disks[static_cast<std::size_t>(g)],
-                            links[static_cast<std::size_t>(g)],
-                            config.seed + static_cast<std::uint64_t>(a),
-                            checksums[static_cast<std::size_t>(a)],
-                            ns_checksums[static_cast<std::size_t>(a)]));
+  const std::size_t total_actors =
+      static_cast<std::size_t>(config.actors) * static_cast<std::size_t>(tenants);
+  std::vector<double> checksums(total_actors, 0.0);
+  std::vector<std::uint64_t> ns_checksums(total_actors, 0);
+  for (int t = 0; t < tenants; ++t) {
+    const std::string prefix = t == 0 ? std::string{} : "t" + std::to_string(t) + ":";
+    const std::string group = tenants > 1 ? "tenant" + std::to_string(t) : std::string{};
+    const std::size_t base =
+        static_cast<std::size_t>(t) * static_cast<std::size_t>(config.actors);
+    for (int a = 0; a < config.actors; ++a) {
+      const std::size_t g = static_cast<std::size_t>(config.groups) *
+                                static_cast<std::size_t>(t) +
+                            static_cast<std::size_t>(a % config.groups);
+      const std::size_t idx = base + static_cast<std::size_t>(a);
+      // Identical per-actor seeds across tenants: tenant workloads are
+      // clones, so their event timestamps align and batched scheduling
+      // points dirty many components at once.
+      engine.spawn(prefix + "actor" + std::to_string(a),
+                   core_actor(engine, config, disks[g], links[g],
+                              config.seed + static_cast<std::uint64_t>(a), checksums[idx],
+                              ns_checksums[idx]),
+                   /*daemon=*/false, group);
+    }
+  }
+  if (config.crash_time >= 0.0 && tenants > 1) {
+    engine.spawn("crash-driver",
+                 crash_driver(engine, config.crash_time,
+                              "tenant" + std::to_string(config.crash_tenant)),
+                 /*daemon=*/true);
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -72,11 +106,23 @@ CoreScenarioResult run_core_scenario(const CoreScenarioConfig& config) {
   result.scheduling_points = engine.scheduling_points();
   result.fair_share_solves = engine.fair_share_solves();
   result.same_time_points = engine.same_time_points();
-  result.activities =
-      static_cast<std::uint64_t>(config.actors) * static_cast<std::uint64_t>(config.rounds);
+  result.activities = static_cast<std::uint64_t>(total_actors) *
+                      static_cast<std::uint64_t>(config.rounds);
+  result.components_solved = engine.components_solved();
+  result.parallel_solves = engine.parallel_solves();
+  result.cancelled_activities = engine.cancelled_activities();
   for (double c : checksums) result.completion_checksum += c;
   for (std::uint64_t c : ns_checksums) result.checksum_ns += c;
   return result;
+}
+
+CoreScenarioConfig mega_tenant_config(int tenants) {
+  CoreScenarioConfig config;
+  config.actors = 1000;
+  config.groups = 100;
+  config.rounds = 3;
+  config.tenants = tenants;
+  return config;
 }
 
 }  // namespace pcs::exp

@@ -15,7 +15,7 @@
 namespace pcs::exp {
 
 struct CoreScenarioConfig {
-  int actors = 1000;     ///< concurrent root actors
+  int actors = 1000;     ///< concurrent root actors (per tenant)
   int groups = 100;      ///< independent resource groups (disk + link each)
   int rounds = 20;       ///< I/O rounds per actor
   double work_mean = 1e6;         ///< mean work units per operation
@@ -28,6 +28,20 @@ struct CoreScenarioConfig {
   /// Timestamp-batched solving (Engine::set_solve_batching); false = the
   /// per-event reference mode for the batching A/B.
   bool solve_batching = true;
+  /// Independent tenants: the whole actor/resource population is cloned
+  /// this many times with identical per-actor seeds, so tenant event
+  /// timestamps align and every batched scheduling point carries many
+  /// dirty components — the shape the parallel solver exploits.  1 keeps
+  /// the classic single-tenant scenario byte-identical to before.
+  int tenants = 1;
+  /// Engine::set_solver_threads (0 = auto); results are bit-identical for
+  /// any value — that is what the parallel determinism tests assert.
+  int solver_threads = 1;
+  /// When >= 0: a crash driver cancels every actor of `crash_tenant` at
+  /// this virtual time (Engine::cancel_group), mimicking a host_crash
+  /// disruption mid-run.  Requires tenants > 1.
+  double crash_time = -1.0;
+  int crash_tenant = 0;
 };
 
 struct CoreScenarioResult {
@@ -45,8 +59,17 @@ struct CoreScenarioResult {
   /// Exact (no float rounding in the accumulation), so it detects any
   /// nanosecond-scale divergence while staying immune to sub-ns ulp noise.
   std::uint64_t checksum_ns = 0;
+  std::uint64_t components_solved = 0;  ///< dirty components enumerated
+  std::uint64_t parallel_solves = 0;    ///< scheduling points fanned to the pool
+  std::uint64_t cancelled_activities = 0;  ///< from the crash driver, if any
 };
 
 CoreScenarioResult run_core_scenario(const CoreScenarioConfig& config);
+
+/// The ~100k-actor stress shape from ISSUE 7: the 1000-actor scenario
+/// cloned across `tenants` independent tenants (identical seeds => aligned
+/// timestamps => many dirty components per scheduling point), with rounds
+/// cut to 3 to keep Release wall time in benchmark territory.
+CoreScenarioConfig mega_tenant_config(int tenants);
 
 }  // namespace pcs::exp

@@ -30,6 +30,10 @@ struct RunResult {
   std::uint64_t scheduling_points = 0;
   std::uint64_t fair_share_solves = 0;  ///< batching metric: solves <= points
   std::uint64_t same_time_points = 0;   ///< points sharing the previous timestamp
+  /// Parallel-solver metrics (not part of result_json: committed expected
+  /// reports must stay byte-stable; read them from RunResult directly).
+  std::uint64_t components_solved = 0;  ///< dirty components enumerated
+  std::uint64_t parallel_solves = 0;    ///< points fanned out to the pool
 
   [[nodiscard]] const wf::TaskResult& task(const std::string& name) const;
   /// Phase time of instance `i` (prefix "a<i>:"), synthetic task index

@@ -275,6 +275,7 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   const auto wall_start = WallClock::now();
   wf::Simulation sim;
   sim.engine().set_solve_batching(spec.solve_batching);
+  sim.engine().set_solver_threads(static_cast<unsigned>(spec.solver_threads));
   if (options.tracer != nullptr) sim.engine().set_tracer(options.tracer);
   sim.platform().load_json(spec.platform);
 
@@ -457,6 +458,8 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   result.scheduling_points = sim.engine().scheduling_points();
   result.fair_share_solves = sim.engine().fair_share_solves();
   result.same_time_points = sim.engine().same_time_points();
+  result.components_solved = sim.engine().components_solved();
+  result.parallel_solves = sim.engine().parallel_solves();
   return result;
 }
 

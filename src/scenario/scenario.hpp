@@ -84,6 +84,12 @@ struct ScenarioSpec {
   /// Engine knob (Engine::set_solve_batching): false selects the per-event
   /// reference solver mode, for batching ablations driven from JSON sweeps.
   bool solve_batching = true;
+  /// Engine knob (Engine::set_solver_threads): worker-pool width for the
+  /// per-component fair-share solve.  0 = auto (hardware_concurrency);
+  /// results are bit-identical for any value.  Sweepable like
+  /// solve_batching; to_json emits the key only when != 1 so pre-parallel
+  /// scenario documents round-trip byte-identically.
+  int solver_threads = 1;
   cache::CacheParams cache_params;
   std::string base_dir;  ///< resolves relative "file" refs in the workload
   /// Fault injection (all optional; to_json emits these keys only when

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
+#include <thread>
 
+#include "simcore/solver_pool.hpp"
 #include "simcore/trace.hpp"
 #include "util/log.hpp"
 
@@ -15,6 +18,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // large enough that any realistic work amount finishes "instantly" yet
 // finite so that time arithmetic stays well-defined.
 constexpr double kUnconstrainedRate = 1e30;
+// Below this many affected activities a solve is dispatched serially even
+// when a pool is configured: waking the workers costs a few microseconds,
+// which only pays off once the components carry real work.  A pure
+// wall-clock heuristic — results are bit-identical either way.
+constexpr std::size_t kParallelSolveMinActivities = 64;
 }  // namespace
 
 bool SleepAwaiter::await_ready() const noexcept { return wake_time_ <= engine_.now(); }
@@ -25,6 +33,7 @@ void SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
 
 Engine::Engine() {
   util::Logger::instance().set_clock([this] { return now_; });
+  solve_scratch_.resize(1);  // slot 0: the driving thread's solve buffer
 }
 
 Engine::~Engine() {
@@ -253,52 +262,113 @@ double Engine::heap_top_time() {
   return kInf;
 }
 
-void Engine::recompute_rates() {
-  // Collect the connected components reachable from dirty resources over
-  // the incumbency graph (resource -> claiming activities -> their other
-  // resources).  Everything outside keeps its rate, remaining amount and
-  // completion entry untouched.
-  ++visit_mark_;
-  affected_acts_.clear();
-  bfs_stack_.clear();
-  for (Resource* r : dirty_resources_) {
-    r->dirty_queued_ = false;
-    bfs_stack_.push_back(r);
+void Engine::set_solver_threads(unsigned threads) {
+  solver_threads_requested_ = threads;
+  unsigned resolved = threads;
+  if (resolved == 0) {
+    resolved = std::thread::hardware_concurrency();
+    if (resolved == 0) resolved = 1;
   }
-  dirty_resources_.clear();
-  ++solves_;
-  while (!bfs_stack_.empty()) {
-    Resource* r = bfs_stack_.back();
-    bfs_stack_.pop_back();
-    if (r->visit_mark_ == visit_mark_) continue;
-    r->visit_mark_ = visit_mark_;
-    for (const auto& [act, claim_idx] : r->incumbents_) {
-      (void)claim_idx;
-      if (act->visit_mark_ == visit_mark_) continue;
-      act->visit_mark_ = visit_mark_;
-      affected_acts_.push_back(act);
-      for (const Claim& claim : act->claims_) {
-        if (claim.resource->visit_mark_ != visit_mark_) bfs_stack_.push_back(claim.resource);
-      }
-    }
+  if (resolved != solver_threads_) {
+    pool_.reset();  // recreated lazily at the next parallel-eligible solve
+    solver_threads_ = resolved;
   }
+  if (solve_scratch_.size() < solver_threads_) solve_scratch_.resize(solver_threads_);
+}
 
+void Engine::solve_component(std::vector<Activity*>& acts,
+                             std::vector<Resource*>& used_scratch) {
   // Canonical order: ascending id = submission order, the same relative
   // order a full solve over `running_` would visit.  This keeps tie-breaks
   // — and therefore floating-point operation order — bit-identical to the
   // full solve.
-  std::sort(affected_acts_.begin(), affected_acts_.end(),
+  std::sort(acts.begin(), acts.end(),
             [](const Activity* a, const Activity* b) { return a->id_ < b->id_; });
+  for (Activity* act : acts) sync_remaining(*act);
+  solve_subset(acts, used_scratch);
+}
 
-  for (Activity* act : affected_acts_) sync_remaining(*act);
-  solve_subset(affected_acts_);
-  for (Activity* act : affected_acts_) update_completion(*act);
+void Engine::recompute_rates() {
+  // Enumerate the dirty connected components of the incumbency graph
+  // (resource -> claiming activities -> their other resources), one BFS per
+  // still-unvisited dirty seed.  Everything outside keeps its rate,
+  // remaining amount and completion entry untouched.  Components are
+  // disjoint: a resource or activity belongs to exactly one, which is what
+  // lets them be solved concurrently without any locking.
+  ++visit_mark_;
+  ++solves_;
+  component_count_ = 0;
+  std::size_t affected = 0;
+  for (Resource* seed : dirty_resources_) {
+    seed->dirty_queued_ = false;
+    if (seed->visit_mark_ == visit_mark_) continue;  // merged into an earlier seed
+    seed->visit_mark_ = visit_mark_;
+    if (component_count_ == components_.size()) components_.emplace_back();
+    std::vector<Activity*>& acts = components_[component_count_];
+    acts.clear();
+    bfs_stack_.clear();
+    bfs_stack_.push_back(seed);
+    while (!bfs_stack_.empty()) {
+      Resource* r = bfs_stack_.back();
+      bfs_stack_.pop_back();
+      for (const auto& [act, claim_idx] : r->incumbents_) {
+        (void)claim_idx;
+        if (act->visit_mark_ == visit_mark_) continue;
+        act->visit_mark_ = visit_mark_;
+        acts.push_back(act);
+        for (const Claim& claim : act->claims_) {
+          if (claim.resource->visit_mark_ != visit_mark_) {
+            claim.resource->visit_mark_ = visit_mark_;
+            bfs_stack_.push_back(claim.resource);
+          }
+        }
+      }
+    }
+    if (!acts.empty()) {
+      affected += acts.size();
+      ++component_count_;  // idle components (no incumbents) are dropped
+    }
+  }
+  dirty_resources_.clear();
+  components_solved_ += component_count_;
+
+  if (component_count_ > 0) {
+    if (solver_threads_ > 1 && component_count_ > 1 &&
+        affected >= kParallelSolveMinActivities) {
+      // Fan the components out to the pool; whichever participant is free
+      // takes the next one (work stealing), each with its own scratch.
+      if (!pool_) pool_ = std::make_unique<SolverPool>(solver_threads_ - 1);
+      ++parallel_solves_;
+      pool_->run(component_count_, [this](std::size_t item, std::size_t slot) {
+        solve_component(components_[item], solve_scratch_[slot]);
+      });
+    } else {
+      for (std::size_t i = 0; i < component_count_; ++i) {
+        solve_component(components_[i], solve_scratch_[0]);
+      }
+    }
+
+    // Merge on the driving thread in component-id order (the smallest
+    // activity id in each solved component — acts are sorted, so that is
+    // the front).  Never in pool completion order: the completion heap
+    // must see pushes in a schedule-independent sequence.
+    component_order_.resize(component_count_);
+    std::iota(component_order_.begin(), component_order_.end(), std::size_t{0});
+    std::sort(component_order_.begin(), component_order_.end(),
+              [this](std::size_t a, std::size_t b) {
+                return components_[a].front()->id_ < components_[b].front()->id_;
+              });
+    for (std::size_t index : component_order_) {
+      for (Activity* act : components_[index]) update_completion(*act);
+    }
+  }
 
   if (cross_check_) verify_full_solve();
 }
 
-void Engine::solve_subset(const std::vector<Activity*>& acts) {
-  solve_used_.clear();
+void Engine::solve_subset(const std::vector<Activity*>& acts,
+                          std::vector<Resource*>& used_scratch) {
+  used_scratch.clear();
   for (Activity* act : acts) {
     act->scratch_assigned_ = false;
     for (const Claim& claim : act->claims_) {
@@ -307,7 +377,7 @@ void Engine::solve_subset(const std::vector<Activity*>& acts) {
         r->scratch_active_ = true;
         r->scratch_capacity_ = r->capacity_;
         r->scratch_weight_ = 0.0;
-        solve_used_.push_back(r);
+        used_scratch.push_back(r);
       }
       r->scratch_weight_ += claim.weight;
     }
@@ -322,7 +392,7 @@ void Engine::solve_subset(const std::vector<Activity*>& acts) {
     double best = kInf;
     Resource* best_resource = nullptr;
     Activity* best_bounded = nullptr;
-    for (Resource* r : solve_used_) {
+    for (Resource* r : used_scratch) {
       if (r->scratch_weight_ <= 0.0) continue;
       double fair = r->scratch_capacity_ / r->scratch_weight_;
       if (fair < best) {
@@ -380,13 +450,16 @@ void Engine::solve_subset(const std::vector<Activity*>& acts) {
     }
   }
 
-  for (Resource* r : solve_used_) r->scratch_active_ = false;
+  for (Resource* r : used_scratch) r->scratch_active_ = false;
 }
 
 void Engine::verify_full_solve() {
   // Debug cross-check: the incremental solver must agree bit-for-bit with a
-  // full progressive-filling solve over every running activity.
-  std::vector<Activity*> all;
+  // full progressive-filling solve over every running activity.  Runs on the
+  // driving thread only, after the pool barrier, so borrowing slot 0's
+  // resource scratch is safe.
+  std::vector<Activity*>& all = full_solve_scratch_;
+  all.clear();
   all.reserve(running_.size());
   for (const ActivityPtr& act : running_) all.push_back(act.get());
   std::sort(all.begin(), all.end(),
@@ -394,7 +467,7 @@ void Engine::verify_full_solve() {
 
   // Save incremental rates, run the full solve, compare, restore.
   for (Activity* act : all) act->scratch_check_rate_ = act->rate_;
-  solve_subset(all);
+  solve_subset(all, solve_scratch_[0]);
   for (Activity* act : all) {
     const double full_rate = act->rate_;
     act->rate_ = act->scratch_check_rate_;

@@ -1,0 +1,94 @@
+#include "simcore/solver_pool.hpp"
+
+namespace pcs::sim {
+
+SolverPool::SolverPool(std::size_t extra_workers) {
+  workers_.reserve(extra_workers);
+  for (std::size_t i = 0; i < extra_workers; ++i) {
+    workers_.emplace_back([this, slot = i + 1] { worker_loop(slot); });
+  }
+}
+
+SolverPool::~SolverPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void SolverPool::claim_items(std::size_t slot) {
+  for (;;) {
+    const std::size_t item = next_.fetch_add(1, std::memory_order_relaxed);
+    if (item >= count_) return;
+    try {
+      (*work_)(item, slot);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void SolverPool::worker_loop(std::size_t slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    // work_/count_ were published under the mutex before the generation
+    // bump, so reading them outside the lock here is ordered.
+    claim_items(slot);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = --working_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+void SolverPool::run(std::size_t count,
+                     const std::function<void(std::size_t, std::size_t)>& work) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    // Degenerate single-slot pool: no synchronization needed.
+    work_ = &work;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    claim_items(0);
+    work_ = nullptr;
+    if (error_) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    work_ = &work;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    working_ = workers_.size();
+    error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  claim_items(0);  // the caller is slot 0
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return working_ == 0; });
+    work_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pcs::sim

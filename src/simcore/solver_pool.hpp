@@ -1,0 +1,77 @@
+// A persistent OS-thread worker pool for the engine's per-component
+// fair-share solves.
+//
+// The pool is the *mechanical* half of intra-scenario parallelism: the
+// engine enumerates the dirty connected components of the incumbency graph
+// (disjoint by construction — that is what makes them components) and
+// hands the pool a count of independent work items.  Whichever participant
+// is free claims the next item through an atomic index, so load imbalance
+// between components self-corrects; determinism is unaffected because every
+// item touches only its own component's activities and resources, and the
+// engine merges results afterwards in component-id order, never in
+// completion order.
+//
+// The calling thread participates as slot 0, so a pool configured for N
+// solver threads spawns only N-1 OS threads and a solve with a single
+// component costs no synchronization at all (the engine skips the pool
+// entirely in that case).  Workers park on a condition variable between
+// scheduling points — the pool is created once per engine and reused for
+// the millions of solves a large scenario performs, which is what makes
+// per-point dispatch overhead (a notify + one barrier) acceptable.
+//
+// Exceptions thrown by work items are captured (first one wins) and
+// rethrown on the calling thread after the barrier, so engine invariants
+// (SimulationError from a worker) surface exactly like single-threaded
+// failures.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcs::sim {
+
+class SolverPool {
+ public:
+  /// Spawns `extra_workers` OS threads (slots 1..extra_workers); the thread
+  /// calling run() is always slot 0.
+  explicit SolverPool(std::size_t extra_workers);
+  ~SolverPool();
+  SolverPool(const SolverPool&) = delete;
+  SolverPool& operator=(const SolverPool&) = delete;
+
+  /// Runs `work(item, slot)` for every item in [0, count) across the
+  /// calling thread and all workers; returns when every item has finished.
+  /// `slot` identifies the participant (0 = caller) so callers can hand
+  /// each participant its own scratch buffers.  Rethrows the first work
+  /// exception after the barrier.
+  void run(std::size_t count, const std::function<void(std::size_t, std::size_t)>& work);
+
+  /// Participants per run (workers + the caller).
+  [[nodiscard]] std::size_t slots() const { return workers_.size() + 1; }
+
+ private:
+  void worker_loop(std::size_t slot);
+  /// Claims items off next_ until the batch is exhausted.
+  void claim_items(std::size_t slot);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;  ///< workers park here between batches
+  std::condition_variable done_cv_;   ///< caller parks here during a batch
+  const std::function<void(std::size_t, std::size_t)>* work_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};  ///< work-stealing item index
+  std::size_t working_ = 0;           ///< workers still inside the current batch
+  std::uint64_t generation_ = 0;      ///< batch counter; wakes parked workers
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace pcs::sim

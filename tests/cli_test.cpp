@@ -23,6 +23,12 @@ int run_cli(const std::string& args) {
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
+/// Like run_cli, but the caller controls the redirections.
+int run_cli_raw(const std::string& args) {
+  const int status = std::system((std::string(PCS_CLI_PATH) + " " + args).c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
 std::string experiments_dir() { return std::string(PCS_SOURCE_DIR) + "/experiments"; }
 
 TEST(Cli, UnknownCommandAndFlagsExitTwo) {
@@ -69,6 +75,29 @@ TEST(Cli, ExperimentRunsCommittedSpecs) {
 
 TEST(Cli, ExperimentSpecErrorsExitOne) {
   EXPECT_EQ(run_cli("experiment /nonexistent/spec.json"), 1);
+}
+
+TEST(Cli, JobsZeroMeansAutoAndKeepsReportsByteIdentical) {
+  // --jobs 0 = auto (hardware_concurrency) is the documented default; it
+  // must be accepted everywhere a --jobs is, while negative values stay
+  // usage errors.  --check on a committed experiment proves the report
+  // bytes match the jobs-independent expected file.
+  EXPECT_EQ(run_cli("experiment " + experiments_dir() + "/table3.json --check --jobs 0"), 0);
+  EXPECT_EQ(run_cli("experiment spec.json --jobs -1"), 2);
+  EXPECT_EQ(run_cli("sweep sweep.json --jobs -1"), 2);
+
+  // The same sweep at --jobs 0, 1 and 4: stdout must be byte-identical.
+  const std::string sweep =
+      std::string(PCS_SOURCE_DIR) + "/scenarios/sweeps/solver_threads.json";
+  const std::string out = ::testing::TempDir();
+  EXPECT_EQ(
+      run_cli_raw("sweep " + sweep + " --json --jobs 0 > " + out + "jobs0.json 2>/dev/null"), 0);
+  EXPECT_EQ(
+      run_cli_raw("sweep " + sweep + " --json --jobs 1 > " + out + "jobs1.json 2>/dev/null"), 0);
+  EXPECT_EQ(
+      run_cli_raw("sweep " + sweep + " --json --jobs 4 > " + out + "jobs4.json 2>/dev/null"), 0);
+  EXPECT_EQ(std::system(("cmp -s " + out + "jobs0.json " + out + "jobs1.json").c_str()), 0);
+  EXPECT_EQ(std::system(("cmp -s " + out + "jobs0.json " + out + "jobs4.json").c_str()), 0);
 }
 
 TEST(Cli, RecordRejectsUnknownFlags) {

@@ -200,7 +200,77 @@ TEST(EngineDeterminism, CrossCheckCatchesCapacityEdits) {
   EXPECT_NEAR(engine.now(), 18.0, 0.05);
 }
 
-// --- Cancellation edges ---------------------------------------------------
+// --- Parallel component solving (solver_threads) --------------------------
+//
+// The worker pool must be invisible in the results: for any thread count
+// the simulation is bit-identical to the serial engine — same scheduling
+// points, same ns-granular checksum, same makespan — because components
+// are disjoint and the merge happens in component-id order on the driving
+// thread.  These tests assert that contract on the 1000-actor scenario and
+// on the multi-tenant shape that actually exercises the pool; the ~100k
+// stress version lives in parallel_solver_test.
+
+/// Runs `config` at every thread count in {1, 2, 8} plus a repeat of the
+/// serial run, and asserts all results are bitwise equal to the first.
+void expect_parallel_bit_identical(CoreScenarioConfig config) {
+  config.solver_threads = 1;
+  const CoreScenarioResult serial = run_core_scenario(config);
+  const CoreScenarioResult serial_again = run_core_scenario(config);
+  EXPECT_EQ(serial.checksum_ns, serial_again.checksum_ns);
+  EXPECT_EQ(serial.scheduling_points, serial_again.scheduling_points);
+  for (int threads : {2, 8}) {
+    config.solver_threads = threads;
+    const CoreScenarioResult parallel = run_core_scenario(config);
+    const CoreScenarioResult parallel_again = run_core_scenario(config);
+    EXPECT_EQ(serial.scheduling_points, parallel.scheduling_points) << "threads=" << threads;
+    EXPECT_EQ(serial.fair_share_solves, parallel.fair_share_solves) << "threads=" << threads;
+    EXPECT_EQ(serial.components_solved, parallel.components_solved) << "threads=" << threads;
+    EXPECT_EQ(serial.final_vtime, parallel.final_vtime) << "threads=" << threads;  // bitwise
+    EXPECT_EQ(serial.completion_checksum, parallel.completion_checksum)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.checksum_ns, parallel.checksum_ns) << "threads=" << threads;
+    EXPECT_EQ(serial.cancelled_activities, parallel.cancelled_activities)
+        << "threads=" << threads;
+    // Run-twice at the same width: the pool schedule may differ, results not.
+    EXPECT_EQ(parallel.checksum_ns, parallel_again.checksum_ns) << "threads=" << threads;
+    EXPECT_EQ(parallel.final_vtime, parallel_again.final_vtime) << "threads=" << threads;
+  }
+}
+
+TEST(EngineDeterminism, ParallelSolveBitIdenticalOn1000Actors) {
+  CoreScenarioConfig config;
+  config.actors = 1000;
+  config.groups = 100;
+  config.rounds = 3;
+  expect_parallel_bit_identical(config);
+}
+
+TEST(EngineDeterminism, ParallelSolveBitIdenticalOnMultiTenant) {
+  // 10 tenants x 1000 actors: tenant clones align timestamps, so batched
+  // scheduling points carry many dirty components and the pool actually
+  // engages (asserted via parallel_solves below).
+  CoreScenarioConfig config = mega_tenant_config(10);
+  config.solver_threads = 2;
+  const CoreScenarioResult parallel = run_core_scenario(config);
+  EXPECT_GT(parallel.parallel_solves, 0u);
+  expect_parallel_bit_identical(config);
+}
+
+TEST(EngineDeterminism, ParallelSolveBitIdenticalUnderHostCrash) {
+  // PR 6 disruption semantics meet the pool: a tenant crash mid-run
+  // (cancel_group from a driver actor) retires whole components while
+  // other components are still being solved in parallel batches.  The
+  // merge order — and therefore every timing — must not notice.
+  CoreScenarioConfig config = mega_tenant_config(4);
+  config.solver_threads = 1;
+  const CoreScenarioResult dry = run_core_scenario(config);
+  config.crash_time = dry.final_vtime / 2.0;
+  config.crash_tenant = 2;
+  const CoreScenarioResult crashed = run_core_scenario(config);
+  EXPECT_GT(crashed.cancelled_activities, 0u);
+  EXPECT_LT(crashed.cancelled_activities, crashed.activities);
+  expect_parallel_bit_identical(config);
+}
 //
 // Fault injection (scenario "events") is built on Engine::cancel_group;
 // these tests pin its edge semantics directly: cancelling an actor blocked

@@ -116,9 +116,11 @@ constexpr const char* kDemoWorkflow = R"json({
 
 void usage(std::ostream& out) {
   out << "usage: pcs_cli <command> [options]\n"
-         "  run <scenario.json> [--trace FILE] [--json] [--dump-effective]\n"
-         "  record <scenario.json> --out run.jsonl [--json] [--anonymize]\n"
+         "  run <scenario.json> [--seed N] [--trace FILE] [--json] [--dump-effective]\n"
+         "  record <scenario.json> --out run.jsonl [--seed N] [--json] [--anonymize]\n"
          "  replay <log.jsonl> [--platform FILE] [--scale S] [--load N] [--json] [--check]\n"
+         "         (no --seed: a recorded stochastic fault schedule replays from the\n"
+         "          log's header, so the recorded seed always wins)\n"
          "  trace-info <log.jsonl> [--json]\n"
          "  sweep <sweep.json> [--jobs N] [--json|--csv] [--list]   (N=0: auto)\n"
          "  experiment <spec.json> [--jobs N] [--filter LABEL] [--json|--csv|--gnuplot]\n"
@@ -168,6 +170,32 @@ bool parse_int(const std::string& text, int* out) {
   return true;
 }
 
+/// `--seed N`: strict non-negative integer that survives the JSON double
+/// (the scenario schema's own constraint).
+bool parse_seed(const std::string& text, double* out) {
+  double value = 0.0;
+  if (!parse_number(text, &value)) return false;
+  if (std::isnan(value) || value < 0.0 || value != std::floor(value) ||
+      value >= 9007199254740992.0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+/// Load a scenario, optionally overriding its "seed" before parsing — the
+/// override must land pre-parse so the stochastic fault schedule is
+/// materialized from it.
+scenario::ScenarioSpec load_scenario(const std::string& path, bool have_seed, double seed) {
+  if (!have_seed) return scenario::ScenarioSpec::from_file(path);
+  util::Json doc = util::Json::parse_file(path);
+  doc.set("seed", seed);
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse(doc, dir);
+  if (spec.name == "scenario") spec.name = std::filesystem::path(path).stem().string();
+  return spec;
+}
+
 void print_result_table(const scenario::ScenarioSpec& spec, const scenario::RunResult& result) {
   std::cout << "scenario '" << spec.name << "' (" << spec.simulator << ", chunk "
             << util::format_bytes(spec.chunk_size) << ")\n\n";
@@ -208,11 +236,19 @@ int cmd_run(const std::vector<std::string>& args) {
   std::string trace_path;
   bool as_json = false;
   bool dump_effective = false;
+  bool have_seed = false;
+  double seed = 0.0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--trace") {
       if (++i >= args.size()) return usage_error("--trace needs an argument");
       trace_path = args[i];
+    } else if (arg == "--seed") {
+      if (++i >= args.size()) return usage_error("--seed needs an argument");
+      if (!parse_seed(args[i], &seed)) {
+        return usage_error("--seed: '" + args[i] + "' is not a non-negative integer < 2^53");
+      }
+      have_seed = true;
     } else if (arg == "--json") {
       as_json = true;
     } else if (arg == "--dump-effective") {
@@ -227,7 +263,7 @@ int cmd_run(const std::vector<std::string>& args) {
   }
   if (scenario_path.empty()) return usage_error("run: missing scenario file");
 
-  scenario::ScenarioSpec spec = scenario::ScenarioSpec::from_file(scenario_path);
+  scenario::ScenarioSpec spec = load_scenario(scenario_path, have_seed, seed);
   if (dump_effective) {
     std::cout << spec.to_json().dump(2) << "\n";
     return 0;
@@ -257,11 +293,19 @@ int cmd_record(const std::vector<std::string>& args) {
   std::string out_path;
   bool as_json = false;
   bool anonymize = false;
+  bool have_seed = false;
+  double seed = 0.0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--out") {
       if (++i >= args.size()) return usage_error("--out needs an argument");
       out_path = args[i];
+    } else if (arg == "--seed") {
+      if (++i >= args.size()) return usage_error("--seed needs an argument");
+      if (!parse_seed(args[i], &seed)) {
+        return usage_error("--seed: '" + args[i] + "' is not a non-negative integer < 2^53");
+      }
+      have_seed = true;
     } else if (arg == "--json") {
       as_json = true;
     } else if (arg == "--anonymize") {
@@ -277,7 +321,7 @@ int cmd_record(const std::vector<std::string>& args) {
   if (scenario_path.empty()) return usage_error("record: missing scenario file");
   if (out_path.empty()) return usage_error("record: missing --out log file");
 
-  scenario::ScenarioSpec spec = scenario::ScenarioSpec::from_file(scenario_path);
+  scenario::ScenarioSpec spec = load_scenario(scenario_path, have_seed, seed);
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "record: cannot write '" << out_path << "'\n";
@@ -395,6 +439,14 @@ int cmd_replay(const std::vector<std::string>& args) {
   doc.set("workload", std::move(workload));
 
   scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse(doc);
+  if (!log.fault_schedule.is_null() && platform_path.empty()) {
+    // The header's recorded schedule wins over re-materializing from the
+    // embedded seed: replay must re-fire exactly what the recorded run saw,
+    // even across fault-model generator changes.  (A substituted platform
+    // invalidates the recorded host targets, so the schedule is dropped
+    // with the rest of the recorded fault keys.)
+    spec.materialized_events = scenario::events_from_json(log.fault_schedule);
+  }
   scenario::RunResult result = scenario::run_scenario(spec);
 
   if (as_json) {

@@ -1,0 +1,310 @@
+#include "faults/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace pcs::faults {
+
+namespace {
+
+using scenario::DisruptionEvent;
+using scenario::ScenarioError;
+
+[[noreturn]] void fail(const std::string& what) { throw ScenarioError("fault_model: " + what); }
+
+[[noreturn]] void fail_model(const std::string& model, const std::string& what) {
+  fail("model '" + model + "': " + what);
+}
+
+double require_positive(const util::Json& obj, const std::string& key, const std::string& model) {
+  if (!obj.contains(key)) fail_model(model, "missing required key \"" + key + "\"");
+  const double v = obj.at(key).as_number();
+  if (!(v > 0.0)) fail_model(model, "\"" + key + "\" must be > 0");
+  return v;
+}
+
+Distribution parse_distribution(const util::Json& obj, const std::string& model) {
+  Distribution d;
+  d.mean = require_positive(obj, "mtbf", model);
+  d.kind = obj.string_or("distribution", "exponential");
+  if (d.kind == "exponential") {
+    if (obj.contains("shape") || obj.contains("scale"))
+      fail_model(model, "\"shape\"/\"scale\" apply to the weibull distribution only");
+  } else if (d.kind == "weibull") {
+    d.shape = obj.number_or("shape", 1.0);
+    if (!(d.shape > 0.0)) fail_model(model, "\"shape\" must be > 0");
+    if (obj.contains("scale")) {
+      d.scale = obj.at("scale").as_number();
+      if (!(d.scale > 0.0)) fail_model(model, "\"scale\" must be > 0");
+    } else {
+      // mean = scale * Gamma(1 + 1/shape); tgamma is not correctly rounded,
+      // so committed byte-stable experiments should pin "scale" explicitly.
+      d.scale = d.mean / std::tgamma(1.0 + 1.0 / d.shape);
+    }
+  } else {
+    fail_model(model, "unknown distribution \"" + d.kind + "\" (exponential|weibull)");
+  }
+  return d;
+}
+
+std::vector<std::string> parse_host_list(const util::Json& obj, const std::string& model) {
+  std::vector<std::string> hosts;
+  if (!obj.contains("hosts")) return hosts;
+  for (const auto& h : obj.at("hosts").as_array()) hosts.push_back(h.as_string());
+  if (hosts.empty()) fail_model(model, "\"hosts\" must not be an empty array");
+  return hosts;
+}
+
+/// One host's downtime window, pre-merge.
+struct Window {
+  double start;
+  double end;
+};
+
+/// Exponential repair draw with a floor so restart_at > crash time always
+/// holds (draw() can round to ~0 when u is near 1).
+double draw_repair(util::Rng& rng, double mttr) {
+  const double u = 1.0 - rng.next_double();  // (0, 1]
+  return std::max(-mttr * std::log(u), 1e-9);
+}
+
+void resolve_hosts(std::vector<std::string>& hosts, const MaterializeContext& context,
+                   const std::string& model) {
+  if (hosts.empty()) {
+    hosts = context.hosts;
+    if (hosts.empty()) fail_model(model, "platform declares no hosts");
+    return;
+  }
+  const std::set<std::string> known(context.hosts.begin(), context.hosts.end());
+  for (const auto& h : hosts)
+    if (!known.count(h)) fail_model(model, "unknown host \"" + h + "\"");
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t stream_seed(std::uint64_t seed, const std::string& name) {
+  std::uint64_t s = splitmix64(seed);
+  for (const char c : name) s = splitmix64(s ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  // Fold the length so "ab"+"c" and "a"+"bc" style prefix collisions differ.
+  return splitmix64(s ^ static_cast<std::uint64_t>(name.size()));
+}
+
+double Distribution::draw(util::Rng& rng) const {
+  const double u = 1.0 - rng.next_double();  // (0, 1]: log(u) is finite
+  double x;
+  if (kind == "weibull") {
+    x = scale * std::pow(-std::log(u), 1.0 / shape);
+  } else {
+    x = -mean * std::log(u);
+  }
+  return std::max(x, 1e-9);
+}
+
+FaultModel FaultModel::parse(const util::Json& doc) {
+  if (!doc.is_object()) fail("must be an object");
+  for (const auto& [key, value] : doc.as_object()) {
+    (void)value;
+    if (key != "horizon" && key != "models" && key != "checkpoint")
+      fail("unknown key \"" + key + "\"");
+  }
+
+  FaultModel fm;
+  fm.horizon = doc.number_or("horizon", 0.0);
+
+  if (doc.contains("models")) {
+    for (const auto& [name, body] : doc.at("models").as_object()) {
+      if (!body.is_object()) fail_model(name, "must be an object");
+      const std::string type = body.string_or("type", "");
+      if (type == "host_mtbf") {
+        CrashModel m;
+        m.name = name;
+        m.ttf = parse_distribution(body, name);
+        m.mttr = require_positive(body, "mttr", name);
+        m.hosts = parse_host_list(body, name);
+        fm.crashes.push_back(std::move(m));
+      } else if (type == "domain") {
+        DomainModel m;
+        m.name = name;
+        m.ttf = parse_distribution(body, name);
+        m.mttr = require_positive(body, "mttr", name);
+        m.jitter = body.number_or("jitter", 0.0);
+        if (m.jitter < 0.0) fail_model(name, "\"jitter\" must be >= 0");
+        if (!body.contains("domains")) fail_model(name, "missing required key \"domains\"");
+        for (const auto& [dname, members] : body.at("domains").as_object()) {
+          std::vector<std::string> hosts;
+          for (const auto& h : members.as_array()) hosts.push_back(h.as_string());
+          if (hosts.empty()) fail_model(name, "domain \"" + dname + "\" has no member hosts");
+          m.domains.emplace(dname, std::move(hosts));
+        }
+        if (m.domains.empty()) fail_model(name, "\"domains\" must not be empty");
+        fm.domains.push_back(std::move(m));
+      } else if (type == "straggler") {
+        StragglerModel m;
+        m.name = name;
+        m.probability = body.number_or("probability", 1.0);
+        if (m.probability < 0.0 || m.probability > 1.0)
+          fail_model(name, "\"probability\" must be in [0, 1]");
+        if (!body.contains("factor")) fail_model(name, "missing required key \"factor\"");
+        const util::Json& f = body.at("factor");
+        if (f.is_array()) {
+          if (f.size() != 2) fail_model(name, "\"factor\" range must be [min, max]");
+          m.factor_min = f.at(std::size_t{0}).as_number();
+          m.factor_max = f.at(std::size_t{1}).as_number();
+        } else {
+          m.factor_min = m.factor_max = f.as_number();
+        }
+        if (!(m.factor_min > 0.0) || m.factor_max > 1.0 || m.factor_min > m.factor_max)
+          fail_model(name, "\"factor\" must lie in (0, 1] with min <= max");
+        m.start = body.number_or("start", 0.0);
+        if (m.start < 0.0) fail_model(name, "\"start\" must be >= 0");
+        m.duration = body.number_or("duration", 0.0);
+        if (m.duration < 0.0) fail_model(name, "\"duration\" must be >= 0");
+        m.hosts = parse_host_list(body, name);
+        fm.stragglers.push_back(std::move(m));
+      } else if (type.empty()) {
+        fail_model(name, "missing required key \"type\"");
+      } else {
+        fail_model(name, "unknown type \"" + type + "\" (host_mtbf|domain|straggler)");
+      }
+    }
+  }
+
+  if ((!fm.crashes.empty() || !fm.domains.empty()) && !(fm.horizon > 0.0))
+    fail("\"horizon\" must be > 0 when crash-generating models are present");
+
+  if (doc.contains("checkpoint")) {
+    const util::Json& ck = doc.at("checkpoint");
+    if (!ck.is_object()) fail("\"checkpoint\" must be an object");
+    fm.checkpoint.interval = require_positive(ck, "interval", "checkpoint");
+    fm.checkpoint.cost = ck.number_or("cost", 0.0);
+    fm.checkpoint.restart_penalty = ck.number_or("restart_penalty", 0.0);
+    if (fm.checkpoint.cost < 0.0) fail("checkpoint \"cost\" must be >= 0");
+    if (fm.checkpoint.restart_penalty < 0.0) fail("checkpoint \"restart_penalty\" must be >= 0");
+  }
+  return fm;
+}
+
+std::vector<DisruptionEvent> materialize(const FaultModel& model, std::uint64_t seed,
+                                         const MaterializeContext& context) {
+  // Downtime windows per host, accumulated across every crash-generating
+  // model, then merged so crash/restart strictly alternate per host.
+  std::map<std::string, std::vector<Window>> downtime;
+
+  for (const CrashModel& m : model.crashes) {
+    std::vector<std::string> hosts = m.hosts;
+    resolve_hosts(hosts, context, m.name);
+    const std::uint64_t model_seed = stream_seed(seed, m.name);
+    for (const std::string& host : hosts) {
+      util::Rng rng(stream_seed(model_seed, host));
+      double t = 0.0;
+      while (true) {
+        t += m.ttf.draw(rng);
+        if (t >= model.horizon) break;
+        const double repair = draw_repair(rng, m.mttr);
+        downtime[host].push_back({t, t + repair});
+        t += repair;
+      }
+    }
+  }
+
+  for (const DomainModel& m : model.domains) {
+    std::vector<std::string> all_members;
+    for (const auto& [dname, members] : m.domains) {
+      (void)dname;
+      all_members.insert(all_members.end(), members.begin(), members.end());
+    }
+    resolve_hosts(all_members, context, m.name);
+    const std::uint64_t model_seed = stream_seed(seed, m.name);
+    for (const auto& [dname, members] : m.domains) {
+      util::Rng rng(stream_seed(model_seed, dname));
+      double t = 0.0;
+      while (true) {
+        t += m.ttf.draw(rng);
+        if (t >= model.horizon) break;
+        const double repair = draw_repair(rng, m.mttr);
+        for (const std::string& host : members) {
+          // One draw takes the whole domain down; members stagger their
+          // crash instants by up to "jitter" but share the repair
+          // completion (clamped so the window stays non-empty).
+          const double off = m.jitter > 0.0 ? rng.uniform(0.0, m.jitter) : 0.0;
+          const double start = t + off;
+          downtime[host].push_back({start, std::max(t + repair, start + 1e-9)});
+        }
+        t += repair;
+      }
+    }
+  }
+
+  std::vector<DisruptionEvent> events;
+  // Crash windows first, hosts in platform declaration order.
+  for (const std::string& host : context.hosts) {
+    auto it = downtime.find(host);
+    if (it == downtime.end()) continue;
+    std::vector<Window>& windows = it->second;
+    std::sort(windows.begin(), windows.end(),
+              [](const Window& a, const Window& b) { return a.start < b.start; });
+    std::vector<Window> merged;
+    for (const Window& w : windows) {
+      if (!merged.empty() && w.start <= merged.back().end)
+        merged.back().end = std::max(merged.back().end, w.end);
+      else
+        merged.push_back(w);
+    }
+    for (const Window& w : merged) {
+      DisruptionEvent ev;
+      ev.type = "host_crash";
+      ev.time = w.start;
+      ev.host = host;
+      ev.restart_at = w.end;
+      events.push_back(std::move(ev));
+    }
+  }
+
+  for (const StragglerModel& m : model.stragglers) {
+    std::vector<std::string> hosts = m.hosts;
+    resolve_hosts(hosts, context, m.name);
+    const std::uint64_t model_seed = stream_seed(seed, m.name);
+    for (const std::string& host : hosts) {
+      util::Rng rng(stream_seed(model_seed, host));
+      // Fixed two-draw budget per host so the stream position never
+      // depends on the bernoulli outcome or a degenerate factor range.
+      const bool straggles = rng.bernoulli(m.probability);
+      const double factor = rng.uniform(m.factor_min, m.factor_max);
+      if (!straggles) continue;
+      const auto sit = context.services_by_host.find(host);
+      if (sit == context.services_by_host.end() || sit->second.empty())
+        fail_model(m.name, "straggler host \"" + host +
+                               "\" declares no storage service to degrade");
+      for (const std::string& service : sit->second) {
+        DisruptionEvent deg;
+        deg.type = "service_degrade";
+        deg.time = m.start;
+        deg.service = service;
+        deg.factor = factor;
+        events.push_back(std::move(deg));
+        if (m.duration > 0.0) {
+          DisruptionEvent res;
+          res.type = "service_restore";
+          res.time = m.start + m.duration;
+          res.service = service;
+          events.push_back(std::move(res));
+        }
+      }
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const DisruptionEvent& a, const DisruptionEvent& b) { return a.time < b.time; });
+  return events;
+}
+
+}  // namespace pcs::faults

@@ -1,0 +1,167 @@
+// Stochastic fault models: the generative layer on top of the PR 6
+// disruption machinery.  A scenario's "fault_model" block describes *how*
+// a cluster fails — per-host MTBF/MTTR schedules, correlated failure
+// domains, persistent stragglers, checkpoint/restart costs — and this
+// module materializes it into a concrete, sorted DisruptionEvent timeline
+// before the run starts.
+//
+// Determinism contract:
+//   * Materialization is a pure function: (fault_model, seed, platform) ->
+//     event vector.  No global state, no wall clock.
+//   * Every model draws from its own named PRNG stream, seeded as
+//     splitmix(scenario seed, model name); per-host schedules use a
+//     per-host sub-stream splitmix(model stream, host name).  Adding a
+//     model (or a host) never perturbs another's draws.
+//   * The materialized schedule is recorded verbatim in the task-log
+//     header ("fault_schedule"), so `pcs_cli replay --check` re-fires the
+//     recorded schedule instead of re-drawing it.
+//
+// Schema (the ScenarioSpec "fault_model" block; see README "Fault models"):
+//   {
+//     "horizon": 1000,                   // draw failures in [0, horizon)
+//     "models": {
+//       "nodefail": {"type": "host_mtbf", "mtbf": 500, "mttr": 60,
+//                    "distribution": "exponential",   // or "weibull"
+//                    "shape": 1.5,                    // weibull only
+//                    "hosts": ["compute0"]},          // default: all hosts
+//       "rack": {"type": "domain", "mtbf": 1500, "mttr": 120, "jitter": 5,
+//                "domains": {"rack0": ["node0", "node1"]}},
+//       "slow": {"type": "straggler", "probability": 0.5,
+//                "factor": [0.6, 0.9],  // or a scalar; (0, 1]
+//                "start": 100, "duration": 300,       // 0/absent: persistent
+//                "hosts": ["node1"]}
+//     },
+//     "checkpoint": {"interval": 120, "cost": 2, "restart_penalty": 5}
+//   }
+//
+// Lowering:
+//   * host_mtbf/domain models emit host_crash events with restart_at set to
+//     the repair completion.  Overlapping downtime windows of one host
+//     (several models, or a rapid re-failure draw) are merged into one
+//     crash/restart pair, so the runner never crashes an already-down host.
+//   * straggler models emit service_degrade (and, when "duration" is set,
+//     the matching service_restore) for every storage service declared on
+//     the straggling host — persistent slowness is modeled as degraded
+//     service bandwidth, the PR 6 mechanism.
+//   * the checkpoint block does not emit events; it configures the compute
+//     services' wf::CheckpointPolicy (bounded re-execution on crash).
+//   * the runner fires a materialized schedule as *environment*, not
+//     workload: draws past the workload's completion never fire and do not
+//     stretch the makespan (unlike a literal "events" timeline, which holds
+//     the run open until its last entry).  In-progress outages still hold
+//     the run open until the host repairs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "workflow/workflow.hpp"
+
+namespace pcs::faults {
+
+/// One splitmix64 step (the xoshiro authors' seeding generator); the basis
+/// of named-stream derivation.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+/// Seed of the named PRNG stream `name` under scenario seed `seed`:
+/// the name's bytes folded through splitmix64.  Distinct names give
+/// independent streams; the same name is stable as other models come and
+/// go.
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t seed, const std::string& name);
+
+/// Time-to-failure distribution of a crash model.  `mean` is the MTBF in
+/// virtual seconds; "weibull" shapes the hazard (shape < 1: infant
+/// mortality, > 1: wear-out) around the same mean.
+struct Distribution {
+  std::string kind = "exponential";  ///< "exponential" | "weibull"
+  double mean = 0.0;
+  double shape = 1.0;  ///< weibull shape k
+  /// Weibull scale.  Derived from `mean` via the gamma function unless the
+  /// spec pins "scale" explicitly (tgamma is not correctly rounded, so
+  /// byte-stable committed experiments should pin it or use exponential).
+  double scale = 0.0;
+
+  /// One draw (always > 0).  Consumes exactly one rng value.
+  [[nodiscard]] double draw(util::Rng& rng) const;
+};
+
+/// (a) Independent per-host failures: each host draws its own alternating
+/// time-to-failure / time-to-repair schedule from its sub-stream.
+struct CrashModel {
+  std::string name;  ///< stream name (the "models" key)
+  Distribution ttf;
+  double mttr = 0.0;               ///< mean repair time (exponential draw)
+  std::vector<std::string> hosts;  ///< empty = all platform hosts
+};
+
+/// (b) Correlated failures: one draw takes every member of a domain down
+/// together, with optional per-member start jitter.
+struct DomainModel {
+  std::string name;
+  Distribution ttf;
+  double mttr = 0.0;
+  double jitter = 0.0;  ///< per-member crash-time offset, uniform [0, jitter)
+  /// domain name -> member hosts (declaration order); std::map keeps the
+  /// draw order independent of JSON key order.
+  std::map<std::string, std::vector<std::string>> domains;
+};
+
+/// (c) Stragglers: slow-but-alive hosts.  Each candidate host draws whether
+/// it straggles and by how much; the slowdown lowers to service_degrade /
+/// service_restore pairs on the host's storage services.
+struct StragglerModel {
+  std::string name;
+  double probability = 1.0;  ///< per-host chance of straggling
+  double factor_min = 0.5;   ///< slowdown factor range, in (0, 1]
+  double factor_max = 0.5;
+  double start = 0.0;     ///< onset time
+  double duration = 0.0;  ///< 0: persistent (no restore event)
+  std::vector<std::string> hosts;  ///< empty = all platform hosts
+};
+
+/// (d) Checkpoint/restart cost model; see wf::CheckpointPolicy.
+struct CheckpointModel {
+  double interval = 0.0;         ///< nominal compute seconds between checkpoints (0 = off)
+  double cost = 0.0;             ///< seconds paid per checkpoint taken
+  double restart_penalty = 0.0;  ///< seconds to reload state on a post-crash attempt
+};
+
+/// The parsed "fault_model" block.
+struct FaultModel {
+  double horizon = 0.0;  ///< required (> 0) when any generative model exists
+  std::vector<CrashModel> crashes;        ///< in model-name order
+  std::vector<DomainModel> domains;       ///< in model-name order
+  std::vector<StragglerModel> stragglers; ///< in model-name order
+  CheckpointModel checkpoint;
+
+  [[nodiscard]] bool has_generators() const {
+    return !crashes.empty() || !domains.empty() || !stragglers.empty();
+  }
+
+  /// Parse and validate the block; throws scenario::ScenarioError naming
+  /// the offending model on malformed documents.
+  static FaultModel parse(const util::Json& doc);
+};
+
+/// Everything materialization needs to know about the scenario.
+struct MaterializeContext {
+  std::vector<std::string> hosts;  ///< platform hosts, declaration order
+  /// host -> storage services declared on it, declaration order (straggler
+  /// lowering targets).
+  std::map<std::string, std::vector<std::string>> services_by_host;
+};
+
+/// Materialize the concrete disruption timeline: pure, deterministic,
+/// sorted by time (ties keep generation order: crash windows by host, then
+/// straggler events).  Throws scenario::ScenarioError when a model
+/// references a host outside the platform, or when a straggler host has no
+/// degradable storage service to lower onto.
+[[nodiscard]] std::vector<scenario::DisruptionEvent> materialize(
+    const FaultModel& model, std::uint64_t seed, const MaterializeContext& context);
+
+}  // namespace pcs::faults

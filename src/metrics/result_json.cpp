@@ -30,6 +30,12 @@ util::Json result_to_json(const scenario::RunResult& result) {
   doc.set("failed_tasks", static_cast<unsigned long>(result.failed.size()));
   doc.set("retried_tasks", static_cast<unsigned long>(result.retried_tasks));
   doc.set("disruptions_fired", static_cast<unsigned long>(result.disruptions_fired));
+  // Availability metrics (ext_availability): all virtual-time quantities,
+  // so they are as byte-stable as the makespan.
+  doc.set("useful_task_seconds", result.useful_task_seconds());
+  doc.set("wasted_attempt_seconds", result.wasted_attempt_seconds());
+  doc.set("availability", result.availability());
+  doc.set("goodput_tasks_per_hour", result.goodput_tasks_per_hour());
   doc.set("mean_instance_read_time", result.mean_instance_read_time());
   doc.set("mean_instance_write_time", result.mean_instance_write_time());
   doc.set("final_active_blocks", static_cast<unsigned long>(result.final_active_blocks));

@@ -19,6 +19,9 @@ namespace pcs::metrics {
 ///   makespan, scheduling_points, fair_share_solves, same_time_points,
 ///   task_count, mean_instance_read_time, mean_instance_write_time,
 ///   final_active_blocks, final_inactive_blocks,
+///   completed_tasks, failed_tasks, retried_tasks, disruptions_fired,
+///   useful_task_seconds, wasted_attempt_seconds, availability,
+///   goodput_tasks_per_hour,
 ///   tasks: {name: {start, read_start, read_end, compute_end, write_end,
 ///                  end, read_time, compute_time, write_time, makespan}},
 ///   final_state: snapshot, profile: [snapshot...]

@@ -48,6 +48,34 @@ double RunResult::mean_instance_write_time() const {
   return sum / static_cast<double>(per_instance.size());
 }
 
+double RunResult::useful_task_seconds() const {
+  double useful = 0.0;
+  for (const wf::TaskResult& r : tasks) useful += r.end - r.start;
+  return useful;
+}
+
+double RunResult::wasted_attempt_seconds() const {
+  double wasted = 0.0;
+  for (const wf::TaskResult& r : tasks) {
+    for (const wf::TaskAttempt& a : r.retries) wasted += a.end - a.start;
+  }
+  for (const wf::FailedTask& f : failed) {
+    for (const wf::TaskAttempt& a : f.aborted) wasted += a.end - a.start;
+  }
+  return wasted;
+}
+
+double RunResult::availability() const {
+  const double useful = useful_task_seconds();
+  const double total = useful + wasted_attempt_seconds();
+  return total > 0.0 ? useful / total : 1.0;
+}
+
+double RunResult::goodput_tasks_per_hour() const {
+  if (makespan <= 0.0) return 0.0;
+  return static_cast<double>(tasks.size()) * 3600.0 / makespan;
+}
+
 const cache::CacheSnapshot& RunResult::snapshot_at(double t) const {
   if (profile.empty()) throw std::runtime_error("RunResult: no memory profile recorded");
   const cache::CacheSnapshot* best = &profile.front();

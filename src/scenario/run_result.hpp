@@ -36,6 +36,17 @@ struct RunResult {
   std::uint64_t parallel_solves = 0;    ///< points fanned out to the pool
 
   [[nodiscard]] const wf::TaskResult& task(const std::string& name) const;
+  // --- availability metrics (ext_availability) -----------------------------
+  /// Core-seconds of successful attempts: sum of end - start over completed
+  /// tasks (their crash-aborted prior attempts count as wasted).
+  [[nodiscard]] double useful_task_seconds() const;
+  /// Core-seconds thrown away on crash-killed attempts, of completed and
+  /// permanently failed tasks alike.
+  [[nodiscard]] double wasted_attempt_seconds() const;
+  /// useful / (useful + wasted); 1 when no attempt-seconds were spent.
+  [[nodiscard]] double availability() const;
+  /// Completed tasks per simulated hour (0 for an empty run).
+  [[nodiscard]] double goodput_tasks_per_hour() const;
   /// Phase time of instance `i` (prefix "a<i>:"), synthetic task index
   /// 1-based.
   [[nodiscard]] double read_time(int instance, int step) const;

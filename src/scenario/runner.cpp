@@ -115,6 +115,11 @@ struct DriverContext {
   tracelog::TaskLogRecorder* recorder = nullptr;
   std::vector<TimelineEntry> timeline;  ///< sorted by (time, declaration order)
   std::size_t fired = 0;
+  /// Stochastic-schedule mode: the timeline carries no host_restart entries;
+  /// each fired host_crash spawns a non-daemon repair actor for its restart
+  /// instead, so the outage window — and only the outage window — holds the
+  /// simulation open (see disruption_driver).
+  bool hold_open_repairs = false;
 };
 
 sim::Task<> delayed_submit(sim::Engine& engine, wf::ComputeService* cs, wf::Workflow* workflow,
@@ -138,6 +143,8 @@ sim::Task<> delayed_submit(sim::Engine& engine, wf::ComputeService* cs, wf::Work
     }
   }
 }
+
+sim::Task<> repair_actor(DriverContext* d, const DisruptionEvent* ev);
 
 /// Execute one timeline entry.  Synchronous: every action completes before
 /// the driver suspends again, and cancelled actors are destroyed by the
@@ -172,6 +179,10 @@ void fire_event(DriverContext& d, const TimelineEntry& entry) {
       if (cs->host().name() == ev.host) cs->crash();
     }
     for (auto& [name, service] : *d.services) service->on_host_crash(ev.host);
+    if (d.hold_open_repairs && ev.restart_at >= 0.0) {
+      // Not in the "host:<name>" group: the repair crew survives the crash.
+      engine.spawn("repair:" + ev.host, repair_actor(&d, &ev));
+    }
   } else if (entry.action == "host_restart") {
     for (wf::ComputeService* cs : *d.compute_order) {
       if (cs->host().name() == ev.host) cs->restart();
@@ -245,14 +256,27 @@ void fire_event(DriverContext& d, const TimelineEntry& entry) {
 }
 
 /// The driver actor: sleeps to each timeline entry's virtual time and fires
-/// it.  A non-daemon root — a scenario's disruption timeline is part of the
-/// workload, so the simulation stays open until the last event (e.g. a
-/// restart that revives stranded work).
+/// it.  Literal "events" run it as a non-daemon root — a hand-written
+/// timeline is part of the workload, so the simulation stays open until the
+/// last event (e.g. a restart that revives stranded work).
+///
+/// The stochastic fault-model schedule runs it as a daemon instead:
+/// generated faults are environment, not workload, so draws past the
+/// workload's completion never fire and cannot stretch the makespan out to
+/// the model horizon.  The revive guarantee still holds, because a fired
+/// crash hands its restart to a dedicated non-daemon repair actor: the
+/// outage window keeps the simulation open exactly long enough for the
+/// restart to resubmit stranded work, then expires with it.
 sim::Task<> disruption_driver(DriverContext* d) {
   for (const TimelineEntry& entry : d->timeline) {
     co_await d->sim->engine().sleep_until(entry.time);
     fire_event(*d, entry);
   }
+}
+
+sim::Task<> repair_actor(DriverContext* d, const DisruptionEvent* ev) {
+  co_await d->sim->engine().sleep_until(ev->restart_at);
+  fire_event(*d, TimelineEntry{ev->restart_at, "host_restart", ev});
 }
 
 }  // namespace
@@ -328,6 +352,7 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
         sim.create_compute_service(*compute_host, *svc->second, spec.chunk_size);
     if (recorder != nullptr) cs->set_recorder(recorder, name);
     cs->set_retry_policy(spec.retry);
+    cs->set_checkpoint_policy(spec.checkpoint);
     cs->set_fail_fast(spec.on_task_failure == "fail");
     compute_by_service[name] = cs;
     compute_order.push_back(cs);
@@ -357,7 +382,13 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   // Setup succeeded — only now does the recorder learn about the run
   // (error-path hygiene: a throw above leaves it pristine for the next
   // case).  Nothing records before the submissions below.
-  if (recorder != nullptr) recorder->begin(spec.name, spec.simulator, spec.to_json());
+  if (recorder != nullptr) {
+    // The materialized stochastic schedule goes into the log header, so a
+    // replay re-fires the recorded draws instead of re-drawing them.
+    recorder->begin(spec.name, spec.simulator, spec.to_json(),
+                    spec.materialized_events.empty() ? util::Json{}
+                                                     : events_to_json(spec.materialized_events));
+  }
 
   // (service, service name, file) entries to warm after every immediate
   // submission.
@@ -394,27 +425,44 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     }
   }
 
-  // Disruption timeline: expand host_crash restart_at into host_restart
-  // entries, order by (time, declaration order), and spawn the driver as
-  // the last root actor (fixed spawn order keeps runs bit-identical).
-  DriverContext driver;
-  driver.spec = &spec;
-  driver.sim = &sim;
-  driver.service_ctx = &ctx;
-  driver.services = &services;
-  driver.compute_order = &compute_order;
-  driver.compute_for = &compute_for;
-  driver.recorder = recorder;
-  for (const DisruptionEvent& event : spec.events) {
-    driver.timeline.push_back({event.time, event.type, &event});
-    if (event.type == "host_crash" && event.restart_at >= 0.0) {
-      driver.timeline.push_back({event.restart_at, "host_restart", &event});
+  // Disruption timelines: expand host_crash restart_at into host_restart
+  // entries, order by (time, declaration order), and spawn the drivers as
+  // the last root actors (fixed spawn order keeps runs bit-identical).
+  // Literal "events" and the materialized fault-model schedule get separate
+  // drivers because their lifetimes differ: the literal timeline holds the
+  // simulation open (non-daemon), the stochastic schedule dies with the
+  // workload (daemon) — see disruption_driver.
+  auto make_driver = [&](const std::vector<DisruptionEvent>& events, bool stochastic) {
+    DriverContext driver;
+    driver.spec = &spec;
+    driver.sim = &sim;
+    driver.service_ctx = &ctx;
+    driver.services = &services;
+    driver.compute_order = &compute_order;
+    driver.compute_for = &compute_for;
+    driver.recorder = recorder;
+    driver.hold_open_repairs = stochastic;
+    for (const DisruptionEvent& event : events) {
+      driver.timeline.push_back({event.time, event.type, &event});
+      // Stochastic restarts are fired by per-crash repair actors instead —
+      // see hold_open_repairs.
+      if (!stochastic && event.type == "host_crash" && event.restart_at >= 0.0) {
+        driver.timeline.push_back({event.restart_at, "host_restart", &event});
+      }
     }
+    std::stable_sort(
+        driver.timeline.begin(), driver.timeline.end(),
+        [](const TimelineEntry& a, const TimelineEntry& b) { return a.time < b.time; });
+    return driver;
+  };
+  DriverContext literal_driver = make_driver(spec.events, false);
+  DriverContext schedule_driver = make_driver(spec.materialized_events, true);
+  if (!literal_driver.timeline.empty()) {
+    sim.engine().spawn("disruption-driver", disruption_driver(&literal_driver));
   }
-  std::stable_sort(driver.timeline.begin(), driver.timeline.end(),
-                   [](const TimelineEntry& a, const TimelineEntry& b) { return a.time < b.time; });
-  if (!driver.timeline.empty()) {
-    sim.engine().spawn("disruption-driver", disruption_driver(&driver));
+  if (!schedule_driver.timeline.empty()) {
+    sim.engine().spawn("fault-schedule-driver", disruption_driver(&schedule_driver),
+                       /*daemon=*/true);
   }
 
   sim.run();
@@ -425,7 +473,7 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     for (wf::FailedTask& f : cs->failed_tasks()) result.failed.push_back(std::move(f));
     result.retried_tasks += cs->retried_task_count();
   }
-  result.disruptions_fired = driver.fired;
+  result.disruptions_fired = literal_driver.fired + schedule_driver.fired;
   if (spec.on_task_failure == "fail" && !result.failed.empty()) {
     // Normally the executor already threw; this covers tasks that failed
     // while their host was down with no restart to detect it.  Prefer a

@@ -1,8 +1,10 @@
 #include "scenario/scenario.hpp"
 
+#include <cmath>
 #include <filesystem>
 #include <set>
 
+#include "faults/fault_model.hpp"
 #include "storage/service_registry.hpp"
 #include "util/paths.hpp"
 #include "util/units.hpp"
@@ -162,45 +164,53 @@ ScenarioSpec ScenarioSpec::parse(const util::Json& doc, const std::string& base_
     // (declaration order breaking ties), so declaring them time-sorted is
     // the readable convention.
     std::set<std::string> live_services = names;
+    std::size_t index = 0;
+    // Every validation error names the offending array index, so a bad
+    // entry in a long hand-written timeline is findable.
+    auto bad = [&index](const std::string& what) -> ScenarioError {
+      return ScenarioError("events[" + std::to_string(index) + "]: " + what);
+    };
     for (const util::Json& e : doc.at("events").as_array()) {
+      if (!e.is_object()) throw bad("must be an object");
+      if (!e.contains("type")) throw bad("missing required key \"type\"");
       DisruptionEvent event;
       event.type = e.at("type").as_string();
       event.time = e.number_or("time", 0.0);
       if (event.time < 0.0) {
-        throw ScenarioError("event '" + event.type + "': time must be non-negative");
+        throw bad(event.type + ": time must be non-negative");
       }
       if (event.type == "host_crash") {
         event.host = e.at("host").as_string();
         if (hosts.count(event.host) == 0) {
-          throw ScenarioError("host_crash: host '" + event.host + "' is not in the platform");
+          throw bad("host_crash: host '" + event.host + "' is not in the platform");
         }
         event.restart_at = e.number_or("restart_at", -1.0);
         if (event.restart_at >= 0.0 && event.restart_at <= event.time) {
-          throw ScenarioError("host_crash: restart_at must be after the crash time");
+          throw bad("host_crash: restart_at must be after the crash time");
         }
       } else if (event.type == "service_degrade" || event.type == "service_restore" ||
                  event.type == "service_remove") {
         event.service = e.at("service").as_string();
         if (live_services.count(event.service) == 0) {
-          throw ScenarioError(event.type + ": '" + event.service +
-                              "' is not a service live at that point of the timeline");
+          throw bad(event.type + ": '" + event.service +
+                    "' is not a service live at that point of the timeline");
         }
         if (event.type == "service_degrade") {
           event.factor = e.at("factor").as_number();
           if (event.factor <= 0.0 || event.factor > 1.0) {
-            throw ScenarioError("service_degrade: factor must be in (0, 1]");
+            throw bad("service_degrade: factor must be in (0, 1]");
           }
         }
         if (event.type == "service_remove") {
           if (event.service == spec.default_service) {
-            throw ScenarioError("service_remove: cannot remove the default service");
+            throw bad("service_remove: cannot remove the default service");
           }
           live_services.erase(event.service);
         }
       } else if (event.type == "service_add") {
         const util::Json& svc = e.at("service");
         if (!svc.is_object() || !svc.contains("name")) {
-          throw ScenarioError("service_add: \"service\" must be a declaration with a name");
+          throw bad("service_add: \"service\" must be a declaration with a name");
         }
         event.service_spec = svc;
         event.service = svc.at("name").as_string();
@@ -209,21 +219,54 @@ ScenarioSpec ScenarioSpec::parse(const util::Json& doc, const std::string& base_
           event.service_spec.set("host", spec.compute_host);
         }
         if (!live_services.insert(event.service).second) {
-          throw ScenarioError("service_add: duplicate service name '" + event.service + "'");
+          throw bad("service_add: duplicate service name '" + event.service + "'");
         }
       } else if (event.type == "tenant_arrival") {
         event.workload = e.at("workload");
         absolutize_file_refs(event.workload, base_dir);
         event.prefix = e.string_or("prefix", "");
         if (event.prefix.empty()) {
-          throw ScenarioError(
-              "tenant_arrival: needs a \"prefix\" namespacing the tenant's files/tasks");
+          throw bad("tenant_arrival: needs a \"prefix\" namespacing the tenant's files/tasks");
         }
       } else {
-        throw ScenarioError("unknown event type '" + event.type + "'");
+        throw bad("unknown event type '" + event.type + "'");
       }
       spec.events.push_back(std::move(event));
+      ++index;
     }
+  }
+
+  if (doc.contains("seed")) {
+    if (!doc.at("seed").is_number()) throw ScenarioError("seed must be a number");
+    const double s = doc.at("seed").as_number();
+    // 2^53: the largest range where every integer survives the JSON double.
+    if (s < 0.0 || s != std::floor(s) || s >= 9007199254740992.0) {
+      throw ScenarioError("seed must be a non-negative integer < 2^53");
+    }
+    spec.has_seed = true;
+    spec.seed = static_cast<std::uint64_t>(s);
+  }
+
+  if (doc.contains("fault_model")) {
+    spec.fault_model = doc.at("fault_model");
+    const faults::FaultModel model = faults::FaultModel::parse(spec.fault_model);
+    spec.checkpoint.interval = model.checkpoint.interval;
+    spec.checkpoint.cost = model.checkpoint.cost;
+    spec.checkpoint.restart_penalty = model.checkpoint.restart_penalty;
+    faults::MaterializeContext context;
+    for (const util::Json& h : spec.platform.at("hosts").as_array()) {
+      context.hosts.push_back(h.at("name").as_string());
+    }
+    for (const ServiceDecl& decl : spec.services) {
+      // Straggler slowdowns lower to service_degrade, so only backends that
+      // implement degrade_bandwidth qualify as lowering targets.
+      static const std::set<std::string> degradable = {"local", "cgroup_local", "nfs",
+                                                       "burst_buffer", "tiered"};
+      if (degradable.count(decl.type) != 0) {
+        context.services_by_host[decl.spec.at("host").as_string()].push_back(decl.name);
+      }
+    }
+    spec.materialized_events = faults::materialize(model, spec.seed, context);
   }
   return spec;
 }
@@ -270,29 +313,71 @@ util::Json ScenarioSpec::to_json() const {
     doc.set("retry", std::move(r));
   }
   if (on_task_failure != "fail") doc.set("on_task_failure", on_task_failure);
-  if (!events.empty()) {
-    util::Json out{util::JsonArray{}};
-    for (const DisruptionEvent& event : events) {
-      util::Json e{util::JsonObject{}};
-      e.set("type", event.type);
-      e.set("time", event.time);
-      if (event.type == "host_crash") {
-        e.set("host", event.host);
-        if (event.restart_at >= 0.0) e.set("restart_at", event.restart_at);
-      } else if (event.type == "service_add") {
-        e.set("service", event.service_spec);
-      } else if (event.type == "tenant_arrival") {
-        e.set("prefix", event.prefix);
-        e.set("workload", event.workload);
-      } else {
-        e.set("service", event.service);
-        if (event.type == "service_degrade") e.set("factor", event.factor);
-      }
-      out.push_back(std::move(e));
-    }
-    doc.set("events", std::move(out));
-  }
+  if (!events.empty()) doc.set("events", events_to_json(events));
+  // The stochastic layer round-trips as (seed, fault_model) — never as the
+  // materialized schedule, which re-parsing would re-derive (and merging it
+  // into "events" would double-fire it).
+  if (has_seed) doc.set("seed", static_cast<double>(seed));
+  if (!fault_model.is_null()) doc.set("fault_model", fault_model);
   return doc;
+}
+
+util::Json events_to_json(const std::vector<DisruptionEvent>& events) {
+  util::Json out{util::JsonArray{}};
+  for (const DisruptionEvent& event : events) {
+    util::Json e{util::JsonObject{}};
+    e.set("type", event.type);
+    e.set("time", event.time);
+    if (event.type == "host_crash") {
+      e.set("host", event.host);
+      if (event.restart_at >= 0.0) e.set("restart_at", event.restart_at);
+    } else if (event.type == "service_add") {
+      e.set("service", event.service_spec);
+    } else if (event.type == "tenant_arrival") {
+      e.set("prefix", event.prefix);
+      e.set("workload", event.workload);
+    } else {
+      e.set("service", event.service);
+      if (event.type == "service_degrade") e.set("factor", event.factor);
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<DisruptionEvent> events_from_json(const util::Json& array) {
+  std::vector<DisruptionEvent> events;
+  std::size_t index = 0;
+  auto bad = [&index](const std::string& what) -> ScenarioError {
+    return ScenarioError("events[" + std::to_string(index) + "]: " + what);
+  };
+  for (const util::Json& e : array.as_array()) {
+    if (!e.is_object() || !e.contains("type")) throw bad("must be an object with a \"type\"");
+    DisruptionEvent event;
+    event.type = e.at("type").as_string();
+    event.time = e.number_or("time", 0.0);
+    if (event.time < 0.0) throw bad(event.type + ": time must be non-negative");
+    if (event.type == "host_crash") {
+      event.host = e.at("host").as_string();
+      event.restart_at = e.number_or("restart_at", -1.0);
+    } else if (event.type == "service_degrade") {
+      event.service = e.at("service").as_string();
+      event.factor = e.at("factor").as_number();
+    } else if (event.type == "service_restore" || event.type == "service_remove") {
+      event.service = e.at("service").as_string();
+    } else if (event.type == "service_add") {
+      event.service_spec = e.at("service");
+      event.service = event.service_spec.at("name").as_string();
+    } else if (event.type == "tenant_arrival") {
+      event.workload = e.at("workload");
+      event.prefix = e.string_or("prefix", "");
+    } else {
+      throw bad("unknown event type '" + event.type + "'");
+    }
+    events.push_back(std::move(event));
+    ++index;
+  }
+  return events;
 }
 
 }  // namespace pcs::scenario

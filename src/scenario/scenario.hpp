@@ -26,10 +26,14 @@
 //       {"type": "service_add", "time": 20, "service": {"name": "s2", ...}},
 //       {"type": "service_remove", "time": 80, "service": "s2"},
 //       {"type": "tenant_arrival", "time": 50, "prefix": "t1:", "workload": {...}}
-//     ]
-//   }
+//     ],
+//     "seed": 42,                         // scenario PRNG seed (sweepable)
+//     "fault_model": {...}                // stochastic fault generators; the
+//   }                                     //   schedule they draw is merged with
+//                                         //   "events" (see faults/fault_model.hpp)
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -98,6 +102,19 @@ struct ScenarioSpec {
   wf::RetryPolicy retry;     ///< scenario-wide crash recovery policy
   bool has_retry = false;    ///< "retry" was present in the document
   std::string on_task_failure = "fail";  ///< "fail" | "continue"
+  /// Stochastic fault layer (faults/fault_model.hpp).  "seed" and the raw
+  /// "fault_model" block round-trip through to_json; the materialized
+  /// schedule deliberately does NOT — it is re-derived from them at parse
+  /// time (pure in model + seed), or overridden verbatim from a recorded
+  /// log's "fault_schedule" header on replay.
+  std::uint64_t seed = 0;  ///< scenario PRNG seed ("seed", sweepable)
+  bool has_seed = false;   ///< "seed" was present in the document
+  util::Json fault_model;  ///< raw "fault_model" block (null when absent)
+  /// Generated disruption timeline; the runner fires these after the
+  /// literal `events` (stable-sorted together by time).
+  std::vector<DisruptionEvent> materialized_events;
+  /// From fault_model.checkpoint; interval 0 = PR 6 scratch-restart.
+  wf::CheckpointPolicy checkpoint;
 
   /// Parse and normalize; throws ScenarioError on malformed documents.
   static ScenarioSpec parse(const util::Json& doc, const std::string& base_dir = "");
@@ -107,5 +124,15 @@ struct ScenarioSpec {
   /// --dump-effective` prints); parses back to an equivalent spec.
   [[nodiscard]] util::Json to_json() const;
 };
+
+/// Serialize disruption events in the scenario "events" schema.  Shared by
+/// to_json and the tracelog "fault_schedule" header field.
+[[nodiscard]] util::Json events_to_json(const std::vector<DisruptionEvent>& events);
+
+/// Parse an events array back into DisruptionEvents without scenario-level
+/// context validation (host/service existence) — the replay path, where the
+/// array was recorded from an already-validated run.  Still rejects
+/// structurally malformed entries, naming the offending index.
+[[nodiscard]] std::vector<DisruptionEvent> events_from_json(const util::Json& array);
 
 }  // namespace pcs::scenario

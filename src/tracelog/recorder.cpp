@@ -10,12 +10,13 @@ void TaskLogRecorder::emit(const util::Json& record) {
 }
 
 void TaskLogRecorder::begin(const std::string& scenario, const std::string& simulator,
-                            util::Json source_scenario) {
+                            util::Json source_scenario, util::Json fault_schedule) {
   if (begun_) throw TraceError("TaskLogRecorder::begin called twice");
   begun_ = true;
   log_.scenario = scenario;
   log_.simulator = simulator;
   log_.source_scenario = std::move(source_scenario);
+  log_.fault_schedule = std::move(fault_schedule);
   emit(header_record(log_));
 }
 

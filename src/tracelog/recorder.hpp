@@ -30,9 +30,12 @@ class TaskLogRecorder {
   /// Write the header.  Call once, before the simulation starts.
   /// `source_scenario` should be the effective spec (ScenarioSpec::to_json)
   /// so the log is self-contained for `pcs_cli replay`; pass a null Json
-  /// when there is none.
+  /// when there is none.  `fault_schedule` is the materialized stochastic
+  /// disruption timeline (scenario "events" schema) — replay re-fires it
+  /// verbatim instead of re-drawing from the embedded seed; null when the
+  /// run had no stochastic fault models.
   void begin(const std::string& scenario, const std::string& simulator,
-             util::Json source_scenario);
+             util::Json source_scenario, util::Json fault_schedule = {});
 
   /// A workflow entered the system: capture its full structure (tasks in
   /// insertion order, files, explicit dependencies) plus binding/label.

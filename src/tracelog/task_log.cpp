@@ -36,6 +36,9 @@ util::Json header_record(const TaskLog& log) {
   doc.set("simulator", log.simulator);
   if (log.anonymized) doc.set("anonymized", true);
   if (!log.source_scenario.is_null()) doc.set("source_scenario", log.source_scenario);
+  // Emitted only for stochastic-fault runs: v1/v2 logs without a schedule
+  // re-save byte-identically.
+  if (!log.fault_schedule.is_null()) doc.set("fault_schedule", log.fault_schedule);
   return doc;
 }
 
@@ -154,6 +157,7 @@ TaskLog TaskLog::parse(std::istream& in) {
         log.simulator = rec.string_or("simulator", "");
         log.anonymized = rec.bool_or("anonymized", false);
         if (rec.contains("source_scenario")) log.source_scenario = rec.at("source_scenario");
+        if (rec.contains("fault_schedule")) log.fault_schedule = rec.at("fault_schedule");
       } else if (kind == "workflow") {
         TraceWorkflow workflow;
         workflow.id = static_cast<std::uint64_t>(rec.at("id").as_number());

@@ -31,6 +31,9 @@
 //   {"rec":"task_attempt","name":"a0:task1","host":"node0","attempt":1,
 //    "start":0,"end":40,"outcome":"crashed"}      // a crash-killed attempt
 //   task_done records gain an optional "attempts" field (emitted when > 1)
+//   headers gain an optional "fault_schedule" array (the materialized
+//   stochastic fault-model timeline in the scenario "events" schema);
+//   replay re-fires it verbatim instead of re-drawing from the seed
 //
 // Numbers are serialized with %.17g, so every virtual time, size and flops
 // value round-trips bit-exactly — the property the replay determinism
@@ -146,6 +149,12 @@ struct TaskLog {
   /// the recorder knew it; lets `pcs_cli replay` rebuild platform/services
   /// without any extra flags.  Null when absent.
   util::Json source_scenario;
+  /// The concrete disruption timeline the run's "fault_model" block drew
+  /// (scenario "events" schema; null when the run had no stochastic
+  /// models).  Replay fires this recorded schedule — the header wins over
+  /// re-materializing from the embedded seed, keeping `replay --check`
+  /// exact even if the generator evolves.
+  util::Json fault_schedule;
   std::vector<TraceWorkflow> workflows;  ///< in submission order
   std::vector<TraceTaskEvent> task_events;
   std::vector<TraceIoEvent> io_events;

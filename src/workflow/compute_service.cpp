@@ -1,5 +1,6 @@
 #include "workflow/compute_service.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -134,9 +135,36 @@ sim::Task<> ComputeService::run_task(WorkflowRun* run, std::string task_name,
   r.read_end = engine_.now();
 
   if (task.flops > 0.0) {
-    // One core: the task's rate is bounded by the core speed while the
-    // host-wide CPU resource is shared with every other running task.
-    co_await engine_.submit("compute:" + r.name, sim::one(host_.cpu()), task.flops, host_.speed());
+    if (checkpoint_.enabled()) {
+      // Checkpointed compute: resume past durable progress, then run in
+      // segments of `interval` compute-seconds, saving after each one.
+      double done = 0.0;
+      if (const auto it = run->checkpointed.find(task_name); it != run->checkpointed.end()) {
+        done = std::min(it->second, task.flops);
+      }
+      if (attempt > 1 && done > 0.0 && checkpoint_.restart_penalty > 0.0) {
+        co_await engine_.sleep(checkpoint_.restart_penalty);
+      }
+      // interval is wall-clock compute seconds at full core speed; contention
+      // stretches a segment but the saved granularity stays fixed in flops.
+      const double segment = checkpoint_.interval * host_.speed();
+      while (done < task.flops) {
+        const double slice = std::min(segment, task.flops - done);
+        co_await engine_.submit("compute:" + r.name, sim::one(host_.cpu()), slice, host_.speed());
+        done += slice;
+        if (done < task.flops) {
+          // The checkpoint is durable only once its cost is fully paid: a
+          // crash mid-write keeps the previous checkpoint.
+          if (checkpoint_.cost > 0.0) co_await engine_.sleep(checkpoint_.cost);
+          run->checkpointed[task_name] = done;
+        }
+      }
+    } else {
+      // One core: the task's rate is bounded by the core speed while the
+      // host-wide CPU resource is shared with every other running task.
+      co_await engine_.submit("compute:" + r.name, sim::one(host_.cpu()), task.flops,
+                              host_.speed());
+    }
   }
   r.compute_end = engine_.now();
 
@@ -165,6 +193,7 @@ sim::Task<> ComputeService::run_task(WorkflowRun* run, std::string task_name,
     recorder_->record_task_event(ev);
   }
   run->inflight.erase(task_name);
+  run->checkpointed.erase(task_name);
   results_.push_back(r);
   run->completed.insert(task_name);
   cores_.release();

@@ -105,6 +105,15 @@ class ComputeService {
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
   [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Checkpoint/restart cost model ("fault_model.checkpoint").  When
+  /// enabled, tasks checkpoint every `interval` compute-seconds (paying
+  /// `cost` while holding the core) and a post-crash retry recomputes only
+  /// the un-checkpointed tail after a `restart_penalty` reload — instead of
+  /// from scratch.  Progress lives in the service-owned WorkflowRun, so it
+  /// survives the crash that cancels the executor.
+  void set_checkpoint_policy(const CheckpointPolicy& policy) { checkpoint_ = policy; }
+  [[nodiscard]] const CheckpointPolicy& checkpoint_policy() const { return checkpoint_; }
+
   /// on_task_failure == "fail": a permanently failed task aborts the run
   /// (the executor throws WorkflowError).  "continue" (false) records the
   /// failure, skips unreachable descendants and completes the rest.
@@ -145,6 +154,10 @@ class ComputeService {
     std::map<std::string, int> attempts;          ///< attempts consumed so far
     std::map<std::string, double> inflight;       ///< running attempt -> start time
     std::map<std::string, std::vector<TaskAttempt>> aborted;
+    /// Flops durably checkpointed per task (checkpoint policy only); a
+    /// resumed attempt recomputes task.flops minus this.  Erased on
+    /// completion; deliberately NOT cleared by crash().
+    std::map<std::string, double> checkpointed;
 
     [[nodiscard]] bool done() const {
       return completed.size() + failed.size() >= workflow->task_count();
@@ -172,6 +185,7 @@ class ComputeService {
   sim::Semaphore cores_;
   std::string group_;  ///< "host:<name>" — cancellation group of our actors
   RetryPolicy retry_;
+  CheckpointPolicy checkpoint_;
   bool fail_fast_ = true;
   bool crashed_ = false;
   std::deque<WorkflowRun> runs_;

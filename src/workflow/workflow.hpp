@@ -39,6 +39,21 @@ struct RetryPolicy {
   bool resubmit_on_crash = true;
 };
 
+/// Checkpoint/restart cost model (scenario "fault_model.checkpoint").
+/// When enabled, a running task checkpoints its progress every `interval`
+/// compute-seconds, paying `cost` seconds per checkpoint while holding its
+/// core; a retry attempt after a crash resumes from the last checkpoint
+/// (paying `restart_penalty` seconds to reload state) instead of PR 6's
+/// restart-from-scratch.  Checkpointed progress is service-owned, so it
+/// survives the crash that cancels the executor.
+struct CheckpointPolicy {
+  double interval = 0.0;         ///< compute seconds between checkpoints (0 = off)
+  double cost = 0.0;             ///< seconds paid per checkpoint taken
+  double restart_penalty = 0.0;  ///< seconds to reload state on a resumed attempt
+
+  [[nodiscard]] bool enabled() const { return interval > 0.0; }
+};
+
 struct WorkflowTask {
   std::string name;
   double flops = 0.0;

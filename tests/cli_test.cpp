@@ -105,4 +105,20 @@ TEST(Cli, RecordRejectsUnknownFlags) {
   EXPECT_EQ(run_cli("record"), 2);  // missing scenario + --out
 }
 
+TEST(Cli, SeedOverrideFollowsTheUsageConvention) {
+  // --seed takes a non-negative integer < 2^53; anything else is a usage
+  // error (exit 2), uniformly on run and record.  replay has no --seed —
+  // the recorded schedule in the log header wins there.
+  EXPECT_EQ(run_cli("run scenario.json --seed"), 2);
+  EXPECT_EQ(run_cli("run scenario.json --seed nope"), 2);
+  EXPECT_EQ(run_cli("run scenario.json --seed -1"), 2);
+  EXPECT_EQ(run_cli("run scenario.json --seed 1.5"), 2);
+  EXPECT_EQ(run_cli("run scenario.json --seed 9007199254740992"), 2);
+  EXPECT_EQ(run_cli("record scenario.json --out t.jsonl --seed 12x"), 2);
+  EXPECT_EQ(run_cli("replay t.jsonl --seed 12"), 2);
+  // A well-formed seed on a missing scenario is past argument parsing:
+  // the file error exits 1, not 2.
+  EXPECT_EQ(run_cli("run /nonexistent/scenario.json --seed 12"), 1);
+}
+
 }  // namespace

@@ -20,6 +20,7 @@
 
 #include "metrics/bench_record.hpp"
 #include "exp/corebench.hpp"
+#include "obs/profiler.hpp"
 #include "pagecache/lru_list.hpp"
 #include "simcore/engine.hpp"
 #include "util/json.hpp"
@@ -342,6 +343,23 @@ util::Json run_recorded_component_parallel() {
   return j;
 }
 
+/// Engine self-profile of the 1000-actor scenario: where the engine's own
+/// wall-clock goes (recompute as a whole, BFS, serial solve, merge,
+/// coroutine dispatch).  Wall-clock only — it lives here in BENCH_core.json,
+/// quarantined from every simulated report, like all other timing figures.
+util::Json run_recorded_self_profile() {
+  exp::CoreScenarioConfig config;
+  obs::EngineProfile profile;
+  config.profile = &profile;
+  exp::CoreScenarioResult r = exp::run_core_scenario(config);
+  std::cout << "[self_profile] 1000-actor scenario with the profiler attached ("
+            << r.wall_seconds << " s wall)\n"
+            << profile.report();
+  util::Json j = profile.to_json();
+  j.set("wall_seconds", r.wall_seconds);
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -370,6 +388,7 @@ int main(int argc, char** argv) {
   const bool parallel_identical =
       section.at("component_parallel").at("bit_identical").as_bool();
   pcs::metrics::write_bench_section("micro_core", std::move(section));
+  pcs::metrics::write_bench_section("self_profile", run_recorded_self_profile());
   // A batched-vs-per-event or parallel-vs-serial divergence is an engine
   // bug, not a perf datum: fail the run so CI goes red instead of burying
   // it in the artifact.

@@ -4,9 +4,16 @@
 //
 // Usage:
 //   pcs_cli run <scenario.json> [--trace FILE] [--json] [--dump-effective]
+//       [--metrics-interval S] [--timeline FILE] [--trace-viz FILE] [--profile]
+//       [--solver-threads N]
 //       Run one declarative scenario and print per-task timings (--json for
 //       machine-readable output; --dump-effective prints the fully-
-//       defaulted spec instead of running).
+//       defaulted spec instead of running).  Observability flags:
+//       --metrics-interval/--timeline sample the gauge registry every S
+//       simulated seconds and write the byte-stable timeline JSON;
+//       --trace-viz exports task/I/O/disruption spans as Chrome trace-event
+//       JSON (Perfetto); --profile prints the engine's wall-clock
+//       self-profile to stderr (never into simulated reports).
 //   pcs_cli sweep <sweep.json> [--jobs N] [--json|--csv] [--list]
 //       Expand a sweep file (base scenario × parameter grid/cases) and run
 //       every case on a thread pool.  --jobs 0 (the default) means auto =
@@ -55,6 +62,10 @@
 //   pcs_cli list-backends
 //       List the registered storage backend types.
 //
+// A global --log-level <error|warn|info|debug|trace> flag (accepted in any
+// position) maps onto util::Logger, overriding the PCS_LOG environment
+// variable.
+//
 // Legacy flags (no subcommand) keep working: pcs_cli [--platform FILE]
 // [--workflow FILE] [--mode writeback|writethrough|none] [--chunk-mb N]
 // [--trace FILE] runs a single DAG on one host — now routed through the
@@ -64,6 +75,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <filesystem>
@@ -78,6 +90,8 @@
 #include "exp/runners.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/table.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/profiler.hpp"
 #include "storage/service_registry.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/sweep.hpp"
@@ -85,6 +99,7 @@
 #include "tracelog/anonymize.hpp"
 #include "tracelog/recorder.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -115,17 +130,21 @@ constexpr const char* kDemoWorkflow = R"json({
 })json";
 
 void usage(std::ostream& out) {
-  out << "usage: pcs_cli <command> [options]\n"
+  out << "usage: pcs_cli [--log-level error|warn|info|debug|trace] <command> [options]\n"
          "  run <scenario.json> [--seed N] [--trace FILE] [--json] [--dump-effective]\n"
+         "      [--metrics-interval S] [--timeline FILE] [--trace-viz FILE] [--profile]\n"
+         "      [--solver-threads N]\n"
          "  record <scenario.json> --out run.jsonl [--seed N] [--json] [--anonymize]\n"
+         "         [--trace-viz FILE]\n"
          "  replay <log.jsonl> [--platform FILE] [--scale S] [--load N] [--json] [--check]\n"
+         "         [--trace-viz FILE] [--profile]\n"
          "         (no --seed: a recorded stochastic fault schedule replays from the\n"
          "          log's header, so the recorded seed always wins)\n"
          "  trace-info <log.jsonl> [--json]\n"
-         "  sweep <sweep.json> [--jobs N] [--json|--csv] [--list]   (N=0: auto)\n"
+         "  sweep <sweep.json> [--jobs N] [--json|--csv] [--list] [--progress]  (N=0: auto)\n"
          "  experiment <spec.json> [--jobs N] [--filter LABEL] [--json|--csv|--gnuplot]\n"
          "             (N=0: auto = hardware_concurrency, the default)\n"
-         "             [--list] [--check] [--update]\n"
+         "             [--list] [--check] [--update] [--progress]\n"
          "  smoke <scenarios-dir> <record.json> [--update] [--tolerance REL]\n"
          "  dump-preset <reference|wrench|wrench_cache|prototype> [--nfs] [--nighres]\n"
          "              [--instances N]\n"
@@ -234,15 +253,44 @@ util::Json result_to_json(const scenario::ScenarioSpec& spec,
 int cmd_run(const std::vector<std::string>& args) {
   std::string scenario_path;
   std::string trace_path;
+  std::string timeline_path;
+  std::string viz_path;
   bool as_json = false;
   bool dump_effective = false;
+  bool profile = false;
   bool have_seed = false;
   double seed = 0.0;
+  bool have_interval = false;
+  double metrics_interval = 0.0;
+  int solver_threads = 0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--trace") {
       if (++i >= args.size()) return usage_error("--trace needs an argument");
       trace_path = args[i];
+    } else if (arg == "--timeline") {
+      if (++i >= args.size()) return usage_error("--timeline needs an argument");
+      timeline_path = args[i];
+    } else if (arg == "--trace-viz") {
+      if (++i >= args.size()) return usage_error("--trace-viz needs an argument");
+      viz_path = args[i];
+    } else if (arg == "--metrics-interval") {
+      if (++i >= args.size()) return usage_error("--metrics-interval needs an argument");
+      if (!parse_number(args[i], &metrics_interval) || metrics_interval < 0.0) {
+        return usage_error("--metrics-interval: '" + args[i] +
+                           "' is not a non-negative number of simulated seconds");
+      }
+      have_interval = true;
+    } else if (arg == "--solver-threads") {
+      if (++i >= args.size()) return usage_error("--solver-threads needs an argument");
+      double threads = 0.0;
+      if (!parse_number(args[i], &threads) || threads < 1.0 ||
+          threads != static_cast<double>(static_cast<int>(threads))) {
+        return usage_error("--solver-threads: '" + args[i] + "' is not a positive integer");
+      }
+      solver_threads = static_cast<int>(threads);
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--seed") {
       if (++i >= args.size()) return usage_error("--seed needs an argument");
       if (!parse_seed(args[i], &seed)) {
@@ -264,13 +312,31 @@ int cmd_run(const std::vector<std::string>& args) {
   if (scenario_path.empty()) return usage_error("run: missing scenario file");
 
   scenario::ScenarioSpec spec = load_scenario(scenario_path, have_seed, seed);
+  // The CLI override leaves the scenario file untouched, so committed
+  // scenarios (and their effective docs / recorded logs) keep their bytes
+  // while any run can still be sampled ad hoc.
+  if (have_interval) spec.metrics_interval = metrics_interval;
+  // --solver-threads is a CI/acceptance knob: reports and timelines must be
+  // byte-identical for any value, so overriding it is always safe.
+  if (solver_threads > 0) spec.solver_threads = solver_threads;
+  if (!timeline_path.empty() && spec.metrics_interval <= 0.0) {
+    return usage_error(
+        "--timeline needs metric sampling: pass --metrics-interval S or give the scenario "
+        "a \"metrics\": {\"interval\": S} key");
+  }
   if (dump_effective) {
     std::cout << spec.to_json().dump(2) << "\n";
     return 0;
   }
   sim::Tracer tracer;
+  // In-memory recorder feeding the Chrome-trace exporter; recording is pure
+  // observation (trace_replay_test), so attaching it never changes timings.
+  tracelog::TaskLogRecorder recorder(nullptr, /*keep_in_memory=*/true);
+  obs::EngineProfile engine_profile;
   scenario::RunOptions options;
   if (!trace_path.empty()) options.tracer = &tracer;
+  if (!viz_path.empty()) options.recorder = &recorder;
+  if (profile) options.profile = &engine_profile;
   scenario::RunResult result = scenario::run_scenario(spec, options);
 
   if (as_json) {
@@ -285,12 +351,38 @@ int cmd_run(const std::vector<std::string>& args) {
         << "wrote " << tracer.span_count() << " trace spans to " << trace_path
         << " (open in chrome://tracing)\n";
   }
+  if (!timeline_path.empty()) {
+    std::ofstream out(timeline_path);
+    if (out) out << result.timeline.dump(2) << "\n";
+    if (!out) {
+      std::cerr << "run: cannot write '" << timeline_path << "'\n";
+      return 1;
+    }
+    (as_json ? std::cerr : std::cout)
+        << "wrote metric timeline (" << result.timeline.at("time").size() << " samples, "
+        << result.timeline.at("metrics").size() << " metrics) to " << timeline_path << "\n";
+  }
+  if (!viz_path.empty()) {
+    std::ofstream out(viz_path);
+    const util::Json doc = obs::chrome_trace(recorder.log());
+    if (out) out << doc.dump(2) << "\n";
+    if (!out) {
+      std::cerr << "run: cannot write '" << viz_path << "'\n";
+      return 1;
+    }
+    (as_json ? std::cerr : std::cout)
+        << "wrote " << doc.at("traceEvents").size() << " trace events to " << viz_path
+        << " (open in Perfetto / chrome://tracing)\n";
+  }
+  // Wall-clock self-profile: stderr only, never in simulated reports.
+  if (profile) std::cerr << engine_profile.report();
   return 0;
 }
 
 int cmd_record(const std::vector<std::string>& args) {
   std::string scenario_path;
   std::string out_path;
+  std::string viz_path;
   bool as_json = false;
   bool anonymize = false;
   bool have_seed = false;
@@ -300,6 +392,9 @@ int cmd_record(const std::vector<std::string>& args) {
     if (arg == "--out") {
       if (++i >= args.size()) return usage_error("--out needs an argument");
       out_path = args[i];
+    } else if (arg == "--trace-viz") {
+      if (++i >= args.size()) return usage_error("--trace-viz needs an argument");
+      viz_path = args[i];
     } else if (arg == "--seed") {
       if (++i >= args.size()) return usage_error("--seed needs an argument");
       if (!parse_seed(args[i], &seed)) {
@@ -329,9 +424,10 @@ int cmd_record(const std::vector<std::string>& args) {
   }
   // Stream-only: a million-task run never holds its log in memory.
   // Anonymization needs the whole log (consistent renaming), so it records
-  // in memory instead and saves the scrubbed log afterwards.
+  // in memory instead and saves the scrubbed log afterwards; --trace-viz
+  // also needs the in-memory copy to feed the Chrome-trace exporter.
   tracelog::TaskLogRecorder recorder(anonymize ? nullptr : &out,
-                                     /*keep_in_memory=*/anonymize);
+                                     /*keep_in_memory=*/anonymize || !viz_path.empty());
   scenario::RunOptions options;
   options.recorder = &recorder;
   scenario::RunResult result = scenario::run_scenario(spec, options);
@@ -339,6 +435,22 @@ int cmd_record(const std::vector<std::string>& args) {
     tracelog::TaskLog log = recorder.log();
     tracelog::anonymize(log);
     log.save(out);
+    // The exported spans come from the same scrubbed log that is shared.
+    if (!viz_path.empty()) {
+      std::ofstream viz(viz_path);
+      if (viz) viz << obs::chrome_trace(log).dump(2) << "\n";
+      if (!viz) {
+        std::cerr << "record: cannot write '" << viz_path << "'\n";
+        return 1;
+      }
+    }
+  } else if (!viz_path.empty()) {
+    std::ofstream viz(viz_path);
+    if (viz) viz << obs::chrome_trace(recorder.log()).dump(2) << "\n";
+    if (!viz) {
+      std::cerr << "record: cannot write '" << viz_path << "'\n";
+      return 1;
+    }
   }
   out.flush();
   if (!out) {
@@ -355,21 +467,32 @@ int cmd_record(const std::vector<std::string>& args) {
   (as_json ? std::cerr : std::cout)
       << "recorded " << recorder.workflow_count() << " workflows / " << recorder.task_count()
       << " tasks to " << out_path << " (replay with `pcs_cli replay " << out_path << "`)\n";
+  if (!viz_path.empty()) {
+    (as_json ? std::cerr : std::cout)
+        << "wrote Chrome trace to " << viz_path << " (open in Perfetto / chrome://tracing)\n";
+  }
   return 0;
 }
 
 int cmd_replay(const std::vector<std::string>& args) {
   std::string log_path;
   std::string platform_path;
+  std::string viz_path;
   double scale = 1.0;
   int load = 1;
   bool as_json = false;
   bool check = false;
+  bool profile = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--platform") {
       if (++i >= args.size()) return usage_error("--platform needs an argument");
       platform_path = args[i];
+    } else if (arg == "--trace-viz") {
+      if (++i >= args.size()) return usage_error("--trace-viz needs an argument");
+      viz_path = args[i];
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--scale") {
       if (++i >= args.size()) return usage_error("--scale needs an argument");
       if (!parse_number(args[i], &scale) || scale <= 0.0) {
@@ -401,6 +524,20 @@ int cmd_replay(const std::vector<std::string>& args) {
 
   tracelog::TaskLog log = tracelog::TaskLog::from_file(log_path);
   log.validate();
+
+  // Post-hoc span export: the *recorded* log lowers to Chrome trace events
+  // without re-running anything, so committed logs are visualizable as-is.
+  if (!viz_path.empty()) {
+    std::ofstream viz(viz_path);
+    const util::Json doc = obs::chrome_trace(log);
+    if (viz) viz << doc.dump(2) << "\n";
+    if (!viz) {
+      std::cerr << "replay: cannot write '" << viz_path << "'\n";
+      return 1;
+    }
+    std::cerr << "wrote " << doc.at("traceEvents").size() << " trace events from the "
+              << "recorded log to " << viz_path << " (open in Perfetto / chrome://tracing)\n";
+  }
 
   util::Json workload{util::JsonObject{}};
   workload.set("type", "trace");
@@ -447,7 +584,11 @@ int cmd_replay(const std::vector<std::string>& args) {
     // with the rest of the recorded fault keys.)
     spec.materialized_events = scenario::events_from_json(log.fault_schedule);
   }
-  scenario::RunResult result = scenario::run_scenario(spec);
+  obs::EngineProfile engine_profile;
+  scenario::RunOptions options;
+  if (profile) options.profile = &engine_profile;
+  scenario::RunResult result = scenario::run_scenario(spec, options);
+  if (profile) std::cerr << engine_profile.report();
 
   if (as_json) {
     std::cout << result_to_json(spec, result).dump(2) << "\n";
@@ -573,6 +714,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
   bool as_json = false;
   bool as_csv = false;
   bool list_only = false;
+  bool progress = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--jobs") {
@@ -586,6 +728,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
       as_csv = true;
     } else if (arg == "--list") {
       list_only = true;
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage_error("unknown flag '" + arg + "'");
     } else if (sweep_path.empty()) {
@@ -605,6 +749,13 @@ int cmd_sweep(const std::vector<std::string>& args) {
 
   scenario::SweepOptions options;
   options.jobs = jobs;
+  if (progress) {
+    // stderr only: the report on stdout must stay byte-identical with or
+    // without the ticker (cli_test asserts this).
+    options.progress = [](std::size_t done, std::size_t total, const std::string& label) {
+      std::cerr << "[sweep] " << done << "/" << total << " done: " << label << "\n";
+    };
+  }
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<scenario::SweepCaseResult> results = scenario::run_sweep(spec, options);
   const double wall =
@@ -647,6 +798,7 @@ int cmd_experiment(const std::vector<std::string>& args) {
   bool list_only = false;
   bool check = false;
   bool update = false;
+  bool progress = false;
   std::string filter;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -671,6 +823,8 @@ int cmd_experiment(const std::vector<std::string>& args) {
       check = true;
     } else if (arg == "--update") {
       update = true;
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage_error("unknown flag '" + arg + "'");
     } else if (spec_path.empty()) {
@@ -700,9 +854,17 @@ int cmd_experiment(const std::vector<std::string>& args) {
     return 0;
   }
 
+  metrics::ExperimentOptions run_options;
+  run_options.jobs = jobs;
+  run_options.filter = filter;
+  if (progress) {
+    // stderr only: report bytes stay identical with or without the ticker.
+    run_options.progress = [](std::size_t done, std::size_t total, const std::string& label) {
+      std::cerr << "[experiment] " << done << "/" << total << " done: " << label << "\n";
+    };
+  }
   const auto wall_start = std::chrono::steady_clock::now();
-  metrics::ExperimentReport report =
-      metrics::run_experiment(spec, {.jobs = jobs, .filter = filter});
+  metrics::ExperimentReport report = metrics::run_experiment(spec, run_options);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   const std::string report_text = report.json.dump(2) + "\n";
@@ -714,6 +876,38 @@ int cmd_experiment(const std::vector<std::string>& args) {
     std::cout << metrics::experiment_report_csv(report.json);
   } else if (as_gnuplot) {
     std::cout << metrics::experiment_report_gnuplot(report.json);
+    // Figure emission next to the spec: a renderable <spec>.gp script, and
+    // the <spec>.svg it draws when a gnuplot binary is on PATH.  File
+    // names go to stderr — whether the SVG renders depends on the host,
+    // and stdout must stay byte-identical across machines.
+    std::filesystem::path gp_path(spec_path);
+    gp_path.replace_extension(".gp");
+    const std::string svg_name = gp_path.stem().string() + ".svg";
+    {
+      std::ofstream gp(gp_path);
+      if (gp) gp << metrics::experiment_report_gnuplot_script(report.json, svg_name);
+      if (!gp) {
+        std::cerr << "experiment: cannot write '" << gp_path.string() << "'\n";
+        return 1;
+      }
+    }
+    const std::filesystem::path svg_path = gp_path.parent_path() / svg_name;
+    const std::string dir =
+        gp_path.parent_path().empty() ? std::string(".") : gp_path.parent_path().string();
+    // The script writes a relative SVG, so run gnuplot from the spec's
+    // directory; errors are the host's business (missing binary, old
+    // version), never the report's.
+    const std::string command = "cd '" + dir + "' && gnuplot '" +
+                                gp_path.filename().string() + "' 2>/dev/null";
+    const bool rendered = std::system(nullptr) != 0 &&
+                          std::system(command.c_str()) == 0 &&
+                          std::filesystem::exists(svg_path);
+    if (rendered) {
+      std::cerr << "wrote " << gp_path.string() << " and " << svg_path.string() << "\n";
+    } else {
+      std::cerr << "wrote " << gp_path.string() << " (gnuplot unavailable or no arrays: "
+                << svg_path.string() << " not rendered)\n";
+    }
   } else {
     std::cout << "experiment '" << spec.name << "'";
     if (!spec.title.empty()) std::cout << ": " << spec.title;
@@ -1046,8 +1240,41 @@ int legacy_mode(const std::vector<std::string>& args) {
 
 }  // namespace
 
+/// Global `--log-level <lvl>`: extracted (anywhere on the command line)
+/// before command dispatch, so every subcommand honours it.  Same scale as
+/// the PCS_LOG environment variable; the flag wins because it is set later.
+/// Returns -1 to continue, or an exit code.
+int extract_log_level(std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != "--log-level") continue;
+    if (i + 1 >= args.size()) return usage_error("--log-level needs an argument");
+    const std::string& name = args[i + 1];
+    util::LogLevel level;
+    if (name == "error") {
+      level = util::LogLevel::Error;
+    } else if (name == "warn") {
+      level = util::LogLevel::Warn;
+    } else if (name == "info") {
+      level = util::LogLevel::Info;
+    } else if (name == "debug") {
+      level = util::LogLevel::Debug;
+    } else if (name == "trace") {
+      level = util::LogLevel::Trace;
+    } else {
+      return usage_error("--log-level: unknown level '" + name +
+                         "' (pick error|warn|info|debug|trace)");
+    }
+    util::Logger::instance().set_level(level);
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    --i;
+  }
+  return -1;
+}
+
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  if (const int code = extract_log_level(args); code >= 0) return code;
   try {
     if (!args.empty() && args[0] == "run") {
       return cmd_run({args.begin() + 1, args.end()});

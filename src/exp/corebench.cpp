@@ -47,6 +47,7 @@ CoreScenarioResult run_core_scenario(const CoreScenarioConfig& config) {
   engine.set_solver_cross_check(config.solver_cross_check);
   engine.set_solve_batching(config.solve_batching);
   engine.set_solver_threads(static_cast<unsigned>(config.solver_threads < 0 ? 0 : config.solver_threads));
+  if (config.profile != nullptr) engine.set_profiler(config.profile);
   const int tenants = config.tenants > 0 ? config.tenants : 1;
 
   // Resources tenant-major; tenant 0 keeps the historical bare names so the

@@ -12,6 +12,10 @@
 
 #include <cstdint>
 
+namespace pcs::obs {
+struct EngineProfile;
+}
+
 namespace pcs::exp {
 
 struct CoreScenarioConfig {
@@ -42,6 +46,10 @@ struct CoreScenarioConfig {
   /// disruption mid-run.  Requires tenants > 1.
   double crash_time = -1.0;
   int crash_tenant = 0;
+  /// Optional wall-clock self-profile (obs/profiler.hpp), attached via
+  /// Engine::set_profiler.  Pure host-side instrumentation — simulated
+  /// fingerprints are unchanged whether it is set or not.
+  obs::EngineProfile* profile = nullptr;
 };
 
 struct CoreScenarioResult {

@@ -72,6 +72,7 @@ struct CaseData {
   std::string error;        ///< non-empty when the case failed to run
   util::Json result;        ///< result_to_json projection (null on error)
   util::Json effective;     ///< effective scenario document (null on error)
+  util::Json timeline;      ///< sampled metric timeline (null unless enabled)
   util::Json values;        ///< object: series/derived name -> value
 };
 
@@ -85,7 +86,14 @@ const util::Json& value_of(const CaseData& c, const std::string& name,
 
 void evaluate_series(const ExperimentSpec& spec, CaseData& c) {
   for (const SeriesSpec& s : spec.series) {
-    const util::Json& doc = s.source == "case" ? c.effective : c.result;
+    const util::Json& doc = s.source == "case"       ? c.effective
+                            : s.source == "timeline" ? c.timeline
+                                                     : c.result;
+    if (s.source == "timeline" && doc.is_null() && s.required) {
+      throw MetricsError("case '" + c.label + "', series '" + s.name +
+                         "': no timeline was sampled (the scenario needs "
+                         "\"metrics\": {\"interval\": ...})");
+    }
     util::Json value;
     if (s.required) {
       try {
@@ -425,8 +433,9 @@ ExperimentSpec ExperimentSpec::parse(const util::Json& doc, const std::string& b
     series.name = s.at("name").as_string();
     series.path = s.at("path").as_string();
     series.source = s.string_or("source", "result");
-    if (series.source != "result" && series.source != "case") {
-      throw MetricsError("series '" + series.name + "': source must be \"result\" or \"case\"");
+    if (series.source != "result" && series.source != "case" && series.source != "timeline") {
+      throw MetricsError("series '" + series.name +
+                         "': source must be \"result\", \"case\" or \"timeline\"");
     }
     series.required = s.bool_or("required", true);
     series.max_points = static_cast<int>(s.number_or("max_points", 0.0));
@@ -517,8 +526,9 @@ ExperimentReport run_experiment(const ExperimentSpec& spec, const ExperimentOpti
       return c.label.find(options.filter) == std::string::npos;
     });
   }
-  const std::vector<scenario::SweepCaseResult> results =
-      scenario::run_sweep(spec.sweep, {.jobs = options.jobs, .filter = options.filter});
+  const std::vector<scenario::SweepCaseResult> results = scenario::run_sweep(
+      spec.sweep,
+      {.jobs = options.jobs, .filter = options.filter, .progress = options.progress});
 
   ExperimentReport report;
   std::vector<CaseData> cases(expanded.size());
@@ -535,6 +545,7 @@ ExperimentReport run_experiment(const ExperimentSpec& spec, const ExperimentOpti
       continue;
     }
     c.result = result_to_json(results[i].result);
+    c.timeline = results[i].result.timeline;
     // The effective (fully defaulted, unit-normalized) scenario document —
     // what "source": "case" series address.
     c.effective =
@@ -673,6 +684,64 @@ std::string experiment_report_gnuplot(const util::Json& report) {
       out += '\n';
     }
   }
+  return out;
+}
+
+std::string experiment_report_gnuplot_script(const util::Json& report,
+                                             const std::string& svg_name) {
+  // Single-quoted gnuplot strings escape ' by doubling it.
+  auto quote = [](const std::string& text) {
+    std::string out = "'";
+    for (char c : text) {
+      if (c == '\'') out += '\'';
+      out += c;
+    }
+    out += '\'';
+    return out;
+  };
+
+  std::string out =
+      "# generated by `pcs_cli experiment --gnuplot`; render with `gnuplot <this file>`\n";
+  out += "set terminal svg size 960,600 dynamic\n";
+  out += "set output " + quote(svg_name) + "\n";
+  const std::string title =
+      report.string_or("title", report.string_or("name", "experiment"));
+  out += "set title " + quote(title) + "\n";
+  out += "set key outside\n";
+  out += "$data << EOD\n" + experiment_report_gnuplot(report) + "EOD\n";
+
+  // Gnuplot `index` counts datasets (runs of data lines), so only cases
+  // that actually emitted rows advance it — mirror the emitter's logic.
+  const util::Json& columns = report.at("columns");
+  std::vector<std::string> plots;
+  std::size_t dataset = 0;
+  for (const util::Json& row : report.at("cases").as_array()) {
+    if (!row.contains("values")) continue;
+    const util::Json& values = row.at("values");
+    std::vector<std::string> array_columns;
+    for (const util::Json& column : columns.as_array()) {
+      if (values.at(column.as_string()).is_array()) {
+        array_columns.push_back(column.as_string());
+      }
+    }
+    if (array_columns.empty()) continue;
+    for (std::size_t c = 1; c < array_columns.size(); ++c) {
+      plots.push_back("$data index " + std::to_string(dataset) + " using 1:" +
+                      std::to_string(c + 1) + " with lines title " +
+                      quote(row.at("label").as_string() + ": " + array_columns[c]));
+    }
+    ++dataset;
+  }
+  if (plots.empty()) {
+    out += "# no case carries >= 2 array-valued columns; nothing to plot\n";
+    return out;
+  }
+  out += "plot ";
+  for (std::size_t i = 0; i < plots.size(); ++i) {
+    if (i != 0) out += ", \\\n     ";
+    out += plots[i];
+  }
+  out += '\n';
   return out;
 }
 

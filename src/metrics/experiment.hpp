@@ -52,7 +52,11 @@ namespace pcs::metrics {
 struct SeriesSpec {
   std::string name;
   std::string path;
-  std::string source = "result";  ///< "result" or "case" (effective scenario doc)
+  /// "result" (result_json projection), "case" (effective scenario doc) or
+  /// "timeline" (the sampled metric timeline — needs the base scenario to
+  /// enable "metrics": {"interval": ...}; paths like "metrics.store/dirty_bytes"
+  /// or "time" pair with the time_weighted_mean derived op).
+  std::string source = "result";
   bool required = true;           ///< false: unresolvable paths yield null, not an error
   /// For array-valued paths: downsample to at most this many elements
   /// (every ceil(n/max_points)-th, plus the closing one), so
@@ -115,6 +119,8 @@ struct ExperimentOptions {
   /// substring.  Expect entries that reference a filtered-out case are
   /// reported as "skipped", not failed; aggregates cover the slice only.
   std::string filter;
+  /// Forwarded to SweepOptions::progress (per-case completion ticker).
+  std::function<void(std::size_t done, std::size_t total, const std::string& label)> progress;
 };
 
 /// Run every case of the spec's sweep, evaluate series/derived/aggregations
@@ -135,5 +141,15 @@ ExperimentReport run_experiment(const ExperimentSpec& spec, const ExperimentOpti
 /// array-valued series side by side row-per-element, preceded by the
 /// scalar values as comments.
 [[nodiscard]] std::string experiment_report_gnuplot(const util::Json& report);
+
+/// Self-contained, renderable gnuplot *script*: the same columns embedded
+/// as a $data heredoc plus an SVG terminal and plot commands writing
+/// `svg_name`.  Cases with two or more array-valued columns plot the first
+/// array as x and the rest as lines; a report with no such case yields a
+/// data-only script (and `gnuplot` produces no figure).  `pcs_cli
+/// experiment --gnuplot` writes this next to the spec and runs gnuplot on
+/// it when available.
+[[nodiscard]] std::string experiment_report_gnuplot_script(const util::Json& report,
+                                                           const std::string& svg_name);
 
 }  // namespace pcs::metrics

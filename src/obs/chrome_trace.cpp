@@ -1,0 +1,167 @@
+#include "obs/chrome_trace.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pcs::obs {
+
+namespace {
+
+constexpr double kMicros = 1e6;  // trace-event timestamps are microseconds
+
+/// Greedy interval partitioning: the first lane free at `start`, or a new
+/// one.  Deterministic given event order, which the log fixes.
+struct LaneAllocator {
+  std::vector<double> lane_end;
+
+  int assign(double start, double end) {
+    for (std::size_t i = 0; i < lane_end.size(); ++i) {
+      if (lane_end[i] <= start) {
+        lane_end[i] = end;
+        return static_cast<int>(i);
+      }
+    }
+    lane_end.push_back(end);
+    return static_cast<int>(lane_end.size()) - 1;
+  }
+};
+
+util::Json meta_event(const std::string& kind, int pid, int tid, const std::string& name) {
+  util::Json e{util::JsonObject{}};
+  e.set("ph", "M");
+  e.set("name", kind);
+  e.set("pid", pid);
+  e.set("tid", tid);
+  util::Json args{util::JsonObject{}};
+  args.set("name", name);
+  e.set("args", std::move(args));
+  return e;
+}
+
+util::Json span(const std::string& name, const std::string& cat, int pid, int tid, double start,
+                double end) {
+  util::Json e{util::JsonObject{}};
+  e.set("ph", "X");
+  e.set("name", name);
+  e.set("cat", cat);
+  e.set("pid", pid);
+  e.set("tid", tid);
+  e.set("ts", start * kMicros);
+  e.set("dur", (end - start) * kMicros);
+  return e;
+}
+
+}  // namespace
+
+util::Json chrome_trace(const tracelog::TaskLog& log) {
+  util::Json events{util::JsonArray{}};
+
+  // pid 0: the scenario-level lane (disruptions, down-time windows).
+  constexpr int kScenarioPid = 0;
+  events.push_back(meta_event("process_name", kScenarioPid, 0, "scenario"));
+
+  // One process per compute host, in order of first appearance across task
+  // events and crash-killed attempts.
+  std::map<std::string, int> host_pid;
+  std::map<std::string, LaneAllocator> host_lanes;
+  int next_pid = 1;
+  auto pid_for_host = [&](const std::string& host) {
+    auto it = host_pid.find(host);
+    if (it != host_pid.end()) return it->second;
+    const int pid = next_pid++;
+    host_pid[host] = pid;
+    events.push_back(meta_event("process_name", pid, 0, "host " + host));
+    return pid;
+  };
+
+  for (const tracelog::TraceTaskEvent& t : log.task_events) {
+    const int pid = pid_for_host(t.host);
+    const int tid = host_lanes[t.host].assign(t.start, t.end);
+    util::Json task = span(t.name, "task", pid, tid, t.start, t.end);
+    util::Json args{util::JsonObject{}};
+    if (t.attempts > 1) args.set("attempts", t.attempts);
+    args.set("host", t.host);
+    task.set("args", std::move(args));
+    events.push_back(std::move(task));
+    // Phase children nest inside the task span on the same lane.
+    events.push_back(span("read", "phase", pid, tid, t.read_start, t.read_end));
+    events.push_back(span("compute", "phase", pid, tid, t.read_end, t.compute_end));
+    events.push_back(span("write", "phase", pid, tid, t.compute_end, t.write_end));
+  }
+
+  for (const tracelog::TraceTaskAttempt& a : log.task_attempts) {
+    const int pid = pid_for_host(a.host);
+    const int tid = host_lanes[a.host].assign(a.start, a.end);
+    util::Json e = span(a.name + " (attempt " + std::to_string(a.attempt) + ", " + a.outcome + ")",
+                        "attempt", pid, tid, a.start, a.end);
+    util::Json args{util::JsonObject{}};
+    args.set("attempt", a.attempt);
+    args.set("outcome", a.outcome);
+    e.set("args", std::move(args));
+    events.push_back(std::move(e));
+  }
+
+  // One process per storage service; I/O ops lane-packed per service.
+  std::map<std::string, int> service_pid;
+  std::map<std::string, LaneAllocator> service_lanes;
+  for (const tracelog::TraceIoEvent& io : log.io_events) {
+    const std::string service = io.service.empty() ? "storage" : io.service;
+    auto it = service_pid.find(service);
+    int pid = 0;
+    if (it == service_pid.end()) {
+      pid = next_pid++;
+      service_pid[service] = pid;
+      events.push_back(meta_event("process_name", pid, 0, "service " + service));
+    } else {
+      pid = it->second;
+    }
+    const int tid = service_lanes[service].assign(io.start, io.end);
+    util::Json e = span(io.op + " " + io.file, "io", pid, tid, io.start, io.end);
+    util::Json args{util::JsonObject{}};
+    args.set("bytes", io.bytes);
+    if (!io.task.empty()) args.set("task", io.task);
+    e.set("args", std::move(args));
+    events.push_back(std::move(e));
+  }
+
+  // Disruptions: global instants, plus crash..restart repair windows.
+  std::map<std::string, double> crash_open;  // target -> crash time
+  for (const tracelog::TraceDisruption& d : log.disruptions) {
+    util::Json e{util::JsonObject{}};
+    e.set("ph", "i");
+    e.set("s", "g");
+    e.set("name", d.type + " " + d.target);
+    e.set("cat", "disruption");
+    e.set("pid", kScenarioPid);
+    e.set("tid", 0);
+    e.set("ts", d.time * kMicros);
+    if (d.factor != 0.0) {
+      util::Json args{util::JsonObject{}};
+      args.set("factor", d.factor);
+      e.set("args", std::move(args));
+    }
+    events.push_back(std::move(e));
+    if (d.type == "host_crash") {
+      crash_open[d.target] = d.time;
+    } else if (d.type == "host_restart") {
+      auto open = crash_open.find(d.target);
+      if (open != crash_open.end()) {
+        events.push_back(
+            span("down: " + d.target, "repair", kScenarioPid, 0, open->second, d.time));
+        crash_open.erase(open);
+      }
+    }
+  }
+
+  util::Json doc{util::JsonObject{}};
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  util::Json meta{util::JsonObject{}};
+  meta.set("scenario", log.scenario);
+  meta.set("simulator", log.simulator);
+  doc.set("otherData", std::move(meta));
+  return doc;
+}
+
+}  // namespace pcs::obs

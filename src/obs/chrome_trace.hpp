@@ -1,0 +1,29 @@
+// Observability: lower a tracelog TaskLog into Chrome trace-event JSON.
+//
+// The exported document ({"traceEvents": [...]}) loads in Perfetto /
+// chrome://tracing.  The mapping:
+//
+//   - one "process" per compute host; every task gets its own thread lane
+//     with a task-wide span and nested read / compute / write phase spans
+//   - crash-killed attempts appear as "attempt N (crashed)" spans on the
+//     same host, so retries are visible next to the successful run
+//   - one "process" per storage service; I/O ops (read/write/stage/warm/
+//     flush/drain) are packed onto thread lanes by a greedy interval
+//     allocator, with bytes and the issuing task in the event args
+//   - disruptions are global instant events on a "scenario" process, and a
+//     host_crash .. host_restart pair on the same target additionally
+//     renders as a "down: <target>" span (the repair actor's window)
+//
+// Works on any parsed log — including committed v1/v2 JSONL logs — so
+// recorded runs can be visualized post hoc via `pcs_cli replay --trace-viz`
+// without re-running anything.
+#pragma once
+
+#include "tracelog/task_log.hpp"
+#include "util/json.hpp"
+
+namespace pcs::obs {
+
+[[nodiscard]] util::Json chrome_trace(const tracelog::TaskLog& log);
+
+}  // namespace pcs::obs

@@ -1,0 +1,54 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace pcs::obs {
+
+void MetricsRegistry::register_gauge(std::string name, Gauge fn) {
+  if (sealed_) {
+    throw MetricsError("metrics registry is sealed (sampling started); cannot register '" +
+                       name + "'");
+  }
+  if (name.empty()) throw MetricsError("metric name must not be empty");
+  if (name.find('.') != std::string::npos) {
+    throw MetricsError("metric name '" + name +
+                       "' contains '.'; use '/' so experiment value paths can address it");
+  }
+  if (!fn) throw MetricsError("metric '" + name + "' has no gauge callback");
+  for (const Entry& g : gauges_) {
+    if (g.name == name) throw MetricsError("duplicate metric name '" + name + "'");
+  }
+  gauges_.push_back(Entry{std::move(name), std::move(fn)});
+}
+
+void MetricsRegistry::sample(double now) {
+  if (!sealed_) {
+    std::sort(gauges_.begin(), gauges_.end(),
+              [](const Entry& a, const Entry& b) { return a.name < b.name; });
+    sealed_ = true;
+  }
+  if (!times_.empty() && times_.back() == now) return;
+  times_.push_back(now);
+  std::vector<double> row;
+  row.reserve(gauges_.size());
+  for (const Entry& g : gauges_) row.push_back(g.fn());
+  rows_.push_back(std::move(row));
+}
+
+util::Json MetricsRegistry::timeline(double interval) const {
+  util::Json doc{util::JsonObject{}};
+  doc.set("interval", interval);
+  util::Json time{util::JsonArray{}};
+  for (double t : times_) time.push_back(t);
+  doc.set("time", std::move(time));
+  util::Json metrics{util::JsonObject{}};
+  for (std::size_t g = 0; g < gauges_.size(); ++g) {
+    util::Json column{util::JsonArray{}};
+    for (const std::vector<double>& row : rows_) column.push_back(row[g]);
+    metrics.set(gauges_[g].name, std::move(column));
+  }
+  doc.set("metrics", std::move(metrics));
+  return doc;
+}
+
+}  // namespace pcs::obs

@@ -35,6 +35,7 @@ double MemoryManager::evictable(const std::string& exclude_file) const {
 
 sim::Task<> MemoryManager::write_back(std::string file, double bytes) {
   const double start = engine_.now();
+  flushed_bytes_ += bytes;
   co_await store_.write(file, bytes);
   if (io_observer_) io_observer_("flush", file, bytes, start, engine_.now());
 }
@@ -146,6 +147,7 @@ void MemoryManager::evict(double amount, const std::string& exclude_file) {
       inactive_.erase(it);
     }
   }
+  evicted_bytes_ += evicted;
   balance_lists();
   PCS_CHECK_INVARIANTS(check_invariants());
 }
@@ -205,7 +207,9 @@ double MemoryManager::touch_cached(const std::string& file, double amount) {
   }
   balance_lists();
   PCS_CHECK_INVARIANTS(check_invariants());
-  return amount - std::max(0.0, remaining);
+  const double served = amount - std::max(0.0, remaining);
+  hit_bytes_ += served;
+  return served;
 }
 
 sim::Task<double> MemoryManager::read_from_cache(std::string file, double amount) {
@@ -233,6 +237,7 @@ double MemoryManager::add_to_cache(const std::string& file, double amount, bool 
   block.last_access = engine_.now();
   block.dirty = dirty;
   inactive_.insert(std::move(block));
+  if (!dirty) miss_bytes_ += amount;  // clean fill: bytes that came off the device
   PCS_CHECK_INVARIANTS(check_invariants());
   return amount;
 }

@@ -82,6 +82,16 @@ class MemoryManager {
   [[nodiscard]] const LruList& inactive_list() const { return inactive_; }
   [[nodiscard]] const LruList& active_list() const { return active_; }
 
+  // --- cumulative traffic counters (observability gauges) -----------------
+  // Simulated byte totals since construction; always on (a few adds on
+  // paths that already walk LRU lists).  obs::MetricsRegistry gauges read
+  // these — purely simulated quantities, so sampled timelines stay
+  // byte-identical across --jobs/solver_threads.
+  [[nodiscard]] double hit_bytes() const { return hit_bytes_; }       ///< served from cache
+  [[nodiscard]] double miss_bytes() const { return miss_bytes_; }     ///< clean fills from disk
+  [[nodiscard]] double evicted_bytes() const { return evicted_bytes_; }
+  [[nodiscard]] double flushed_bytes() const { return flushed_bytes_; }  ///< writebacks
+
   // --- the paper's Memory Manager operations ------------------------------
 
   /// Write least-recently-used dirty blocks back until `amount` bytes are
@@ -198,6 +208,10 @@ class MemoryManager {
   LruList active_;
   std::uint64_t block_seq_ = 1;
   bool stop_flush_ = false;
+  double hit_bytes_ = 0.0;
+  double miss_bytes_ = 0.0;
+  double evicted_bytes_ = 0.0;
+  double flushed_bytes_ = 0.0;
 };
 
 }  // namespace pcs::cache

@@ -307,6 +307,7 @@ sim::Task<> RefStorage::make_room(double amount) {
 
 sim::Task<> RefStorage::read_file(const std::string& name, double chunk_size) {
   const double size = fs_.size_of(name);
+  note_app_read(size);
   if (chunk_size <= 0.0) chunk_size = size;
   double remaining = size;
   while (remaining > 1.0) {
@@ -337,6 +338,7 @@ sim::Task<> RefStorage::read_file(const std::string& name, double chunk_size) {
 
 sim::Task<> RefStorage::write_file(const std::string& name, double size, double chunk_size) {
   fs_.ensure_size(name, size);
+  note_app_write(size);
   if (chunk_size <= 0.0) chunk_size = size;
   kernel_.open_write(name);
   double remaining = size;

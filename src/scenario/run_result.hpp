@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "pagecache/memory_manager.hpp"
+#include "util/json.hpp"
 #include "workflow/compute_service.hpp"
 
 namespace pcs::scenario {
@@ -34,6 +35,12 @@ struct RunResult {
   /// reports must stay byte-stable; read them from RunResult directly).
   std::uint64_t components_solved = 0;  ///< dirty components enumerated
   std::uint64_t parallel_solves = 0;    ///< points fanned out to the pool
+  /// Sampled metric timeline (obs/metrics.hpp; null unless the scenario
+  /// enabled `"metrics": {"interval": ...}`).  Purely simulated quantities,
+  /// byte-identical across --jobs/solver_threads — but deliberately NOT
+  /// part of result_json: committed expected reports must stay byte-stable.
+  /// Experiments address it via `"source": "timeline"` series instead.
+  util::Json timeline;
 
   [[nodiscard]] const wf::TaskResult& task(const std::string& name) const;
   // --- availability metrics (ext_availability) -----------------------------

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "proto/analytic.hpp"
 #include "simcore/trace.hpp"
 #include "storage/service_registry.hpp"
@@ -279,6 +280,20 @@ sim::Task<> repair_actor(DriverContext* d, const DisruptionEvent* ev) {
   fire_event(*d, TimelineEntry{ev->restart_at, "host_restart", ev});
 }
 
+/// The metrics sampler daemon: wakes every `interval` of virtual time and
+/// snapshots all registered gauges.  Pure observation — it never submits
+/// activities or touches service state, so attaching it cannot perturb the
+/// simulated schedule (obs_test proves bit-identity of results with the
+/// sampler on and off).  sleep_until(k * interval) rather than repeated
+/// sleep(interval) keeps sample times free of accumulated rounding.
+sim::Task<> metrics_sampler(sim::Engine& engine, obs::MetricsRegistry* registry,
+                            double interval) {
+  for (std::uint64_t k = 0;; ++k) {
+    co_await engine.sleep_until(static_cast<double>(k) * interval);
+    registry->sample(engine.now());
+  }
+}
+
 }  // namespace
 
 RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
@@ -287,6 +302,16 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
       throw ScenarioError(
           "task-log recording needs an engine-backed simulator (the analytic prototype has "
           "no workflows to record)");
+    }
+    if (spec.metrics_interval > 0.0) {
+      throw ScenarioError(
+          "metric sampling needs an engine-backed simulator (the analytic prototype has no "
+          "virtual-time daemons)");
+    }
+    if (options.profile != nullptr) {
+      throw ScenarioError(
+          "self-profiling needs an engine-backed simulator (the analytic prototype has no "
+          "engine to profile)");
     }
     return run_prototype(spec);
   }
@@ -301,7 +326,16 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   sim.engine().set_solve_batching(spec.solve_batching);
   sim.engine().set_solver_threads(static_cast<unsigned>(spec.solver_threads));
   if (options.tracer != nullptr) sim.engine().set_tracer(options.tracer);
+  if (options.profile != nullptr) sim.engine().set_profiler(options.profile);
   sim.platform().load_json(spec.platform);
+
+  // Metric gauges are registered only for the services and engine counters
+  // that exist at setup time — the registry seals at the first sample, so
+  // mid-run arrivals (tenant_arrival, service_add) register nothing; their
+  // tasks still show up through the aggregate `tasks/*` gauges below, which
+  // walk compute_order by reference.
+  const bool sampling = spec.metrics_interval > 0.0;
+  obs::MetricsRegistry metrics;
 
   // Storage services, in declaration order (daemon spawn order matters for
   // bit-identical replay of the legacy harness).
@@ -310,6 +344,7 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   for (const ServiceDecl& decl : spec.services) {
     services[decl.name] =
         storage::ServiceRegistry::instance().build(decl.type, ctx, decl.spec);
+    if (sampling) services[decl.name]->register_metrics(metrics, decl.name);
     if (recorder != nullptr) {
       // Background traffic (flusher writebacks, burst-buffer drains) lands
       // in the log as service-attributed io records with no issuing task.
@@ -359,6 +394,43 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     return cs;
   };
   compute_for(spec.default_service);
+
+  if (sampling) {
+    sim::Engine& engine = sim.engine();
+    metrics.register_gauge("engine/running_activities", [&engine] {
+      return static_cast<double>(engine.running_activity_count());
+    });
+    metrics.register_gauge("engine/scheduling_points", [&engine] {
+      return static_cast<double>(engine.scheduling_points());
+    });
+    metrics.register_gauge("engine/fair_share_solves", [&engine] {
+      return static_cast<double>(engine.fair_share_solves());
+    });
+    metrics.register_gauge("engine/components_solved", [&engine] {
+      return static_cast<double>(engine.components_solved());
+    });
+    metrics.register_gauge("engine/parallel_solves", [&engine] {
+      return static_cast<double>(engine.parallel_solves());
+    });
+    // Aggregates over every compute service alive at sample time (including
+    // ones created mid-run by tenant_arrival — the vector is walked fresh
+    // on each sample).
+    metrics.register_gauge("tasks/live", [&compute_order] {
+      std::size_t n = 0;
+      for (const wf::ComputeService* cs : compute_order) n += cs->live_tasks();
+      return static_cast<double>(n);
+    });
+    metrics.register_gauge("tasks/completed", [&compute_order] {
+      std::size_t n = 0;
+      for (const wf::ComputeService* cs : compute_order) n += cs->completed_task_count();
+      return static_cast<double>(n);
+    });
+    metrics.register_gauge("tasks/failed", [&compute_order] {
+      std::size_t n = 0;
+      for (const wf::ComputeService* cs : compute_order) n += cs->failed_task_count();
+      return static_cast<double>(n);
+    });
+  }
 
   std::vector<workload::WorkloadInstance> instances =
       workload::build_workload(sim, spec.workload, "", spec.base_dir);
@@ -464,6 +536,14 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     sim.engine().spawn("fault-schedule-driver", disruption_driver(&schedule_driver),
                        /*daemon=*/true);
   }
+  if (sampling) {
+    // Spawned last, as a daemon: the sampler must never hold the simulation
+    // open, and a fixed spawn position keeps the actor schedule — and with
+    // it bit-identical results — independent of whether sampling is on.
+    sim.engine().spawn("metrics-sampler",
+                       metrics_sampler(sim.engine(), &metrics, spec.metrics_interval),
+                       /*daemon=*/true);
+  }
 
   sim.run();
 
@@ -492,6 +572,10 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   if (probe != nullptr) {
     probe->sample_now();  // closing sample at the makespan
     result.profile = probe->samples();
+  }
+  if (sampling) {
+    metrics.sample(sim.now());  // closing sample at the makespan (dedup-safe)
+    result.timeline = metrics.timeline(spec.metrics_interval);
   }
   if (cache::MemoryManager* mm = default_service->memory_manager(); mm != nullptr) {
     result.final_state = mm->snapshot();

@@ -18,6 +18,10 @@ namespace pcs::tracelog {
 class TaskLogRecorder;
 }
 
+namespace pcs::obs {
+struct EngineProfile;
+}
+
 namespace pcs::scenario {
 
 struct RunOptions {
@@ -29,6 +33,9 @@ struct RunOptions {
   /// Engine-backed simulators only.  Recording is pure observation: a
   /// recorded run's RunResult is bit-identical to an unrecorded one.
   tracelog::TaskLogRecorder* recorder = nullptr;
+  /// Accumulate wall-clock engine self-profiling (obs/profiler.hpp) into
+  /// this profile.  Wall-clock only — never enters simulated results.
+  obs::EngineProfile* profile = nullptr;
 };
 
 /// Run a scenario to completion.  Throws ScenarioError (bad specs),

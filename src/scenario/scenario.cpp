@@ -135,6 +135,14 @@ ScenarioSpec ScenarioSpec::parse(const util::Json& doc, const std::string& base_
   if (spec.solver_threads < 0) {
     throw ScenarioError("solver_threads must be >= 0 (0 = auto)");
   }
+  if (doc.contains("metrics")) {
+    const util::Json& m = doc.at("metrics");
+    if (!m.is_object()) throw ScenarioError("\"metrics\" must be an object");
+    spec.metrics_interval = m.number_or("interval", 0.0);
+    if (spec.metrics_interval < 0.0) {
+      throw ScenarioError("metrics.interval must be non-negative (0 = off)");
+    }
+  }
 
   if (doc.contains("retry")) {
     const util::Json& r = doc.at("retry");
@@ -301,6 +309,11 @@ util::Json ScenarioSpec::to_json() const {
   // Emitted only when non-default: committed recorded logs embed this
   // document and must stay byte-stable (same rule as the fault keys below).
   if (solver_threads != 1) doc.set("solver_threads", solver_threads);
+  if (metrics_interval > 0.0) {
+    util::Json m{util::JsonObject{}};
+    m.set("interval", metrics_interval);
+    doc.set("metrics", std::move(m));
+  }
   doc.set("cache_params", storage::cache_params_to_json(cache_params));
   // Fault-injection keys are emitted only when used: committed v1 recorded
   // logs embed this document (source_scenario) and must stay byte-stable.

@@ -15,6 +15,7 @@
 //     "workload": {"type": "synthetic", "instances": 8, ...},
 //     "chunk_size": "100 MB",
 //     "probe_period": 5,                  // seconds; 0 = no memory probe
+//     "metrics": {"interval": 2},         // gauge sampler period; absent = off
 //     "cache_params": {"dirty_ratio": 0.2, ...},
 //     "warm_inputs": true,                // Exp 3 server-side warm staging
 //     "retry": {"max_attempts": 2, "backoff": 5, ...},  // crash recovery policy
@@ -94,6 +95,12 @@ struct ScenarioSpec {
   /// solve_batching; to_json emits the key only when != 1 so pre-parallel
   /// scenario documents round-trip byte-identically.
   int solver_threads = 1;
+  /// Metrics sampler (obs/metrics.hpp): `"metrics": {"interval": N}` makes
+  /// the runner sample every registered gauge each N virtual seconds into a
+  /// byte-stable timeline on RunResult.  0 = no sampler.  to_json emits the
+  /// key only when enabled so pre-observability documents round-trip
+  /// byte-identically.
+  double metrics_interval = 0.0;
   cache::CacheParams cache_params;
   std::string base_dir;  ///< resolves relative "file" refs in the workload
   /// Fault injection (all optional; to_json emits these keys only when

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <utility>
@@ -272,7 +273,9 @@ std::vector<SweepCaseResult> run_sweep(const SweepSpec& spec, const SweepOptions
   // ScenarioSpec and wf::Simulation inside the worker thread (one Engine
   // per thread).
   std::atomic<std::size_t> next{0};
-  auto worker = [&cases, &results, &spec, &next] {
+  std::size_t done = 0;
+  std::mutex progress_mutex;
+  auto worker = [&cases, &results, &spec, &next, &options, &done, &progress_mutex] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cases.size()) return;
@@ -283,6 +286,10 @@ std::vector<SweepCaseResult> run_sweep(const SweepSpec& spec, const SweepOptions
         out.result = run_scenario(ScenarioSpec::parse(cases[i].doc, spec.base_dir));
       } catch (const std::exception& e) {
         out.error = e.what();
+      }
+      if (options.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options.progress(++done, cases.size(), out.label);
       }
     }
   };

@@ -32,6 +32,7 @@
 // order regardless of which worker finished first.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,12 @@ struct SweepOptions {
   /// (results keep expansion order).  Throws ScenarioError when nothing
   /// matches, so a typo doesn't silently run zero cases.
   std::string filter;
+  /// Called after each case finishes: (cases done so far, total cases, the
+  /// finished case's label).  Invoked under a mutex, so the callback may
+  /// write to stderr without interleaving; it must not touch the results.
+  /// Pure observation — reports are byte-identical with or without it
+  /// (`--progress` goes to stderr only; cli_test asserts this).
+  std::function<void(std::size_t done, std::size_t total, const std::string& label)> progress;
 };
 
 /// Run every case of the sweep and return results in expansion order.

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <thread>
 
+#include "obs/profiler.hpp"
 #include "simcore/solver_pool.hpp"
 #include "simcore/trace.hpp"
 #include "util/log.hpp"
@@ -215,6 +216,9 @@ bool Engine::all_actors_done() const {
 }
 
 std::size_t Engine::drain_ready() {
+  // Dispatch = resuming every ready coroutine; with the solver sections
+  // timed separately this is where the rest of the engine's wall time goes.
+  obs::ScopedTimer dispatch_timer(profiler_ != nullptr ? &profiler_->dispatch : nullptr);
   std::size_t resumed = 0;
   // Cancellations are processed only here, between resumptions, when no
   // coroutine is mid-execution — destroying a frame that is on the native
@@ -295,41 +299,45 @@ void Engine::recompute_rates() {
   // remaining amount and completion entry untouched.  Components are
   // disjoint: a resource or activity belongs to exactly one, which is what
   // lets them be solved concurrently without any locking.
+  obs::ScopedTimer total_timer(profiler_ != nullptr ? &profiler_->recompute_rates : nullptr);
   ++visit_mark_;
   ++solves_;
   component_count_ = 0;
   std::size_t affected = 0;
-  for (Resource* seed : dirty_resources_) {
-    seed->dirty_queued_ = false;
-    if (seed->visit_mark_ == visit_mark_) continue;  // merged into an earlier seed
-    seed->visit_mark_ = visit_mark_;
-    if (component_count_ == components_.size()) components_.emplace_back();
-    std::vector<Activity*>& acts = components_[component_count_];
-    acts.clear();
-    bfs_stack_.clear();
-    bfs_stack_.push_back(seed);
-    while (!bfs_stack_.empty()) {
-      Resource* r = bfs_stack_.back();
-      bfs_stack_.pop_back();
-      for (const auto& [act, claim_idx] : r->incumbents_) {
-        (void)claim_idx;
-        if (act->visit_mark_ == visit_mark_) continue;
-        act->visit_mark_ = visit_mark_;
-        acts.push_back(act);
-        for (const Claim& claim : act->claims_) {
-          if (claim.resource->visit_mark_ != visit_mark_) {
-            claim.resource->visit_mark_ = visit_mark_;
-            bfs_stack_.push_back(claim.resource);
+  {
+    obs::ScopedTimer bfs_timer(profiler_ != nullptr ? &profiler_->bfs : nullptr);
+    for (Resource* seed : dirty_resources_) {
+      seed->dirty_queued_ = false;
+      if (seed->visit_mark_ == visit_mark_) continue;  // merged into an earlier seed
+      seed->visit_mark_ = visit_mark_;
+      if (component_count_ == components_.size()) components_.emplace_back();
+      std::vector<Activity*>& acts = components_[component_count_];
+      acts.clear();
+      bfs_stack_.clear();
+      bfs_stack_.push_back(seed);
+      while (!bfs_stack_.empty()) {
+        Resource* r = bfs_stack_.back();
+        bfs_stack_.pop_back();
+        for (const auto& [act, claim_idx] : r->incumbents_) {
+          (void)claim_idx;
+          if (act->visit_mark_ == visit_mark_) continue;
+          act->visit_mark_ = visit_mark_;
+          acts.push_back(act);
+          for (const Claim& claim : act->claims_) {
+            if (claim.resource->visit_mark_ != visit_mark_) {
+              claim.resource->visit_mark_ = visit_mark_;
+              bfs_stack_.push_back(claim.resource);
+            }
           }
         }
       }
+      if (!acts.empty()) {
+        affected += acts.size();
+        ++component_count_;  // idle components (no incumbents) are dropped
+      }
     }
-    if (!acts.empty()) {
-      affected += acts.size();
-      ++component_count_;  // idle components (no incumbents) are dropped
-    }
+    dirty_resources_.clear();
   }
-  dirty_resources_.clear();
   components_solved_ += component_count_;
 
   if (component_count_ > 0) {
@@ -339,10 +347,14 @@ void Engine::recompute_rates() {
       // takes the next one (work stealing), each with its own scratch.
       if (!pool_) pool_ = std::make_unique<SolverPool>(solver_threads_ - 1);
       ++parallel_solves_;
+      if (profiler_ != nullptr) profiler_->ensure_slots(solver_threads_);
       pool_->run(component_count_, [this](std::size_t item, std::size_t slot) {
+        obs::ScopedTimer slot_timer(profiler_ != nullptr ? &profiler_->slot_solve[slot]
+                                                         : nullptr);
         solve_component(components_[item], solve_scratch_[slot]);
       });
     } else {
+      obs::ScopedTimer solve_timer(profiler_ != nullptr ? &profiler_->solve : nullptr);
       for (std::size_t i = 0; i < component_count_; ++i) {
         solve_component(components_[i], solve_scratch_[0]);
       }
@@ -352,6 +364,7 @@ void Engine::recompute_rates() {
     // activity id in each solved component — acts are sorted, so that is
     // the front).  Never in pool completion order: the completion heap
     // must see pushes in a schedule-independent sequence.
+    obs::ScopedTimer merge_timer(profiler_ != nullptr ? &profiler_->merge : nullptr);
     component_order_.resize(component_count_);
     std::iota(component_order_.begin(), component_order_.end(), std::size_t{0});
     std::sort(component_order_.begin(), component_order_.end(),

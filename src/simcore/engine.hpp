@@ -75,6 +75,10 @@
 #include "simcore/resource.hpp"
 #include "simcore/task.hpp"
 
+namespace pcs::obs {
+struct EngineProfile;
+}
+
 namespace pcs::sim {
 
 class SimulationError : public std::runtime_error {
@@ -196,6 +200,14 @@ class Engine {
   /// Attach a Tracer; every completed activity is recorded as a span.
   /// Pass nullptr to detach.  The tracer must outlive the engine's use.
   void set_tracer(class Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attach a wall-clock self-profile (obs/profiler.hpp): the engine
+  /// accumulates real time spent in recompute_rates, the dirty-set BFS,
+  /// component solving (per SolverPool slot), the merge and timed-event
+  /// dispatch.  Pass nullptr to detach (default — the hot path then never
+  /// reads the clock).  Wall-clock only: attaching never perturbs simulated
+  /// results.  The profile must outlive the engine's use.
+  void set_profiler(obs::EngineProfile* profile) { profiler_ = profile; }
 
   /// Re-run the full progressive-filling solve after every incremental
   /// solve and throw SimulationError if any rate differs.  Defaults to on
@@ -334,6 +346,7 @@ class Engine {
   std::uint64_t cancelled_activities_ = 0;
 
   Tracer* tracer_ = nullptr;
+  obs::EngineProfile* profiler_ = nullptr;
   std::vector<std::unique_ptr<Resource>> resources_;
   /// Running activities, unordered (swap-remove via Activity::run_index_).
   std::vector<ActivityPtr> running_;

@@ -14,6 +14,7 @@ BurstBuffer::BurstBuffer(sim::Engine& engine, LocalStorage& buffer, StorageServi
 }
 
 sim::Task<> BurstBuffer::read_file(const std::string& name, double chunk_size) {
+  note_app_read(file_size(name));
   // Prefer the local copy (usually still page-cached); fall back to the
   // target for data that only exists durably.
   if (buffer_.fs().exists(name)) {
@@ -24,6 +25,7 @@ sim::Task<> BurstBuffer::read_file(const std::string& name, double chunk_size) {
 }
 
 sim::Task<> BurstBuffer::write_file(const std::string& name, double size, double chunk_size) {
+  note_app_write(size);
   co_await buffer_.write_file(name, size, chunk_size);
 }
 

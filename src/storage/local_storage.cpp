@@ -28,6 +28,7 @@ sim::Task<> LocalStorage::write(const std::string& file, double bytes) {
 
 sim::Task<> LocalStorage::read_file(const std::string& name, double chunk_size) {
   const double size = fs_.size_of(name);  // throws if absent
+  note_app_read(size);
   co_await io_->read_file(name, size, chunk_size);
 }
 
@@ -35,6 +36,7 @@ sim::Task<> LocalStorage::write_file(const std::string& name, double size, doubl
   // Space is reserved up front; the transfer then proceeds chunk-wise (a
   // failed reservation should fail before any time is simulated).
   fs_.ensure_size(name, size);
+  note_app_write(size);
   co_await io_->write_file(name, size, chunk_size);
 }
 

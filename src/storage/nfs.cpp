@@ -88,11 +88,13 @@ std::vector<sim::Claim> NfsMount::with_route(sim::Resource* device) const {
 
 sim::Task<> NfsMount::read_file(const std::string& name, double chunk_size) {
   const double size = server_.fs().size_of(name);
+  note_app_read(size);
   co_await io_->read_file(name, size, chunk_size);
 }
 
 sim::Task<> NfsMount::write_file(const std::string& name, double size, double chunk_size) {
   server_.fs().ensure_size(name, size);
+  note_app_write(size);
   co_await io_->write_file(name, size, chunk_size);
 }
 

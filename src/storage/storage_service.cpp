@@ -1,0 +1,23 @@
+#include "storage/storage_service.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace pcs::storage {
+
+void StorageService::register_metrics(obs::MetricsRegistry& registry,
+                                      const std::string& service) {
+  registry.register_gauge(service + "/read_bytes", [this] { return app_read_bytes(); });
+  registry.register_gauge(service + "/write_bytes", [this] { return app_write_bytes(); });
+  cache::MemoryManager* mm = memory_manager();
+  if (mm == nullptr) return;
+  registry.register_gauge(service + "/cached_bytes", [mm] { return mm->cached(); });
+  registry.register_gauge(service + "/dirty_bytes", [mm] { return mm->dirty(); });
+  registry.register_gauge(service + "/free_bytes", [mm] { return mm->free_mem(); });
+  registry.register_gauge(service + "/anonymous_bytes", [mm] { return mm->anonymous(); });
+  registry.register_gauge(service + "/hit_bytes", [mm] { return mm->hit_bytes(); });
+  registry.register_gauge(service + "/miss_bytes", [mm] { return mm->miss_bytes(); });
+  registry.register_gauge(service + "/evicted_bytes", [mm] { return mm->evicted_bytes(); });
+  registry.register_gauge(service + "/flushed_bytes", [mm] { return mm->flushed_bytes(); });
+}
+
+}  // namespace pcs::storage

@@ -14,6 +14,10 @@
 #include "pagecache/memory_manager.hpp"
 #include "storage/file_service.hpp"
 
+namespace pcs::obs {
+class MetricsRegistry;
+}
+
 namespace pcs::storage {
 
 class StorageService : public FileService {
@@ -78,6 +82,30 @@ class StorageService : public FileService {
   /// goes quiet (in-flight writebacks finish; no new ones start).
   /// Default: no-op.
   virtual void quiesce() {}
+
+  // --- observability (obs/metrics.hpp) ------------------------------------
+
+  /// Cumulative application-facing traffic: bytes tasks asked this service
+  /// to read/write (read_file/write_file), regardless of cache outcome.
+  /// Backends call note_app_read/note_app_write on entry.
+  [[nodiscard]] double app_read_bytes() const { return app_read_bytes_; }
+  [[nodiscard]] double app_write_bytes() const { return app_write_bytes_; }
+
+  /// Register this service's gauges under "<service>/..." names.  The
+  /// default covers the app-traffic counters plus, when the backend has a
+  /// MemoryManager, its cache accounting (cached/dirty/free/anonymous
+  /// bytes, hit/miss/evicted/flushed byte totals).  Backends with extra
+  /// state (burst-buffer occupancy, tier splits) may extend it.  Gauges
+  /// read purely simulated state — registering is a pure observation.
+  virtual void register_metrics(obs::MetricsRegistry& registry, const std::string& service);
+
+ protected:
+  void note_app_read(double bytes) { app_read_bytes_ += bytes; }
+  void note_app_write(double bytes) { app_write_bytes_ += bytes; }
+
+ private:
+  double app_read_bytes_ = 0.0;
+  double app_write_bytes_ = 0.0;
 };
 
 }  // namespace pcs::storage

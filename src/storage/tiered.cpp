@@ -81,6 +81,7 @@ sim::Task<> TieredStorage::write(const std::string& file, double bytes) {
 
 sim::Task<> TieredStorage::read_file(const std::string& name, double chunk_size) {
   const double size = fs_.size_of(name);  // throws if absent
+  note_app_read(size);
   co_await io_->read_file(name, size, chunk_size);
 }
 
@@ -106,6 +107,7 @@ sim::Task<> TieredStorage::write_file(const std::string& name, double size,
   } else {
     fs_.ensure_size(name, size);
   }
+  note_app_write(size);
   co_await io_->write_file(name, size, chunk_size);
 }
 

@@ -141,6 +141,26 @@ class ComputeService {
   /// Tasks that consumed more than one attempt (completed or failed).
   [[nodiscard]] std::size_t retried_task_count() const;
 
+  // --- observability gauges (obs/metrics.hpp) ------------------------------
+  // Instantaneous task counts across every submitted workflow; read by the
+  // metrics sampler.  Purely simulated state — cheap enough to walk the
+  // runs_ deque per sample.
+  [[nodiscard]] std::size_t live_tasks() const {
+    std::size_t n = 0;
+    for (const WorkflowRun& run : runs_) n += run.inflight.size();
+    return n;
+  }
+  [[nodiscard]] std::size_t completed_task_count() const {
+    std::size_t n = 0;
+    for (const WorkflowRun& run : runs_) n += run.completed.size();
+    return n;
+  }
+  [[nodiscard]] std::size_t failed_task_count() const {
+    std::size_t n = 0;
+    for (const WorkflowRun& run : runs_) n += run.failed.size();
+    return n;
+  }
+
  private:
   /// Service-owned execution state of one submitted workflow.  Lives in a
   /// deque (stable addresses) so actor frames only borrow pointers; a

@@ -121,4 +121,67 @@ TEST(Cli, SeedOverrideFollowsTheUsageConvention) {
   EXPECT_EQ(run_cli("run /nonexistent/scenario.json --seed 12"), 1);
 }
 
+TEST(Cli, ObservabilityFlagsFollowTheUsageConvention) {
+  // The run observability flags validate their arguments like every other
+  // flag: missing or malformed values are usage errors (exit 2).
+  EXPECT_EQ(run_cli("run scenario.json --timeline"), 2);
+  EXPECT_EQ(run_cli("run scenario.json --trace-viz"), 2);
+  EXPECT_EQ(run_cli("run scenario.json --metrics-interval"), 2);
+  EXPECT_EQ(run_cli("run scenario.json --metrics-interval nope"), 2);
+  EXPECT_EQ(run_cli("run scenario.json --metrics-interval -2"), 2);
+  EXPECT_EQ(run_cli("run scenario.json --solver-threads"), 2);
+  EXPECT_EQ(run_cli("run scenario.json --solver-threads 0"), 2);
+  EXPECT_EQ(run_cli("run scenario.json --solver-threads 1.5"), 2);
+  // --timeline without any sampling interval is contradictory: the file
+  // would always be empty, so it is refused up front.
+  EXPECT_EQ(run_cli("run " + std::string(PCS_SOURCE_DIR) +
+                    "/scenarios/quickstart.json --timeline t.json"),
+            2);
+}
+
+TEST(Cli, LogLevelIsAGlobalFlag) {
+  // --log-level is accepted in any position, validates its level name, and
+  // never changes what a command computes.
+  EXPECT_EQ(run_cli("--log-level"), 2);
+  EXPECT_EQ(run_cli("--log-level loud run scenario.json"), 2);
+  EXPECT_EQ(run_cli("--log-level debug frobnicate"), 2);  // command still validated
+  const std::string quickstart =
+      std::string(PCS_SOURCE_DIR) + "/scenarios/quickstart.json";
+  EXPECT_EQ(run_cli("--log-level error run " + quickstart), 0);
+  EXPECT_EQ(run_cli("run " + quickstart + " --log-level trace"), 0);
+}
+
+TEST(Cli, SweepProgressTickerKeepsReportBytesUnchanged) {
+  // --progress is pure observation: the ticker goes to stderr only, so the
+  // stdout report bytes are identical with and without it.
+  const std::string sweep =
+      std::string(PCS_SOURCE_DIR) + "/scenarios/sweeps/solver_threads.json";
+  const std::string out = ::testing::TempDir();
+  EXPECT_EQ(run_cli_raw("sweep " + sweep + " --json > " + out +
+                        "plain.json 2>/dev/null"),
+            0);
+  EXPECT_EQ(run_cli_raw("sweep " + sweep + " --json --progress > " + out +
+                        "ticker.json 2> " + out + "ticker.err"),
+            0);
+  EXPECT_EQ(std::system(("cmp -s " + out + "plain.json " + out + "ticker.json").c_str()), 0);
+  // And the ticker actually ticked: one stderr line per finished case.
+  EXPECT_EQ(std::system(("grep -q '\\[sweep\\]' " + out + "ticker.err").c_str()), 0);
+}
+
+TEST(Cli, RunWritesTimelineAndChromeTrace) {
+  const std::string quickstart =
+      std::string(PCS_SOURCE_DIR) + "/scenarios/quickstart.json";
+  const std::string out = ::testing::TempDir();
+  EXPECT_EQ(run_cli("run " + quickstart + " --metrics-interval 2 --timeline " + out +
+                    "tl.json --trace-viz " + out + "viz.json"),
+            0);
+  // Both artifacts parse as JSON and the timeline matches the committed
+  // golden bytes (the same invariant obs_test proves in-process).
+  EXPECT_EQ(std::system(("cmp -s " + out + "tl.json " + std::string(PCS_SOURCE_DIR) +
+                         "/scenarios/timelines/quickstart.timeline.json")
+                            .c_str()),
+            0);
+  EXPECT_EQ(std::system(("grep -q traceEvents " + out + "viz.json").c_str()), 0);
+}
+
 }  // namespace

@@ -25,6 +25,7 @@
 #include "simcore/engine.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/rss.hpp"
 
 namespace {
 
@@ -343,6 +344,41 @@ util::Json run_recorded_component_parallel() {
   return j;
 }
 
+/// The arena/SoA memory-architecture record (ISSUE 10): wall time and peak
+/// RSS of one ~100k-actor mega_tenant run on the arena engine, against the
+/// figures measured on the pre-arena shared_ptr-per-activity layout (same
+/// container, same config, immediately before the refactor).  The checksum
+/// is the acceptance fingerprint: the arena engine must reproduce the
+/// recorded pre-arena simulated timeline bit-for-bit.
+util::Json run_recorded_arena_soa() {
+  // Measured at the commit preceding the arena refactor (median of 5; the
+  // peak-RSS probe is util::peak_rss_kb on the same run).
+  constexpr double kBeforeWallSeconds = 1.91;
+  constexpr unsigned long kBeforePeakRssKb = 155784;
+  constexpr unsigned long long kExpectedChecksumNs = 35390754760100ull;
+
+  exp::CoreScenarioConfig config = exp::mega_tenant_config(100);  // 100k actors
+  exp::CoreScenarioResult r = exp::run_core_scenario(config);
+  const unsigned long rss_kb = static_cast<unsigned long>(util::peak_rss_kb());
+  const bool identical = r.checksum_ns == kExpectedChecksumNs;
+  std::cout << "[arena_soa] mega_tenant on the arena engine: " << r.wall_seconds
+            << " s wall, " << rss_kb << " kB peak RSS (pre-arena: " << kBeforeWallSeconds
+            << " s, " << kBeforePeakRssKb << " kB)\n"
+            << "[arena_soa] pre-arena checksum reproduced: " << (identical ? "yes" : "NO — BUG")
+            << "\n";
+  util::Json j(util::JsonObject{});
+  j.set("actors", config.actors * config.tenants);
+  j.set("activities", static_cast<unsigned long>(r.activities));
+  j.set("wall_seconds", r.wall_seconds);
+  j.set("peak_rss_kb", rss_kb);
+  j.set("before_wall_seconds", kBeforeWallSeconds);
+  j.set("before_peak_rss_kb", kBeforePeakRssKb);
+  j.set("rss_ratio", rss_kb != 0 ? static_cast<double>(rss_kb) / kBeforePeakRssKb : 0.0);
+  j.set("checksum_ns", static_cast<unsigned long>(r.checksum_ns));
+  j.set("bit_identical", identical);
+  return j;
+}
+
 /// Engine self-profile of the 1000-actor scenario: where the engine's own
 /// wall-clock goes (recompute as a whole, BFS, serial solve, merge,
 /// coroutine dispatch).  Wall-clock only — it lives here in BENCH_core.json,
@@ -379,6 +415,12 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
 
+  // arena_soa runs first so its peak-RSS sample reflects one mega_tenant
+  // run, not the later recorded workloads (VmHWM is a process high-water).
+  util::Json arena_soa = run_recorded_arena_soa();
+  const bool arena_identical = arena_soa.at("bit_identical").as_bool();
+  pcs::metrics::write_bench_section("arena_soa", std::move(arena_soa));
+
   util::Json section(util::JsonObject{});
   section.set("concurrent_1000", run_recorded_scenario());
   section.set("solve_batching", run_recorded_batching_ab());
@@ -389,8 +431,8 @@ int main(int argc, char** argv) {
       section.at("component_parallel").at("bit_identical").as_bool();
   pcs::metrics::write_bench_section("micro_core", std::move(section));
   pcs::metrics::write_bench_section("self_profile", run_recorded_self_profile());
-  // A batched-vs-per-event or parallel-vs-serial divergence is an engine
-  // bug, not a perf datum: fail the run so CI goes red instead of burying
-  // it in the artifact.
-  return batching_identical && parallel_identical ? 0 : 1;
+  // A batched-vs-per-event, parallel-vs-serial or arena-vs-recorded
+  // divergence is an engine bug, not a perf datum: fail the run so CI goes
+  // red instead of burying it in the artifact.
+  return batching_identical && parallel_identical && arena_identical ? 0 : 1;
 }

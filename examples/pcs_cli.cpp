@@ -45,16 +45,20 @@
 //       (checks naming filtered-out cases are skipped; incompatible with
 //       --check/--update, which need the full report).
 //   pcs_cli replay <log.jsonl> [--platform P] [--scale S] [--load N]
-//       [--json] [--check]
+//       [--json] [--check] [--stream [--window N]]
 //       Replay a recorded log as a "trace" workload, by default on the
 //       scenario embedded in the log's header (so no flags are needed for
 //       the closed loop).  --scale multiplies arrival times, --load clones
 //       the log N times, --platform substitutes another platform file.
 //       --check asserts the replayed makespan and per-task timings are
 //       bit-identical to the recorded events (exit 1 on any drift).
+//       --stream replays through a tracelog::TaskLogReader cursor instead
+//       of a materialized TaskLog — O(live tasks) memory, bit-identical
+//       results; --window caps the parsed-workflow cache (default 64).
 //   pcs_cli trace-info <log.jsonl> [--json]
 //       Validate a log and print its summary (workflows, tasks, I/O bytes,
-//       makespan).  --json prints only simulated quantities, so the output
+//       makespan) from one streaming pre-scan — event records are counted,
+//       never held.  --json prints only simulated quantities, so the output
 //       is byte-stable across hosts (CI diffs it).
 //   pcs_cli dump-preset <reference|wrench|wrench_cache|prototype>
 //       [--nfs] [--nighres] [--instances N]
@@ -98,6 +102,7 @@
 #include "simcore/trace.hpp"
 #include "tracelog/anonymize.hpp"
 #include "tracelog/recorder.hpp"
+#include "tracelog/task_log_reader.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/units.hpp"
@@ -137,7 +142,7 @@ void usage(std::ostream& out) {
          "  record <scenario.json> --out run.jsonl [--seed N] [--json] [--anonymize]\n"
          "         [--trace-viz FILE]\n"
          "  replay <log.jsonl> [--platform FILE] [--scale S] [--load N] [--json] [--check]\n"
-         "         [--trace-viz FILE] [--profile]\n"
+         "         [--trace-viz FILE] [--profile] [--stream [--window N]]\n"
          "         (no --seed: a recorded stochastic fault schedule replays from the\n"
          "          log's header, so the recorded seed always wins)\n"
          "  trace-info <log.jsonl> [--json]\n"
@@ -480,9 +485,11 @@ int cmd_replay(const std::vector<std::string>& args) {
   std::string viz_path;
   double scale = 1.0;
   int load = 1;
+  int window = static_cast<int>(tracelog::TaskLogReader::kDefaultWindow);
   bool as_json = false;
   bool check = false;
   bool profile = false;
+  bool stream = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--platform") {
@@ -493,6 +500,13 @@ int cmd_replay(const std::vector<std::string>& args) {
       viz_path = args[i];
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--stream") {
+      stream = true;
+    } else if (arg == "--window") {
+      if (++i >= args.size()) return usage_error("--window needs an argument");
+      if (!parse_int(args[i], &window) || window < 1) {
+        return usage_error("--window: '" + args[i] + "' is not a positive integer");
+      }
     } else if (arg == "--scale") {
       if (++i >= args.size()) return usage_error("--scale needs an argument");
       if (!parse_number(args[i], &scale) || scale <= 0.0) {
@@ -521,9 +535,44 @@ int cmd_replay(const std::vector<std::string>& args) {
         "--check needs a default replay (no --scale/--load/--platform): the oracle "
         "compares against the log's own recorded run");
   }
+  if (!stream && window != static_cast<int>(tracelog::TaskLogReader::kDefaultWindow)) {
+    return usage_error("--window only applies with --stream");
+  }
+  if (stream && !viz_path.empty()) {
+    return usage_error(
+        "--trace-viz needs the materialized event stream; drop --stream for span export");
+  }
 
-  tracelog::TaskLog log = tracelog::TaskLog::from_file(log_path);
-  log.validate();
+  // Header fields the scenario build needs, extracted either from the
+  // materialized log or from a streaming pre-scan (which never holds the
+  // event records — the point of --stream).
+  std::string log_scenario;
+  std::string log_simulator;
+  util::Json source_scenario;
+  util::Json fault_schedule;
+  double recorded_makespan = 0.0;
+  std::size_t recorded_task_events = 0;
+  tracelog::TaskLog log;
+  if (stream) {
+    // The pre-scan validates as strictly as parse+validate; the scenario
+    // runner's workload build opens its own reader for the run itself.
+    tracelog::TaskLogReader reader(log_path, static_cast<std::size_t>(window));
+    log_scenario = reader.scenario();
+    log_simulator = reader.simulator();
+    source_scenario = reader.source_scenario();
+    fault_schedule = reader.fault_schedule();
+    recorded_makespan = reader.recorded_makespan();
+    recorded_task_events = reader.task_event_count();
+  } else {
+    log = tracelog::TaskLog::from_file(log_path);
+    log.validate();
+    log_scenario = log.scenario;
+    log_simulator = log.simulator;
+    source_scenario = log.source_scenario;
+    fault_schedule = log.fault_schedule;
+    recorded_makespan = log.recorded_makespan;
+    recorded_task_events = log.task_events.size();
+  }
 
   // Post-hoc span export: the *recorded* log lowers to Chrome trace events
   // without re-running anything, so committed logs are visualizable as-is.
@@ -545,6 +594,10 @@ int cmd_replay(const std::vector<std::string>& args) {
                std::filesystem::absolute(log_path).lexically_normal().string());
   if (scale != 1.0) workload.set("time_scale", scale);
   if (load != 1) workload.set("load_factor", load);
+  if (stream) {
+    workload.set("streaming", true);
+    workload.set("window", window);
+  }
 
   util::Json doc;
   if (!platform_path.empty()) {
@@ -554,35 +607,35 @@ int cmd_replay(const std::vector<std::string>& args) {
     // and every recorded workflow rebound onto it.  Timing-relevant scalars
     // (chunk size, cache params) carry over from the embedded spec.
     doc = util::Json{util::JsonObject{}};
-    if (!log.simulator.empty()) doc.set("simulator", log.simulator);
+    if (!log_simulator.empty()) doc.set("simulator", log_simulator);
     doc.set("platform", util::Json::parse_file(platform_path));
-    if (!log.source_scenario.is_null()) {
+    if (!source_scenario.is_null()) {
       for (const char* key :
            {"chunk_size", "cache_params", "solve_batching", "solver_threads", "warm_inputs"}) {
-        if (log.source_scenario.contains(key)) {
-          doc.set(key, log.source_scenario.at(key));
+        if (source_scenario.contains(key)) {
+          doc.set(key, source_scenario.at(key));
         }
       }
     }
     workload.set("service", "store");  // blanket rebind onto the derived default
-  } else if (!log.source_scenario.is_null()) {
-    doc = log.source_scenario;  // the recorded run's effective spec, verbatim
+  } else if (!source_scenario.is_null()) {
+    doc = source_scenario;  // the recorded run's effective spec, verbatim
   } else {
     std::cerr << "replay: '" << log_path
               << "' embeds no scenario (header lacks \"source_scenario\"); pass --platform\n";
     return 1;
   }
-  doc.set("name", (log.scenario.empty() ? std::string("trace") : log.scenario) + ":replay");
+  doc.set("name", (log_scenario.empty() ? std::string("trace") : log_scenario) + ":replay");
   doc.set("workload", std::move(workload));
 
   scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse(doc);
-  if (!log.fault_schedule.is_null() && platform_path.empty()) {
+  if (!fault_schedule.is_null() && platform_path.empty()) {
     // The header's recorded schedule wins over re-materializing from the
     // embedded seed: replay must re-fire exactly what the recorded run saw,
     // even across fault-model generator changes.  (A substituted platform
     // invalidates the recorded host targets, so the schedule is dropped
     // with the rest of the recorded fault keys.)
-    spec.materialized_events = scenario::events_from_json(log.fault_schedule);
+    spec.materialized_events = scenario::events_from_json(fault_schedule);
   }
   obs::EngineProfile engine_profile;
   scenario::RunOptions options;
@@ -604,25 +657,25 @@ int cmd_replay(const std::vector<std::string>& args) {
     std::cout << "  DRIFT " << what << ": replayed " << got << ", recorded " << want << "\n";
     failed = true;
   };
-  if (result.makespan != log.recorded_makespan) {
-    mismatch("makespan", result.makespan, log.recorded_makespan);
+  if (result.makespan != recorded_makespan) {
+    mismatch("makespan", result.makespan, recorded_makespan);
   }
-  if (result.tasks.size() != log.task_events.size()) {
+  if (result.tasks.size() != recorded_task_events) {
     std::cout << "  DRIFT task count: replayed " << result.tasks.size() << ", recorded "
-              << log.task_events.size() << "\n";
+              << recorded_task_events << "\n";
     failed = true;
   }
   // Index once: the oracle must stay linear for million-task logs.
   std::unordered_map<std::string, const wf::TaskResult*> by_name;
   by_name.reserve(result.tasks.size());
   for (const wf::TaskResult& r : result.tasks) by_name[r.name] = &r;
-  for (const tracelog::TraceTaskEvent& event : log.task_events) {
+  auto check_event = [&](const tracelog::TraceTaskEvent& event) {
     auto it = by_name.find(event.name);
     const wf::TaskResult* replayed = it == by_name.end() ? nullptr : it->second;
     if (replayed == nullptr) {
       std::cout << "  DRIFT task '" << event.name << "': not replayed\n";
       failed = true;
-      continue;
+      return;
     }
     if (replayed->start != event.start) mismatch(event.name + ".start", replayed->start, event.start);
     if (replayed->read_start != event.read_start) {
@@ -638,12 +691,27 @@ int cmd_replay(const std::vector<std::string>& args) {
       mismatch(event.name + ".write_end", replayed->write_end, event.write_end);
     }
     if (replayed->end != event.end) mismatch(event.name + ".end", replayed->end, event.end);
+  };
+  if (stream) {
+    // The streaming oracle re-reads the log one record at a time: recorded
+    // task_done events are compared and dropped, never accumulated, so the
+    // check keeps the O(live) memory the streaming replay just ran with.
+    std::ifstream in(log_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const util::Json rec = util::Json::parse(line);
+      if (rec.string_or("rec", "") != "task_done") continue;
+      check_event(tracelog::parse_task_event_record(rec));
+    }
+  } else {
+    for (const tracelog::TraceTaskEvent& event : log.task_events) check_event(event);
   }
   if (failed) {
     std::cerr << "replay check FAILED: replayed run diverges from the recorded log\n";
     return 1;
   }
-  std::cout << "replay check ok: " << log.task_events.size()
+  std::cout << "replay check ok: " << recorded_task_events
             << " task timings and the makespan are bit-identical to the recording\n";
   return 0;
 }
@@ -665,39 +733,41 @@ int cmd_trace_info(const std::vector<std::string>& args) {
   }
   if (log_path.empty()) return usage_error("trace-info: missing task log");
 
-  tracelog::TaskLog log = tracelog::TaskLog::from_file(log_path);
-  log.validate();
+  // One streaming pre-scan: every printed quantity is a pre-scan accumulator,
+  // so inspecting a million-task log never materializes its event records.
+  // The output is byte-identical to what the materialized TaskLog produced.
+  tracelog::TaskLogReader log(log_path);
 
   if (as_json) {
     // Only simulated quantities: byte-stable across hosts, so CI can diff it.
     util::Json doc{util::JsonObject{}};
-    doc.set("scenario", log.scenario);
-    doc.set("simulator", log.simulator);
-    doc.set("version", log.version);
-    doc.set("anonymized", log.anonymized);
-    doc.set("workflows", static_cast<unsigned long>(log.workflows.size()));
+    doc.set("scenario", log.scenario());
+    doc.set("simulator", log.simulator());
+    doc.set("version", log.version());
+    doc.set("anonymized", log.anonymized());
+    doc.set("workflows", static_cast<unsigned long>(log.workflows().size()));
     doc.set("tasks", static_cast<unsigned long>(log.task_count()));
-    doc.set("task_events", static_cast<unsigned long>(log.task_events.size()));
-    doc.set("io_events", static_cast<unsigned long>(log.io_events.size()));
+    doc.set("task_events", static_cast<unsigned long>(log.task_event_count()));
+    doc.set("io_events", static_cast<unsigned long>(log.io_event_count()));
     doc.set("read_bytes", log.total_read_bytes());
     doc.set("written_bytes", log.total_written_bytes());
     doc.set("first_submit", log.first_submit());
     doc.set("last_task_end", log.last_task_end());
-    doc.set("makespan", log.recorded_makespan);
+    doc.set("makespan", log.recorded_makespan());
     std::cout << doc.dump(2) << "\n";
     return 0;
   }
-  std::cout << "task log '" << log_path << "' (schema v" << log.version
-            << (log.anonymized ? ", anonymized" : "") << ")\n"
-            << "  scenario:  " << log.scenario << " (" << log.simulator << ")\n"
-            << "  workflows: " << log.workflows.size() << " (" << log.task_count()
-            << " tasks, " << log.task_events.size() << " executions recorded)\n"
-            << "  io ops:    " << log.io_events.size() << " ("
+  std::cout << "task log '" << log_path << "' (schema v" << log.version()
+            << (log.anonymized() ? ", anonymized" : "") << ")\n"
+            << "  scenario:  " << log.scenario() << " (" << log.simulator() << ")\n"
+            << "  workflows: " << log.workflows().size() << " (" << log.task_count()
+            << " tasks, " << log.task_event_count() << " executions recorded)\n"
+            << "  io ops:    " << log.io_event_count() << " ("
             << util::format_bytes(log.total_read_bytes()) << " read, "
             << util::format_bytes(log.total_written_bytes()) << " written)\n"
             << "  window:    submits from " << util::format_seconds(log.first_submit())
             << ", last task end " << util::format_seconds(log.last_task_end()) << "\n"
-            << "  makespan:  " << util::format_seconds(log.recorded_makespan) << "\n";
+            << "  makespan:  " << util::format_seconds(log.recorded_makespan()) << "\n";
   return 0;
 }
 

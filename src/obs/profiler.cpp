@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <string>
 
+#include "util/rss.hpp"
+
 namespace pcs::obs {
 
 namespace {
@@ -33,6 +35,9 @@ util::Json EngineProfile::to_json() const {
   util::Json slots{util::JsonArray{}};
   for (const ProfileSection& s : slot_solve) slots.push_back(section_json(s));
   doc.set("slot_solve", std::move(slots));
+  // Sampled at serialization time: the process high-water mark, 0 where the
+  // probe is unavailable.  Host-side, like every other number in here.
+  doc.set("peak_rss_kb", static_cast<unsigned long>(util::peak_rss_kb()));
   return doc;
 }
 
@@ -47,6 +52,12 @@ std::string EngineProfile::report() const {
     if (slot_solve[i].count == 0) continue;
     const std::string name = "slot[" + std::to_string(i) + "] solve";
     report_line(out, name.c_str(), slot_solve[i]);
+  }
+  if (const std::uint64_t rss = util::peak_rss_kb(); rss != 0) {
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "  %-16s %10llu kB\n", "peak rss",
+                  static_cast<unsigned long long>(rss));
+    out += buf;
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace pcs::cache {
 
@@ -15,6 +16,137 @@ constexpr double kEps = 1e-3;
 // fractional insertions between any adjacent pair before renumbering.
 constexpr double kKeyGap = 1.0;
 }  // namespace
+
+std::uint32_t LruList::alloc_node(DataBlock block) {
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = slab_[idx].next;
+    // Reuse keeps the slot's string capacity: steady-state churn allocates
+    // nothing per block.
+    static_cast<DataBlock&>(slab_[idx]) = std::move(block);
+  } else {
+    idx = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back(Node(std::move(block)));
+  }
+  Node& n = slab_[idx];
+  n.order_key = 0.0;
+  n.prev = n.next = kNil;
+  n.cat_prev = n.cat_next = kNil;
+  n.file_prev = n.file_next = kNil;
+  return idx;
+}
+
+void LruList::release_node(std::uint32_t idx) {
+  slab_[idx].next = free_head_;
+  free_head_ = idx;
+}
+
+void LruList::main_link_before(std::uint32_t idx, std::uint32_t pos) {
+  Node& n = slab_[idx];
+  const std::uint32_t before = pos == kNil ? tail_ : slab_[pos].prev;
+  n.prev = before;
+  n.next = pos;
+  if (before == kNil) {
+    head_ = idx;
+  } else {
+    slab_[before].next = idx;
+  }
+  if (pos == kNil) {
+    tail_ = idx;
+  } else {
+    slab_[pos].prev = idx;
+  }
+  ++count_;
+}
+
+void LruList::main_unlink(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  if (n.prev == kNil) {
+    head_ = n.next;
+  } else {
+    slab_[n.prev].next = n.next;
+  }
+  if (n.next == kNil) {
+    tail_ = n.prev;
+  } else {
+    slab_[n.next].prev = n.prev;
+  }
+  n.prev = n.next = kNil;
+  --count_;
+}
+
+std::uint32_t LruList::find_insert_pos(double access) const {
+  // First node strictly newer than `access` (FIFO among equal times).
+  // Last-access times are non-decreasing along the chain, so walking
+  // backward from the tail and forward from the head in lockstep finds the
+  // position in O(min(distance from either end)) — O(1) for the dominant
+  // append-at-tail case and for head-side demotions alike.
+  std::uint32_t b = tail_;
+  std::uint32_t f = head_;
+  while (true) {
+    if (b == kNil || slab_[b].last_access <= access) {
+      return b == kNil ? head_ : slab_[b].next;
+    }
+    if (f == kNil || slab_[f].last_access > access) return f;
+    b = slab_[b].prev;
+    f = slab_[f].next;
+  }
+}
+
+template <std::uint32_t LruList::Node::*Prev, std::uint32_t LruList::Node::*Next>
+void LruList::chain_insert_ordered(std::uint32_t& chain_head, std::uint32_t& chain_tail,
+                                   std::uint32_t idx) {
+  // Order keys are unique, so the position is the first chain node with a
+  // larger key; same two-ended walk as find_insert_pos.
+  const double key = slab_[idx].order_key;
+  std::uint32_t b = chain_tail;
+  std::uint32_t f = chain_head;
+  std::uint32_t pos;
+  while (true) {
+    if (b == kNil || slab_[b].order_key < key) {
+      pos = b == kNil ? chain_head : slab_[b].*Next;
+      break;
+    }
+    if (f == kNil || slab_[f].order_key > key) {
+      pos = f;
+      break;
+    }
+    b = slab_[b].*Prev;
+    f = slab_[f].*Next;
+  }
+  Node& n = slab_[idx];
+  const std::uint32_t before = pos == kNil ? chain_tail : slab_[pos].*Prev;
+  n.*Prev = before;
+  n.*Next = pos;
+  if (before == kNil) {
+    chain_head = idx;
+  } else {
+    slab_[before].*Next = idx;
+  }
+  if (pos == kNil) {
+    chain_tail = idx;
+  } else {
+    slab_[pos].*Prev = idx;
+  }
+}
+
+template <std::uint32_t LruList::Node::*Prev, std::uint32_t LruList::Node::*Next>
+void LruList::chain_remove(std::uint32_t& chain_head, std::uint32_t& chain_tail,
+                           std::uint32_t idx) {
+  Node& n = slab_[idx];
+  if (n.*Prev == kNil) {
+    chain_head = n.*Next;
+  } else {
+    slab_[n.*Prev].*Next = n.*Next;
+  }
+  if (n.*Next == kNil) {
+    chain_tail = n.*Prev;
+  } else {
+    slab_[n.*Next].*Prev = n.*Prev;
+  }
+  n.*Prev = n.*Next = kNil;
+}
 
 void LruList::account_add(const DataBlock& b) {
   total_ += b.size;
@@ -34,118 +166,123 @@ void LruList::account_remove(const DataBlock& b) {
     it->second.bytes -= b.size;
     if (b.dirty) it->second.dirty_bytes -= b.size;
     if (it->second.dirty_bytes < kEps) it->second.dirty_bytes = 0.0;
-    if (it->second.bytes <= kEps && it->second.dirty_nodes.empty()) files_.erase(it);
+    if (it->second.bytes <= kEps && it->second.dirty_count == 0) files_.erase(it);
   }
   if (total_ < kEps) total_ = 0.0;
   if (dirty_ < kEps) dirty_ = 0.0;
 }
 
-void LruList::index_add(Node* node) {
-  all_.insert(node);
-  by_id_[node->id] = node;
-  if (node->dirty) {
-    dirty_idx_.insert(node);
-    files_[node->file].dirty_nodes.insert(node);
+void LruList::index_add(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  by_id_[n.id] = idx;
+  if (n.dirty) {
+    chain_insert_ordered<&Node::cat_prev, &Node::cat_next>(dirty_head_, dirty_tail_, idx);
+    FileAccount& acct = files_[n.file];
+    chain_insert_ordered<&Node::file_prev, &Node::file_next>(acct.dirty_head, acct.dirty_tail,
+                                                             idx);
+    ++acct.dirty_count;
   } else {
-    clean_idx_.insert(node);
+    chain_insert_ordered<&Node::cat_prev, &Node::cat_next>(clean_head_, clean_tail_, idx);
   }
 }
 
-void LruList::index_remove(Node* node) {
-  all_.erase(node);
-  auto id_it = by_id_.find(node->id);
-  if (id_it != by_id_.end() && id_it->second == node) by_id_.erase(id_it);
-  if (node->dirty) {
-    dirty_idx_.erase(node);
-    auto file_it = files_.find(node->file);
+void LruList::index_remove(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  auto id_it = by_id_.find(n.id);
+  if (id_it != by_id_.end() && id_it->second == idx) by_id_.erase(id_it);
+  if (n.dirty) {
+    chain_remove<&Node::cat_prev, &Node::cat_next>(dirty_head_, dirty_tail_, idx);
+    auto file_it = files_.find(n.file);
     if (file_it != files_.end()) {
-      file_it->second.dirty_nodes.erase(node);
-      if (file_it->second.bytes <= kEps && file_it->second.dirty_nodes.empty()) {
-        files_.erase(file_it);
-      }
+      FileAccount& acct = file_it->second;
+      chain_remove<&Node::file_prev, &Node::file_next>(acct.dirty_head, acct.dirty_tail, idx);
+      --acct.dirty_count;
+      if (acct.bytes <= kEps && acct.dirty_count == 0) files_.erase(file_it);
     }
   } else {
-    clean_idx_.erase(node);
+    chain_remove<&Node::cat_prev, &Node::cat_next>(clean_head_, clean_tail_, idx);
   }
 }
 
-void LruList::assign_order_key(iterator node, iterator next_pos) {
-  const bool has_prev = node != blocks_.begin();
-  const bool has_next = next_pos != blocks_.end();
-  const double prev_key = has_prev ? std::prev(node)->order_key : 0.0;
-  const double next_key = has_next ? next_pos->order_key : 0.0;
+void LruList::assign_order_key(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  const bool has_prev = n.prev != kNil;
+  const bool has_next = n.next != kNil;
+  const double prev_key = has_prev ? slab_[n.prev].order_key : 0.0;
+  const double next_key = has_next ? slab_[n.next].order_key : 0.0;
   if (!has_prev && !has_next) {
-    node->order_key = 0.0;
+    n.order_key = 0.0;
     return;
   }
   if (!has_next) {
-    node->order_key = prev_key + kKeyGap;
+    n.order_key = prev_key + kKeyGap;
     return;
   }
   if (!has_prev) {
-    node->order_key = next_key - kKeyGap;
+    n.order_key = next_key - kKeyGap;
     return;
   }
   const double mid = prev_key + (next_key - prev_key) / 2.0;
   if (mid > prev_key && mid < next_key) {
-    node->order_key = mid;
+    n.order_key = mid;
     return;
   }
   // Fractional precision exhausted between these neighbours: renumber the
-  // whole list (relative order of every node is unchanged, so the index
-  // sets remain valid) and land exactly between the fresh keys.
+  // whole list (relative order of every node is unchanged, so the chains
+  // remain valid) and land exactly between the fresh keys.
   renumber_keys();
-  node->order_key = std::prev(node)->order_key + kKeyGap / 2.0;
+  n.order_key = slab_[n.prev].order_key + kKeyGap / 2.0;
 }
 
 void LruList::renumber_keys() {
   double key = 0.0;
-  for (Node& node : blocks_) {
-    node.order_key = key;
+  for (std::uint32_t i = head_; i != kNil; i = slab_[i].next) {
+    slab_[i].order_key = key;
     key += kKeyGap;
   }
 }
 
-LruList::iterator LruList::emplace_node(iterator pos, DataBlock block) {
-  iterator it = blocks_.emplace(pos, Node(std::move(block)));
-  it->self = it;
-  assign_order_key(it, pos);
-  index_add(&*it);
-  return it;
+std::uint32_t LruList::emplace_node(std::uint32_t pos, DataBlock block) {
+  const std::uint32_t idx = alloc_node(std::move(block));
+  main_link_before(idx, pos);
+  assign_order_key(idx);
+  index_add(idx);
+  return idx;
 }
 
 LruList::iterator LruList::insert(DataBlock block) {
   account_add(block);
-  // First element strictly newer than the block (FIFO among equal access
-  // times); the position search is O(log n) through the position index.
-  auto newer = all_.upper_bound(block.last_access);
-  iterator pos = newer == all_.end() ? blocks_.end() : (*newer)->self;
-  return emplace_node(pos, std::move(block));
+  const std::uint32_t pos = find_insert_pos(block.last_access);
+  return {this, emplace_node(pos, std::move(block))};
 }
 
 DataBlock LruList::extract(iterator it) {
-  account_remove(*it);
-  index_remove(&*it);
-  DataBlock block = std::move(static_cast<DataBlock&>(*it));
-  blocks_.erase(it);
+  const std::uint32_t idx = it.idx_;
+  account_remove(slab_[idx]);
+  index_remove(idx);
+  main_unlink(idx);
+  DataBlock block = std::move(static_cast<DataBlock&>(slab_[idx]));
+  release_node(idx);
   return block;
 }
 
 void LruList::erase(iterator it) {
-  account_remove(*it);
-  index_remove(&*it);
-  blocks_.erase(it);
+  const std::uint32_t idx = it.idx_;
+  account_remove(slab_[idx]);
+  index_remove(idx);
+  main_unlink(idx);
+  release_node(idx);
 }
 
 void LruList::touch(iterator it, double now) {
-  if (now == it->last_access) return;  // stable-position fast path: no-op
-  const bool prev_ok = it == blocks_.begin() || std::prev(it)->last_access <= now;
-  auto next = std::next(it);
-  const bool next_ok = next == blocks_.end() || next->last_access > now;
+  Node& n = *it;
+  if (now == n.last_access) return;  // stable-position fast path: no-op
+  const bool prev_ok = n.prev == kNil || slab_[n.prev].last_access <= now;
+  const bool next_ok = n.next == kNil || slab_[n.next].last_access > now;
   if (prev_ok && next_ok) {
-    // Position stays valid: update in place.  Index sets order by
+    // Position stays valid: update in place.  The chains order by
     // order_key, which is untouched, and access-time probes stay monotone.
-    it->last_access = now;
+    n.last_access = now;
     return;
   }
   DataBlock block = extract(it);
@@ -155,53 +292,59 @@ void LruList::touch(iterator it, double now) {
 
 std::pair<LruList::iterator, LruList::iterator> LruList::split(iterator it, double first_size,
                                                                std::uint64_t second_id) {
-  if (!(first_size > 0.0) || !(first_size < it->size)) {
+  const std::uint32_t idx = it.idx_;
+  if (!(first_size > 0.0) || !(first_size < slab_[idx].size)) {
     throw std::invalid_argument("LruList::split: first_size out of (0, size)");
   }
-  DataBlock second = *it;
+  DataBlock second = slab_[idx];
   second.id = second_id;
-  second.size = it->size - first_size;
+  second.size = slab_[idx].size - first_size;
   // In-place shrink of the first part keeps accounting exact.
   resize(it, first_size);
   account_add(second);
-  iterator second_it = emplace_node(std::next(it), std::move(second));
-  return {it, second_it};
+  const std::uint32_t second_idx = emplace_node(slab_[idx].next, std::move(second));
+  return {iterator{this, idx}, iterator{this, second_idx}};
 }
 
 void LruList::set_dirty(iterator it, bool dirty) {
   if (it->dirty == dirty) return;
-  Node* node = &*it;
-  FileAccount& acct = files_[node->file];
-  if (node->dirty) {
-    dirty_ -= node->size;
-    acct.dirty_bytes -= node->size;
+  const std::uint32_t idx = it.idx_;
+  Node& n = slab_[idx];
+  FileAccount& acct = files_[n.file];
+  if (n.dirty) {
+    dirty_ -= n.size;
+    acct.dirty_bytes -= n.size;
     if (dirty_ < kEps) dirty_ = 0.0;
     if (acct.dirty_bytes < kEps) acct.dirty_bytes = 0.0;
-    dirty_idx_.erase(node);
-    acct.dirty_nodes.erase(node);
-    node->dirty = false;
-    clean_idx_.insert(node);
+    chain_remove<&Node::cat_prev, &Node::cat_next>(dirty_head_, dirty_tail_, idx);
+    chain_remove<&Node::file_prev, &Node::file_next>(acct.dirty_head, acct.dirty_tail, idx);
+    --acct.dirty_count;
+    n.dirty = false;
+    chain_insert_ordered<&Node::cat_prev, &Node::cat_next>(clean_head_, clean_tail_, idx);
   } else {
-    dirty_ += node->size;
-    acct.dirty_bytes += node->size;
-    clean_idx_.erase(node);
-    node->dirty = true;
-    dirty_idx_.insert(node);
-    acct.dirty_nodes.insert(node);
+    dirty_ += n.size;
+    acct.dirty_bytes += n.size;
+    chain_remove<&Node::cat_prev, &Node::cat_next>(clean_head_, clean_tail_, idx);
+    n.dirty = true;
+    chain_insert_ordered<&Node::cat_prev, &Node::cat_next>(dirty_head_, dirty_tail_, idx);
+    chain_insert_ordered<&Node::file_prev, &Node::file_next>(acct.dirty_head, acct.dirty_tail,
+                                                             idx);
+    ++acct.dirty_count;
   }
 }
 
 void LruList::resize(iterator it, double new_size) {
-  double delta = new_size - it->size;
+  Node& n = *it;
+  double delta = new_size - n.size;
   total_ += delta;
-  FileAccount& acct = files_[it->file];
+  FileAccount& acct = files_[n.file];
   acct.bytes += delta;
-  if (it->dirty) {
+  if (n.dirty) {
     dirty_ += delta;
     acct.dirty_bytes += delta;
     if (acct.dirty_bytes < kEps) acct.dirty_bytes = 0.0;
   }
-  it->size = new_size;
+  n.size = new_size;
   if (total_ < kEps) total_ = 0.0;
   if (dirty_ < kEps) dirty_ = 0.0;
 }
@@ -228,28 +371,28 @@ double LruList::clean_excluding(const std::string& exclude_file) const {
 }
 
 LruList::iterator LruList::lru_dirty(const std::string& exclude_file) {
-  for (Node* node : dirty_idx_) {
-    if (exclude_file.empty() || node->file != exclude_file) return node->self;
+  for (std::uint32_t i = dirty_head_; i != kNil; i = slab_[i].cat_next) {
+    if (exclude_file.empty() || slab_[i].file != exclude_file) return {this, i};
   }
-  return blocks_.end();
+  return end();
 }
 
 LruList::iterator LruList::lru_clean(const std::string& exclude_file) {
-  for (Node* node : clean_idx_) {
-    if (exclude_file.empty() || node->file != exclude_file) return node->self;
+  for (std::uint32_t i = clean_head_; i != kNil; i = slab_[i].cat_next) {
+    if (exclude_file.empty() || slab_[i].file != exclude_file) return {this, i};
   }
-  return blocks_.end();
+  return end();
 }
 
 LruList::iterator LruList::lru_dirty_of(const std::string& file) {
   auto it = files_.find(file);
-  if (it == files_.end() || it->second.dirty_nodes.empty()) return blocks_.end();
-  return (*it->second.dirty_nodes.begin())->self;
+  if (it == files_.end() || it->second.dirty_head == kNil) return end();
+  return {this, it->second.dirty_head};
 }
 
 LruList::iterator LruList::find(std::uint64_t id) {
   auto it = by_id_.find(id);
-  return it == by_id_.end() ? blocks_.end() : it->second->self;
+  return it == by_id_.end() ? end() : iterator{this, it->second};
 }
 
 void LruList::check_invariants() const {
@@ -257,11 +400,19 @@ void LruList::check_invariants() const {
   double dirty = 0.0;
   std::map<std::string, double> per_file_bytes;
   std::map<std::string, double> per_file_dirty;
+  std::map<std::string, std::size_t> per_file_dirty_count;
   std::size_t dirty_count = 0;
+  std::size_t walked = 0;
+  std::unordered_set<std::uint32_t> live;
   double prev_access = -std::numeric_limits<double>::infinity();
   double prev_key = -std::numeric_limits<double>::infinity();
-  for (const_iterator it = blocks_.begin(); it != blocks_.end(); ++it) {
-    const Node& b = *it;
+  std::uint32_t expect_prev = kNil;
+  for (std::uint32_t i = head_; i != kNil; i = slab_[i].next) {
+    const Node& b = slab_[i];
+    if (b.prev != expect_prev) throw std::logic_error("LruList: main-chain prev link drift");
+    expect_prev = i;
+    if (!live.insert(i).second) throw std::logic_error("LruList: main-chain cycle");
+    if (++walked > count_) throw std::logic_error("LruList: main chain longer than count");
     if (b.size <= 0.0) throw std::logic_error("LruList: non-positive block size");
     if (b.last_access < prev_access - 1e-12) {
       throw std::logic_error("LruList: blocks not ordered by last access");
@@ -275,33 +426,69 @@ void LruList::check_invariants() const {
     if (b.dirty) {
       dirty += b.size;
       per_file_dirty[b.file] += b.size;
+      per_file_dirty_count[b.file] += 1;
       ++dirty_count;
     }
     per_file_bytes[b.file] += b.size;
 
-    Node* node = const_cast<Node*>(&b);
-    if (node->self != it) throw std::logic_error("LruList: node self-iterator drift");
     auto id_it = by_id_.find(b.id);
-    if (id_it == by_id_.end() || id_it->second != node) {
+    if (id_it == by_id_.end() || id_it->second != i) {
       throw std::logic_error("LruList: id index drift");
     }
-    if (all_.count(node) == 0) throw std::logic_error("LruList: position index drift");
-    if (b.dirty) {
-      if (dirty_idx_.count(node) == 0) throw std::logic_error("LruList: dirty index drift");
-      auto file_it = files_.find(b.file);
-      if (file_it == files_.end() || file_it->second.dirty_nodes.count(node) == 0) {
-        throw std::logic_error("LruList: per-file dirty index drift");
+  }
+  if (walked != count_ || tail_ != expect_prev) {
+    throw std::logic_error("LruList: main-chain length/tail drift");
+  }
+  if (by_id_.size() != count_) throw std::logic_error("LruList: id index cardinality drift");
+
+  // Category chains: every member live, correct flag, ascending keys, and
+  // cardinality matching the main-chain census (=> exact membership).
+  auto walk_chain = [&](std::uint32_t chain_head, bool want_dirty, const std::string* want_file,
+                        bool file_links) {
+    std::size_t n = 0;
+    double key = -std::numeric_limits<double>::infinity();
+    std::unordered_set<std::uint32_t> seen;
+    for (std::uint32_t i = chain_head; i != kNil;
+         i = file_links ? slab_[i].file_next : slab_[i].cat_next) {
+      if (!live.count(i)) throw std::logic_error("LruList: chain references dead slot");
+      if (!seen.insert(i).second) throw std::logic_error("LruList: chain cycle");
+      const Node& b = slab_[i];
+      if (b.dirty != want_dirty) throw std::logic_error("LruList: chain dirty-flag drift");
+      if (want_file != nullptr && b.file != *want_file) {
+        throw std::logic_error("LruList: per-file chain file drift");
       }
-      if (clean_idx_.count(node) != 0) throw std::logic_error("LruList: dirty block in clean index");
-    } else {
-      if (clean_idx_.count(node) == 0) throw std::logic_error("LruList: clean index drift");
-      if (dirty_idx_.count(node) != 0) throw std::logic_error("LruList: clean block in dirty index");
+      if (b.order_key <= key) throw std::logic_error("LruList: chain not in list order");
+      key = b.order_key;
+      ++n;
+    }
+    return n;
+  };
+  if (walk_chain(dirty_head_, true, nullptr, false) != dirty_count) {
+    throw std::logic_error("LruList: dirty chain cardinality drift");
+  }
+  if (walk_chain(clean_head_, false, nullptr, false) != count_ - dirty_count) {
+    throw std::logic_error("LruList: clean chain cardinality drift");
+  }
+  for (const auto& [file, acct] : files_) {
+    std::size_t expect = 0;
+    auto cnt_it = per_file_dirty_count.find(file);
+    if (cnt_it != per_file_dirty_count.end()) expect = cnt_it->second;
+    if (acct.dirty_count != expect ||
+        walk_chain(acct.dirty_head, true, &file, true) != expect) {
+      throw std::logic_error("LruList: per-file dirty chain drift for " + file);
     }
   }
-  if (all_.size() != blocks_.size() || by_id_.size() != blocks_.size() ||
-      dirty_idx_.size() != dirty_count || clean_idx_.size() != blocks_.size() - dirty_count) {
-    throw std::logic_error("LruList: index cardinality drift");
+
+  // Freelist: disjoint from the live set, and together they cover the slab.
+  std::size_t free_count = 0;
+  for (std::uint32_t i = free_head_; i != kNil; i = slab_[i].next) {
+    if (live.count(i)) throw std::logic_error("LruList: freelist references live slot");
+    if (++free_count > slab_.size()) throw std::logic_error("LruList: freelist cycle");
   }
+  if (free_count + count_ != slab_.size()) {
+    throw std::logic_error("LruList: slab slot census drift");
+  }
+
   auto close = [](double a, double b) { return std::fabs(a - b) <= 1e-3 + 1e-9 * std::fabs(a); };
   if (!close(total, total_)) {
     std::ostringstream oss;

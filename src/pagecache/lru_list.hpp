@@ -7,27 +7,37 @@
 // maintains:
 //   * an id -> node hash index, making find() O(1) (the periodic flusher
 //     revalidates candidates by id across simulated awaits);
-//   * dirty and clean index sets ordered by list position, so lru_dirty()
-//     and lru_clean() are O(log n) — and when an exclude_file is given they
-//     skip only that file's blocks instead of scanning the whole list;
+//   * dirty and clean chains ordered by list position, so lru_dirty()
+//     and lru_clean() are O(1) head reads — and when an exclude_file is
+//     given they skip only that file's blocks instead of scanning the list;
 //   * per-file accounting with a dirty/clean byte split and a per-file
-//     dirty index, so file_bytes(), clean_excluding() and lru_dirty_of()
+//     dirty chain, so file_bytes(), clean_excluding() and lru_dirty_of()
 //     no longer scan (the round-robin read model of Figure 3 and fsync ask
 //     these constantly).
 //
-// List positions are mirrored into the index sets through a per-node
-// `order_key`, a double that strictly increases along the list.  Keys are
-// assigned fractionally on insertion (midpoint of the neighbours); when the
-// midpoint degenerates the whole list is renumbered, which preserves the
-// relative order of every node and therefore every index set.
+// Storage is a freelist-backed slab (the atomkv cacher page_pool_ idiom):
+// every node lives at a stable uint32 index in one contiguous vector, and
+// the main list plus every index "set" is an intrusive doubly-linked chain
+// of indices — no per-block heap node, no red-black tree, and erased slots
+// recycle without touching the allocator.  Iterators wrap the slot index,
+// so they survive slab growth and keep the std::list-era API (bidirectional,
+// dereference to a DataBlock-compatible node, end() sentinel).
+//
+// Chain positions are ordered through a per-node `order_key`, a double that
+// strictly increases along the main list.  Keys are assigned fractionally on
+// insertion (midpoint of the neighbours); when the midpoint degenerates the
+// whole list is renumbered, which preserves the relative order of every
+// node and therefore every chain.  Ordered-chain insertion walks the chain
+// from both ends at once, so the common cases — a fresh block appending at
+// the tail, the flusher cleaning near the head — link in O(1).
 #pragma once
 
 #include <cstdint>
-#include <list>
+#include <iterator>
 #include <map>
-#include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "pagecache/block.hpp"
 
@@ -35,18 +45,112 @@ namespace pcs::cache {
 
 class LruList {
  public:
-  /// A stored block: the DataBlock payload plus the index bookkeeping.
+  /// Sentinel index: no node (the end() position and null chain links).
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// A stored block: the DataBlock payload plus the intrusive chain links.
   /// Public inheritance keeps the historical element API — iterators
   /// dereference to something usable as a DataBlock.
-  struct Node;
-  using BlockList = std::list<Node>;
-  using iterator = BlockList::iterator;
-  using const_iterator = BlockList::const_iterator;
-
   struct Node : DataBlock {
     explicit Node(DataBlock b) : DataBlock(std::move(b)) {}
     double order_key = 0.0;  ///< strictly increasing along the list
-    iterator self{};         ///< this node's own list position
+    std::uint32_t prev = kNil;       ///< main chain (also the freelist link)
+    std::uint32_t next = kNil;
+    std::uint32_t cat_prev = kNil;   ///< dirty- or clean-chain links
+    std::uint32_t cat_next = kNil;
+    std::uint32_t file_prev = kNil;  ///< per-file dirty-chain links
+    std::uint32_t file_next = kNil;
+  };
+
+  class const_iterator;
+
+  /// Bidirectional iterator over the main chain, wrapping a slot index.
+  /// Stable across slab growth and unrelated insert/erase; invalidated only
+  /// by erasing the referenced block (same contract as the std::list era).
+  class iterator {
+   public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = Node;
+    using difference_type = std::ptrdiff_t;
+    using pointer = Node*;
+    using reference = Node&;
+
+    iterator() = default;
+    reference operator*() const { return list_->slab_[idx_]; }
+    pointer operator->() const { return &list_->slab_[idx_]; }
+    iterator& operator++() {
+      idx_ = list_->slab_[idx_].next;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    iterator& operator--() {
+      idx_ = idx_ == kNil ? list_->tail_ : list_->slab_[idx_].prev;
+      return *this;
+    }
+    iterator operator--(int) {
+      iterator tmp = *this;
+      --*this;
+      return tmp;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.idx_ == b.idx_ && a.list_ == b.list_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) { return !(a == b); }
+
+   private:
+    friend class LruList;
+    friend class const_iterator;
+    iterator(LruList* list, std::uint32_t idx) : list_(list), idx_(idx) {}
+    LruList* list_ = nullptr;
+    std::uint32_t idx_ = kNil;
+  };
+
+  class const_iterator {
+   public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = Node;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Node*;
+    using reference = const Node&;
+
+    const_iterator() = default;
+    const_iterator(iterator it) : list_(it.list_), idx_(it.idx_) {}  // NOLINT
+    reference operator*() const { return list_->slab_[idx_]; }
+    pointer operator->() const { return &list_->slab_[idx_]; }
+    const_iterator& operator++() {
+      idx_ = list_->slab_[idx_].next;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    const_iterator& operator--() {
+      idx_ = idx_ == kNil ? list_->tail_ : list_->slab_[idx_].prev;
+      return *this;
+    }
+    const_iterator operator--(int) {
+      const_iterator tmp = *this;
+      --*this;
+      return tmp;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.idx_ == b.idx_ && a.list_ == b.list_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    friend class LruList;
+    const_iterator(const LruList* list, std::uint32_t idx) : list_(list), idx_(idx) {}
+    const LruList* list_ = nullptr;
+    std::uint32_t idx_ = kNil;
   };
 
   LruList() = default;
@@ -76,19 +180,19 @@ class LruList {
   /// `second_id`.
   std::pair<iterator, iterator> split(iterator it, double first_size, std::uint64_t second_id);
 
-  /// Flip the dirty flag, maintaining the dirty-byte account and indexes.
+  /// Flip the dirty flag, maintaining the dirty-byte account and chains.
   void set_dirty(iterator it, bool dirty);
 
   /// Grow/shrink a block in place (used when merging reads).
   void resize(iterator it, double new_size);
 
-  [[nodiscard]] iterator begin() { return blocks_.begin(); }
-  [[nodiscard]] iterator end() { return blocks_.end(); }
-  [[nodiscard]] const_iterator begin() const { return blocks_.begin(); }
-  [[nodiscard]] const_iterator end() const { return blocks_.end(); }
+  [[nodiscard]] iterator begin() { return {this, head_}; }
+  [[nodiscard]] iterator end() { return {this, kNil}; }
+  [[nodiscard]] const_iterator begin() const { return {this, head_}; }
+  [[nodiscard]] const_iterator end() const { return {this, kNil}; }
 
-  [[nodiscard]] bool empty() const { return blocks_.empty(); }
-  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t block_count() const { return count_; }
   [[nodiscard]] double total() const { return total_; }
   [[nodiscard]] double dirty_total() const { return dirty_; }
   [[nodiscard]] double clean_total() const { return total_ - dirty_; }
@@ -111,49 +215,70 @@ class LruList {
   /// candidates across simulated awaits); end() if gone.  O(1).
   [[nodiscard]] iterator find(std::uint64_t id);
 
-  /// Verify ordering, accounting and index consistency; throws
+  /// Bytes reserved by the node slab (capacity, not live size — the slab
+  /// never shrinks).  Reported by the alloc/* memory gauges.
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    return slab_.capacity() * sizeof(Node);
+  }
+  /// Slots currently on the freelist (recycled, awaiting reuse).
+  [[nodiscard]] std::size_t free_slots() const { return slab_.size() - count_; }
+
+  /// Verify ordering, accounting, chain and freelist consistency; throws
   /// std::logic_error on violation.  Called explicitly by tests; internal
   /// hot-path self-checks compile in only with PCS_DEBUG_INVARIANTS.
   void check_invariants() const;
 
  private:
-  /// Orders index-set entries by list position.
-  struct OrderCmp {
-    using is_transparent = void;
-    bool operator()(const Node* a, const Node* b) const { return a->order_key < b->order_key; }
-    // Heterogeneous probes by access time (valid because last_access is
-    // non-decreasing in order_key): upper_bound(t) is the first block
-    // strictly newer than t.
-    bool operator()(const Node* a, double access) const { return a->last_access <= access; }
-    bool operator()(double access, const Node* a) const { return access < a->last_access; }
-  };
-  using NodeSet = std::set<Node*, OrderCmp>;
-
   struct FileAccount {
     double bytes = 0.0;
     double dirty_bytes = 0.0;
-    NodeSet dirty_nodes;
+    std::uint32_t dirty_head = kNil;  ///< per-file dirty chain, list order
+    std::uint32_t dirty_tail = kNil;
+    std::uint32_t dirty_count = 0;
   };
 
-  BlockList blocks_;
+  std::vector<Node> slab_;
+  std::uint32_t free_head_ = kNil;  ///< freelist through Node::next
+  std::uint32_t head_ = kNil;       ///< main chain, LRU first
+  std::uint32_t tail_ = kNil;
+  std::uint32_t count_ = 0;
+  std::uint32_t dirty_head_ = kNil;  ///< all dirty blocks, list order
+  std::uint32_t dirty_tail_ = kNil;
+  std::uint32_t clean_head_ = kNil;  ///< all clean blocks, list order
+  std::uint32_t clean_tail_ = kNil;
   double total_ = 0.0;
   double dirty_ = 0.0;
-  NodeSet all_;    ///< every block, by list position (insert-position search)
-  NodeSet dirty_idx_;
-  NodeSet clean_idx_;
-  std::unordered_map<std::uint64_t, Node*> by_id_;
+  std::unordered_map<std::uint64_t, std::uint32_t> by_id_;
   std::unordered_map<std::string, FileAccount> files_;
+
+  /// Claim a slot (freelist first) and move `block` into it.
+  std::uint32_t alloc_node(DataBlock block);
+  /// Return a fully unlinked slot to the freelist.
+  void release_node(std::uint32_t idx);
+  /// Link `idx` into the main chain immediately before `pos` (kNil = tail).
+  void main_link_before(std::uint32_t idx, std::uint32_t pos);
+  void main_unlink(std::uint32_t idx);
+  /// First main-chain node strictly newer than `access` (kNil = append);
+  /// walks from both ends at once so either-end insertions are O(1).
+  [[nodiscard]] std::uint32_t find_insert_pos(double access) const;
+  /// Link `idx` into an order_key-sorted chain (dirty/clean/per-file) using
+  /// the Prev/Next link members; two-ended walk like find_insert_pos.
+  template <std::uint32_t Node::*Prev, std::uint32_t Node::*Next>
+  void chain_insert_ordered(std::uint32_t& chain_head, std::uint32_t& chain_tail,
+                            std::uint32_t idx);
+  template <std::uint32_t Node::*Prev, std::uint32_t Node::*Next>
+  void chain_remove(std::uint32_t& chain_head, std::uint32_t& chain_tail, std::uint32_t idx);
 
   void account_add(const DataBlock& b);
   void account_remove(const DataBlock& b);
-  void index_add(Node* node);
-  void index_remove(Node* node);
-  /// Place a new node before `pos`, wiring self-iterator, order key and
-  /// indexes (shared by insert and split; accounting is the caller's job).
-  iterator emplace_node(iterator pos, DataBlock block);
-  /// Assign `node` an order key placing it right before `next_pos` in the
-  /// list (end() = append); renumbers all keys when midpoints degenerate.
-  void assign_order_key(iterator node, iterator next_pos);
+  void index_add(std::uint32_t idx);
+  void index_remove(std::uint32_t idx);
+  /// Place a new node before `pos`, wiring links, order key and chains
+  /// (shared by insert and split; accounting is the caller's job).
+  std::uint32_t emplace_node(std::uint32_t pos, DataBlock block);
+  /// Assign the (already main-linked) node an order key between its
+  /// neighbours; renumbers all keys when midpoints degenerate.
+  void assign_order_key(std::uint32_t idx);
   void renumber_keys();
 };
 

@@ -81,6 +81,11 @@ class MemoryManager {
   [[nodiscard]] const CacheParams& params() const { return params_; }
   [[nodiscard]] const LruList& inactive_list() const { return inactive_; }
   [[nodiscard]] const LruList& active_list() const { return active_; }
+  /// Host bytes reserved by the two LRU node slabs (capacity, never
+  /// shrinking) — the `<service>/alloc_lru_bytes` gauge.
+  [[nodiscard]] std::size_t lru_bytes_reserved() const {
+    return inactive_.bytes_reserved() + active_.bytes_reserved();
+  }
 
   // --- cumulative traffic counters (observability gauges) -----------------
   // Simulated byte totals since construction; always on (a few adds on

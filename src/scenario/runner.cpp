@@ -14,6 +14,7 @@
 #include "simcore/trace.hpp"
 #include "storage/service_registry.hpp"
 #include "tracelog/recorder.hpp"
+#include "tracelog/task_log_reader.hpp"
 #include "util/units.hpp"
 #include "workflow/simulation.hpp"
 #include "workload/apps.hpp"
@@ -123,11 +124,18 @@ struct DriverContext {
   bool hold_open_repairs = false;
 };
 
-sim::Task<> delayed_submit(sim::Engine& engine, wf::ComputeService* cs, wf::Workflow* workflow,
-                           double arrival, storage::StorageService* warm_service,
+/// The instance is taken by value: a streaming trace instance carries its
+/// materialize closure (and keeps the shared reader alive) into the actor
+/// frame, so the workflow's declaration records are parsed only now — at
+/// the submission instant — through the reader's bounded window.
+sim::Task<> delayed_submit(sim::Engine& engine, wf::ComputeService* cs,
+                           workload::WorkloadInstance instance, double arrival,
+                           storage::StorageService* warm_service,
                            tracelog::TaskLogRecorder* recorder, std::string label,
                            std::string service_name) {
   co_await engine.sleep_until(arrival);
+  wf::Workflow* workflow =
+      instance.workflow != nullptr ? instance.workflow : instance.materialize();
   if (recorder != nullptr) {
     recorder->record_workflow(*workflow, label, service_name, engine.now());
   }
@@ -224,20 +232,22 @@ void fire_event(DriverContext& d, const TimelineEntry& entry) {
   } else if (entry.action == "tenant_arrival") {
     std::vector<workload::WorkloadInstance> instances =
         workload::build_workload(*d.sim, ev.workload, ev.prefix, d.spec->base_dir);
-    for (const workload::WorkloadInstance& instance : instances) {
+    for (workload::WorkloadInstance& instance : instances) {
       const std::string service_name =
           instance.service.empty() ? d.spec->default_service : instance.service;
       wf::ComputeService* cs = (*d.compute_for)(service_name);
       storage::StorageService* warm =
           d.spec->warm_inputs ? d.services->at(service_name) : nullptr;
       if (instance.arrival <= 0.0) {
+        wf::Workflow* workflow =
+            instance.workflow != nullptr ? instance.workflow : instance.materialize();
         if (d.recorder != nullptr) {
-          d.recorder->record_workflow(*instance.workflow, instance.label, service_name,
+          d.recorder->record_workflow(*workflow, instance.label, service_name,
                                       engine.now());
         }
-        cs->submit(*instance.workflow);
+        cs->submit(*workflow);
         if (warm != nullptr) {
-          for (const wf::FileSpec& input : instance.workflow->external_inputs()) {
+          for (const wf::FileSpec& input : workflow->external_inputs()) {
             warm->warm_file(input.name);
             if (d.recorder != nullptr) {
               d.recorder->record_io({"warm", input.name, warm->file_size(input.name),
@@ -247,10 +257,11 @@ void fire_event(DriverContext& d, const TimelineEntry& entry) {
         }
       } else {
         // The instance's arrival is relative to the tenant's arrival event.
-        engine.spawn("submit:" + instance.label,
-                     delayed_submit(engine, cs, instance.workflow,
-                                    engine.now() + instance.arrival, warm, d.recorder,
-                                    instance.label, service_name));
+        const double when = engine.now() + instance.arrival;
+        const std::string label = instance.label;
+        engine.spawn("submit:" + label,
+                     delayed_submit(engine, cs, std::move(instance), when, warm,
+                                    d.recorder, label, service_name));
       }
     }
   }
@@ -412,6 +423,11 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     metrics.register_gauge("engine/parallel_solves", [&engine] {
       return static_cast<double>(engine.parallel_solves());
     });
+    // Allocation gauges (alloc/*): bytes *reserved* by the arena slabs —
+    // capacity, not live count, since slabs recycle slots and never shrink.
+    metrics.register_gauge("alloc/arena_bytes", [&engine] {
+      return static_cast<double>(engine.arena().bytes_reserved());
+    });
     // Aggregates over every compute service alive at sample time (including
     // ones created mid-run by tenant_arrival — the vector is walked fresh
     // on each sample).
@@ -435,11 +451,31 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   std::vector<workload::WorkloadInstance> instances =
       workload::build_workload(sim, spec.workload, "", spec.base_dir);
 
+  if (sampling) {
+    // Streaming-trace window gauges, registered only when the workload
+    // actually streams (instances share one reader).
+    for (const workload::WorkloadInstance& instance : instances) {
+      if (instance.reader == nullptr) continue;
+      std::shared_ptr<tracelog::TaskLogReader> reader = instance.reader;
+      metrics.register_gauge("alloc/trace_window_bytes",
+                             [reader] { return static_cast<double>(reader->bytes_buffered()); });
+      metrics.register_gauge("alloc/trace_window_workflows",
+                             [reader] { return static_cast<double>(reader->window_blocks()); });
+      break;
+    }
+  }
+
   // Everything the workload will stage or produce, for backends that wait
   // on specific files (a burst buffer's drain set) to sanity-check their
   // spec before the simulation starts.
   std::set<std::string> workload_files;
   for (const workload::WorkloadInstance& instance : instances) {
+    if (instance.workflow == nullptr) {
+      // Deferred (streaming-trace) instance: the reader's pre-scan already
+      // knows every file name without materializing the DAG.
+      workload_files.insert(instance.files.begin(), instance.files.end());
+      continue;
+    }
     for (const wf::FileSpec& input : instance.workflow->external_inputs()) {
       workload_files.insert(input.name);
     }
@@ -465,27 +501,31 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   // (service, service name, file) entries to warm after every immediate
   // submission.
   std::vector<std::tuple<storage::StorageService*, std::string, std::string>> warm_list;
-  for (const workload::WorkloadInstance& instance : instances) {
+  for (workload::WorkloadInstance& instance : instances) {
     const std::string service_name =
         instance.service.empty() ? spec.default_service : instance.service;
     wf::ComputeService* cs = compute_for(service_name);
     if (instance.arrival <= 0.0) {
+      wf::Workflow* workflow =
+          instance.workflow != nullptr ? instance.workflow : instance.materialize();
       if (spec.warm_inputs) {
         storage::StorageService* svc = services.at(service_name);
-        for (const wf::FileSpec& input : instance.workflow->external_inputs()) {
+        for (const wf::FileSpec& input : workflow->external_inputs()) {
           warm_list.emplace_back(svc, service_name, input.name);
         }
       }
       if (recorder != nullptr) {
-        recorder->record_workflow(*instance.workflow, instance.label, service_name, 0.0);
+        recorder->record_workflow(*workflow, instance.label, service_name, 0.0);
       }
-      cs->submit(*instance.workflow);
+      cs->submit(*workflow);
     } else {
-      sim.engine().spawn(
-          "submit:" + instance.label,
-          delayed_submit(sim.engine(), cs, instance.workflow, instance.arrival,
-                         spec.warm_inputs ? services.at(service_name) : nullptr, recorder,
-                         instance.label, service_name));
+      const double when = instance.arrival;
+      const std::string label = instance.label;
+      storage::StorageService* warm =
+          spec.warm_inputs ? services.at(service_name) : nullptr;
+      sim.engine().spawn("submit:" + label,
+                         delayed_submit(sim.engine(), cs, std::move(instance), when, warm,
+                                        recorder, label, service_name));
     }
   }
   // The staged inputs passed through the (server) cache on their way in —

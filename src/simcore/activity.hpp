@@ -6,79 +6,95 @@
 // model: an NFS read claims the network link *and* the server disk) and by
 // an optional per-activity rate bound (e.g. one core's speed).
 //
-// Progress is tracked lazily: `remaining_` is exact as of `last_update_`
-// and the engine only materializes it when the activity's rate changes or
-// it completes, so activities in untouched fair-share components cost
-// nothing per scheduling point.
+// Storage-wise an activity is a slot in the engine's ActivityArena
+// (activity_arena.hpp): the solver-hot fields live in SoA arrays and the
+// engine's internal structures hold bare uint32 slots.  What this header
+// defines is the *external* view — ActivityRef, a refcounted handle that
+// keeps the slot (and, transitively, the arena) alive so user code can keep
+// observing label/remaining/rate/done after the engine has moved on, with
+// the same shape as the shared_ptr-based ActivityPtr it replaced
+// (`act->done()`, comparison against nullptr).
+//
+// Progress is tracked lazily: `remaining` is exact as of `last_update` and
+// the engine only materializes it when the activity's rate changes or it
+// completes, so activities in untouched fair-share components cost nothing
+// per scheduling point.
 #pragma once
 
 #include <coroutine>
-#include <cstdint>
-#include <limits>
+#include <cstddef>
 #include <memory>
 #include <string>
-#include <vector>
+#include <utility>
 
-#include "simcore/resource.hpp"
+#include "simcore/activity_arena.hpp"
 #include "simcore/task.hpp"
 
 namespace pcs::sim {
 
 class Engine;
 
-class Activity {
+/// Refcounted external handle to an arena slot.  Copying bumps the slot's
+/// ext_refs; the slot is recycled once the activity is done and the last
+/// handle drops.  `operator->` returns the handle itself so call sites
+/// written against the former `shared_ptr<Activity>` compile unchanged.
+class ActivityRef {
  public:
-  [[nodiscard]] const std::string& label() const { return label_; }
-  [[nodiscard]] double total() const { return total_; }
+  ActivityRef() = default;
+  ActivityRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  ActivityRef(std::shared_ptr<ActivityArena> arena, ActivitySlot slot)
+      : arena_(std::move(arena)), slot_(slot) {
+    if (arena_) arena_->add_ref(slot_);
+  }
+  ActivityRef(const ActivityRef& other) : ActivityRef(other.arena_, other.slot_) {}
+  ActivityRef(ActivityRef&& other) noexcept
+      : arena_(std::move(other.arena_)), slot_(other.slot_) {
+    other.slot_ = kNoActivity;
+  }
+  ActivityRef& operator=(const ActivityRef& other) {
+    ActivityRef tmp(other);
+    swap(tmp);
+    return *this;
+  }
+  ActivityRef& operator=(ActivityRef&& other) noexcept {
+    ActivityRef tmp(std::move(other));
+    swap(tmp);
+    return *this;
+  }
+  ~ActivityRef() {
+    if (arena_) arena_->drop_ref(slot_);
+  }
+  void swap(ActivityRef& other) noexcept {
+    arena_.swap(other.arena_);
+    std::swap(slot_, other.slot_);
+  }
+
+  [[nodiscard]] const std::string& label() const { return arena_->cold[slot_].label; }
+  [[nodiscard]] double total() const { return arena_->cold[slot_].total; }
   /// Remaining work projected to the engine's current virtual time.
-  [[nodiscard]] double remaining() const;
-  [[nodiscard]] double rate() const { return rate_; }
-  [[nodiscard]] bool done() const { return done_; }
-  [[nodiscard]] double start_time() const { return start_time_; }
-  [[nodiscard]] double end_time() const { return end_time_; }
+  [[nodiscard]] double remaining() const { return arena_->projected_remaining(slot_); }
+  [[nodiscard]] double rate() const { return arena_->rate[slot_]; }
+  [[nodiscard]] bool done() const { return arena_->done[slot_] != 0; }
+  [[nodiscard]] double start_time() const { return arena_->cold[slot_].start_time; }
+  [[nodiscard]] double end_time() const { return arena_->cold[slot_].end_time; }
+
+  /// shared_ptr-shaped access: `act->rate()` reads through the handle.
+  const ActivityRef* operator->() const { return this; }
+
+  explicit operator bool() const { return arena_ != nullptr; }
+  friend bool operator==(const ActivityRef& a, std::nullptr_t) { return !a; }
+  friend bool operator!=(const ActivityRef& a, std::nullptr_t) { return static_cast<bool>(a); }
+
+  /// The underlying arena slot (engine internals and tests).
+  [[nodiscard]] ActivitySlot slot() const { return slot_; }
+  [[nodiscard]] const std::shared_ptr<ActivityArena>& arena() const { return arena_; }
 
  private:
-  friend class Engine;
-  friend class ActivityAwaiter;
-  Activity(Engine* engine, std::uint64_t id, std::string label, std::vector<Claim> claims,
-           double amount, double bound, double start_time)
-      : engine_(engine),
-        id_(id),
-        label_(std::move(label)),
-        claims_(std::move(claims)),
-        total_(amount),
-        remaining_(amount),
-        bound_(bound),
-        start_time_(start_time),
-        last_update_(start_time) {}
-
-  Engine* engine_;
-  std::uint64_t id_;
-  std::string label_;
-  std::vector<Claim> claims_;
-  double total_;
-  double remaining_;  ///< remaining work, exact as of last_update_
-  double bound_ = std::numeric_limits<double>::infinity();
-  double rate_ = 0.0;
-  double start_time_ = 0.0;
-  double end_time_ = -1.0;
-  double last_update_ = 0.0;     ///< virtual time remaining_ refers to
-  double completion_time_ = std::numeric_limits<double>::infinity();
-  std::uint64_t version_ = 0;    ///< invalidates stale completion-heap entries
-  std::size_t run_index_ = 0;    ///< position in Engine::running_
-  std::uint64_t visit_mark_ = 0; ///< component-BFS visit stamp
-  bool done_ = false;
-  /// The awaiting actor, with the generation of its frame at suspension.
-  /// A dead ref (frame destroyed by group cancellation) marks the activity
-  /// orphaned; the engine retires it at the next cancellation sweep.
-  FrameRef waiter_{};
-
-  // Scratch for the fair-share solver and its full-solve cross-check.
-  bool scratch_assigned_ = false;
-  double scratch_check_rate_ = 0.0;
+  std::shared_ptr<ActivityArena> arena_;
+  ActivitySlot slot_ = kNoActivity;
 };
 
-using ActivityPtr = std::shared_ptr<Activity>;
+using ActivityPtr = ActivityRef;
 
 /// Awaitable returned by Engine::submit — suspends the current actor until
 /// the activity completes.
@@ -86,9 +102,9 @@ class ActivityAwaiter {
  public:
   explicit ActivityAwaiter(ActivityPtr activity) : activity_(std::move(activity)) {}
 
-  [[nodiscard]] bool await_ready() const noexcept { return !activity_ || activity_->done(); }
+  [[nodiscard]] bool await_ready() const noexcept { return !activity_ || activity_.done(); }
   void await_suspend(std::coroutine_handle<> h) noexcept {
-    activity_->waiter_ = FrameRef::capture(h);
+    activity_.arena()->cold[activity_.slot()].waiter = FrameRef::capture(h);
   }
   void await_resume() const noexcept {}
 

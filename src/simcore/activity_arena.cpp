@@ -1,0 +1,16 @@
+#include "simcore/activity_arena.hpp"
+
+#include "simcore/engine.hpp"
+
+namespace pcs::sim {
+
+double ActivityArena::projected_remaining(ActivitySlot s) const {
+  if (done[s]) return 0.0;
+  if (engine == nullptr || rate[s] <= 0.0) return remaining[s];
+  const double dt = engine->now() - last_update[s];
+  if (dt <= 0.0) return remaining[s];
+  const double projected = remaining[s] - rate[s] * dt;
+  return projected > 0.0 ? projected : 0.0;
+}
+
+}  // namespace pcs::sim

@@ -32,20 +32,20 @@ void SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
   engine_.schedule_at(wake_time_, h);
 }
 
-Engine::Engine() {
+Engine::Engine() : arena_(std::make_shared<ActivityArena>()) {
+  arena_->engine = this;
   util::Logger::instance().set_clock([this] { return now_; });
   solve_scratch_.resize(1);  // slot 0: the driving thread's solve buffer
 }
 
 Engine::~Engine() {
   // Detach surviving activities (daemon-owned work abandoned at run() exit,
-  // or detached ActivityPtrs the caller still holds): materialize their
-  // progress and clear the engine back-pointer so remaining() stays safe
-  // after the engine is gone.
-  for (const ActivityPtr& act : running_) {
-    sync_remaining(*act);
-    act->engine_ = nullptr;
-  }
+  // or detached ActivityRefs the caller still holds): materialize their
+  // progress and clear the arena's engine back-pointer so remaining() stays
+  // safe after the engine is gone.  The arena itself is shared_ptr-owned,
+  // so outstanding handles keep the storage alive.
+  for (ActivitySlot slot : running_) sync_remaining(slot);
+  arena_->engine = nullptr;
   util::Logger::instance().clear_clock();
 }
 
@@ -55,15 +55,6 @@ void Resource::set_capacity(double capacity) {
     engine_->mark_resource_dirty(this);
     engine_->solve_if_per_event();
   }
-}
-
-double Activity::remaining() const {
-  if (done_) return 0.0;
-  if (engine_ == nullptr || rate_ <= 0.0) return remaining_;
-  const double dt = engine_->now() - last_update_;
-  if (dt <= 0.0) return remaining_;
-  const double projected = remaining_ - rate_ * dt;
-  return projected > 0.0 ? projected : 0.0;
 }
 
 Resource* Engine::new_resource(std::string name, double capacity) {
@@ -89,52 +80,54 @@ ActivityPtr Engine::submit_detached(std::string label, std::vector<Claim> claims
   // The paper's flush/evict "when called with negative arguments, simply
   // return and do not do anything"; zero-work activities likewise complete
   // immediately without a scheduling point.
-  auto activity = ActivityPtr(
-      new Activity(this, next_id_++, std::move(label), std::move(claims), amount, bound, now_));
+  ActivityArena& a = *arena_;
+  const ActivitySlot slot =
+      a.alloc(next_id_++, std::move(label), std::move(claims), amount, bound, now_);
   if (amount <= 0.0) {
-    activity->remaining_ = 0.0;
-    activity->done_ = true;
-    activity->end_time_ = now_;
-    return activity;
+    a.remaining[slot] = 0.0;
+    a.done[slot] = 1;
+    a.cold[slot].end_time = now_;
+    return ActivityPtr{arena_, slot};
   }
-  activity->run_index_ = running_.size();
-  running_.push_back(activity);
-  if (activity->claims_.empty()) {
+  a.run_index[slot] = static_cast<std::uint32_t>(running_.size());
+  running_.push_back(slot);
+  if (a.cold[slot].claims.empty()) {
     // A claimless activity is its own fair-share component: its rate is its
     // bound (or the unconstrained rate) and never changes, so the solver
     // needn't see it.  Matches the progressive-filling terminal branch.
-    activity->rate_ = std::isfinite(activity->bound_) ? activity->bound_ : kUnconstrainedRate;
-    update_completion(*activity);
+    a.rate[slot] = std::isfinite(a.bound[slot]) ? a.bound[slot] : kUnconstrainedRate;
+    update_completion(slot);
   } else {
-    register_claims(activity);
+    register_claims(slot);
     solve_if_per_event();
   }
-  util::log_trace("engine", "start activity '", activity->label_, "' amount=", amount);
-  return activity;
+  util::log_trace("engine", "start activity '", a.cold[slot].label, "' amount=", amount);
+  return ActivityPtr{arena_, slot};
 }
 
-void Engine::register_claims(const ActivityPtr& activity) {
-  for (std::size_t i = 0; i < activity->claims_.size(); ++i) {
-    Claim& claim = activity->claims_[i];
+void Engine::register_claims(ActivitySlot slot) {
+  std::vector<Claim>& claims = arena_->cold[slot].claims;
+  for (std::size_t i = 0; i < claims.size(); ++i) {
+    Claim& claim = claims[i];
     assert(claim.resource != nullptr && "activity claim without a resource");
     claim.slot_ = claim.resource->incumbents_.size();
-    claim.resource->incumbents_.emplace_back(activity.get(), i);
+    claim.resource->incumbents_.emplace_back(slot, static_cast<std::uint32_t>(i));
     mark_resource_dirty(claim.resource);
   }
 }
 
-void Engine::deregister_claims(Activity& activity) {
-  for (Claim& claim : activity.claims_) {
+void Engine::deregister_claims(ActivitySlot slot) {
+  for (Claim& claim : arena_->cold[slot].claims) {
     Resource* r = claim.resource;
     mark_resource_dirty(r);
     auto& incumbents = r->incumbents_;
-    const std::size_t slot = claim.slot_;
-    assert(slot < incumbents.size() && incumbents[slot].first == &activity);
-    incumbents[slot] = incumbents.back();
+    const std::size_t pos = claim.slot_;
+    assert(pos < incumbents.size() && incumbents[pos].first == slot);
+    incumbents[pos] = incumbents.back();
     incumbents.pop_back();
-    if (slot < incumbents.size()) {
-      auto [moved, moved_claim] = incumbents[slot];
-      moved->claims_[moved_claim].slot_ = slot;
+    if (pos < incumbents.size()) {
+      auto [moved_slot, moved_claim] = incumbents[pos];
+      arena_->cold[moved_slot].claims[moved_claim].slot_ = pos;
     }
   }
 }
@@ -192,13 +185,15 @@ void Engine::process_pending_cancellations() {
   // Activities whose awaiting actor died have nobody left to resume: retire
   // them so the crashed host's in-flight IO and compute stop consuming
   // resource shares.  Ascending id keeps the sweep deterministic.
-  std::vector<Activity*> orphans;
-  for (const ActivityPtr& act : running_) {
-    if (act->waiter_.handle && !act->waiter_.alive()) orphans.push_back(act.get());
+  orphan_scratch_.clear();
+  for (ActivitySlot slot : running_) {
+    const FrameRef& waiter = arena_->cold[slot].waiter;
+    if (waiter.handle && !waiter.alive()) orphan_scratch_.push_back(slot);
   }
-  std::sort(orphans.begin(), orphans.end(),
-            [](const Activity* a, const Activity* b) { return a->id_ < b->id_; });
-  for (Activity* act : orphans) cancel_activity(*act);
+  std::sort(orphan_scratch_.begin(), orphan_scratch_.end(),
+            [this](ActivitySlot x, ActivitySlot y) { return arena_->id[x] < arena_->id[y]; });
+  for (ActivitySlot slot : orphan_scratch_) cancel_activity(slot);
+  orphan_scratch_.clear();
 }
 
 void Engine::schedule_at(double t, std::coroutine_handle<> h) {
@@ -235,29 +230,35 @@ std::size_t Engine::drain_ready() {
   return resumed;
 }
 
-void Engine::sync_remaining(Activity& activity) {
-  if (activity.last_update_ >= now_) return;
-  if (activity.rate_ > 0.0) {
-    activity.remaining_ -= activity.rate_ * (now_ - activity.last_update_);
-    if (activity.remaining_ < 0.0) activity.remaining_ = 0.0;
+void Engine::sync_remaining(ActivitySlot slot) {
+  ActivityArena& a = *arena_;
+  if (a.last_update[slot] >= now_) return;
+  if (a.rate[slot] > 0.0) {
+    a.remaining[slot] -= a.rate[slot] * (now_ - a.last_update[slot]);
+    if (a.remaining[slot] < 0.0) a.remaining[slot] = 0.0;
   }
-  activity.last_update_ = now_;
+  a.last_update[slot] = now_;
 }
 
-void Engine::update_completion(Activity& activity) {
-  ++activity.version_;
-  activity.completion_time_ =
-      activity.rate_ > 0.0 ? now_ + activity.remaining_ / activity.rate_ : kInf;
-  if (activity.completion_time_ < kInf) {
-    completions_.push(CompletionEntry{activity.completion_time_, activity.id_,
-                                      activity.version_, running_[activity.run_index_]});
+void Engine::update_completion(ActivitySlot slot) {
+  ActivityArena& a = *arena_;
+  ++a.version[slot];
+  a.completion_time[slot] =
+      a.rate[slot] > 0.0 ? now_ + a.remaining[slot] / a.rate[slot] : kInf;
+  if (a.completion_time[slot] < kInf) {
+    completions_.push(
+        CompletionEntry{a.completion_time[slot], a.id[slot], a.version[slot], slot});
   }
 }
 
 double Engine::heap_top_time() {
+  const ActivityArena& a = *arena_;
   while (!completions_.empty()) {
     const CompletionEntry& e = completions_.top();
-    if (e.activity->done_ || e.version != e.activity->version_) {
+    // Stale if the activity finished or was re-solved since the push.  A
+    // recycled slot can never alias: the per-slot version is monotone
+    // across reuses, so entries of a previous incarnation stay stale.
+    if (a.done[e.slot] || e.version != a.version[e.slot]) {
       completions_.pop();
       continue;
     }
@@ -280,15 +281,15 @@ void Engine::set_solver_threads(unsigned threads) {
   if (solve_scratch_.size() < solver_threads_) solve_scratch_.resize(solver_threads_);
 }
 
-void Engine::solve_component(std::vector<Activity*>& acts,
+void Engine::solve_component(std::vector<ActivitySlot>& acts,
                              std::vector<Resource*>& used_scratch) {
   // Canonical order: ascending id = submission order, the same relative
   // order a full solve over `running_` would visit.  This keeps tie-breaks
   // — and therefore floating-point operation order — bit-identical to the
   // full solve.
   std::sort(acts.begin(), acts.end(),
-            [](const Activity* a, const Activity* b) { return a->id_ < b->id_; });
-  for (Activity* act : acts) sync_remaining(*act);
+            [this](ActivitySlot x, ActivitySlot y) { return arena_->id[x] < arena_->id[y]; });
+  for (ActivitySlot slot : acts) sync_remaining(slot);
   solve_subset(acts, used_scratch);
 }
 
@@ -300,6 +301,7 @@ void Engine::recompute_rates() {
   // disjoint: a resource or activity belongs to exactly one, which is what
   // lets them be solved concurrently without any locking.
   obs::ScopedTimer total_timer(profiler_ != nullptr ? &profiler_->recompute_rates : nullptr);
+  ActivityArena& arena = *arena_;
   ++visit_mark_;
   ++solves_;
   component_count_ = 0;
@@ -311,19 +313,19 @@ void Engine::recompute_rates() {
       if (seed->visit_mark_ == visit_mark_) continue;  // merged into an earlier seed
       seed->visit_mark_ = visit_mark_;
       if (component_count_ == components_.size()) components_.emplace_back();
-      std::vector<Activity*>& acts = components_[component_count_];
+      std::vector<ActivitySlot>& acts = components_[component_count_];
       acts.clear();
       bfs_stack_.clear();
       bfs_stack_.push_back(seed);
       while (!bfs_stack_.empty()) {
         Resource* r = bfs_stack_.back();
         bfs_stack_.pop_back();
-        for (const auto& [act, claim_idx] : r->incumbents_) {
+        for (const auto& [slot, claim_idx] : r->incumbents_) {
           (void)claim_idx;
-          if (act->visit_mark_ == visit_mark_) continue;
-          act->visit_mark_ = visit_mark_;
-          acts.push_back(act);
-          for (const Claim& claim : act->claims_) {
+          if (arena.visit_mark[slot] == visit_mark_) continue;
+          arena.visit_mark[slot] = visit_mark_;
+          acts.push_back(slot);
+          for (const Claim& claim : arena.cold[slot].claims) {
             if (claim.resource->visit_mark_ != visit_mark_) {
               claim.resource->visit_mark_ = visit_mark_;
               bfs_stack_.push_back(claim.resource);
@@ -368,23 +370,24 @@ void Engine::recompute_rates() {
     component_order_.resize(component_count_);
     std::iota(component_order_.begin(), component_order_.end(), std::size_t{0});
     std::sort(component_order_.begin(), component_order_.end(),
-              [this](std::size_t a, std::size_t b) {
-                return components_[a].front()->id_ < components_[b].front()->id_;
+              [this, &arena](std::size_t x, std::size_t y) {
+                return arena.id[components_[x].front()] < arena.id[components_[y].front()];
               });
     for (std::size_t index : component_order_) {
-      for (Activity* act : components_[index]) update_completion(*act);
+      for (ActivitySlot slot : components_[index]) update_completion(slot);
     }
   }
 
   if (cross_check_) verify_full_solve();
 }
 
-void Engine::solve_subset(const std::vector<Activity*>& acts,
+void Engine::solve_subset(const std::vector<ActivitySlot>& acts,
                           std::vector<Resource*>& used_scratch) {
+  ActivityArena& arena = *arena_;
   used_scratch.clear();
-  for (Activity* act : acts) {
-    act->scratch_assigned_ = false;
-    for (const Claim& claim : act->claims_) {
+  for (ActivitySlot s : acts) {
+    arena.scratch_assigned[s] = 0;
+    for (const Claim& claim : arena.cold[s].claims) {
       Resource* r = claim.resource;
       if (!r->scratch_active_) {
         r->scratch_active_ = true;
@@ -404,59 +407,60 @@ void Engine::solve_subset(const std::vector<Activity*>& acts,
   while (unassigned > 0) {
     double best = kInf;
     Resource* best_resource = nullptr;
-    Activity* best_bounded = nullptr;
+    ActivitySlot best_bounded = kNoActivity;
     for (Resource* r : used_scratch) {
       if (r->scratch_weight_ <= 0.0) continue;
       double fair = r->scratch_capacity_ / r->scratch_weight_;
       if (fair < best) {
         best = fair;
         best_resource = r;
-        best_bounded = nullptr;
+        best_bounded = kNoActivity;
       }
     }
-    for (Activity* act : acts) {
-      if (act->scratch_assigned_) continue;
-      if (act->bound_ < best) {
-        best = act->bound_;
-        best_bounded = act;
+    for (ActivitySlot s : acts) {
+      if (arena.scratch_assigned[s]) continue;
+      if (arena.bound[s] < best) {
+        best = arena.bound[s];
+        best_bounded = s;
         best_resource = nullptr;
       }
     }
 
-    if (best_resource == nullptr && best_bounded == nullptr) {
+    if (best_resource == nullptr && best_bounded == kNoActivity) {
       // Remaining activities have no claims and no finite bound.
-      for (Activity* act : acts) {
-        if (!act->scratch_assigned_) {
-          act->rate_ = kUnconstrainedRate;
-          act->scratch_assigned_ = true;
+      for (ActivitySlot s : acts) {
+        if (!arena.scratch_assigned[s]) {
+          arena.rate[s] = kUnconstrainedRate;
+          arena.scratch_assigned[s] = 1;
           --unassigned;
         }
       }
       break;
     }
 
-    auto consume = [](Activity& act, double rate) {
-      for (const Claim& claim : act.claims_) {
+    auto consume = [&arena](ActivitySlot s, double rate_val) {
+      for (const Claim& claim : arena.cold[s].claims) {
         Resource* r = claim.resource;
-        r->scratch_capacity_ = std::max(0.0, r->scratch_capacity_ - rate * claim.weight);
+        r->scratch_capacity_ = std::max(0.0, r->scratch_capacity_ - rate_val * claim.weight);
         r->scratch_weight_ -= claim.weight;
       }
     };
 
-    if (best_bounded != nullptr) {
-      best_bounded->rate_ = best_bounded->bound_;
-      best_bounded->scratch_assigned_ = true;
-      consume(*best_bounded, best_bounded->rate_);
+    if (best_bounded != kNoActivity) {
+      arena.rate[best_bounded] = arena.bound[best_bounded];
+      arena.scratch_assigned[best_bounded] = 1;
+      consume(best_bounded, arena.rate[best_bounded]);
       --unassigned;
     } else {
-      for (Activity* act : acts) {
-        if (act->scratch_assigned_) continue;
-        bool uses = std::any_of(act->claims_.begin(), act->claims_.end(),
+      for (ActivitySlot s : acts) {
+        if (arena.scratch_assigned[s]) continue;
+        const std::vector<Claim>& claims = arena.cold[s].claims;
+        bool uses = std::any_of(claims.begin(), claims.end(),
                                 [&](const Claim& c) { return c.resource == best_resource; });
         if (!uses) continue;
-        act->rate_ = best;
-        act->scratch_assigned_ = true;
-        consume(*act, best);
+        arena.rate[s] = best;
+        arena.scratch_assigned[s] = 1;
+        consume(s, best);
         --unassigned;
       }
       best_resource->scratch_weight_ = 0.0;  // numerically retire this resource
@@ -471,82 +475,90 @@ void Engine::verify_full_solve() {
   // full progressive-filling solve over every running activity.  Runs on the
   // driving thread only, after the pool barrier, so borrowing slot 0's
   // resource scratch is safe.
-  std::vector<Activity*>& all = full_solve_scratch_;
+  ActivityArena& arena = *arena_;
+  std::vector<ActivitySlot>& all = full_solve_scratch_;
   all.clear();
   all.reserve(running_.size());
-  for (const ActivityPtr& act : running_) all.push_back(act.get());
+  for (ActivitySlot slot : running_) all.push_back(slot);
   std::sort(all.begin(), all.end(),
-            [](const Activity* a, const Activity* b) { return a->id_ < b->id_; });
+            [&arena](ActivitySlot x, ActivitySlot y) { return arena.id[x] < arena.id[y]; });
 
   // Save incremental rates, run the full solve, compare, restore.
-  for (Activity* act : all) act->scratch_check_rate_ = act->rate_;
+  for (ActivitySlot slot : all) arena.scratch_check_rate[slot] = arena.rate[slot];
   solve_subset(all, solve_scratch_[0]);
-  for (Activity* act : all) {
-    const double full_rate = act->rate_;
-    act->rate_ = act->scratch_check_rate_;
-    if (full_rate != act->scratch_check_rate_) {
+  for (ActivitySlot slot : all) {
+    const double full_rate = arena.rate[slot];
+    arena.rate[slot] = arena.scratch_check_rate[slot];
+    if (full_rate != arena.scratch_check_rate[slot]) {
       throw SimulationError("incremental solver diverged from full solve for activity '" +
-                            act->label_ + "': incremental " +
-                            std::to_string(act->scratch_check_rate_) + " vs full " +
+                            arena.cold[slot].label + "': incremental " +
+                            std::to_string(arena.scratch_check_rate[slot]) + " vs full " +
                             std::to_string(full_rate));
     }
   }
 }
 
-void Engine::cancel_activity(Activity& activity) {
+void Engine::cancel_activity(ActivitySlot slot) {
   // Unlike completion, the work is abandoned part-way: materialize progress
   // (remaining() keeps reporting how much was left), stop the clock, free
   // the resource shares, wake nobody.
-  sync_remaining(activity);
-  activity.done_ = true;
-  activity.end_time_ = now_;
-  activity.rate_ = 0.0;
-  ++activity.version_;  // drop any still-queued completion entry
-  deregister_claims(activity);
+  sync_remaining(slot);
+  ActivityArena& a = *arena_;
+  a.done[slot] = 1;
+  a.cold[slot].end_time = now_;
+  a.rate[slot] = 0.0;
+  ++a.version[slot];  // drop any still-queued completion entry
+  deregister_claims(slot);
 
-  const std::size_t idx = activity.run_index_;
-  assert(idx < running_.size() && running_[idx].get() == &activity);
+  const std::size_t idx = a.run_index[slot];
+  assert(idx < running_.size() && running_[idx] == slot);
   if (idx + 1 != running_.size()) {
-    running_[idx] = std::move(running_.back());
-    running_[idx]->run_index_ = idx;
+    running_[idx] = running_.back();
+    a.run_index[running_[idx]] = static_cast<std::uint32_t>(idx);
   }
   running_.pop_back();
 
-  activity.waiter_ = FrameRef{};
+  a.cold[slot].waiter = FrameRef{};
   ++cancelled_activities_;
-  util::log_trace("engine", "cancel activity '", activity.label_, "'");
+  util::log_trace("engine", "cancel activity '", a.cold[slot].label, "'");
   solve_if_per_event();
+  // No waiter and no external handle => nobody can observe the slot again.
+  a.retire_if_unreferenced(slot);
 }
 
-void Engine::complete_activity(Activity& activity) {
-  activity.remaining_ = 0.0;
-  activity.last_update_ = now_;
-  activity.done_ = true;
-  activity.end_time_ = now_;
-  activity.rate_ = 0.0;
-  ++activity.version_;  // drop any still-queued completion entry
-  deregister_claims(activity);
+void Engine::complete_activity(ActivitySlot slot) {
+  ActivityArena& a = *arena_;
+  a.remaining[slot] = 0.0;
+  a.last_update[slot] = now_;
+  a.done[slot] = 1;
+  a.cold[slot].end_time = now_;
+  a.rate[slot] = 0.0;
+  ++a.version[slot];  // drop any still-queued completion entry
+  deregister_claims(slot);
 
   // Swap-remove from the running set.
-  const std::size_t idx = activity.run_index_;
-  assert(idx < running_.size() && running_[idx].get() == &activity);
+  const std::size_t idx = a.run_index[slot];
+  assert(idx < running_.size() && running_[idx] == slot);
   if (idx + 1 != running_.size()) {
-    running_[idx] = std::move(running_.back());
-    running_[idx]->run_index_ = idx;
+    running_[idx] = running_.back();
+    a.run_index[running_[idx]] = static_cast<std::uint32_t>(idx);
   }
   running_.pop_back();
 
-  if (tracer_ != nullptr) tracer_->record(activity.label_, activity.start_time_, now_);
-  util::log_trace("engine", "complete activity '", activity.label_, "'");
-  if (activity.waiter_.handle) {
-    schedule(activity.waiter_);
-    activity.waiter_ = FrameRef{};
+  if (tracer_ != nullptr) tracer_->record(a.cold[slot].label, a.cold[slot].start_time, now_);
+  util::log_trace("engine", "complete activity '", a.cold[slot].label, "'");
+  if (a.cold[slot].waiter.handle) {
+    schedule(a.cold[slot].waiter);
+    a.cold[slot].waiter = FrameRef{};
   }
   // Per-event reference mode: this completion's freed capacity is re-shared
   // before the next event is even looked at — one solve per event, the
   // eager flow-level model.  Batched mode leaves the dirty set to
   // accumulate until the whole timestamp has been drained.
   solve_if_per_event();
+  // The waiter (if any) is woken by FrameRef, not by slot: once no external
+  // handle remains the slot can recycle immediately.
+  a.retire_if_unreferenced(slot);
 }
 
 void Engine::step(double time_limit) {
@@ -584,21 +596,25 @@ void Engine::step(double time_limit) {
     // Activities whose completion lands at this scheduling point (within
     // relative tolerance, so simultaneous finishes stay simultaneous),
     // completed in submission order — the same order the former full scan
-    // over `running_` used.
+    // over `running_` used.  Only the newest heap entry of a slot passes
+    // the version check, so the batch holds each activity at most once.
     completed_scratch_.clear();
-    while (!completions_.empty()) {
-      const CompletionEntry& e = completions_.top();
-      if (e.activity->done_ || e.version != e.activity->version_) {
+    {
+      ActivityArena& a = *arena_;
+      while (!completions_.empty()) {
+        const CompletionEntry& e = completions_.top();
+        if (a.done[e.slot] || e.version != a.version[e.slot]) {
+          completions_.pop();
+          continue;
+        }
+        if (e.time > t_next + tol) break;
+        completed_scratch_.push_back(e.slot);
         completions_.pop();
-        continue;
       }
-      if (e.time > t_next + tol) break;
-      completed_scratch_.push_back(e.activity);
-      completions_.pop();
+      std::sort(completed_scratch_.begin(), completed_scratch_.end(),
+                [&a](ActivitySlot x, ActivitySlot y) { return a.id[x] < a.id[y]; });
     }
-    std::sort(completed_scratch_.begin(), completed_scratch_.end(),
-              [](const ActivityPtr& a, const ActivityPtr& b) { return a->id_ < b->id_; });
-    for (const ActivityPtr& act : completed_scratch_) complete_activity(*act);
+    for (ActivitySlot slot : completed_scratch_) complete_activity(slot);
     completed_scratch_.clear();
 
     while (!timers_.empty() && timers_.top().time <= now_ + tol) {

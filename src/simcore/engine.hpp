@@ -250,6 +250,11 @@ class Engine {
   /// mark a resource's fair-share component for re-solving.
   void mark_resource_dirty(Resource* resource);
 
+  /// The arena backing all activity storage (SoA hot fields + cold slab).
+  /// Shared with external ActivityRef handles, which may outlive the
+  /// engine.  Exposed read-only for tests and the alloc/* memory gauges.
+  [[nodiscard]] const ActivityArena& arena() const { return *arena_; }
+
  private:
   friend class Resource;  // set_capacity triggers the per-event solve
 
@@ -266,8 +271,8 @@ class Engine {
   struct CompletionEntry {
     double time;
     std::uint64_t id;       ///< activity id: deterministic tie-break
-    std::uint64_t version;  ///< stale when != activity->version_
-    ActivityPtr activity;
+    std::uint64_t version;  ///< stale when != arena version[slot]
+    ActivitySlot slot;
     bool operator>(const CompletionEntry& other) const {
       if (time != other.time) return time > other.time;
       return id > other.id;
@@ -294,20 +299,20 @@ class Engine {
   /// Sort + sync + solve one component; runs on pool workers as well as the
   /// driving thread, so it must touch only the component's own activities
   /// and resources plus the given per-participant scratch.
-  void solve_component(std::vector<Activity*>& acts, std::vector<Resource*>& used_scratch);
+  void solve_component(std::vector<ActivitySlot>& acts, std::vector<Resource*>& used_scratch);
   /// Progressive filling restricted to `acts` (sorted by id) and the
-  /// resources they claim; writes Activity::rate_.  `used_scratch` is the
-  /// caller's reusable resource list (per pool participant).
-  static void solve_subset(const std::vector<Activity*>& acts,
-                           std::vector<Resource*>& used_scratch);
+  /// resources they claim; writes the arena's rate array.  `used_scratch`
+  /// is the caller's reusable resource list (per pool participant).
+  void solve_subset(const std::vector<ActivitySlot>& acts,
+                    std::vector<Resource*>& used_scratch);
   /// Materialize remaining work at the current virtual time.
-  void sync_remaining(Activity& activity);
-  /// Refresh completion_time_ and push a fresh heap entry.
-  void update_completion(Activity& activity);
+  void sync_remaining(ActivitySlot slot);
+  /// Refresh the completion time and push a fresh heap entry.
+  void update_completion(ActivitySlot slot);
   /// Earliest valid completion time, dropping stale heap entries; kInf if none.
   double heap_top_time();
-  void register_claims(const ActivityPtr& activity);
-  void deregister_claims(Activity& activity);
+  void register_claims(ActivitySlot slot);
+  void deregister_claims(ActivitySlot slot);
   /// Full-solve determinism cross-check; throws on divergence.
   void verify_full_solve();
   /// Runs every ready coroutine; returns number resumed.
@@ -318,8 +323,8 @@ class Engine {
   void process_pending_cancellations();
   /// Retire a running activity whose waiter died: deregister claims, free
   /// its share of every resource, wake nobody.
-  void cancel_activity(Activity& activity);
-  void complete_activity(Activity& activity);
+  void cancel_activity(ActivitySlot slot);
+  void complete_activity(ActivitySlot slot);
   void step(double time_limit);
 
   double now_ = 0.0;
@@ -347,9 +352,13 @@ class Engine {
 
   Tracer* tracer_ = nullptr;
   obs::EngineProfile* profiler_ = nullptr;
+  /// Activity storage: SoA hot arrays + cold slab, shared with external
+  /// handles (which may outlive the engine — teardown clears the arena's
+  /// engine back-pointer, exactly like the old shared_ptr detach).
+  std::shared_ptr<ActivityArena> arena_;
   std::vector<std::unique_ptr<Resource>> resources_;
-  /// Running activities, unordered (swap-remove via Activity::run_index_).
-  std::vector<ActivityPtr> running_;
+  /// Running activity slots, unordered (swap-remove via arena run_index).
+  std::vector<ActivitySlot> running_;
   std::vector<Resource*> dirty_resources_;
   std::priority_queue<CompletionEntry, std::vector<CompletionEntry>, std::greater<>>
       completions_;
@@ -367,13 +376,14 @@ class Engine {
   // retain their capacity across scheduling points; solve_scratch_ holds
   // one resource list per pool participant so concurrent component solves
   // never share a buffer.
-  std::vector<std::vector<Activity*>> components_;
+  std::vector<std::vector<ActivitySlot>> components_;
   std::size_t component_count_ = 0;
   std::vector<std::size_t> component_order_;  ///< merge order (by component id)
   std::vector<Resource*> bfs_stack_;
   std::vector<std::vector<Resource*>> solve_scratch_;  ///< [pool slot]
-  std::vector<Activity*> full_solve_scratch_;          ///< verify_full_solve
-  std::vector<ActivityPtr> completed_scratch_;
+  std::vector<ActivitySlot> full_solve_scratch_;       ///< verify_full_solve
+  std::vector<ActivitySlot> completed_scratch_;
+  std::vector<ActivitySlot> orphan_scratch_;  ///< cancellation sweep
 };
 
 }  // namespace pcs::sim

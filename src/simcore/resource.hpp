@@ -21,7 +21,6 @@
 
 namespace pcs::sim {
 
-class Activity;
 class Engine;
 
 class Resource {
@@ -45,9 +44,10 @@ class Resource {
   double capacity_;
   Engine* engine_ = nullptr;  ///< set by Engine::new_resource
 
-  /// Running activities claiming this resource, as (activity, claim index)
-  /// pairs.  Unordered; removal is O(1) swap-remove through Claim::slot_.
-  std::vector<std::pair<Activity*, std::size_t>> incumbents_;
+  /// Running activities claiming this resource, as (arena slot, claim
+  /// index) pairs.  Unordered; removal is O(1) swap-remove through
+  /// Claim::slot_.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> incumbents_;
   bool dirty_queued_ = false;      ///< already in the engine's dirty list
   std::uint64_t visit_mark_ = 0;   ///< component-BFS visit stamp
 

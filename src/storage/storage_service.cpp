@@ -18,6 +18,10 @@ void StorageService::register_metrics(obs::MetricsRegistry& registry,
   registry.register_gauge(service + "/miss_bytes", [mm] { return mm->miss_bytes(); });
   registry.register_gauge(service + "/evicted_bytes", [mm] { return mm->evicted_bytes(); });
   registry.register_gauge(service + "/flushed_bytes", [mm] { return mm->flushed_bytes(); });
+  // Host-side allocation, not simulated bytes: what the page-cache node
+  // slabs actually reserve (capacity; slots recycle through the freelist).
+  registry.register_gauge(service + "/alloc_lru_bytes",
+                          [mm] { return static_cast<double>(mm->lru_bytes_reserved()); });
 }
 
 }  // namespace pcs::storage

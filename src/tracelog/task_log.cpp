@@ -28,6 +28,77 @@ std::vector<wf::FileSpec> files_from_json(const util::Json& doc) {
 
 }  // namespace
 
+TraceWorkflow parse_workflow_record(const util::Json& rec) {
+  TraceWorkflow workflow;
+  workflow.id = static_cast<std::uint64_t>(rec.at("id").as_number());
+  workflow.label = rec.string_or("label", "");
+  workflow.service = rec.string_or("service", "");
+  workflow.submit = rec.at("submit").as_number();
+  return workflow;
+}
+
+TraceTaskDecl parse_task_record(const util::Json& rec, std::uint64_t* wf_id) {
+  *wf_id = static_cast<std::uint64_t>(rec.at("wf").as_number());
+  TraceTaskDecl task;
+  task.name = rec.at("name").as_string();
+  task.flops = rec.at("flops").as_number();
+  task.chunk_size = rec.number_or("chunk_size", 0.0);
+  if (rec.contains("inputs")) task.inputs = files_from_json(rec.at("inputs"));
+  if (rec.contains("outputs")) task.outputs = files_from_json(rec.at("outputs"));
+  if (rec.contains("deps")) {
+    for (const util::Json& d : rec.at("deps").as_array()) {
+      task.deps.push_back(d.as_string());
+    }
+  }
+  return task;
+}
+
+TraceTaskEvent parse_task_event_record(const util::Json& rec) {
+  TraceTaskEvent event;
+  event.name = rec.at("name").as_string();
+  event.host = rec.string_or("host", "");
+  event.start = rec.at("start").as_number();
+  event.read_start = rec.at("read_start").as_number();
+  event.read_end = rec.at("read_end").as_number();
+  event.compute_end = rec.at("compute_end").as_number();
+  event.write_end = rec.at("write_end").as_number();
+  event.end = rec.at("end").as_number();
+  event.attempts = static_cast<int>(rec.number_or("attempts", 1.0));
+  return event;
+}
+
+TraceIoEvent parse_io_event_record(const util::Json& rec) {
+  TraceIoEvent event;
+  event.op = rec.at("op").as_string();
+  event.file = rec.at("file").as_string();
+  event.bytes = rec.at("bytes").as_number();
+  event.start = rec.at("start").as_number();
+  event.end = rec.at("end").as_number();
+  event.service = rec.string_or("service", "");
+  event.task = rec.string_or("task", "");
+  return event;
+}
+
+TraceTaskAttempt parse_task_attempt_record(const util::Json& rec) {
+  TraceTaskAttempt attempt;
+  attempt.name = rec.at("name").as_string();
+  attempt.host = rec.string_or("host", "");
+  attempt.attempt = static_cast<int>(rec.at("attempt").as_number());
+  attempt.start = rec.at("start").as_number();
+  attempt.end = rec.at("end").as_number();
+  attempt.outcome = rec.string_or("outcome", "crashed");
+  return attempt;
+}
+
+TraceDisruption parse_disruption_record(const util::Json& rec) {
+  TraceDisruption disruption;
+  disruption.type = rec.at("type").as_string();
+  disruption.time = rec.at("time").as_number();
+  disruption.target = rec.string_or("target", "");
+  disruption.factor = rec.number_or("factor", 0.0);
+  return disruption;
+}
+
 util::Json header_record(const TaskLog& log) {
   util::Json doc{util::JsonObject{}};
   doc.set("rec", "header");
@@ -159,72 +230,28 @@ TaskLog TaskLog::parse(std::istream& in) {
         if (rec.contains("source_scenario")) log.source_scenario = rec.at("source_scenario");
         if (rec.contains("fault_schedule")) log.fault_schedule = rec.at("fault_schedule");
       } else if (kind == "workflow") {
-        TraceWorkflow workflow;
-        workflow.id = static_cast<std::uint64_t>(rec.at("id").as_number());
-        workflow.label = rec.string_or("label", "");
-        workflow.service = rec.string_or("service", "");
-        workflow.submit = rec.at("submit").as_number();
+        TraceWorkflow workflow = parse_workflow_record(rec);
         if (wf_index.count(workflow.id) != 0) {
           throw TraceError("duplicate workflow id " + std::to_string(workflow.id));
         }
         wf_index[workflow.id] = log.workflows.size();
         log.workflows.push_back(std::move(workflow));
       } else if (kind == "task") {
-        const auto wf_id = static_cast<std::uint64_t>(rec.at("wf").as_number());
+        std::uint64_t wf_id = 0;
+        TraceTaskDecl task = parse_task_record(rec, &wf_id);
         auto it = wf_index.find(wf_id);
         if (it == wf_index.end()) {
           throw TraceError("task references unknown workflow id " + std::to_string(wf_id));
         }
-        TraceTaskDecl task;
-        task.name = rec.at("name").as_string();
-        task.flops = rec.at("flops").as_number();
-        task.chunk_size = rec.number_or("chunk_size", 0.0);
-        if (rec.contains("inputs")) task.inputs = files_from_json(rec.at("inputs"));
-        if (rec.contains("outputs")) task.outputs = files_from_json(rec.at("outputs"));
-        if (rec.contains("deps")) {
-          for (const util::Json& d : rec.at("deps").as_array()) {
-            task.deps.push_back(d.as_string());
-          }
-        }
         log.workflows[it->second].tasks.push_back(std::move(task));
       } else if (kind == "task_done") {
-        TraceTaskEvent event;
-        event.name = rec.at("name").as_string();
-        event.host = rec.string_or("host", "");
-        event.start = rec.at("start").as_number();
-        event.read_start = rec.at("read_start").as_number();
-        event.read_end = rec.at("read_end").as_number();
-        event.compute_end = rec.at("compute_end").as_number();
-        event.write_end = rec.at("write_end").as_number();
-        event.end = rec.at("end").as_number();
-        event.attempts = static_cast<int>(rec.number_or("attempts", 1.0));
-        log.task_events.push_back(std::move(event));
+        log.task_events.push_back(parse_task_event_record(rec));
       } else if (kind == "task_attempt") {
-        TraceTaskAttempt attempt;
-        attempt.name = rec.at("name").as_string();
-        attempt.host = rec.string_or("host", "");
-        attempt.attempt = static_cast<int>(rec.at("attempt").as_number());
-        attempt.start = rec.at("start").as_number();
-        attempt.end = rec.at("end").as_number();
-        attempt.outcome = rec.string_or("outcome", "crashed");
-        log.task_attempts.push_back(std::move(attempt));
+        log.task_attempts.push_back(parse_task_attempt_record(rec));
       } else if (kind == "disruption") {
-        TraceDisruption disruption;
-        disruption.type = rec.at("type").as_string();
-        disruption.time = rec.at("time").as_number();
-        disruption.target = rec.string_or("target", "");
-        disruption.factor = rec.number_or("factor", 0.0);
-        log.disruptions.push_back(std::move(disruption));
+        log.disruptions.push_back(parse_disruption_record(rec));
       } else if (kind == "io") {
-        TraceIoEvent event;
-        event.op = rec.at("op").as_string();
-        event.file = rec.at("file").as_string();
-        event.bytes = rec.at("bytes").as_number();
-        event.start = rec.at("start").as_number();
-        event.end = rec.at("end").as_number();
-        event.service = rec.string_or("service", "");
-        event.task = rec.string_or("task", "");
-        log.io_events.push_back(std::move(event));
+        log.io_events.push_back(parse_io_event_record(rec));
       } else if (kind == "summary") {
         log.recorded_makespan = rec.at("makespan").as_number();
       } else {

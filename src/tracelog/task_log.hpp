@@ -195,6 +195,16 @@ struct TaskLog {
   [[nodiscard]] double first_submit() const;
 };
 
+// --- single-record parsing, shared by TaskLog::parse and TaskLogReader ----
+
+[[nodiscard]] TraceWorkflow parse_workflow_record(const util::Json& rec);
+/// Returns the declaring workflow id through `wf_id`.
+[[nodiscard]] TraceTaskDecl parse_task_record(const util::Json& rec, std::uint64_t* wf_id);
+[[nodiscard]] TraceTaskEvent parse_task_event_record(const util::Json& rec);
+[[nodiscard]] TraceIoEvent parse_io_event_record(const util::Json& rec);
+[[nodiscard]] TraceTaskAttempt parse_task_attempt_record(const util::Json& rec);
+[[nodiscard]] TraceDisruption parse_disruption_record(const util::Json& rec);
+
 // --- single-record (de)serialization, shared with TaskLogRecorder ---------
 
 [[nodiscard]] util::Json header_record(const TaskLog& log);

@@ -1,0 +1,25 @@
+#include "util/rss.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace pcs::util {
+
+std::uint64_t peak_rss_kb() {
+  // "VmHWM:    123456 kB" — the high-water mark of the resident set.
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    std::uint64_t kb = 0;
+    fields >> kb;
+    return kb;
+  }
+  return 0;
+}
+
+}  // namespace pcs::util

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "tracelog/task_log.hpp"
+#include "tracelog/task_log_reader.hpp"
 #include "util/paths.hpp"
 #include "util/units.hpp"
 #include "workflow/simulation.hpp"
@@ -133,6 +134,65 @@ std::vector<WorkloadInstance> build_workload(wf::Simulation& sim, const util::Js
         spec.number_or("end", std::numeric_limits<double>::infinity());
     if (window_start < 0.0 || window_end <= window_start) {
       throw WorkloadError("trace workload: need 0 <= start < end");
+    }
+
+    if (spec.bool_or("streaming", false)) {
+      // Streaming replay: a shared TaskLogReader cursor instead of a
+      // materialized TaskLog.  The pre-scan supplies everything scheduling
+      // needs (labels, services, submit times, file names); task bodies
+      // parse at submission time through the reader's bounded window.
+      const auto window = static_cast<std::size_t>(
+          spec.number_or("window", static_cast<double>(tracelog::TaskLogReader::kDefaultWindow)));
+      if (window < 1) throw WorkloadError("trace workload: window must be >= 1");
+      std::shared_ptr<tracelog::TaskLogReader> reader;
+      try {
+        reader = std::make_shared<tracelog::TaskLogReader>(
+            util::resolve_relative(base_dir, spec.at("file").as_string()), window);
+      } catch (const tracelog::TraceError& e) {
+        throw WorkloadError(std::string("trace workload: ") + e.what());
+      }
+      if (reader->workflows().empty()) {
+        throw WorkloadError("trace workload: log contains no workflow records");
+      }
+      wf::Simulation* simp = &sim;
+      for (int k = 0; k < load_factor; ++k) {
+        const std::string clone =
+            load_factor > 1 ? "c" + std::to_string(k) + ":" : std::string();
+        const std::string full_prefix = prefix + clone;
+        for (std::size_t i = 0; i < reader->workflows().size(); ++i) {
+          const tracelog::TraceWorkflowMeta& meta = reader->workflows()[i];
+          if (meta.submit < window_start || meta.submit >= window_end) continue;
+          std::string bound = meta.service;
+          if (spec.contains("remap") && spec.at("remap").contains(bound)) {
+            bound = spec.at("remap").at(bound).as_string();
+          } else if (!service.empty()) {
+            bound = service;
+          }
+          WorkloadInstance instance;
+          instance.service = bound;
+          instance.arrival =
+              arrival + stagger * k + (meta.submit - window_start) * time_scale;
+          instance.label = full_prefix + meta.label;
+          instance.reader = reader;
+          instance.files.reserve(meta.files.size());
+          for (const std::string& f : meta.files) instance.files.push_back(full_prefix + f);
+          // Memoized so a second call (defensive) never double-builds.
+          auto built = std::make_shared<wf::Workflow*>(nullptr);
+          instance.materialize = [simp, reader, i, full_prefix, built]() -> wf::Workflow* {
+            if (*built == nullptr) {
+              wf::Workflow& workflow = simp->create_workflow();
+              build_from_trace(workflow, reader->workflow(i), full_prefix);
+              *built = &workflow;
+            }
+            return *built;
+          };
+          out.push_back(std::move(instance));
+        }
+      }
+      if (out.empty()) {
+        throw WorkloadError("trace workload: the [start, end) window selects no workflows");
+      }
+      return out;
     }
 
     tracelog::TaskLog log;

@@ -23,6 +23,12 @@
 //                    ({recorded service -> replacement}).  With the default
 //                    knobs a replay on the recorded platform reproduces the
 //                    original run bit-for-bit (tests/trace_replay_test.cpp).
+//                    "streaming": true swaps the materialized TaskLog for a
+//                    tracelog::TaskLogReader cursor: workflow declarations
+//                    parse at their submission instants through a bounded
+//                    window of "window" parsed workflows (default 64), so a
+//                    million-task log replays in O(live tasks) memory —
+//                    still bit-identical to the materialized replay.
 //
 // Common fields: "instances" (default 1), "arrival" (seconds, default 0),
 // "stagger" (seconds added per instance, default 0), "service" (storage
@@ -35,6 +41,8 @@
 // See README "Scenario files".
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -46,6 +54,10 @@ namespace pcs::wf {
 class Simulation;
 }
 
+namespace pcs::tracelog {
+class TaskLogReader;
+}
+
 namespace pcs::workload {
 
 class WorkloadError : public std::runtime_error {
@@ -55,11 +67,24 @@ class WorkloadError : public std::runtime_error {
 
 /// One workflow to run: built into the owning Simulation, bound to a
 /// storage service, submitted at `arrival`.
+///
+/// Eager generators set `workflow` at build time.  The streaming trace
+/// generator leaves it null and provides `materialize` instead: the runner
+/// calls it at the submission instant, so a deferred workflow's declaration
+/// records are parsed (through the reader's bounded window) only when the
+/// simulation actually needs them.
 struct WorkloadInstance {
-  wf::Workflow* workflow = nullptr;  ///< owned by the Simulation
+  wf::Workflow* workflow = nullptr;  ///< owned by the Simulation; null = deferred
   std::string service;               ///< storage service name; "" = default
   double arrival = 0.0;              ///< submission time (simulated seconds)
   std::string label;                 ///< instance tag, e.g. "a0" or "tenantA:a1"
+  /// Builds (and memoizes) the deferred workflow; null for eager instances.
+  std::function<wf::Workflow*()> materialize;
+  /// Deferred instances only: the (prefixed) file names this workflow will
+  /// reference, so the runner's workload_files set needs no materialization.
+  std::vector<std::string> files;
+  /// Deferred instances only: the shared streaming reader (window gauges).
+  std::shared_ptr<tracelog::TaskLogReader> reader;
 };
 
 /// Expand `spec` into workflow instances (created via sim.create_workflow).

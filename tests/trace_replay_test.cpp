@@ -6,6 +6,7 @@
 // including through the sweep subsystem.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -19,6 +20,7 @@
 #include "tracelog/anonymize.hpp"
 #include "tracelog/recorder.hpp"
 #include "tracelog/task_log.hpp"
+#include "tracelog/task_log_reader.hpp"
 #include "workload/workload.hpp"
 
 #ifndef PCS_SOURCE_DIR
@@ -612,6 +614,226 @@ TEST(TraceReplay, RecorderGuardsItsLifecycle) {
   EXPECT_THROW((void)recorder.log(), tracelog::TraceError);  // stream-only
   recorder.finish(1.0);
   EXPECT_THROW(recorder.finish(1.0), tracelog::TraceError);
+}
+
+// --- Streaming replay (tracelog::TaskLogReader) ----------------------------
+
+TEST(TraceStreaming, NighresClosedLoopIsBitIdentical) {
+  ClosedLoop loop = record_to_file(nighres_doc(), "stream_nighres");
+  loop.replay_doc.set("workload", obj()
+                                      .set("type", "trace")
+                                      .set("file", loop.log_path)
+                                      .set("streaming", true));
+  RunResult streamed = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  expect_bit_identical(streamed, loop.original);
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceStreaming, MultiTenantClosedLoopIsBitIdenticalEvenWithWindowOne) {
+  // window 1 is the thrash mode: every workflow() call may evict the only
+  // cached declaration, so deferred materialization runs against constant
+  // re-parsing — the timings must not notice.
+  ClosedLoop loop = record_to_file(multi_tenant_doc(), "stream_mt");
+  loop.replay_doc.set("workload", obj()
+                                      .set("type", "trace")
+                                      .set("file", loop.log_path)
+                                      .set("streaming", true)
+                                      .set("window", 1));
+  RunResult streamed = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  expect_bit_identical(streamed, loop.original);
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceStreaming, LoadFactorClonesMatchTheMaterializedReplay) {
+  // Clones pull the same recorded workflows at staggered virtual times —
+  // out-of-order access through the window.  The oracle is the materialized
+  // replay of the identical workload spec, not the original run.
+  ClosedLoop loop = record_to_file(nighres_doc(), "stream_load");
+  util::Json workload = obj()
+                            .set("type", "trace")
+                            .set("file", loop.log_path)
+                            .set("load_factor", 2)
+                            .set("stagger", 10.0);
+  loop.replay_doc.set("workload", workload);
+  RunResult materialized = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  loop.replay_doc.set("workload", workload.set("streaming", true).set("window", 1));
+  RunResult streamed = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  expect_bit_identical(streamed, materialized);
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceStreaming, CommittedTraceStreamsBitIdenticalToMaterialized) {
+  const std::string committed =
+      std::string(PCS_SOURCE_DIR) + "/scenarios/traces/nighres_run.jsonl";
+  tracelog::TaskLog log = tracelog::TaskLog::from_file(committed);
+  log.validate();
+  util::Json replay_doc = log.source_scenario;
+  replay_doc.set("workload", obj().set("type", "trace").set("file", committed));
+  RunResult materialized = run_scenario(ScenarioSpec::parse(replay_doc));
+  replay_doc.set("workload", obj()
+                                 .set("type", "trace")
+                                 .set("file", committed)
+                                 .set("streaming", true));
+  RunResult streamed = run_scenario(ScenarioSpec::parse(replay_doc));
+  expect_bit_identical(streamed, materialized);
+  EXPECT_EQ(streamed.makespan, log.recorded_makespan);
+}
+
+void expect_same_decl(const tracelog::TraceTaskDecl& got, const tracelog::TraceTaskDecl& want) {
+  EXPECT_EQ(got.name, want.name);
+  EXPECT_EQ(got.flops, want.flops);
+  EXPECT_EQ(got.chunk_size, want.chunk_size);
+  EXPECT_EQ(got.deps, want.deps);
+  ASSERT_EQ(got.inputs.size(), want.inputs.size());
+  ASSERT_EQ(got.outputs.size(), want.outputs.size());
+  for (std::size_t f = 0; f < want.inputs.size(); ++f) {
+    EXPECT_EQ(got.inputs[f].name, want.inputs[f].name);
+    EXPECT_EQ(got.inputs[f].size, want.inputs[f].size);
+  }
+  for (std::size_t f = 0; f < want.outputs.size(); ++f) {
+    EXPECT_EQ(got.outputs[f].name, want.outputs[f].name);
+    EXPECT_EQ(got.outputs[f].size, want.outputs[f].size);
+  }
+}
+
+void expect_same_workflow(const tracelog::TraceWorkflow& got,
+                          const tracelog::TraceWorkflow& want) {
+  EXPECT_EQ(got.id, want.id);
+  EXPECT_EQ(got.label, want.label);
+  EXPECT_EQ(got.service, want.service);
+  EXPECT_EQ(got.submit, want.submit);
+  ASSERT_EQ(got.tasks.size(), want.tasks.size());
+  for (std::size_t t = 0; t < want.tasks.size(); ++t) {
+    expect_same_decl(got.tasks[t], want.tasks[t]);
+  }
+}
+
+TEST(TraceStreaming, ReaderPrescanMatchesTheMaterializedSummary) {
+  ClosedLoop loop = record_to_file(multi_tenant_doc(), "stream_summary");
+  tracelog::TaskLogReader reader(loop.log_path);
+  EXPECT_EQ(reader.version(), loop.log.version);
+  EXPECT_EQ(reader.scenario(), loop.log.scenario);
+  EXPECT_EQ(reader.workflows().size(), loop.log.workflows.size());
+  EXPECT_EQ(reader.task_count(), loop.log.task_count());
+  EXPECT_EQ(reader.task_event_count(), loop.log.task_events.size());
+  EXPECT_EQ(reader.io_event_count(), loop.log.io_events.size());
+  EXPECT_EQ(reader.total_read_bytes(), loop.log.total_read_bytes());
+  EXPECT_EQ(reader.total_written_bytes(), loop.log.total_written_bytes());
+  EXPECT_EQ(reader.first_submit(), loop.log.first_submit());
+  EXPECT_EQ(reader.last_task_end(), loop.log.last_task_end());
+  EXPECT_EQ(reader.recorded_makespan(), loop.log.recorded_makespan);
+  // On-demand loads reproduce the materialized declarations exactly.
+  for (std::size_t i = 0; i < loop.log.workflows.size(); ++i) {
+    expect_same_workflow(reader.workflow(i), loop.log.workflows[i]);
+  }
+  std::remove(loop.log_path.c_str());
+}
+
+TEST(TraceStreaming, HundredThousandTaskLogStreamsThroughABoundedWindow) {
+  // A generated log far bigger than anything this suite records: 25k
+  // workflows x 4 chained tasks = 100k declarations plus an event stream.
+  // The reader must hold at most `window` parsed workflows at any moment
+  // while an exhaustive scan touches all of them.
+  constexpr int kWorkflows = 25000;
+  const std::string path = temp_log_path("stream_big");
+  {
+    std::ofstream out(path);
+    out << "{\"rec\":\"header\",\"version\":1,\"scenario\":\"big\"}\n";
+    for (int k = 0; k < kWorkflows; ++k) {
+      const std::string w = "w" + std::to_string(k);
+      out << "{\"rec\":\"workflow\",\"id\":" << k << ",\"label\":\"" << w
+          << "\",\"service\":\"\",\"submit\":" << k << "}\n";
+      for (int t = 0; t < 4; ++t) {
+        out << "{\"rec\":\"task\",\"wf\":" << k << ",\"name\":\"" << w << ":t" << t
+            << "\",\"flops\":1";
+        if (t > 0) out << ",\"deps\":[\"" << w << ":t" << (t - 1) << "\"]";
+        out << ",\"inputs\":[{\"name\":\"" << w << ":f" << t << "\",\"size\":1000}]}\n";
+      }
+      // Interleave an event record per workflow: events must be counted and
+      // dropped by the pre-scan, never buffered.
+      out << "{\"rec\":\"task_done\",\"name\":\"" << w << ":t0\",\"host\":\"h\","
+          << "\"start\":0,\"read_start\":0,\"read_end\":1,\"compute_end\":2,"
+          << "\"write_end\":3,\"end\":3}\n";
+    }
+  }
+
+  constexpr std::size_t kWindow = 32;
+  tracelog::TaskLogReader reader(path, kWindow);
+  ASSERT_EQ(reader.workflows().size(), static_cast<std::size_t>(kWorkflows));
+  EXPECT_EQ(reader.task_count(), 4u * kWorkflows);
+  EXPECT_EQ(reader.task_event_count(), static_cast<std::size_t>(kWorkflows));
+
+  // Sequential sweep, then a wrap-around revisit to force evictions.
+  for (int k = 0; k < kWorkflows; ++k) {
+    const tracelog::TraceWorkflow& wf = reader.workflow(static_cast<std::size_t>(k));
+    ASSERT_EQ(wf.tasks.size(), 4u);
+    EXPECT_EQ(wf.label, "w" + std::to_string(k));
+  }
+  EXPECT_EQ(reader.workflow(0).label, "w0");  // evicted long ago: re-parse
+
+  EXPECT_LE(reader.window_peak(), kWindow);
+  EXPECT_LE(reader.window_blocks(), kWindow);
+  EXPECT_GE(reader.parse_count(), static_cast<std::size_t>(kWorkflows) + 1);
+  // The buffered bytes track the window, not the log: far below 1% of the
+  // ~12 MB file even with per-entry overhead.
+  EXPECT_GT(reader.bytes_buffered(), 0u);
+  EXPECT_LT(reader.bytes_buffered(), 100u * 1024u);
+
+  // Spot-check the parsed content against the materialized parse.
+  tracelog::TaskLog log = tracelog::TaskLog::from_file(path);
+  log.validate();
+  ASSERT_EQ(log.workflows.size(), static_cast<std::size_t>(kWorkflows));
+  for (std::size_t i : {std::size_t{0}, std::size_t{12345}, std::size_t{24999}}) {
+    expect_same_workflow(reader.workflow(i), log.workflows[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceStreaming, ReaderRejectsInterleavedDeclarations) {
+  // Legal for the materialized parser, but streaming needs recorder order:
+  // workflow 1's record interrupts workflow 0's task block.
+  const std::string path = temp_log_path("stream_interleaved");
+  {
+    std::ofstream out(path);
+    out << "{\"rec\":\"header\",\"version\":1}\n"
+        << "{\"rec\":\"workflow\",\"id\":0,\"label\":\"a\",\"service\":\"\",\"submit\":0}\n"
+        << "{\"rec\":\"workflow\",\"id\":1,\"label\":\"b\",\"service\":\"\",\"submit\":0}\n"
+        << "{\"rec\":\"task\",\"wf\":0,\"name\":\"t\",\"flops\":1}\n";
+  }
+  tracelog::TaskLog materialized = tracelog::TaskLog::from_file(path);
+  EXPECT_NO_THROW(materialized.validate());
+  try {
+    tracelog::TaskLogReader reader(path);
+    FAIL() << "expected TraceError";
+  } catch (const tracelog::TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("not contiguous"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceStreaming, RunnerExportsWindowGauges) {
+  // A streaming run with metric sampling registers the reader's window
+  // gauges; the sampled timeline proves the window stayed bounded while
+  // the replay was live.
+  ClosedLoop loop = record_to_file(nighres_doc(), "stream_gauges");
+  loop.replay_doc.set("workload", obj()
+                                      .set("type", "trace")
+                                      .set("file", loop.log_path)
+                                      .set("streaming", true)
+                                      .set("window", 1));
+  loop.replay_doc.set("metrics", obj().set("interval", 5.0));
+  RunResult streamed = run_scenario(ScenarioSpec::parse(loop.replay_doc));
+  expect_bit_identical(streamed, loop.original);
+  const util::Json& metrics = streamed.timeline.at("metrics");
+  ASSERT_TRUE(metrics.contains("alloc/trace_window_workflows"));
+  ASSERT_TRUE(metrics.contains("alloc/trace_window_bytes"));
+  ASSERT_TRUE(metrics.contains("alloc/arena_bytes"));
+  double max_cached = 0.0;
+  for (const util::Json& v : metrics.at("alloc/trace_window_workflows").as_array()) {
+    max_cached = std::max(max_cached, v.as_number());
+  }
+  EXPECT_LE(max_cached, 1.0);
+  std::remove(loop.log_path.c_str());
 }
 
 TEST(TraceReplay, PrototypeSimulatorCannotRecord) {
